@@ -1,0 +1,88 @@
+//! Size-bound families (Theorems 3.40, 3.41, 3.42, 5.37): we benchmark the
+//! construction time and *print* the measured output sizes so the growth
+//! curves (exponential / doubly exponential in n, from polynomial-size
+//! inputs) can be compared against the paper's statements.  The measured
+//! series are recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqfit::{cq, tree, SearchBudget};
+use cqfit_gen::{bitstring_family, bitstring_family_z, lra_family, prime_cycles_family};
+use std::time::Duration;
+
+fn thm_3_40(c: &mut Criterion) {
+    let mut group = c.benchmark_group("size/thm3.40_prime_cycles");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for n in [2usize, 3, 4, 5, 6] {
+        let examples = prime_cycles_family(n);
+        let fitting = cq::most_specific_fitting(&examples).unwrap().unwrap();
+        eprintln!(
+            "[thm3.40] n={n}: input size {} facts -> smallest fitting CQ ~ {} variables",
+            examples.total_size(),
+            fitting.num_variables()
+        );
+        group.bench_with_input(BenchmarkId::new("construct", n), &n, |b, _| {
+            b.iter(|| cq::most_specific_fitting(&examples).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn thm_3_41_42(c: &mut Criterion) {
+    let mut group = c.benchmark_group("size/thm3.41_bitstrings");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for n in [1usize, 2, 3] {
+        let examples = bitstring_family(n);
+        let fitting = cq::most_specific_fitting(&examples).unwrap().unwrap();
+        eprintln!(
+            "[thm3.41] n={n}: input size {} facts -> unique fitting CQ with {} variables (expected 2^n = {})",
+            examples.total_size(),
+            fitting.core().num_variables(),
+            1usize << n
+        );
+        group.bench_with_input(BenchmarkId::new("construct", n), &n, |b, _| {
+            b.iter(|| cq::most_specific_fitting(&examples).unwrap())
+        });
+    }
+    for n in [1usize, 2] {
+        let examples = bitstring_family_z(n);
+        let fitting = cq::most_specific_fitting(&examples).unwrap().unwrap();
+        eprintln!(
+            "[thm3.42] n={n}: Z-variant fitting CQ with {} variables (basis cardinality grows as 2^(2^n))",
+            fitting.core().num_variables()
+        );
+        group.bench_with_input(BenchmarkId::new("construct_z", n), &n, |b, _| {
+            b.iter(|| cq::most_specific_fitting(&examples).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn thm_5_37(c: &mut Criterion) {
+    let mut group = c.benchmark_group("size/thm5.37_lra");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    let budget = SearchBudget {
+        max_tree_nodes: 2_000_000,
+        ..SearchBudget::default()
+    };
+    for n in [1usize, 2] {
+        let examples = lra_family(n);
+        group.bench_with_input(BenchmarkId::new("fitting_exists", n), &n, |b, _| {
+            b.iter(|| tree::fitting_exists(&examples).unwrap())
+        });
+        if n == 1 {
+            let fitting = tree::construct_fitting(&examples, &budget).unwrap();
+            eprintln!(
+                "[thm5.37] n={n}: input size {} facts -> fitting tree CQ with {} variables",
+                examples.total_size(),
+                fitting.as_ref().map(|q| q.num_variables()).unwrap_or(0)
+            );
+            group.bench_with_input(BenchmarkId::new("construct", n), &n, |b, _| {
+                b.iter(|| tree::construct_fitting(&examples, &budget).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, thm_3_40, thm_3_41_42, thm_5_37);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Table 1 (CQs): verification, existence and construction of (extremal)
+//! fitting CQs.  The workloads are the paper's own families: exact
+//! k-colorability examples (Theorem 3.1) for verification and the
+//! prime-cycle family (Theorem 3.40) for existence/construction, whose
+//! difficulty grows exponentially with n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqfit::{cq, SearchBudget};
+use cqfit_gen::{exact_colorability, prime_cycles_family, symmetric_clique};
+use cqfit_query::Cq;
+use std::time::Duration;
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1/verification");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let schema = cqfit_data::Schema::digraph();
+    for k in [3usize, 4, 5] {
+        let examples = exact_colorability(k);
+        let q = Cq::from_example(&symmetric_clique(&schema, k + 1)).unwrap();
+        group.bench_with_input(BenchmarkId::new("any_fitting", k), &k, |b, _| {
+            b.iter(|| cq::verify_fitting(&q, &examples).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("most_specific", k), &k, |b, _| {
+            b.iter(|| cq::verify_most_specific_fitting(&q, &examples).unwrap())
+        });
+    }
+    // Weakly most-general / unique verification on the unique-fitting example
+    // of Example 3.33 scaled by padding with extra negative examples.
+    let schema = cqfit_data::Schema::digraph();
+    let base = "R(a,b)\nR(b,a)\nR(b,b)";
+    for extra in [0usize, 2, 4] {
+        let mut negs = vec![format!("{base}\n* a")];
+        for i in 0..extra {
+            negs.push(format!("R(x{i},y{i})\n* x{i}"));
+        }
+        let examples = cqfit_data::LabeledExamples::new(
+            vec![cqfit_data::parse_example(&schema, &format!("{base}\n* b")).unwrap()],
+            negs.iter()
+                .map(|t| cqfit_data::parse_example(&schema, t).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let q = cqfit_query::parse_cq(&schema, "q(x) :- R(x,x)").unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("weakly_most_general", extra),
+            &extra,
+            |b, _| b.iter(|| cq::verify_weakly_most_general(&q, &examples).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("unique", extra), &extra, |b, _| {
+            b.iter(|| cq::verify_unique_fitting(&q, &examples).unwrap())
+        });
+        let budget = SearchBudget::default();
+        group.bench_with_input(BenchmarkId::new("basis", extra), &extra, |b, _| {
+            b.iter(|| cq::verify_basis(std::slice::from_ref(&q), &examples, &budget).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_existence_and_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1/existence_construction");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for n in [2usize, 3, 4, 5] {
+        let examples = prime_cycles_family(n);
+        group.bench_with_input(BenchmarkId::new("fitting_exists", n), &n, |b, _| {
+            b.iter(|| cq::fitting_exists(&examples).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("construct_most_specific", n), &n, |b, _| {
+            b.iter(|| cq::most_specific_fitting(&examples).unwrap())
+        });
+        if n <= 3 {
+            group.bench_with_input(BenchmarkId::new("unique_exists", n), &n, |b, _| {
+                b.iter(|| cq::unique_fitting_exists(&examples).unwrap())
+            });
+        }
+    }
+    let budget = SearchBudget::default();
+    for n in [2usize, 3] {
+        let examples = prime_cycles_family(n);
+        group.bench_with_input(
+            BenchmarkId::new("weakly_most_general_exists", n),
+            &n,
+            |b, _| b.iter(|| cq::weakly_most_general_exists(&examples, &budget).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification, bench_existence_and_construction);
+criterion_main!(benches);

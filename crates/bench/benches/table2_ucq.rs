@@ -1,0 +1,41 @@
+//! Table 2 (UCQs): existence, verification and construction of (extremal)
+//! fitting UCQs.  As the paper shows, every problem drops by roughly one
+//! exponential compared to CQs; the measured times should reflect that the
+//! UCQ procedures scale polynomially on the same workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqfit::{ucq, SearchBudget};
+use cqfit_gen::{exact_colorability, prime_cycles_family};
+use std::time::Duration;
+
+fn bench_ucq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2/ucq");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for n in [2usize, 3, 4, 5, 6] {
+        let examples = prime_cycles_family(n);
+        group.bench_with_input(BenchmarkId::new("fitting_exists", n), &n, |b, _| {
+            b.iter(|| ucq::fitting_exists(&examples).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("construct_most_specific", n), &n, |b, _| {
+            b.iter(|| ucq::most_specific_fitting(&examples).unwrap())
+        });
+        let ms = ucq::most_specific_fitting(&examples).unwrap().unwrap();
+        group.bench_with_input(BenchmarkId::new("verify_fitting", n), &n, |b, _| {
+            b.iter(|| ucq::verify_fitting(&ms, &examples).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("verify_most_specific", n), &n, |b, _| {
+            b.iter(|| ucq::verify_most_specific_fitting(&ms, &examples).unwrap())
+        });
+    }
+    let budget = SearchBudget::default();
+    for k in [3usize, 4] {
+        let examples = exact_colorability(k);
+        group.bench_with_input(BenchmarkId::new("unique_exists", k), &k, |b, _| {
+            b.iter(|| ucq::unique_fitting_exists(&examples, &budget).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ucq);
+criterion_main!(benches);

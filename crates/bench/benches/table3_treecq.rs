@@ -1,0 +1,65 @@
+//! Table 3 (tree CQs): verification, existence and construction of (extremal)
+//! fitting tree CQs, including the product-simulation core of the ExpTime
+//! procedures and the DAG-vs-explicit ablation on unravelings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqfit::{tree, SearchBudget};
+use cqfit_data::{parse_example, LabeledExamples, Schema};
+use cqfit_gen::lra_family;
+use std::time::Duration;
+
+/// Cycle-product workloads: positives are simple cycles of coprime lengths,
+/// the negative is a single loop-free edge; the product grows multiplicatively.
+fn cycle_workload(lengths: &[usize]) -> LabeledExamples {
+    let schema = Schema::binary_schema([], ["R"]);
+    let mut positives = Vec::new();
+    for &len in lengths {
+        let mut text = String::new();
+        for i in 0..len {
+            text.push_str(&format!("R(v{}, v{})\n", i, (i + 1) % len));
+        }
+        text.push_str("* v0");
+        positives.push(parse_example(&schema, &text).unwrap());
+    }
+    let negative = parse_example(&schema, "R(a,b)\n* a").unwrap();
+    LabeledExamples::new(positives, vec![negative]).unwrap()
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3/treecq");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let budget = SearchBudget::default();
+    let workloads = [vec![2usize, 3], vec![3, 4], vec![3, 5], vec![4, 5]];
+    for lengths in &workloads {
+        let id = lengths.iter().map(usize::to_string).collect::<Vec<_>>().join("x");
+        let examples = cycle_workload(lengths);
+        group.bench_with_input(BenchmarkId::new("fitting_exists", &id), &id, |b, _| {
+            b.iter(|| tree::fitting_exists(&examples).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("construct_fitting", &id), &id, |b, _| {
+            b.iter(|| tree::construct_fitting(&examples, &budget).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("most_specific_exists", &id), &id, |b, _| {
+            b.iter(|| tree::most_specific_exists(&examples).unwrap())
+        });
+        if let Some(q) = tree::construct_fitting(&examples, &budget).unwrap() {
+            group.bench_with_input(BenchmarkId::new("verify_fitting", &id), &id, |b, _| {
+                b.iter(|| tree::verify_fitting(&q, &examples).unwrap())
+            });
+            group.bench_with_input(
+                BenchmarkId::new("verify_weakly_most_general", &id),
+                &id,
+                |b, _| b.iter(|| tree::verify_weakly_most_general(&q, &examples).unwrap()),
+            );
+        }
+    }
+    // The L/R/A family of Theorem 5.37 (n = 1): doubly-exponential outputs.
+    let examples = lra_family(1);
+    group.bench_function("lra_construct_fitting_n1", |b| {
+        b.iter(|| tree::construct_fitting(&examples, &budget).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

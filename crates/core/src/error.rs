@@ -1,0 +1,78 @@
+//! Error type of the fitting layer.
+
+use cqfit_data::DataError;
+use cqfit_duality::FrontierError;
+use cqfit_hom::HomError;
+use cqfit_query::QueryError;
+use std::fmt;
+
+/// Errors raised by the fitting algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// The query and the examples disagree on schema or arity.
+    Incompatible,
+    /// The operation requires queries with the Unique Names Property (no
+    /// repeated answer variables); see the documentation of the calling
+    /// function.
+    RequiresUnp,
+    /// The operation is only defined for collections of unary examples over a
+    /// binary schema (tree CQ fitting, Section 5).
+    RequiresBinaryUnary,
+    /// A configured resource limit was exceeded; the result would be
+    /// `Certainty::Unknown` but the caller asked for a definite object.
+    BudgetExhausted(String),
+    /// Data-layer error.
+    Data(DataError),
+    /// Homomorphism-layer error.
+    Hom(HomError),
+    /// Query-layer error.
+    Query(QueryError),
+    /// Frontier-construction error.
+    Frontier(FrontierError),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::Incompatible => {
+                write!(f, "query and examples have different schemas or arities")
+            }
+            FitError::RequiresUnp => write!(
+                f,
+                "this operation requires the Unique Names Property (no repeated answer variables)"
+            ),
+            FitError::RequiresBinaryUnary => write!(
+                f,
+                "tree CQ fitting requires unary examples over a binary schema"
+            ),
+            FitError::BudgetExhausted(what) => write!(f, "search budget exhausted: {what}"),
+            FitError::Data(e) => write!(f, "{e}"),
+            FitError::Hom(e) => write!(f, "{e}"),
+            FitError::Query(e) => write!(f, "{e}"),
+            FitError::Frontier(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl From<DataError> for FitError {
+    fn from(e: DataError) -> Self {
+        FitError::Data(e)
+    }
+}
+impl From<HomError> for FitError {
+    fn from(e: HomError) -> Self {
+        FitError::Hom(e)
+    }
+}
+impl From<QueryError> for FitError {
+    fn from(e: QueryError) -> Self {
+        FitError::Query(e)
+    }
+}
+impl From<FrontierError> for FitError {
+    fn from(e: FrontierError) -> Self {
+        FitError::Frontier(e)
+    }
+}

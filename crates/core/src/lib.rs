@@ -1,0 +1,105 @@
+//! # cqfit
+//!
+//! A from-scratch implementation of
+//! *ten Cate, Dalmau, Funk, Lutz — Extremal Fitting Problems for Conjunctive
+//! Queries* (PODS 2023).
+//!
+//! Given a collection of labeled data examples `E = (E⁺, E⁻)`, the *fitting
+//! problem* asks for a query that returns every positive example and none of
+//! the negative ones.  This crate implements, for three query classes, the
+//! verification, existence and construction problems for
+//!
+//! * arbitrary fittings,
+//! * most-specific fittings,
+//! * weakly most-general fittings,
+//! * bases of most-general fittings (and strongly most-general fittings as
+//!   the singleton case),
+//! * unique fittings,
+//!
+//! following the structural characterizations of the paper (direct products,
+//! frontiers, homomorphism dualities and simulation dualities).
+//!
+//! ## Modules
+//!
+//! * [`cq`] — conjunctive queries (Section 3),
+//! * [`ucq`] — unions of conjunctive queries (Section 4),
+//! * [`tree`] — tree CQs over binary schemas (Section 5), including
+//!   unravelings and complete initial pieces.
+//!
+//! ## Exactness
+//!
+//! Everything the paper characterizes by a direct construction is
+//! implemented exactly.  Problems that are NExpTime-/ExpTime-complete or
+//! `HomDual`-equivalent expose *bounded-complete* procedures that take an
+//! explicit [`SearchBudget`] and return a three-valued
+//! [`Certainty`] (`Yes` / `No` / `Unknown`); `No` and `Yes` answers are always
+//! certified, `Unknown` means the budget ran out.  See `DESIGN.md` at the
+//! repository root for the full exactness table.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cqfit_data::{parse_example, LabeledExamples, Schema};
+//! use cqfit::cq;
+//!
+//! let schema = Schema::digraph();
+//! // Positive: a directed triangle; negative: a single loop-free edge.
+//! let pos = parse_example(&schema, "R(a,b)\nR(b,c)\nR(c,a)").unwrap();
+//! let neg = parse_example(&schema, "R(a,b)").unwrap();
+//! let examples = LabeledExamples::new(vec![pos], vec![neg]).unwrap();
+//!
+//! assert!(cq::fitting_exists(&examples).unwrap());
+//! let fit = cq::most_specific_fitting(&examples).unwrap().unwrap();
+//! assert!(cq::verify_fitting(&fit, &examples).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cq;
+mod error;
+pub mod tree;
+pub mod ucq;
+
+pub use cqfit_duality::{Certainty, DualityConfig};
+pub use error::FitError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FitError>;
+
+/// Resource limits for the bounded-complete search procedures.
+///
+/// The defaults are calibrated so that every worked example of the paper and
+/// every workload used in the test suite is decided exactly; raise them for
+/// larger inputs (at an exponential cost, as the underlying problems are
+/// NExpTime-/ExpTime-complete).
+#[derive(Debug, Clone)]
+pub struct SearchBudget {
+    /// Maximum number of generalization steps when searching for weakly
+    /// most-general fittings.
+    pub max_generalization_steps: usize,
+    /// Maximum size (variables + atoms) of intermediate candidate queries.
+    pub max_query_size: usize,
+    /// Maximum number of candidate queries kept during basis search.
+    pub max_candidates: usize,
+    /// Maximum number of nodes when materialising unravelings and fitting
+    /// tree CQs.
+    pub max_tree_nodes: usize,
+    /// Maximum unraveling depth for tree CQ construction.
+    pub max_unraveling_depth: usize,
+    /// Configuration of the underlying duality checks.
+    pub duality: DualityConfig,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            max_generalization_steps: 64,
+            max_query_size: 4_096,
+            max_candidates: 256,
+            max_tree_nodes: 100_000,
+            max_unraveling_depth: 64,
+            duality: DualityConfig::default(),
+        }
+    }
+}

@@ -1,0 +1,703 @@
+//! Fitting problems for tree CQs over binary schemas (Section 5 of the
+//! paper).
+//!
+//! Tree CQs correspond to ELI concept expressions; simulations take over the
+//! role of homomorphisms (Lemma 5.3).  The characterizations used here:
+//!
+//! * **Fitting existence** (Section 5.1): a fitting tree CQ exists iff the
+//!   direct product `Π E⁺` of the positive examples is a data example that
+//!   does not *simulate* into any negative example; fitting tree CQs are then
+//!   obtained as sufficiently deep unravelings of the product.
+//! * **Most-specific fittings** (Propositions 5.14 and 5.17): a most-specific
+//!   fitting exists iff the unraveling of `Π E⁺` has a *complete initial
+//!   piece*, computed here by a least-fixpoint over the product.
+//! * **Weakly most-general fittings** (Proposition 5.22): characterized by
+//!   frontiers w.r.t. tree CQs.
+//! * **Bases of most-general fittings** (Proposition 5.27): characterized by
+//!   simulation dualities relative to `Π E⁺`.
+//! * **Unique fittings**: most-specific + weakly most-general.
+
+use crate::{Certainty, FitError, Result, SearchBudget};
+use cqfit_data::{Example, LabeledExamples, Value};
+use cqfit_duality::{check_simulation_duality, frontier_examples};
+use cqfit_hom::{product_of, simulates, simulation_preorder, SimulationRelation};
+use cqfit_query::{Role, RootedTree, TreeCq};
+use std::collections::HashMap;
+
+/// Checks that the examples are unary and over a binary schema.
+fn require_tree_setting(examples: &LabeledExamples) -> Result<()> {
+    match (examples.schema(), examples.arity()) {
+        (Some(schema), Some(arity)) => {
+            if !schema.is_binary() || arity != 1 {
+                Err(FitError::RequiresBinaryUnary)
+            } else {
+                Ok(())
+            }
+        }
+        _ => Err(FitError::Incompatible),
+    }
+}
+
+/// The direct product `Π E⁺` of the positive examples (the product of the
+/// empty family is the one-element example carrying all facts).
+pub fn product_of_positives(examples: &LabeledExamples) -> Result<Example> {
+    require_tree_setting(examples)?;
+    let schema = examples.schema().expect("non-empty").clone();
+    Ok(product_of(&schema, 1, examples.positives())?)
+}
+
+/// Does the tree CQ fit the examples?  Decidable in polynomial time via
+/// simulations (Theorem 5.9).
+pub fn verify_fitting(q: &TreeCq, examples: &LabeledExamples) -> Result<bool> {
+    require_tree_setting(examples)?;
+    if q.as_cq().schema().as_ref() != examples.schema().expect("non-empty").as_ref() {
+        return Err(FitError::Incompatible);
+    }
+    Ok(examples.positives().iter().all(|e| q.is_satisfied_in(e))
+        && !examples.negatives().iter().any(|e| q.is_satisfied_in(e)))
+}
+
+/// Does some fitting tree CQ exist?  (ExpTime-complete, Theorem 5.10.)
+///
+/// Holds iff `Π E⁺` is a data example and `Π E⁺ ⪯̸ e⁻` for every negative
+/// example (the product simulation problem of Section 5.5).
+pub fn fitting_exists(examples: &LabeledExamples) -> Result<bool> {
+    let product = product_of_positives(examples)?;
+    if !product.is_data_example() {
+        return Ok(false);
+    }
+    for neg in examples.negatives() {
+        if simulates(&product, neg)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Constructs a fitting tree CQ if one exists: the shallowest unraveling of
+/// `Π E⁺` that avoids a simulation into every negative example
+/// (Theorem 5.11).  Returns `None` if no fitting exists or the budget
+/// (unraveling depth / node count) is exhausted — fitting tree CQs can be
+/// doubly exponentially large in the worst case (Theorem 5.37).
+pub fn construct_fitting(
+    examples: &LabeledExamples,
+    budget: &SearchBudget,
+) -> Result<Option<TreeCq>> {
+    if !fitting_exists(examples)? {
+        return Ok(None);
+    }
+    let product = product_of_positives(examples)?;
+    for depth in 0..=budget.max_unraveling_depth {
+        let Some(tree) = unravel(&product, depth, budget.max_tree_nodes) else {
+            return Ok(None);
+        };
+        let Ok(q) = TreeCq::from_rooted(tree) else {
+            continue; // unsafe at depth 0 (unlabeled root); go deeper
+        };
+        if !examples.negatives().iter().any(|neg| q.is_satisfied_in(neg)) {
+            debug_assert!(examples.positives().iter().all(|e| q.is_satisfied_in(e)));
+            return Ok(Some(q));
+        }
+    }
+    Ok(None)
+}
+
+/// The `depth`-unraveling of a unary pointed instance as a rooted tree, or
+/// `None` if it would exceed `max_nodes` nodes.
+pub fn unravel(example: &Example, depth: usize, max_nodes: usize) -> Option<RootedTree> {
+    let inst = example.instance();
+    let schema = inst.schema().clone();
+    let root_val = example.distinguished()[0];
+    let mut tree = RootedTree::new(schema.clone());
+    set_labels(&mut tree, 0, example, root_val);
+    let mut frontier: Vec<(usize, Value)> = vec![(tree.root(), root_val)];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for &(node, val) in &frontier {
+            for (role, succ) in successors(example, val) {
+                if tree.num_nodes() >= max_nodes {
+                    return None;
+                }
+                let child = tree.add_child(node, role).expect("binary schema");
+                set_labels(&mut tree, child, example, succ);
+                next.push((child, succ));
+            }
+        }
+        frontier = next;
+    }
+    Some(tree)
+}
+
+/// The unary relations holding at a value.
+fn set_labels(tree: &mut RootedTree, node: usize, example: &Example, val: Value) {
+    let inst = example.instance();
+    for rel in inst.schema().unary_rels().collect::<Vec<_>>() {
+        if inst.contains_fact(rel, &[val]) {
+            tree.add_label(node, rel).expect("unary label");
+        }
+    }
+}
+
+/// The role-successors of a value: `(R, w)` for facts `R(v, w)` and
+/// `(R⁻, w)` for facts `R(w, v)`.
+fn successors(example: &Example, val: Value) -> Vec<(Role, Value)> {
+    let inst = example.instance();
+    let mut out = Vec::new();
+    for &fid in inst.facts_containing(val) {
+        let fact = inst.fact(fid);
+        if fact.args.len() != 2 {
+            continue;
+        }
+        if fact.args[0] == val {
+            out.push((Role::forward(fact.rel), fact.args[1]));
+        }
+        if fact.args[1] == val {
+            out.push((Role::converse(fact.rel), fact.args[0]));
+        }
+    }
+    out
+}
+
+/// Verifies that `q` is a (strongly = weakly) most-specific fitting tree CQ
+/// (Proposition 5.14): `q` fits and `Π E⁺ ⪯ q`.
+pub fn verify_most_specific(q: &TreeCq, examples: &LabeledExamples) -> Result<bool> {
+    if !verify_fitting(q, examples)? {
+        return Ok(false);
+    }
+    let product = product_of_positives(examples)?;
+    Ok(simulates(&product, &q.canonical_example())?)
+}
+
+/// The least fixpoint of "complete initial pieces": for which pairs
+/// (incoming edge, product value) does a finite complete subtree exist?
+struct PieceAnalysis {
+    product: Example,
+    sim: SimulationRelation,
+    roles: Vec<Role>,
+    /// `good[(incoming, value)] = rank` at which the state was derived.
+    good: HashMap<(Option<(Value, Role)>, Value), usize>,
+}
+
+impl PieceAnalysis {
+    fn new(product: Example) -> Result<Self> {
+        let sim = simulation_preorder(product.instance())?;
+        let schema = product.instance().schema().clone();
+        let mut roles = Vec::new();
+        for rel in schema.binary_rels() {
+            roles.push(Role::forward(rel));
+            roles.push(Role::converse(rel));
+        }
+        let mut analysis = PieceAnalysis {
+            product,
+            sim,
+            roles,
+            good: HashMap::new(),
+        };
+        analysis.fixpoint();
+        Ok(analysis)
+    }
+
+    fn succ(&self, v: Value, role: Role) -> Vec<Value> {
+        successors(&self.product, v)
+            .into_iter()
+            .filter_map(|(r, w)| (r == role).then_some(w))
+            .collect()
+    }
+
+    /// One state is derivable if, taking *all* already-good children as
+    /// available, every successor of `v` is covered either by such a child or
+    /// by the parent.
+    fn derivable(&self, incoming: Option<(Value, Role)>, v: Value, rank: usize) -> bool {
+        for &role in &self.roles {
+            for z in self.succ(v, role) {
+                let by_parent = match incoming {
+                    Some((a, r)) => role == r.flipped() && self.sim.contains(z, a),
+                    None => false,
+                };
+                if by_parent {
+                    continue;
+                }
+                let by_child = self.succ(v, role).into_iter().any(|y| {
+                    self.good
+                        .get(&(Some((v, role)), y))
+                        .is_some_and(|&r| r < rank)
+                        && self.sim.contains(z, y)
+                });
+                if !by_child {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn fixpoint(&mut self) {
+        let values: Vec<Value> = self.product.instance().values().collect();
+        let mut states: Vec<(Option<(Value, Role)>, Value)> = Vec::new();
+        for &v in &values {
+            states.push((None, v));
+            for &a in &values {
+                for &r in &self.roles {
+                    states.push((Some((a, r)), v));
+                }
+            }
+        }
+        let mut rank = 1usize;
+        loop {
+            let mut changed = false;
+            for state in &states {
+                if self.good.contains_key(state) {
+                    continue;
+                }
+                if self.derivable(state.0, state.1, rank) {
+                    self.good.insert(*state, rank);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            rank += 1;
+        }
+    }
+
+    /// Builds a complete initial piece below the given state; `None` if the
+    /// node budget is exceeded.
+    fn build(
+        &self,
+        tree: &mut RootedTree,
+        node: usize,
+        incoming: Option<(Value, Role)>,
+        v: Value,
+        max_nodes: usize,
+    ) -> Option<()> {
+        let my_rank = *self.good.get(&(incoming, v))?;
+        set_labels(tree, node, &self.product, v);
+        for &role in &self.roles {
+            // Chosen children for this role, with the product value they carry.
+            let mut chosen: Vec<(Value, usize)> = Vec::new();
+            for z in self.succ(v, role) {
+                let by_parent = match incoming {
+                    Some((a, r)) => role == r.flipped() && self.sim.contains(z, a),
+                    None => false,
+                };
+                if by_parent || chosen.iter().any(|&(y, _)| self.sim.contains(z, y)) {
+                    continue;
+                }
+                // Pick a good child value covering z, preferring z itself.
+                let candidates: Vec<Value> = self
+                    .succ(v, role)
+                    .into_iter()
+                    .filter(|&y| {
+                        self.good
+                            .get(&(Some((v, role)), y))
+                            .is_some_and(|&r| r < my_rank)
+                            && self.sim.contains(z, y)
+                    })
+                    .collect();
+                let pick = if candidates.contains(&z) {
+                    z
+                } else {
+                    *candidates.first()?
+                };
+                if tree.num_nodes() >= max_nodes {
+                    return None;
+                }
+                let child = tree.add_child(node, role).expect("binary schema");
+                self.build(tree, child, Some((v, role)), pick, max_nodes)?;
+                chosen.push((pick, child));
+            }
+        }
+        Some(())
+    }
+}
+
+/// Does a most-specific fitting tree CQ exist?  (ExpTime-complete,
+/// Theorem 5.15.)
+///
+/// Holds iff a fitting tree CQ exists and the unraveling of `Π E⁺` has a
+/// complete initial piece (Proposition 5.17), decided here by a least
+/// fixpoint over the product.
+pub fn most_specific_exists(examples: &LabeledExamples) -> Result<bool> {
+    if !fitting_exists(examples)? {
+        return Ok(false);
+    }
+    let product = product_of_positives(examples)?;
+    let root = product.distinguished()[0];
+    let analysis = PieceAnalysis::new(product)?;
+    Ok(analysis.good.contains_key(&(None, root)))
+}
+
+/// Constructs a most-specific fitting tree CQ (a complete initial piece of
+/// the unraveling of `Π E⁺`, Theorem 5.18) if one exists within the node
+/// budget.
+pub fn construct_most_specific(
+    examples: &LabeledExamples,
+    budget: &SearchBudget,
+) -> Result<Option<TreeCq>> {
+    if !fitting_exists(examples)? {
+        return Ok(None);
+    }
+    let product = product_of_positives(examples)?;
+    let root = product.distinguished()[0];
+    let analysis = PieceAnalysis::new(product)?;
+    if !analysis.good.contains_key(&(None, root)) {
+        return Ok(None);
+    }
+    let mut tree = RootedTree::new(examples.schema().expect("non-empty").clone());
+    if analysis
+        .build(&mut tree, 0, None, root, budget.max_tree_nodes)
+        .is_none()
+    {
+        return Ok(None);
+    }
+    let q = TreeCq::from_rooted(tree)?;
+    debug_assert!(verify_most_specific(&q, examples)?);
+    Ok(Some(q))
+}
+
+/// Verifies that `q` is a weakly most-general fitting tree CQ
+/// (Proposition 5.22, Theorem 5.23).
+///
+/// The implementation uses the frontier of `q` *as a CQ* (tree CQs are
+/// c-acyclic with the UNP): `q` fails to be weakly most-general among tree
+/// CQs iff some frontier member `m` has an active root and `m ⪯̸ e⁻` for
+/// every negative example — in that case a sufficiently deep unraveling of
+/// `m` is a tree CQ that fits and is strictly more general than `q`
+/// (Lemma 5.5), and conversely every such tree CQ maps into a frontier
+/// member.
+pub fn verify_weakly_most_general(q: &TreeCq, examples: &LabeledExamples) -> Result<bool> {
+    if !verify_fitting(q, examples)? {
+        return Ok(false);
+    }
+    Ok(weakly_most_general_witness(q, examples)?.is_none())
+}
+
+/// A frontier member of `q` witnessing that `q` is not weakly most-general
+/// among tree CQs (see [`verify_weakly_most_general`]), if any.
+fn weakly_most_general_witness(
+    q: &TreeCq,
+    examples: &LabeledExamples,
+) -> Result<Option<Example>> {
+    for m in frontier_examples(q.as_cq())? {
+        let root = m.distinguished()[0];
+        if !m.instance().is_active(root) {
+            continue;
+        }
+        let mut simulated = false;
+        for neg in examples.negatives() {
+            if simulates(&m, neg)? {
+                simulated = true;
+                break;
+            }
+        }
+        if !simulated {
+            return Ok(Some(m));
+        }
+    }
+    Ok(None)
+}
+
+/// Bounded-complete construction of a weakly most-general fitting tree CQ:
+/// start from a fitting tree CQ and, while a frontier member witnesses that
+/// the current query is not weakly most-general, replace the query by the
+/// shallowest unraveling of that member that still avoids every negative
+/// example (such a depth exists by Lemma 5.5; the budget caps it).
+pub fn construct_weakly_most_general(
+    examples: &LabeledExamples,
+    budget: &SearchBudget,
+) -> Result<Option<TreeCq>> {
+    let Some(mut current) = construct_fitting(examples, budget)? else {
+        return Ok(None);
+    };
+    for _ in 0..budget.max_generalization_steps {
+        current = current.reduce();
+        let Some(witness) = weakly_most_general_witness(&current, examples)? else {
+            return Ok(Some(current));
+        };
+        let mut replaced = None;
+        for depth in 1..=budget.max_unraveling_depth {
+            let Some(tree) = unravel(&witness, depth, budget.max_tree_nodes) else {
+                return Ok(None);
+            };
+            let Ok(candidate) = TreeCq::from_rooted(tree) else {
+                continue;
+            };
+            if !examples
+                .negatives()
+                .iter()
+                .any(|neg| candidate.is_satisfied_in(neg))
+            {
+                replaced = Some(candidate);
+                break;
+            }
+        }
+        match replaced {
+            Some(candidate) if candidate.size() <= budget.max_query_size => current = candidate,
+            _ => return Ok(None),
+        }
+    }
+    Ok(None)
+}
+
+/// Bounded-complete existence check for weakly most-general fitting tree CQs
+/// (ExpTime-complete, Theorem 5.24).
+pub fn weakly_most_general_exists(
+    examples: &LabeledExamples,
+    budget: &SearchBudget,
+) -> Result<Certainty> {
+    if !fitting_exists(examples)? {
+        return Ok(Certainty::No);
+    }
+    Ok(match construct_weakly_most_general(examples, budget)? {
+        Some(_) => Certainty::Yes,
+        None => Certainty::Unknown,
+    })
+}
+
+/// Verifies that `q` is the unique fitting tree CQ: it is a most-specific and
+/// a weakly most-general fitting (the tree analogue of Proposition 3.34).
+pub fn verify_unique(q: &TreeCq, examples: &LabeledExamples) -> Result<bool> {
+    Ok(verify_most_specific(q, examples)? && verify_weakly_most_general(q, examples)?)
+}
+
+/// Decides whether a unique fitting tree CQ exists (ExpTime-complete,
+/// Theorem 5.25).  `Unknown` is only returned when the most-specific fitting
+/// exceeds the node budget before it can be checked for weak most-generality.
+pub fn unique_exists(examples: &LabeledExamples, budget: &SearchBudget) -> Result<Certainty> {
+    if !most_specific_exists(examples)? {
+        return Ok(Certainty::No);
+    }
+    match construct_most_specific(examples, budget)? {
+        Some(piece) => Ok(if verify_weakly_most_general(&piece, examples)? {
+            Certainty::Yes
+        } else {
+            Certainty::No
+        }),
+        None => Ok(Certainty::Unknown),
+    }
+}
+
+/// Constructs the unique fitting tree CQ when its existence can be certified.
+pub fn construct_unique(
+    examples: &LabeledExamples,
+    budget: &SearchBudget,
+) -> Result<Option<TreeCq>> {
+    match unique_exists(examples, budget)? {
+        Certainty::Yes => construct_most_specific(examples, budget),
+        _ => Ok(None),
+    }
+}
+
+/// Verifies (three-valued) that `basis` is a basis of most-general fitting
+/// tree CQs (Proposition 5.27): each member fits and
+/// `({q1,…,qn}, E⁻)` is a simulation duality relative to `Π E⁺`.
+pub fn verify_basis(
+    basis: &[TreeCq],
+    examples: &LabeledExamples,
+    budget: &SearchBudget,
+) -> Result<Certainty> {
+    for q in basis {
+        if !verify_fitting(q, examples)? {
+            return Ok(Certainty::No);
+        }
+    }
+    let product = product_of_positives(examples)?;
+    if basis.is_empty() {
+        return Ok(if fitting_exists(examples)? {
+            Certainty::No
+        } else {
+            Certainty::Yes
+        });
+    }
+    let f: Vec<Example> = basis.iter().map(TreeCq::canonical_example).collect();
+    let outcome =
+        check_simulation_duality(&f, examples.negatives(), &product, &budget.duality);
+    Ok(outcome.certainty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfit_data::{parse_example, Schema};
+    use cqfit_query::parse_cq;
+    use std::sync::Arc;
+
+    fn labeled(schema: &Arc<Schema>, pos: &[&str], neg: &[&str]) -> LabeledExamples {
+        LabeledExamples::new(
+            pos.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
+            neg.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
+        )
+        .unwrap()
+    }
+
+    fn tcq(schema: &Arc<Schema>, text: &str) -> TreeCq {
+        TreeCq::try_new(parse_cq(schema, text).unwrap()).unwrap()
+    }
+
+    /// Example 5.1: positives {R(a,a)} at a, negatives the 2-cycle at a —
+    /// no tree CQ fits because the product simulates into the negative.
+    #[test]
+    fn paper_example_5_1_no_fitting() {
+        let schema = Schema::binary_schema([], ["R"]);
+        let e = labeled(&schema, &["R(a,a)\n* a"], &["R(a,b)\nR(b,a)\n* a"]);
+        assert!(!fitting_exists(&e).unwrap());
+        assert!(construct_fitting(&e, &SearchBudget::default()).unwrap().is_none());
+        // An unrestricted CQ does fit (Example 5.1).
+        assert!(crate::cq::fitting_exists(&e).unwrap());
+    }
+
+    /// Example 5.13: positives {R(a,a)} at a, no negatives — fitting tree CQs
+    /// exist but no most-specific one.
+    #[test]
+    fn paper_example_5_13_no_most_specific() {
+        let schema = Schema::binary_schema([], ["R"]);
+        let e = labeled(&schema, &["R(a,a)\n* a"], &[]);
+        assert!(fitting_exists(&e).unwrap());
+        let q = construct_fitting(&e, &SearchBudget::default()).unwrap().unwrap();
+        assert!(verify_fitting(&q, &e).unwrap());
+        assert!(!most_specific_exists(&e).unwrap());
+        assert!(construct_most_specific(&e, &SearchBudget::default())
+            .unwrap()
+            .is_none());
+        // The fitting R(x,y) is not most-specific (the loop does not simulate
+        // into it).
+        let edge = tcq(&schema, "q(x) :- R(x,y)");
+        assert!(verify_fitting(&edge, &e).unwrap());
+        assert!(!verify_most_specific(&edge, &e).unwrap());
+    }
+
+    /// Example 5.20: a weakly most-general fitting tree CQ exists, but the
+    /// most-specific fitting is not weakly most-general (so no unique fitting
+    /// exists).
+    #[test]
+    fn paper_example_5_20() {
+        let schema = Schema::binary_schema(["P", "Q"], ["R"]);
+        let e = labeled(
+            &schema,
+            &["P(a)\nR(a,b)\nQ(b)\n* a"],
+            &["P(a)\nR(a,b)\n* a", "R(a,b)\nR(c,b)\nR(c,d)\nQ(d)\n* a"],
+        );
+        assert!(fitting_exists(&e).unwrap());
+        let q = tcq(&schema, "q(x) :- R(x,y), Q(y)");
+        assert!(verify_fitting(&q, &e).unwrap());
+        assert!(verify_weakly_most_general(&q, &e).unwrap());
+        // The most-specific fitting exists (the positive example itself is
+        // tree-shaped) but is not weakly most-general.
+        assert!(most_specific_exists(&e).unwrap());
+        let ms = construct_most_specific(&e, &SearchBudget::default())
+            .unwrap()
+            .unwrap();
+        assert!(verify_most_specific(&ms, &e).unwrap());
+        assert!(!verify_weakly_most_general(&ms, &e).unwrap());
+        assert_eq!(
+            unique_exists(&e, &SearchBudget::default()).unwrap(),
+            Certainty::No
+        );
+        // The weakly most-general search should find a witness.
+        assert_eq!(
+            weakly_most_general_exists(&e, &SearchBudget::default()).unwrap(),
+            Certainty::Yes
+        );
+    }
+
+    /// Example 5.21: no weakly most-general fitting tree CQ exists (the
+    /// bounded search must not claim Yes).
+    #[test]
+    fn paper_example_5_21_no_weakly_most_general() {
+        let schema = Schema::binary_schema(["P"], ["R"]);
+        let e = labeled(&schema, &[], &["P(a)\n* a", "R(a,a)\n* a"]);
+        assert!(fitting_exists(&e).unwrap());
+        let small_budget = SearchBudget {
+            max_generalization_steps: 6,
+            ..SearchBudget::default()
+        };
+        assert_ne!(
+            weakly_most_general_exists(&e, &small_budget).unwrap(),
+            Certainty::Yes
+        );
+        // A concrete fitting tree CQ that is not weakly most-general:
+        let q = tcq(&schema, "q(x) :- R(x,y), P(x)");
+        assert!(verify_fitting(&q, &e).unwrap());
+        assert!(!verify_weakly_most_general(&q, &e).unwrap());
+    }
+
+    /// A unique fitting tree CQ: positive = R-edge into a Q-labelled point;
+    /// the negatives are chosen (following Example 5.20) so that zig-zag
+    /// generalizations are excluded and the most-specific fitting is also
+    /// weakly most-general.
+    #[test]
+    fn unique_tree_fitting() {
+        let schema = Schema::binary_schema(["Q"], ["R"]);
+        let e = labeled(
+            &schema,
+            &["R(a,b)\nQ(b)\n* a"],
+            &["R(a,b)\n* a", "R(a,b)\nR(c,b)\nR(c,d)\nQ(d)\n* a"],
+        );
+        let q = tcq(&schema, "q(x) :- R(x,y), Q(y)");
+        assert!(verify_fitting(&q, &e).unwrap());
+        assert!(verify_most_specific(&q, &e).unwrap());
+        assert!(verify_weakly_most_general(&q, &e).unwrap());
+        assert!(verify_unique(&q, &e).unwrap());
+        assert_eq!(
+            unique_exists(&e, &SearchBudget::default()).unwrap(),
+            Certainty::Yes
+        );
+        let constructed = construct_unique(&e, &SearchBudget::default())
+            .unwrap()
+            .unwrap();
+        assert!(constructed.equivalent_to(&q).unwrap());
+        // And {q} is a singleton basis; the check must not refute it.
+        assert_ne!(
+            verify_basis(&[q], &e, &SearchBudget::default()).unwrap(),
+            Certainty::No
+        );
+    }
+
+    #[test]
+    fn product_fitting_needs_unraveling() {
+        // Positives: a 2-cycle and a 3-cycle (each with distinguished a);
+        // negative: a single vertex with a loop-free edge.  The product is a
+        // 6-cycle-like structure; unravelings of depth ≥ 1 fit.
+        let schema = Schema::binary_schema([], ["R"]);
+        let e = labeled(
+            &schema,
+            &["R(a,b)\nR(b,a)\n* a", "R(a,b)\nR(b,c)\nR(c,a)\n* a"],
+            &["R(a,b)\n* a"],
+        );
+        assert!(fitting_exists(&e).unwrap());
+        let q = construct_fitting(&e, &SearchBudget::default()).unwrap().unwrap();
+        assert!(verify_fitting(&q, &e).unwrap());
+        assert!(q.depth() >= 1);
+    }
+
+    #[test]
+    fn non_binary_or_non_unary_rejected() {
+        let schema = Schema::digraph();
+        let boolean = labeled(&schema, &["R(a,b)"], &[]);
+        assert_eq!(
+            fitting_exists(&boolean).unwrap_err(),
+            FitError::RequiresBinaryUnary
+        );
+        let ternary = Arc::new(Schema::new([("T", 3)]).unwrap());
+        let mut inst = cqfit_data::Instance::new(ternary);
+        inst.add_fact_labels("T", &["a", "b", "c"]).unwrap();
+        let a = inst.value_by_label("a").unwrap();
+        let ex = Example::new(inst, vec![a]);
+        let e = LabeledExamples::new(vec![ex], vec![]).unwrap();
+        assert_eq!(
+            fitting_exists(&e).unwrap_err(),
+            FitError::RequiresBinaryUnary
+        );
+    }
+
+    #[test]
+    fn unravel_depth_and_caps() {
+        let schema = Schema::binary_schema(["P"], ["R"]);
+        let p = parse_example(&schema, "R(a,a)\nP(a)\n* a").unwrap();
+        let t1 = unravel(&p, 1, 1000).unwrap();
+        assert_eq!(t1.depth(), 1);
+        assert_eq!(t1.num_nodes(), 3, "self-loop unravels to two children");
+        assert!(unravel(&p, 10, 16).is_none(), "node cap respected");
+    }
+}

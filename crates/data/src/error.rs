@@ -1,0 +1,74 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating schemas, instances and
+/// examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation name was declared twice in the same schema.
+    DuplicateRelation(String),
+    /// A relation was declared with arity zero (the paper requires arity ≥ 1).
+    ZeroArity(String),
+    /// A relation name that does not exist in the schema was referenced.
+    UnknownRelation(String),
+    /// A fact was created with the wrong number of arguments.
+    ArityMismatch {
+        /// Relation involved.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// A value identifier outside of the instance domain was referenced.
+    UnknownValue(u32),
+    /// A data example was constructed whose distinguished elements are not
+    /// all in the active domain.
+    DistinguishedOutsideActiveDomain(String),
+    /// Two objects over different schemas were combined.
+    SchemaMismatch,
+    /// Two objects of different arities were combined.
+    ExampleArityMismatch {
+        /// Arity of the first object.
+        left: usize,
+        /// Arity of the second object.
+        right: usize,
+    },
+    /// Error while parsing the textual instance/example format.
+    Parse(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` declared more than once")
+            }
+            DataError::ZeroArity(name) => {
+                write!(f, "relation `{name}` must have arity at least 1")
+            }
+            DataError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but {got} arguments were supplied"
+            ),
+            DataError::UnknownValue(v) => write!(f, "value id {v} is not part of the instance"),
+            DataError::DistinguishedOutsideActiveDomain(label) => write!(
+                f,
+                "distinguished element `{label}` does not occur in any fact (not a data example)"
+            ),
+            DataError::SchemaMismatch => write!(f, "objects are defined over different schemas"),
+            DataError::ExampleArityMismatch { left, right } => {
+                write!(f, "arity mismatch: {left} vs {right}")
+            }
+            DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

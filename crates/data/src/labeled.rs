@@ -1,0 +1,186 @@
+//! Collections of labeled examples.
+
+use crate::{DataError, Example, Result, Schema};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A collection of labeled examples `E = (E⁺, E⁻)`: finite sets of positive
+/// and negative data examples of a common schema and arity (§2.1).
+///
+/// The *fitting problem* asks for a query that returns every positive example
+/// and no negative example.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabeledExamples {
+    positives: Vec<Example>,
+    negatives: Vec<Example>,
+}
+
+impl LabeledExamples {
+    /// Creates a collection, checking schema and arity consistency and that
+    /// every member is a data example.
+    pub fn new(positives: Vec<Example>, negatives: Vec<Example>) -> Result<Self> {
+        let col = LabeledExamples { positives, negatives };
+        col.validate()?;
+        Ok(col)
+    }
+
+    /// Creates an empty collection (fits every query; useful as a builder
+    /// seed).
+    pub fn empty() -> Self {
+        LabeledExamples::default()
+    }
+
+    /// Adds a positive example.
+    pub fn add_positive(&mut self, e: Example) {
+        self.positives.push(e);
+    }
+
+    /// Adds a negative example.
+    pub fn add_negative(&mut self, e: Example) {
+        self.negatives.push(e);
+    }
+
+    /// The positive examples `E⁺`.
+    pub fn positives(&self) -> &[Example] {
+        &self.positives
+    }
+
+    /// The negative examples `E⁻`.
+    pub fn negatives(&self) -> &[Example] {
+        &self.negatives
+    }
+
+    /// All examples, positives first.
+    pub fn all(&self) -> impl Iterator<Item = (&Example, bool)> {
+        self.positives
+            .iter()
+            .map(|e| (e, true))
+            .chain(self.negatives.iter().map(|e| (e, false)))
+    }
+
+    /// The common arity of the examples, if the collection is non-empty.
+    pub fn arity(&self) -> Option<usize> {
+        self.all().next().map(|(e, _)| e.arity())
+    }
+
+    /// The common schema, if the collection is non-empty.
+    pub fn schema(&self) -> Option<&Arc<Schema>> {
+        self.positives
+            .first()
+            .or_else(|| self.negatives.first())
+            .map(|e| e.instance().schema())
+    }
+
+    /// The combined size `‖E‖ = Σ_e |e|` (total number of facts).
+    pub fn total_size(&self) -> usize {
+        self.all().map(|(e, _)| e.size()).sum()
+    }
+
+    /// The combined size of the negative examples, `‖E⁻‖`.
+    pub fn negative_size(&self) -> usize {
+        self.negatives.iter().map(|e| e.size()).sum()
+    }
+
+    /// The combined size of the positive examples, `‖E⁺‖`.
+    pub fn positive_size(&self) -> usize {
+        self.positives.iter().map(|e| e.size()).sum()
+    }
+
+    /// Checks that all examples share one schema and one arity and that every
+    /// example is a data example.
+    pub fn validate(&self) -> Result<()> {
+        let mut schema: Option<&Arc<Schema>> = None;
+        let mut arity: Option<usize> = None;
+        for (e, _) in self.all() {
+            if !e.is_data_example() {
+                return Err(DataError::DistinguishedOutsideActiveDomain(format!(
+                    "{e}"
+                )));
+            }
+            match schema {
+                None => schema = Some(e.instance().schema()),
+                Some(s) => {
+                    if s.as_ref() != e.instance().schema().as_ref() {
+                        return Err(DataError::SchemaMismatch);
+                    }
+                }
+            }
+            match arity {
+                None => arity = Some(e.arity()),
+                Some(k) => {
+                    if k != e.arity() {
+                        return Err(DataError::ExampleArityMismatch {
+                            left: k,
+                            right: e.arity(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores internal indexes after deserialization.
+    pub fn finalize_after_deserialize(&mut self) {
+        for e in self.positives.iter_mut().chain(self.negatives.iter_mut()) {
+            e.finalize_after_deserialize();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instance, Schema};
+
+    fn example(edge: (&str, &str), dist: &str) -> Example {
+        let mut i = Instance::new(Schema::digraph());
+        i.add_fact_labels("R", &[edge.0, edge.1]).unwrap();
+        let d = i.value_by_label(dist).unwrap();
+        Example::new(i, vec![d])
+    }
+
+    #[test]
+    fn sizes_and_accessors() {
+        let e = LabeledExamples::new(
+            vec![example(("a", "b"), "a")],
+            vec![example(("c", "c"), "c")],
+        )
+        .unwrap();
+        assert_eq!(e.arity(), Some(1));
+        assert_eq!(e.total_size(), 2);
+        assert_eq!(e.positive_size(), 1);
+        assert_eq!(e.negative_size(), 1);
+        assert_eq!(e.positives().len(), 1);
+        assert_eq!(e.negatives().len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut i = Instance::new(Schema::digraph());
+        i.add_fact_labels("R", &["a", "b"]).unwrap();
+        let boolean = Example::boolean(i);
+        let err = LabeledExamples::new(vec![example(("a", "b"), "a")], vec![boolean]).unwrap_err();
+        assert!(matches!(err, DataError::ExampleArityMismatch { .. }));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut i = Instance::new(Schema::digraph());
+        i.add_fact_labels("R", &["a", "b"]).unwrap();
+        let e1 = Example::boolean(i);
+        let mut j = Instance::new(Schema::binary_schema(["P"], ["R"]));
+        j.add_fact_labels("P", &["a"]).unwrap();
+        let e2 = Example::boolean(j);
+        let err = LabeledExamples::new(vec![e1], vec![e2]).unwrap_err();
+        assert!(matches!(err, DataError::SchemaMismatch));
+    }
+
+    #[test]
+    fn empty_collection_valid() {
+        let e = LabeledExamples::empty();
+        assert!(e.validate().is_ok());
+        assert_eq!(e.arity(), None);
+        assert_eq!(e.total_size(), 0);
+    }
+}

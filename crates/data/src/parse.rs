@@ -1,0 +1,116 @@
+//! A small textual format for instances and examples, used by the examples
+//! and tests.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! R(a,b)
+//! EmpInfo(Hilbert, Math, Gauss)
+//! * a, b        <- optional: distinguished tuple (for examples)
+//! ```
+//!
+//! Facts are `Relation(value, value, …)`.  Value and relation names may
+//! contain any characters except whitespace, commas, and parentheses.
+
+use crate::{DataError, Example, Instance, Result, Schema};
+use std::sync::Arc;
+
+/// Parses an instance from the textual format, ignoring any `*` line.
+pub fn parse_instance(schema: &Arc<Schema>, text: &str) -> Result<Instance> {
+    let (inst, _) = parse_inner(schema, text)?;
+    Ok(inst)
+}
+
+/// Parses an example from the textual format.  The distinguished tuple is
+/// given on a line starting with `*`; if absent, the example is Boolean.
+pub fn parse_example(schema: &Arc<Schema>, text: &str) -> Result<Example> {
+    let (inst, dist_labels) = parse_inner(schema, text)?;
+    let mut dist = Vec::new();
+    for label in dist_labels {
+        let v = inst
+            .value_by_label(&label)
+            .ok_or_else(|| DataError::Parse(format!("unknown distinguished value `{label}`")))?;
+        dist.push(v);
+    }
+    Ok(Example::new(inst, dist))
+}
+
+fn parse_inner(schema: &Arc<Schema>, text: &str) -> Result<(Instance, Vec<String>)> {
+    let mut inst = Instance::new(schema.clone());
+    let mut dist = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('*') {
+            dist = rest
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            continue;
+        }
+        let open = line
+            .find('(')
+            .ok_or_else(|| DataError::Parse(format!("line {}: missing `(`", lineno + 1)))?;
+        if !line.ends_with(')') {
+            return Err(DataError::Parse(format!("line {}: missing `)`", lineno + 1)));
+        }
+        let rel_name = line[..open].trim();
+        let args_str = &line[open + 1..line.len() - 1];
+        let args: Vec<&str> = args_str
+            .split(',')
+            .map(|s| s.trim())
+            .filter(|s| !s.is_empty())
+            .collect();
+        inst.add_fact_labels(rel_name, &args)?;
+    }
+    Ok((inst, dist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_figure_1_database() {
+        // The EmpInfo database from Figure 1 / Example 1.1.
+        let schema = Arc::new(Schema::new([("EmpInfo", 3)]).unwrap());
+        let text = "
+            # Figure 1
+            EmpInfo(Hilbert, Math, Gauss)
+            EmpInfo(Turing, ComputerScience, vonNeumann)
+            EmpInfo(Einstein, Physics, Gauss)
+        ";
+        let inst = parse_instance(&schema, text).unwrap();
+        assert_eq!(inst.num_facts(), 3);
+        assert_eq!(inst.num_values(), 8);
+    }
+
+    #[test]
+    fn parse_example_with_distinguished() {
+        let schema = Schema::digraph();
+        let e = parse_example(&schema, "R(a,b)\nR(b,c)\n* a, c").unwrap();
+        assert_eq!(e.arity(), 2);
+        assert_eq!(e.size(), 2);
+        assert!(e.is_data_example());
+    }
+
+    #[test]
+    fn parse_boolean_example() {
+        let schema = Schema::digraph();
+        let e = parse_example(&schema, "R(a,a)").unwrap();
+        assert!(e.is_boolean());
+    }
+
+    #[test]
+    fn parse_errors() {
+        let schema = Schema::digraph();
+        assert!(parse_example(&schema, "R a b").is_err());
+        assert!(parse_example(&schema, "R(a,b").is_err());
+        assert!(parse_example(&schema, "S(a,b)").is_err());
+        assert!(parse_example(&schema, "R(a,b)\n* z").is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Relational schemas (signatures).
+
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a relation symbol within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The index of this relation in [`Schema::relations`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single relation symbol together with its arity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Name of the relation symbol.
+    pub name: String,
+    /// Arity (number of arguments), at least 1.
+    pub arity: usize,
+}
+
+/// A relational schema: a finite set of relation symbols with arities.
+///
+/// Schemas are cheap to clone (shared internally via [`Arc`] by
+/// [`crate::Instance`]); equality is structural.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    relations: Vec<Relation>,
+    #[serde(skip)]
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { relations: Vec::new() }
+    }
+
+    /// Builds a schema directly from `(name, arity)` pairs.
+    ///
+    /// # Errors
+    /// Fails on duplicate names or zero arities.
+    pub fn new<S: Into<String>>(relations: impl IntoIterator<Item = (S, usize)>) -> Result<Self> {
+        let mut b = Schema::builder();
+        for (name, arity) in relations {
+            b = b.relation(name, arity)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Convenience constructor: a schema with a single binary relation named
+    /// `R` (directed graphs), used pervasively in the paper's hardness and
+    /// size-bound constructions.
+    pub fn digraph() -> Arc<Self> {
+        Arc::new(Schema::new([("R", 2)]).expect("static schema"))
+    }
+
+    /// Convenience constructor: unary relations `names` plus binary relations
+    /// `binaries` — the "binary schemas" of Section 5 (tree CQs / ELI).
+    pub fn binary_schema(
+        unaries: impl IntoIterator<Item = &'static str>,
+        binaries: impl IntoIterator<Item = &'static str>,
+    ) -> Arc<Self> {
+        let mut b = Schema::builder();
+        for u in unaries {
+            b = b.relation(u, 1).expect("unary");
+        }
+        for r in binaries {
+            b = b.relation(r, 2).expect("binary");
+        }
+        Arc::new(b.build())
+    }
+
+    /// All relations, indexable by [`RelId::index`].
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if the schema has no relation symbols.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Looks a relation up by name.
+    pub fn rel(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks a relation up by name, failing with [`DataError::UnknownRelation`].
+    pub fn rel_checked(&self, name: &str) -> Result<RelId> {
+        self.rel(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// The arity of a relation.
+    pub fn arity(&self, rel: RelId) -> usize {
+        self.relations[rel.index()].arity
+    }
+
+    /// The name of a relation.
+    pub fn name(&self, rel: RelId) -> &str {
+        &self.relations[rel.index()].name
+    }
+
+    /// Maximum arity over all relations (0 for the empty schema).
+    pub fn max_arity(&self) -> usize {
+        self.relations.iter().map(|r| r.arity).max().unwrap_or(0)
+    }
+
+    /// Iterator over all relation ids.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relations.len() as u32).map(RelId)
+    }
+
+    /// True if every relation has arity 1 or 2 (a "binary schema", §5).
+    pub fn is_binary(&self) -> bool {
+        self.relations.iter().all(|r| r.arity <= 2)
+    }
+
+    /// Ids of all unary relations.
+    pub fn unary_rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.rel_ids().filter(|r| self.arity(*r) == 1)
+    }
+
+    /// Ids of all binary relations.
+    pub fn binary_rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.rel_ids().filter(|r| self.arity(*r) == 2)
+    }
+
+    fn rebuild_index(&mut self) {
+        self.by_name = self
+            .relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), RelId(i as u32)))
+            .collect();
+    }
+
+    /// Restores internal indexes after deserialization.
+    pub fn finalize_after_deserialize(&mut self) {
+        self.rebuild_index();
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.relations.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", r.name, r.arity)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Incremental builder for [`Schema`].
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    relations: Vec<Relation>,
+}
+
+impl SchemaBuilder {
+    /// Adds a relation with the given name and arity.
+    ///
+    /// # Errors
+    /// Fails if the name is already used or the arity is 0.
+    pub fn relation(mut self, name: impl Into<String>, arity: usize) -> Result<Self> {
+        let name = name.into();
+        if arity == 0 {
+            return Err(DataError::ZeroArity(name));
+        }
+        if self.relations.iter().any(|r| r.name == name) {
+            return Err(DataError::DuplicateRelation(name));
+        }
+        self.relations.push(Relation { name, arity });
+        Ok(self)
+    }
+
+    /// Finishes the schema.
+    pub fn build(self) -> Schema {
+        let mut s = Schema {
+            relations: self.relations,
+            by_name: HashMap::new(),
+        };
+        s.rebuild_index();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::new([("EmpInfo", 3), ("P", 1)]).unwrap();
+        assert_eq!(s.len(), 2);
+        let e = s.rel("EmpInfo").unwrap();
+        assert_eq!(s.arity(e), 3);
+        assert_eq!(s.name(e), "EmpInfo");
+        assert!(s.rel("Q").is_none());
+        assert_eq!(s.max_arity(), 3);
+        assert!(!s.is_binary());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let err = Schema::new([("R", 2), ("R", 3)]).unwrap_err();
+        assert_eq!(err, DataError::DuplicateRelation("R".into()));
+    }
+
+    #[test]
+    fn zero_arity_rejected() {
+        let err = Schema::new([("R", 0)]).unwrap_err();
+        assert_eq!(err, DataError::ZeroArity("R".into()));
+    }
+
+    #[test]
+    fn digraph_schema() {
+        let s = Schema::digraph();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.arity(s.rel("R").unwrap()), 2);
+        assert!(s.is_binary());
+    }
+
+    #[test]
+    fn binary_schema_helper() {
+        let s = Schema::binary_schema(["P", "Q"], ["R", "S"]);
+        assert!(s.is_binary());
+        assert_eq!(s.unary_rels().count(), 2);
+        assert_eq!(s.binary_rels().count(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new([("R", 2), ("P", 1)]).unwrap();
+        assert_eq!(s.to_string(), "{R/2, P/1}");
+    }
+}

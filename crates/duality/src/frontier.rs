@@ -1,0 +1,461 @@
+//! The polynomial-time frontier construction for c-acyclic CQs
+//! (Definitions 3.21 and 3.22, Proposition 3.23).
+//!
+//! A *frontier* for a CQ `q` is a finite set of CQs strictly below `q` in the
+//! homomorphism pre-order (strictly more general as queries) that separates
+//! `q` from everything strictly below it.  A CQ has a frontier iff its core
+//! is c-acyclic (Theorem 2.12); for c-acyclic CQs with the Unique Names
+//! Property the construction below produces one in polynomial time.
+//!
+//! Members of the construction may be *unsafe* (an answer variable may not
+//! occur in any fact).  We therefore return frontier members as pointed
+//! instances ([`Example`]); by footnote 3 of the paper the safe members alone
+//! also form a frontier, and [`frontier_of`] returns exactly those, as CQs.
+
+use cqfit_data::{Example, FactId, Instance, Value};
+use cqfit_hom::core_of;
+use cqfit_query::{is_c_acyclic_example, Cq, QueryError};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors of the frontier construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontierError {
+    /// The query has repeated answer variables; the construction implemented
+    /// here requires the Unique Names Property.
+    RequiresUnp,
+    /// The core of the query is not c-acyclic, hence no frontier exists
+    /// (Theorem 2.12).
+    NoFrontierExists,
+    /// A query-layer error.
+    Query(QueryError),
+}
+
+impl fmt::Display for FrontierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontierError::RequiresUnp => write!(
+                f,
+                "frontier construction requires the Unique Names Property (no repeated answer variables)"
+            ),
+            FrontierError::NoFrontierExists => write!(
+                f,
+                "the query's core is not c-acyclic, so it has no frontier (Theorem 2.12)"
+            ),
+            FrontierError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontierError {}
+
+impl From<QueryError> for FrontierError {
+    fn from(e: QueryError) -> Self {
+        FrontierError::Query(e)
+    }
+}
+
+/// Computes a frontier for `q` as a set of pointed instances (possibly not
+/// data examples).  The query is first replaced by its core; the core must be
+/// c-acyclic and `q` must have the UNP.
+///
+/// # Errors
+/// See [`FrontierError`].
+pub fn frontier_examples(q: &Cq) -> Result<Vec<Example>, FrontierError> {
+    if !q.has_unp() {
+        return Err(FrontierError::RequiresUnp);
+    }
+    let core = core_of(&q.canonical_example());
+    if !is_c_acyclic_example(&core) {
+        return Err(FrontierError::NoFrontierExists);
+    }
+    let components = core.connected_components();
+    let mut out = Vec::with_capacity(components.len());
+    for i in 0..components.len() {
+        out.push(replicate_component(&core, &components, i));
+    }
+    Ok(out)
+}
+
+/// Computes a frontier for `q` consisting of safe CQs only.
+///
+/// # Errors
+/// See [`FrontierError`].
+pub fn frontier_of(q: &Cq) -> Result<Vec<Cq>, FrontierError> {
+    let examples = frontier_examples(q)?;
+    let mut out = Vec::new();
+    for e in examples {
+        if e.is_data_example() {
+            out.push(Cq::from_example(&e)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Builds `F_i(q)`: the example obtained from `core` by applying the replica
+/// construction of Definition 3.21 to component `target` and copying every
+/// other component unchanged.
+fn replicate_component(core: &Example, components: &[Vec<FactId>], target: usize) -> Example {
+    let inst = core.instance();
+    let distinguished: Vec<Value> = core.distinguished().to_vec();
+    let distinguished_set: HashSet<Value> = distinguished.iter().copied().collect();
+
+    let mut out = Instance::new(inst.schema().clone());
+    // The distinguished values keep their identity (and their labels).
+    let mut dist_map: HashMap<Value, Value> = HashMap::new();
+    for &d in &distinguished {
+        dist_map
+            .entry(d)
+            .or_insert_with(|| out.add_value(inst.label(d)));
+    }
+
+    // Copy the untouched components.
+    let mut copy_map: HashMap<Value, Value> = HashMap::new();
+    for (ci, comp) in components.iter().enumerate() {
+        if ci == target {
+            continue;
+        }
+        for &fid in comp {
+            let fact = inst.fact(fid);
+            let args: Vec<Value> = fact
+                .args
+                .iter()
+                .map(|&v| {
+                    if let Some(&d) = dist_map.get(&v) {
+                        d
+                    } else {
+                        *copy_map
+                            .entry(v)
+                            .or_insert_with(|| out.add_value(inst.label(v)))
+                    }
+                })
+                .collect();
+            out.add_fact(fact.rel, &args).expect("copied fact is valid");
+        }
+    }
+
+    // Replica values for the target component.
+    // For a distinguished x: replicas are {x, u_x}.
+    let mut dist_replica: HashMap<Value, Value> = HashMap::new();
+    for &d in &distinguished {
+        dist_replica
+            .entry(d)
+            .or_insert_with(|| out.add_value(format!("u_{}", inst.label(d))));
+    }
+    // For an existential y: replicas are {u_(y,f) : y occurs in f}, restricted
+    // to facts of the target component.
+    let target_facts: HashSet<FactId> = components[target].iter().copied().collect();
+    let mut ex_replica: HashMap<(Value, FactId), Value> = HashMap::new();
+    for &fid in &components[target] {
+        let fact = inst.fact(fid);
+        for &v in &fact.args {
+            if !distinguished_set.contains(&v) {
+                ex_replica.entry((v, fid)).or_insert_with(|| {
+                    out.add_value(format!("u_({},f{})", inst.label(v), fid.0))
+                });
+            }
+        }
+    }
+
+    // Acceptable instances of each fact of the target component: every
+    // combination of replicas except the "own" combination.
+    for &fid in &components[target] {
+        let fact = inst.fact(fid);
+        // Per position: the list of replica values, with the "own" replica
+        // listed first.
+        let position_choices: Vec<Vec<Value>> = fact
+            .args
+            .iter()
+            .map(|&v| {
+                if distinguished_set.contains(&v) {
+                    vec![dist_map[&v], dist_replica[&v]]
+                } else {
+                    let own = ex_replica[&(v, fid)];
+                    let mut choices = vec![own];
+                    for &other_fid in inst.facts_containing(v) {
+                        if other_fid != fid && target_facts.contains(&other_fid) {
+                            choices.push(ex_replica[&(v, other_fid)]);
+                        }
+                    }
+                    choices
+                }
+            })
+            .collect();
+        // Iterate the cartesian product; index 0 everywhere is the "own"
+        // combination, which is skipped.
+        let mut indices = vec![0usize; position_choices.len()];
+        loop {
+            if indices.iter().any(|&i| i != 0) || position_choices.is_empty() {
+                let args: Vec<Value> = indices
+                    .iter()
+                    .zip(&position_choices)
+                    .map(|(&i, choices)| choices[i])
+                    .collect();
+                out.add_fact(fact.rel, &args).expect("replica fact is valid");
+            }
+            // Advance the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == indices.len() {
+                    break;
+                }
+                indices[pos] += 1;
+                if indices[pos] < position_choices[pos].len() {
+                    break;
+                }
+                indices[pos] = 0;
+                pos += 1;
+            }
+            if pos == indices.len() {
+                break;
+            }
+        }
+    }
+
+    // Finally, the replicas `u_x` of the answer variables inherit the facts
+    // of the *untouched* components: for every fact of another component that
+    // mentions a distinguished value, we add every variant in which each
+    // distinguished occurrence is replaced by its replica (keeping at least
+    // one replacement).  Without these facts the construction would fail to
+    // cover examples in which a non-distinguished element plays the role that
+    // the answer variable plays in the untouched components (this situation
+    // only arises when a component shares an answer variable with another
+    // component).
+    for (ci, comp) in components.iter().enumerate() {
+        if ci == target {
+            continue;
+        }
+        for &fid in comp {
+            let fact = inst.fact(fid);
+            if !fact.args.iter().any(|a| distinguished_set.contains(a)) {
+                continue;
+            }
+            let position_choices: Vec<Vec<Value>> = fact
+                .args
+                .iter()
+                .map(|&v| {
+                    if distinguished_set.contains(&v) {
+                        vec![dist_map[&v], dist_replica[&v]]
+                    } else {
+                        vec![copy_map[&v]]
+                    }
+                })
+                .collect();
+            let mut indices = vec![0usize; position_choices.len()];
+            loop {
+                if indices.iter().any(|&i| i != 0) {
+                    let args: Vec<Value> = indices
+                        .iter()
+                        .zip(&position_choices)
+                        .map(|(&i, choices)| choices[i])
+                        .collect();
+                    out.add_fact(fact.rel, &args).expect("inherited fact is valid");
+                }
+                let mut pos = 0;
+                loop {
+                    if pos == indices.len() {
+                        break;
+                    }
+                    indices[pos] += 1;
+                    if indices[pos] < position_choices[pos].len() {
+                        break;
+                    }
+                    indices[pos] = 0;
+                    pos += 1;
+                }
+                if pos == indices.len() {
+                    break;
+                }
+            }
+        }
+    }
+
+    let dist_out: Vec<Value> = distinguished.iter().map(|d| dist_map[d]).collect();
+    Example::new(out, dist_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfit_data::Schema;
+    use cqfit_hom::hom_exists;
+    use cqfit_query::parse_cq;
+
+    fn check_frontier_properties(q: &Cq, strictly_below: &[Cq], not_below: &[Cq]) {
+        let frontier = frontier_examples(q).expect("frontier exists");
+        let eq = q.canonical_example();
+        for member in &frontier {
+            // Members are (weakly) below q …
+            assert!(
+                hom_exists(member, &eq),
+                "frontier member must map homomorphically to q"
+            );
+            // … and strictly below (q does not map back).
+            assert!(
+                !hom_exists(&eq, member),
+                "q must not map to a frontier member"
+            );
+        }
+        // Everything given as strictly below q must be covered by a member.
+        for p in strictly_below {
+            let ep = p.canonical_example();
+            assert!(hom_exists(&ep, &eq) && !hom_exists(&eq, &ep), "test setup");
+            assert!(
+                frontier.iter().any(|m| hom_exists(&ep, m)),
+                "frontier must cover {p}"
+            );
+        }
+        for p in not_below {
+            let ep = p.canonical_example();
+            assert!(
+                !frontier.iter().any(|m| hom_exists(&ep, m)),
+                "{p} is not strictly below q and must not be covered"
+            );
+        }
+    }
+
+    /// Example 2.9 of the paper: the directed path of length 3 has a
+    /// singleton frontier.
+    #[test]
+    fn directed_path_frontier() {
+        let schema = Schema::digraph();
+        let q = parse_cq(&schema, "q() :- R(a,b), R(b,c), R(c,d)").unwrap();
+        // Strictly below the path of length 3: shorter paths.
+        let p2 = parse_cq(&schema, "q() :- R(a,b), R(b,c)").unwrap();
+        let p1 = parse_cq(&schema, "q() :- R(a,b)").unwrap();
+        // Not below: the path of length 3 itself (equivalent), and a loop.
+        let same = parse_cq(&schema, "q() :- R(a,b), R(b,c), R(c,d), R(x,y)").unwrap();
+        let looped = parse_cq(&schema, "q() :- R(x,x)").unwrap();
+        check_frontier_properties(&q, &[p2, p1], &[same, looped]);
+    }
+
+    /// Example 2.13: frontier of q1(x) :- R(x,y), R(y,z).
+    #[test]
+    fn paper_example_2_13_q1() {
+        let schema = Schema::digraph();
+        let q1 = parse_cq(&schema, "q(x) :- R(x,y), R(y,z)").unwrap();
+        let below = parse_cq(&schema, "q(x) :- R(x,y)").unwrap();
+        let incomparable = parse_cq(&schema, "q(x) :- R(y,x)").unwrap();
+        check_frontier_properties(&q1, &[below], &[incomparable]);
+        // The paper states {q'_1} with q'_1(x) :- R(x,y),R(u,y),R(u,v),R(v,w)
+        // is a frontier; our construction must be homomorphically equivalent
+        // to it as a frontier: q'_1 must be covered.
+        let paper_member = parse_cq(&schema, "q(x) :- R(x,y), R(u,y), R(u,v), R(v,w)").unwrap();
+        let frontier = frontier_examples(&q1).unwrap();
+        assert!(frontier
+            .iter()
+            .any(|m| hom_exists(&paper_member.canonical_example(), m)));
+    }
+
+    /// Example 2.13: frontier of q2(x) :- R(x,x), S(u,v), S(v,w) (two
+    /// components, two frontier members).
+    #[test]
+    fn paper_example_2_13_q2() {
+        let schema = Schema::binary_schema([], ["R", "S"]);
+        let q2 = parse_cq(&schema, "q(x) :- R(x,x), S(u,v), S(v,w)").unwrap();
+        let frontier = frontier_examples(&q2).unwrap();
+        assert_eq!(frontier.len(), 2, "one member per connected component");
+        // The paper's frontier members:
+        let f1 = parse_cq(&schema, "q(x) :- R(x,x), S(u,v)").unwrap();
+        let f2 = parse_cq(
+            &schema,
+            "q(x) :- R(x,y), R(y,x), R(y,y), S(u,v), S(v,w)",
+        )
+        .unwrap();
+        check_frontier_properties(&q2, &[f1, f2], &[]);
+    }
+
+    /// Example 2.13: q3(x) :- R(x,y), R(y,y) has no frontier.
+    #[test]
+    fn paper_example_2_13_q3_no_frontier() {
+        let schema = Schema::digraph();
+        let q3 = parse_cq(&schema, "q(x) :- R(x,y), R(y,y)").unwrap();
+        assert_eq!(
+            frontier_examples(&q3).unwrap_err(),
+            FrontierError::NoFrontierExists
+        );
+    }
+
+    #[test]
+    fn unp_required() {
+        let schema = Schema::digraph();
+        let q = parse_cq(&schema, "q(x,x) :- R(x,y)").unwrap();
+        assert_eq!(frontier_examples(&q).unwrap_err(), FrontierError::RequiresUnp);
+    }
+
+    #[test]
+    fn frontier_of_returns_safe_members() {
+        let schema = Schema::binary_schema(["P"], ["R"]);
+        // q(x) :- P(x): its frontier member P(y) is unsafe, so no safe member
+        // survives.
+        let q = parse_cq(&schema, "q(x) :- P(x)").unwrap();
+        let examples = frontier_examples(&q).unwrap();
+        assert_eq!(examples.len(), 1);
+        assert!(!examples[0].is_data_example());
+        assert!(frontier_of(&q).unwrap().is_empty());
+        // q(x) :- R(x,y) also has no *safe* frontier member over this schema
+        // (no safe CQ is strictly more general than it), while
+        // q(x) :- R(x,y), P(y) does.
+        let q2 = parse_cq(&schema, "q(x) :- R(x,y)").unwrap();
+        assert!(frontier_of(&q2).unwrap().is_empty());
+        let q3 = parse_cq(&schema, "q(x) :- R(x,y), P(y)").unwrap();
+        let safe = frontier_of(&q3).unwrap();
+        assert!(!safe.is_empty());
+        for m in &safe {
+            assert!(q3.strictly_contained_in(m).unwrap());
+        }
+    }
+
+    #[test]
+    fn frontier_is_computed_on_the_core() {
+        let schema = Schema::digraph();
+        // Equivalent to q(x) :- R(x,y); the redundant atom must not affect
+        // the frontier's semantics.
+        let q = parse_cq(&schema, "q(x) :- R(x,y), R(x,z)").unwrap();
+        let q_min = parse_cq(&schema, "q(x) :- R(x,y)").unwrap();
+        let f1 = frontier_examples(&q).unwrap();
+        let f2 = frontier_examples(&q_min).unwrap();
+        for (a, b) in f1.iter().zip(f2.iter()) {
+            assert!(hom_exists(a, b) && hom_exists(b, a));
+        }
+    }
+
+    /// A component sharing the answer variable with another component: the
+    /// frontier of q(x) :- P(x), R(x,y) must cover the strictly-more-general
+    /// query p(x) :- R(x,y), R(z,y), P(z), in which a non-distinguished
+    /// element takes over the role that x plays in the P-component.
+    #[test]
+    fn shared_answer_variable_components_covered() {
+        let schema = Schema::binary_schema(["P"], ["R"]);
+        let q = parse_cq(&schema, "q(x) :- P(x), R(x,y)").unwrap();
+        let p = parse_cq(&schema, "q(x) :- R(x,y), R(z,y), P(z)").unwrap();
+        assert!(q.strictly_contained_in(&p).unwrap(), "test setup");
+        let frontier = frontier_examples(&q).unwrap();
+        assert_eq!(frontier.len(), 2);
+        assert!(
+            frontier
+                .iter()
+                .any(|m| hom_exists(&p.canonical_example(), m)),
+            "p must be covered by the frontier"
+        );
+        // Frontier members remain strictly below q.
+        for m in &frontier {
+            assert!(hom_exists(m, &q.canonical_example()));
+            assert!(!hom_exists(&q.canonical_example(), m));
+        }
+    }
+
+    /// Boolean single-edge query: its frontier must cover every structure
+    /// strictly below it (i.e. every non-empty structure without an R-edge —
+    /// over this schema there are none except the empty one), and not cover
+    /// the query itself.
+    #[test]
+    fn boolean_edge_frontier() {
+        let schema = Schema::digraph();
+        let q = parse_cq(&schema, "q() :- R(x,y)").unwrap();
+        let frontier = frontier_examples(&q).unwrap();
+        assert_eq!(frontier.len(), 1);
+        let eq = q.canonical_example();
+        assert!(!hom_exists(&eq, &frontier[0]));
+    }
+}

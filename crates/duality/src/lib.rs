@@ -1,0 +1,37 @@
+//! # cqfit-duality
+//!
+//! Frontiers and homomorphism dualities in the homomorphism pre-order of
+//! data examples, as used throughout *Extremal Fitting Problems for
+//! Conjunctive Queries* (PODS 2023):
+//!
+//! * the polynomial-time frontier construction for c-acyclic CQs with the
+//!   Unique Names Property (Definitions 3.21/3.22, Proposition 3.23),
+//! * a one-step generalization operator for tree CQs (Section 5.3) — sound
+//!   but not guaranteed to be a complete frontier,
+//! * homomorphism dualities, relativized homomorphism dualities (Definition
+//!   3.28) and simulation dualities (Definition 5.26), with three-valued
+//!   bounded decision procedures.
+//!
+//! ## Exactness
+//!
+//! Frontier constructions are exact.  Duality *checking* is, as the paper
+//! itself discusses (Proposition 4.7 leaves the complexity of `HomDual`
+//! open between NP-hard and ExpTime), a hard problem; the checks in
+//! [`duality`] are three-valued: `No` answers are certified by an explicit
+//! counterexample, `Yes` answers are produced only on fragments where the
+//! check is provably complete (e.g. schemas with only unary relations), and
+//! `Unknown` is returned when the configured search budget is exhausted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod frontier;
+mod tree_frontier;
+
+pub use check::{
+    check_hom_duality, check_relativized_duality, check_simulation_duality, Certainty,
+    DualityConfig, DualityOutcome,
+};
+pub use frontier::{frontier_examples, frontier_of, FrontierError};
+pub use tree_frontier::tree_frontier;

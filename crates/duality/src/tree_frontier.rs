@@ -1,0 +1,182 @@
+//! A one-step generalization operator for tree CQs (Section 5.3).
+//!
+//! Every member produced here is a tree CQ strictly more general than the
+//! input, and on many queries the produced set is a frontier w.r.t. tree CQs
+//! (this is validated on concrete cases in the tests).  It is however **not
+//! guaranteed to be complete** as a frontier: generalizations that re-route a
+//! requirement through a zig-zag path (Example 5.21 of the paper) may not be
+//! covered.  The exact weak-most-generality test for tree CQs in
+//! `cqfit::tree` therefore uses the c-acyclic frontier of the underlying CQ
+//! instead; this operator is kept as a light-weight generalization step.
+//!
+//! The construction works on the *reduced* (irredundant) rooted-tree form and
+//! applies one generalization step per member:
+//!
+//! * drop one unary label of the root, or
+//! * pick one child subtree, remove it, and graft instead *all* members of
+//!   the (recursively computed) frontier of that subtree.
+//!
+//! Members that are not safe CQs (the single unlabeled node) are dropped at
+//! the top level — by the same argument as footnote 3 of the paper, the safe
+//! members alone still form a frontier w.r.t. tree CQs.
+
+use cqfit_query::{RootedTree, TreeCq};
+use std::collections::HashSet;
+
+/// Computes a set of tree CQs strictly more general than `q` (one
+/// generalization step in each member); see the module documentation for the
+/// completeness caveat.
+pub fn tree_frontier(q: &TreeCq) -> Vec<TreeCq> {
+    let reduced = q.reduce();
+    let members = frontier_rec(reduced.rooted());
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for m in members {
+        if let Ok(tcq) = TreeCq::from_rooted(m) {
+            let code = tcq.rooted().canonical_code();
+            if seen.insert(code) {
+                out.push(tcq);
+            }
+        }
+    }
+    out
+}
+
+/// Recursive frontier construction on (reduced) rooted trees; members may be
+/// trivial (a single unlabeled node), which is meaningful when grafted below
+/// a parent even though it is not a standalone tree CQ.
+pub(crate) fn frontier_rec(t: &RootedTree) -> Vec<RootedTree> {
+    let root = t.root();
+    let mut members = Vec::new();
+    // Generalize by dropping one unary label of the root.
+    for &rel in t.labels(root).clone().iter() {
+        members.push(t.without_label(root, rel));
+    }
+    // Generalize at one child: remove its subtree and graft every member of
+    // the subtree's frontier instead.
+    let children: Vec<_> = t.children(root).to_vec();
+    for &(role, child) in &children {
+        let sub = t.subtree(child);
+        let sub_frontier = frontier_rec(&sub);
+        let mut member = t
+            .without_subtree(child)
+            .expect("children are never the root");
+        for s in &sub_frontier {
+            let grafted = member
+                .add_child(member.root(), role)
+                .expect("role comes from the same schema");
+            member.graft(grafted, s);
+        }
+        members.push(member);
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfit_data::Schema;
+    use cqfit_query::{parse_cq, TreeCq};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::binary_schema(["A", "B"], ["R", "S"])
+    }
+
+    fn tcq(text: &str) -> TreeCq {
+        TreeCq::try_new(parse_cq(&schema(), text).unwrap()).unwrap()
+    }
+
+    /// Checks the defining properties of a frontier w.r.t. tree CQs on given
+    /// witnesses.
+    fn check(q: &TreeCq, strictly_more_general: &[TreeCq], not_more_general: &[TreeCq]) {
+        let frontier = tree_frontier(q);
+        for m in &frontier {
+            assert!(
+                q.strictly_contained_in(m).unwrap(),
+                "member {m} must be strictly more general than {q}"
+            );
+        }
+        for p in strictly_more_general {
+            assert!(q.strictly_contained_in(p).unwrap(), "test setup");
+            assert!(
+                frontier.iter().any(|m| m.is_contained_in(p).unwrap()),
+                "frontier of {q} must cover {p}"
+            );
+        }
+        for p in not_more_general {
+            assert!(
+                !frontier.iter().any(|m| m.is_contained_in(p).unwrap()),
+                "{p} must not be covered by the frontier of {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_of_labeled_edge() {
+        // q(x) :- R(x,y), A(y).
+        let q = tcq("q(x) :- R(x,y), A(y)");
+        let gen1 = tcq("q(x) :- R(x,y)");
+        let itself = tcq("q(x) :- R(x,y), A(y)");
+        check(&q, &[gen1], &[itself]);
+    }
+
+    #[test]
+    fn frontier_of_two_step_path() {
+        let q = tcq("q(x) :- R(x,y), R(y,z), A(z)");
+        let drop_a = tcq("q(x) :- R(x,y), R(y,z)");
+        let drop_tail = tcq("q(x) :- R(x,y)");
+        let unrelated = tcq("q(x) :- S(x,y)");
+        check(&q, &[drop_a, drop_tail], &[unrelated]);
+    }
+
+    #[test]
+    fn frontier_of_branching_query() {
+        let q = tcq("q(x) :- R(x,y), A(y), S(x,z), B(z)");
+        let g1 = tcq("q(x) :- R(x,y), A(y), S(x,z)");
+        let g2 = tcq("q(x) :- R(x,y), S(x,z), B(z)");
+        let g3 = tcq("q(x) :- R(x,y), A(y)");
+        check(&q, &[g1, g2, g3], &[]);
+    }
+
+    #[test]
+    fn frontier_with_inverse_roles_covers_node_splitting() {
+        // q(x) :- R(x,y), A(y), R(z,y), B(z): generalizations may "split" the
+        // node y; the frontier must still cover them.
+        let q = tcq("q(x) :- R(x,y), A(y), R(z,y), B(z)");
+        let split = tcq("q(x) :- R(x,y1), A(y1), R(x,y2), R(z,y2), B(z)");
+        assert!(q.strictly_contained_in(&split).unwrap());
+        let frontier = tree_frontier(&q);
+        assert!(
+            frontier.iter().any(|m| m.is_contained_in(&split).unwrap()),
+            "node-splitting generalization must be covered"
+        );
+    }
+
+    #[test]
+    fn frontier_of_root_label_only() {
+        // q(x) :- A(x): no tree CQ is strictly more general, so the frontier
+        // is empty (the only candidate member is the unsafe trivial tree).
+        let q = tcq("q(x) :- A(x)");
+        assert!(tree_frontier(&q).is_empty());
+    }
+
+    #[test]
+    fn frontier_of_plain_edge_is_empty() {
+        let q = tcq("q(x) :- R(x,y)");
+        assert!(tree_frontier(&q).is_empty());
+    }
+
+    #[test]
+    fn reduction_happens_first() {
+        // Redundant sibling: frontier must equal that of the reduced query.
+        let q = tcq("q(x) :- R(x,y), R(x,z), A(z)");
+        let reduced = tcq("q(x) :- R(x,z), A(z)");
+        let f1 = tree_frontier(&q);
+        let f2 = tree_frontier(&reduced);
+        assert_eq!(f1.len(), f2.len());
+        for (a, b) in f1.iter().zip(f2.iter()) {
+            assert!(a.equivalent_to(b).unwrap());
+        }
+    }
+}

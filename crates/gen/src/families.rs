@@ -1,0 +1,421 @@
+//! The deterministic example families used in the paper's constructions.
+
+use cqfit_data::{Example, Instance, LabeledExamples, Schema, Value};
+use std::sync::Arc;
+
+/// The first `n` prime numbers (2, 3, 5, …).
+pub fn primes(n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    let mut candidate = 2usize;
+    while out.len() < n {
+        if (2..candidate).all(|d| d * d > candidate || candidate % d != 0) {
+            out.push(candidate);
+        }
+        candidate += 1;
+    }
+    out
+}
+
+/// A directed cycle of the given length as a Boolean example over the
+/// single-binary-relation schema.
+pub fn directed_cycle(schema: &Arc<Schema>, len: usize) -> Example {
+    let rel = schema.binary_rels().next().expect("binary relation");
+    let mut inst = Instance::new(schema.clone());
+    let vs: Vec<Value> = (0..len).map(|i| inst.add_value(format!("c{i}"))).collect();
+    for i in 0..len {
+        inst.add_fact(rel, &[vs[i], vs[(i + 1) % len]]).expect("cycle");
+    }
+    Example::boolean(inst)
+}
+
+/// A directed path with `len` edges as a Boolean example.
+pub fn directed_path(schema: &Arc<Schema>, len: usize) -> Example {
+    let rel = schema.binary_rels().next().expect("binary relation");
+    let mut inst = Instance::new(schema.clone());
+    let vs: Vec<Value> = (0..=len).map(|i| inst.add_value(format!("p{i}"))).collect();
+    for i in 0..len {
+        inst.add_fact(rel, &[vs[i], vs[i + 1]]).expect("path");
+    }
+    Example::boolean(inst)
+}
+
+/// The transitive tournament (linear order) on `n` vertices as a Boolean
+/// example.
+pub fn linear_order(schema: &Arc<Schema>, n: usize) -> Example {
+    let rel = schema.binary_rels().next().expect("binary relation");
+    let mut inst = Instance::new(schema.clone());
+    let vs: Vec<Value> = (0..n).map(|i| inst.add_value(format!("o{i}"))).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            inst.add_fact(rel, &[vs[i], vs[j]]).expect("order");
+        }
+    }
+    Example::boolean(inst)
+}
+
+/// The symmetric clique `K_n` (an irreflexive symmetric relation) as a
+/// Boolean example.
+pub fn symmetric_clique(schema: &Arc<Schema>, n: usize) -> Example {
+    let rel = schema.binary_rels().next().expect("binary relation");
+    let mut inst = Instance::new(schema.clone());
+    let vs: Vec<Value> = (0..n).map(|i| inst.add_value(format!("k{i}"))).collect();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                inst.add_fact(rel, &[vs[i], vs[j]]).expect("clique");
+            }
+        }
+    }
+    Example::boolean(inst)
+}
+
+/// Theorem 3.40: a collection of labeled Boolean examples of combined size
+/// polynomial in `n` whose smallest fitting CQ has at least `2ⁿ` atoms —
+/// positives are the directed cycles of the 2nd to `n`-th prime lengths,
+/// the negative is the 2-cycle.
+pub fn prime_cycles_family(n: usize) -> LabeledExamples {
+    let schema = Schema::digraph();
+    let ps = primes(n.max(1));
+    let positives = ps[1..]
+        .iter()
+        .map(|&p| directed_cycle(&schema, p))
+        .collect();
+    let negatives = vec![directed_cycle(&schema, ps[0])];
+    LabeledExamples::new(positives, negatives).expect("well-formed family")
+}
+
+/// Theorem 3.1: the exact-k-colorability verification examples — positives
+/// `{K_{k+1}}`, negatives `{K_k}`.  The canonical CQ of a graph `G` fits iff
+/// `G` is (k+1)-colorable but not k-colorable.
+pub fn exact_colorability(k: usize) -> LabeledExamples {
+    let schema = Schema::digraph();
+    LabeledExamples::new(
+        vec![symmetric_clique(&schema, k + 1)],
+        vec![symmetric_clique(&schema, k)],
+    )
+    .expect("well-formed family")
+}
+
+/// Example 2.14 (Gallai–Hasse–Roy–Vitaver): the directed path with `n` edges
+/// and the linear order on `n` vertices, which form a homomorphism duality
+/// `({P_n}, {T_{n-1}})`.
+pub fn ghrv_examples(n: usize) -> (Example, Example) {
+    let schema = Schema::digraph();
+    (directed_path(&schema, n), linear_order(&schema, n))
+}
+
+/// The schema of the bit-string family of Theorems 3.41/3.42:
+/// unary `T1..Tn, F1..Fn` (plus optionally `Z0, Z1`) and binary `R1..Rn`.
+fn bitstring_schema(n: usize, with_z: bool) -> Arc<Schema> {
+    let mut b = Schema::builder();
+    for i in 1..=n {
+        b = b.relation(format!("T{i}"), 1).expect("fresh");
+        b = b.relation(format!("F{i}"), 1).expect("fresh");
+    }
+    if with_z {
+        b = b.relation("Z0", 1).expect("fresh");
+        b = b.relation("Z1", 1).expect("fresh");
+    }
+    for i in 1..=n {
+        b = b.relation(format!("R{i}"), 2).expect("fresh");
+    }
+    Arc::new(b.build())
+}
+
+/// Builds the positive example `P_i` of Theorem 3.41 over the given schema.
+fn bitstring_positive(schema: &Arc<Schema>, n: usize, i: usize, with_z: bool) -> Example {
+    let mut inst = Instance::new(schema.clone());
+    let zero = inst.add_value("0");
+    let one = inst.add_value("1");
+    let both = [zero, one];
+    let t = |j: usize| schema.rel(&format!("T{j}")).expect("unary");
+    let f = |j: usize| schema.rel(&format!("F{j}")).expect("unary");
+    let r = |j: usize| schema.rel(&format!("R{j}")).expect("binary");
+    // F_i(0), T_i(1).
+    inst.add_fact(f(i), &[zero]).unwrap();
+    inst.add_fact(t(i), &[one]).unwrap();
+    // All unary facts for T_j, F_j with j ≠ i.
+    for j in 1..=n {
+        if j != i {
+            for &v in &both {
+                inst.add_fact(t(j), &[v]).unwrap();
+                inst.add_fact(f(j), &[v]).unwrap();
+            }
+        }
+    }
+    // Z0/Z1 everywhere (Theorem 3.42 variant).
+    if with_z {
+        for name in ["Z0", "Z1"] {
+            let rel = schema.rel(name).unwrap();
+            for &v in &both {
+                inst.add_fact(rel, &[v]).unwrap();
+            }
+        }
+    }
+    // R_j(0,0), R_j(1,1) for j < i; R_i(0,1); R_j(1,0) for j > i.
+    for j in 1..=n {
+        if j < i {
+            inst.add_fact(r(j), &[zero, zero]).unwrap();
+            inst.add_fact(r(j), &[one, one]).unwrap();
+        } else if j == i {
+            inst.add_fact(r(j), &[zero, one]).unwrap();
+        } else {
+            inst.add_fact(r(j), &[one, zero]).unwrap();
+        }
+    }
+    Example::boolean(inst)
+}
+
+/// Builds the negative example `N` of Theorem 3.41 (with optional Z-cluster
+/// element of Theorem 3.42).
+fn bitstring_negative(schema: &Arc<Schema>, n: usize, with_z: bool) -> Example {
+    let mut inst = Instance::new(schema.clone());
+    let a: Vec<Value> = (1..=n).map(|i| inst.add_value(format!("a{i}"))).collect();
+    let b: Vec<Value> = (1..=n).map(|i| inst.add_value(format!("b{i}"))).collect();
+    let c: Vec<Value> = (1..=n).map(|i| inst.add_value(format!("c{i}"))).collect();
+    let t = |j: usize| schema.rel(&format!("T{j}")).expect("unary");
+    let f = |j: usize| schema.rel(&format!("F{j}")).expect("unary");
+    let r = |j: usize| schema.rel(&format!("R{j}")).expect("binary");
+    // Unary facts: A-cluster misses T_i(a_i), B-cluster misses F_i(b_i),
+    // C-cluster misses both T_i(c_i) and F_i(c_i).
+    for (i, &ai) in a.iter().enumerate() {
+        for j in 1..=n {
+            if j != i + 1 {
+                inst.add_fact(t(j), &[ai]).unwrap();
+            }
+            inst.add_fact(f(j), &[ai]).unwrap();
+        }
+    }
+    for (i, &bi) in b.iter().enumerate() {
+        for j in 1..=n {
+            inst.add_fact(t(j), &[bi]).unwrap();
+            if j != i + 1 {
+                inst.add_fact(f(j), &[bi]).unwrap();
+            }
+        }
+    }
+    for (i, &ci) in c.iter().enumerate() {
+        for j in 1..=n {
+            if j != i + 1 {
+                inst.add_fact(t(j), &[ci]).unwrap();
+                inst.add_fact(f(j), &[ci]).unwrap();
+            }
+        }
+    }
+    // Z0/Z1 everywhere on a, b, c clusters.
+    if with_z {
+        for name in ["Z0", "Z1"] {
+            let rel = schema.rel(name).unwrap();
+            for &v in a.iter().chain(&b).chain(&c) {
+                inst.add_fact(rel, &[v]).unwrap();
+            }
+        }
+    }
+    // Binary facts.  "All facts over domain A/B/C" includes every binary
+    // fact within the respective cluster; in addition all R_j(x,y) with
+    // x ∈ B, y ∈ A, and all R_j(x,y) with x ∈ C or y ∈ C.
+    let everyone: Vec<Value> = a.iter().chain(&b).chain(&c).copied().collect();
+    for j in 1..=n {
+        for cluster in [&a, &b, &c] {
+            for &x in cluster.iter() {
+                for &y in cluster.iter() {
+                    inst.add_fact(r(j), &[x, y]).unwrap();
+                }
+            }
+        }
+        for &x in &b {
+            for &y in &a {
+                inst.add_fact(r(j), &[x, y]).unwrap();
+            }
+        }
+        for &x in &c {
+            for &y in &everyone {
+                inst.add_fact(r(j), &[x, y]).unwrap();
+                inst.add_fact(r(j), &[y, x]).unwrap();
+            }
+        }
+    }
+    // Theorem 3.42: one further value z with all unary facts except Z0, Z1
+    // and all binary facts touching z.
+    if with_z {
+        let z = inst.add_value("z");
+        for j in 1..=n {
+            inst.add_fact(t(j), &[z]).unwrap();
+            inst.add_fact(f(j), &[z]).unwrap();
+        }
+        for j in 1..=n {
+            for &y in &everyone {
+                inst.add_fact(r(j), &[z, y]).unwrap();
+                inst.add_fact(r(j), &[y, z]).unwrap();
+            }
+            inst.add_fact(r(j), &[z, z]).unwrap();
+        }
+    }
+    Example::boolean(inst)
+}
+
+/// Theorem 3.41: a collection of labeled Boolean examples of size polynomial
+/// in `n` with a unique fitting CQ, every fitting CQ having at least `2ⁿ`
+/// variables.
+pub fn bitstring_family(n: usize) -> LabeledExamples {
+    let schema = bitstring_schema(n, false);
+    let positives = (1..=n)
+        .map(|i| bitstring_positive(&schema, n, i, false))
+        .collect();
+    let negatives = vec![bitstring_negative(&schema, n, false)];
+    LabeledExamples::new(positives, negatives).expect("well-formed family")
+}
+
+/// Theorem 3.42: the `Z0/Z1` extension of [`bitstring_family`], which has a
+/// basis of most-general fitting CQs of cardinality `2^(2ⁿ)`.
+pub fn bitstring_family_z(n: usize) -> LabeledExamples {
+    let schema = bitstring_schema(n, true);
+    let positives = (1..=n)
+        .map(|i| bitstring_positive(&schema, n, i, true))
+        .collect();
+    let negatives = vec![bitstring_negative(&schema, n, true)];
+    LabeledExamples::new(positives, negatives).expect("well-formed family")
+}
+
+/// Theorem 5.37 / Figure 5: unary examples over the schema `{A, L, R}` whose
+/// fitting tree CQs are doubly exponentially large.  Positives are the cycle
+/// instances `D_{p_1}, …, D_{p_n}` (pointed at 0), the negatives are the
+/// instance `I` of Figure 5 pointed at `01` and `10`.
+pub fn lra_family(n: usize) -> LabeledExamples {
+    let schema = Schema::binary_schema(["A"], ["L", "R"]);
+    let l = schema.rel("L").unwrap();
+    let r = schema.rel("R").unwrap();
+    let a_rel = schema.rel("A").unwrap();
+    let mut positives = Vec::new();
+    for &p in &primes(n) {
+        let mut inst = Instance::new(schema.clone());
+        let vs: Vec<Value> = (0..p).map(|k| inst.add_value(format!("d{k}"))).collect();
+        for k in 0..p {
+            let next = (k + 1) % p;
+            inst.add_fact(r, &[vs[k], vs[next]]).unwrap();
+            inst.add_fact(l, &[vs[k], vs[next]]).unwrap();
+        }
+        inst.add_fact(a_rel, &[vs[p - 1]]).unwrap();
+        positives.push(Example::new(inst, vec![vs[0]]));
+    }
+    // The instance I of Figure 5, over values {01, 10, 11, b}.
+    let mut i = Instance::new(schema.clone());
+    let v01 = i.add_value("01");
+    let v10 = i.add_value("10");
+    let v11 = i.add_value("11");
+    let vb = i.add_value("b");
+    i.add_fact(l, &[v10, v11]).unwrap();
+    for &x in &[v01, v10] {
+        i.add_fact(r, &[v10, x]).unwrap();
+    }
+    i.add_fact(r, &[v01, v11]).unwrap();
+    for &x in &[v01, v10] {
+        i.add_fact(l, &[v01, x]).unwrap();
+    }
+    i.add_fact(r, &[vb, vb]).unwrap();
+    i.add_fact(l, &[vb, vb]).unwrap();
+    i.add_fact(a_rel, &[vb]).unwrap();
+    for &x in &[v01, v10] {
+        i.add_fact(r, &[vb, x]).unwrap();
+        i.add_fact(l, &[vb, x]).unwrap();
+    }
+    i.add_fact(l, &[v11, v11]).unwrap();
+    i.add_fact(r, &[v11, v11]).unwrap();
+    i.add_fact(a_rel, &[v11]).unwrap();
+    let negatives = vec![
+        Example::new(i.clone(), vec![v01]),
+        Example::new(i, vec![v10]),
+    ];
+    LabeledExamples::new(positives, negatives).expect("well-formed family")
+}
+
+/// The EmpInfo database of Figure 1 / Example 1.1, together with the labeled
+/// tuples (Hilbert, +), (Turing, −), (Einstein, +) as unary data examples.
+pub fn empinfo_database() -> (Arc<Schema>, Instance, LabeledExamples) {
+    let schema = Arc::new(Schema::new([("EmpInfo", 3)]).unwrap());
+    let mut inst = Instance::new(schema.clone());
+    inst.add_fact_labels("EmpInfo", &["Hilbert", "Math", "Gauss"]).unwrap();
+    inst.add_fact_labels("EmpInfo", &["Turing", "ComputerScience", "vonNeumann"])
+        .unwrap();
+    inst.add_fact_labels("EmpInfo", &["Einstein", "Physics", "Gauss"]).unwrap();
+    let labeled = |name: &str| {
+        let v = inst.value_by_label(name).unwrap();
+        Example::new(inst.clone(), vec![v])
+    };
+    let examples = LabeledExamples::new(
+        vec![labeled("Hilbert"), labeled("Einstein")],
+        vec![labeled("Turing")],
+    )
+    .unwrap();
+    (schema, inst, examples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfit_hom::hom_exists;
+
+    #[test]
+    fn primes_are_prime() {
+        assert_eq!(primes(5), vec![2, 3, 5, 7, 11]);
+    }
+
+    #[test]
+    fn prime_cycles_sizes() {
+        let e = prime_cycles_family(4);
+        assert_eq!(e.positives().len(), 3);
+        assert_eq!(e.negatives().len(), 1);
+        assert_eq!(e.negatives()[0].size(), 2);
+        assert_eq!(e.positives()[2].size(), 7);
+    }
+
+    #[test]
+    fn exact_colorability_shapes() {
+        let e = exact_colorability(3);
+        // K4 is not 3-colorable: no homomorphism from the positive to the
+        // negative example.
+        assert!(!hom_exists(&e.positives()[0], &e.negatives()[0]));
+    }
+
+    #[test]
+    fn ghrv_path_does_not_map_to_order() {
+        let (path, order) = ghrv_examples(4);
+        assert!(!hom_exists(&path, &order));
+        let (short_path, _) = ghrv_examples(3);
+        assert!(hom_exists(&short_path, &order));
+    }
+
+    #[test]
+    fn bitstring_family_shapes() {
+        let e = bitstring_family(2);
+        assert_eq!(e.positives().len(), 2);
+        assert_eq!(e.negatives().len(), 1);
+        // The negative has 3n = 6 values.
+        assert_eq!(e.negatives()[0].instance().num_values(), 6);
+        // The product of the positives must not map to the negative
+        // (Theorem 3.41: a fitting exists).
+        let schema = e.schema().unwrap().clone();
+        let product = cqfit_hom::product_of(&schema, 0, e.positives()).unwrap();
+        assert!(!hom_exists(&product, &e.negatives()[0]));
+        // Z-variant adds two relations and one value.
+        let ez = bitstring_family_z(2);
+        assert_eq!(ez.negatives()[0].instance().num_values(), 7);
+    }
+
+    #[test]
+    fn lra_family_shapes() {
+        let e = lra_family(2);
+        assert_eq!(e.positives().len(), 2);
+        assert_eq!(e.negatives().len(), 2);
+        assert_eq!(e.negatives()[0].instance().num_values(), 4);
+        assert!(e.validate().is_ok());
+    }
+
+    #[test]
+    fn empinfo_has_three_rows() {
+        let (_, inst, examples) = empinfo_database();
+        assert_eq!(inst.num_facts(), 3);
+        assert_eq!(examples.positives().len(), 2);
+        assert_eq!(examples.negatives().len(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # cqfit-gen
+//!
+//! Workload generators used by the `cqfit` benchmarks, examples and tests:
+//!
+//! * the size-lower-bound families of the paper (prime cycles for
+//!   Theorem 3.40, the bit-string instances of Theorems 3.41/3.42, the
+//!   L/R/A-family of Theorem 5.37),
+//! * the exact-k-colorability examples of Theorem 3.1,
+//! * the Gallai–Hasse–Roy–Vitaver path/order duality of Example 2.14,
+//! * the EmpInfo Query-By-Example database of Figure 1 / Example 1.1,
+//! * random instances, examples and tree CQs for property tests and
+//!   benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod families;
+mod random;
+
+pub use families::{
+    bitstring_family, bitstring_family_z, directed_cycle, directed_path, empinfo_database,
+    exact_colorability, ghrv_examples, linear_order, lra_family, prime_cycles_family, primes,
+    symmetric_clique,
+};
+pub use random::{random_example, random_labeled_examples, random_tree_cq, RandomConfig};

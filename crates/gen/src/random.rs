@@ -1,0 +1,180 @@
+//! Random instances, examples and tree CQs for property tests and
+//! benchmarks.
+
+use cqfit_data::{Example, Instance, LabeledExamples, Schema, Value};
+use cqfit_query::{Role, RootedTree, TreeCq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Parameters of the random generators.
+#[derive(Debug, Clone)]
+pub struct RandomConfig {
+    /// Number of domain elements per instance.
+    pub num_values: usize,
+    /// Probability of including each possible fact.
+    pub density: f64,
+    /// Arity of the generated examples.
+    pub arity: usize,
+    /// Number of positive / negative examples for labeled collections.
+    pub num_positive: usize,
+    /// Number of negative examples for labeled collections.
+    pub num_negative: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            num_values: 5,
+            density: 0.3,
+            arity: 1,
+            num_positive: 2,
+            num_negative: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates one random data example; re-samples until it has at least one
+/// fact.
+pub fn random_example(schema: &Arc<Schema>, cfg: &RandomConfig, rng: &mut StdRng) -> Example {
+    loop {
+        let mut inst = Instance::new(schema.clone());
+        let vs: Vec<Value> = (0..cfg.num_values)
+            .map(|i| inst.add_value(format!("v{i}")))
+            .collect();
+        for rel in schema.rel_ids() {
+            let arity = schema.arity(rel);
+            let mut tuple = vec![0usize; arity];
+            loop {
+                if rng.gen_bool(cfg.density) {
+                    let args: Vec<Value> = tuple.iter().map(|&i| vs[i]).collect();
+                    inst.add_fact(rel, &args).expect("valid fact");
+                }
+                let mut pos = 0;
+                loop {
+                    if pos == arity {
+                        break;
+                    }
+                    tuple[pos] += 1;
+                    if tuple[pos] < cfg.num_values {
+                        break;
+                    }
+                    tuple[pos] = 0;
+                    pos += 1;
+                }
+                if pos == arity {
+                    break;
+                }
+            }
+        }
+        if inst.is_empty() {
+            continue;
+        }
+        let active = inst.active_domain();
+        let dist: Vec<Value> = (0..cfg.arity)
+            .map(|_| active[rng.gen_range(0..active.len())])
+            .collect();
+        return Example::new(inst, dist);
+    }
+}
+
+/// Generates a random collection of labeled examples.
+pub fn random_labeled_examples(schema: &Arc<Schema>, cfg: &RandomConfig) -> LabeledExamples {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let positives = (0..cfg.num_positive)
+        .map(|_| random_example(schema, cfg, &mut rng))
+        .collect();
+    let negatives = (0..cfg.num_negative)
+        .map(|_| random_example(schema, cfg, &mut rng))
+        .collect();
+    LabeledExamples::new(positives, negatives).expect("consistent schema and arity")
+}
+
+/// Generates a random tree CQ over a binary schema with the given maximum
+/// depth and branching factor.
+pub fn random_tree_cq(
+    schema: &Arc<Schema>,
+    max_depth: usize,
+    max_branching: usize,
+    rng: &mut StdRng,
+) -> TreeCq {
+    assert!(schema.is_binary(), "tree CQs need a binary schema");
+    let unaries: Vec<_> = schema.unary_rels().collect();
+    let binaries: Vec<_> = schema.binary_rels().collect();
+    loop {
+        let mut tree = RootedTree::new(schema.clone());
+        grow(&mut tree, 0, max_depth, max_branching, &unaries, &binaries, rng);
+        if let Ok(q) = TreeCq::from_rooted(tree) {
+            return q;
+        }
+        // A single unlabeled node is unsafe; retry.
+    }
+}
+
+fn grow(
+    tree: &mut RootedTree,
+    node: usize,
+    depth: usize,
+    max_branching: usize,
+    unaries: &[cqfit_data::RelId],
+    binaries: &[cqfit_data::RelId],
+    rng: &mut StdRng,
+) {
+    for &u in unaries {
+        if rng.gen_bool(0.4) {
+            tree.add_label(node, u).expect("unary");
+        }
+    }
+    if depth == 0 || binaries.is_empty() {
+        return;
+    }
+    let children = rng.gen_range(0..=max_branching);
+    for _ in 0..children {
+        let rel = binaries[rng.gen_range(0..binaries.len())];
+        let role = if rng.gen_bool(0.5) {
+            Role::forward(rel)
+        } else {
+            Role::converse(rel)
+        };
+        let child = tree.add_child(node, role).expect("binary");
+        grow(tree, child, depth - 1, max_branching, unaries, binaries, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_examples_are_valid() {
+        let schema = Schema::binary_schema(["A"], ["R"]);
+        let cfg = RandomConfig::default();
+        let e = random_labeled_examples(&schema, &cfg);
+        assert!(e.validate().is_ok());
+        assert_eq!(e.positives().len(), 2);
+        assert_eq!(e.negatives().len(), 2);
+    }
+
+    #[test]
+    fn random_generation_is_deterministic_per_seed() {
+        let schema = Schema::digraph();
+        let cfg = RandomConfig { arity: 0, ..RandomConfig::default() };
+        let a = random_labeled_examples(&schema, &cfg);
+        let b = random_labeled_examples(&schema, &cfg);
+        assert_eq!(a.total_size(), b.total_size());
+    }
+
+    #[test]
+    fn random_tree_cqs_are_trees() {
+        let schema = Schema::binary_schema(["A", "B"], ["R", "S"]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let q = random_tree_cq(&schema, 3, 2, &mut rng);
+            assert!(q.num_variables() >= 1);
+            assert_eq!(q.as_cq().arity(), 1);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Arc consistency as a standalone procedure.
+//!
+//! The arc-consistency algorithm computes, for each value of a source
+//! pointed instance, the set of target values that survive local consistency
+//! propagation.  If some set becomes empty there is certainly no
+//! homomorphism; the converse holds when the source is c-acyclic (tree
+//! duality), which is what Proposition 4.7 of the paper exploits: arc
+//! consistency between `e'` and `e` decides whether *every c-acyclic `t` with
+//! `t → e'` also satisfies `t → e`*.
+
+use crate::search::arc_closure;
+use cqfit_data::{Example, Value};
+use std::collections::HashMap;
+
+/// Runs arc consistency for the homomorphism problem `src → dst`.
+///
+/// Returns `true` when every source value keeps at least one candidate.
+/// A `false` answer certifies that no homomorphism exists; a `true` answer is
+/// only a necessary condition in general, but is also sufficient when the
+/// core of `src` is c-acyclic.
+pub fn arc_consistent(src: &Example, dst: &Example) -> bool {
+    arc_closure(src, dst).is_some()
+}
+
+/// Runs arc consistency and returns the surviving candidate sets (for the
+/// values of `adom(src) ∪ {ā}`), or `None` if some set became empty.
+pub fn arc_consistency_candidates(
+    src: &Example,
+    dst: &Example,
+) -> Option<HashMap<Value, Vec<Value>>> {
+    arc_closure(src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfit_data::{Instance, Schema};
+
+    fn cycle(n: usize) -> Example {
+        let mut i = Instance::new(Schema::digraph());
+        let vs = i.add_values("c", n);
+        for k in 0..n {
+            i.add_fact_by_name("R", &[vs[k], vs[(k + 1) % n]]).unwrap();
+        }
+        Example::boolean(i)
+    }
+
+    fn path(n: usize) -> Example {
+        let mut i = Instance::new(Schema::digraph());
+        let vs = i.add_values("p", n + 1);
+        for k in 0..n {
+            i.add_fact_by_name("R", &[vs[k], vs[k + 1]]).unwrap();
+        }
+        Example::boolean(i)
+    }
+
+    #[test]
+    fn arc_consistency_refutes_path_too_long() {
+        // A path of length 3 cannot map to a path of length 2, and arc
+        // consistency alone detects this (paths are acyclic).
+        assert!(!arc_consistent(&path(3), &path(2)));
+        assert!(arc_consistent(&path(2), &path(3)));
+    }
+
+    #[test]
+    fn arc_consistency_is_incomplete_on_cycles() {
+        // C5 → C3 has no homomorphism, but both are arc-consistent:
+        // arc consistency is only a necessary condition for cyclic sources.
+        assert!(arc_consistent(&cycle(5), &cycle(3)));
+        assert!(!crate::hom_exists(&cycle(5), &cycle(3)));
+    }
+
+    #[test]
+    fn candidates_shrink_with_distinguished() {
+        let schema = Schema::digraph();
+        let mut i = Instance::new(schema.clone());
+        i.add_fact_labels("R", &["x", "y"]).unwrap();
+        let x = i.value_by_label("x").unwrap();
+        let src = Example::new(i, vec![x]);
+        let mut j = Instance::new(schema);
+        j.add_fact_labels("R", &["a", "b"]).unwrap();
+        j.add_fact_labels("R", &["b", "c"]).unwrap();
+        let a = j.value_by_label("a").unwrap();
+        let dst = Example::new(j, vec![a]);
+        let cands = arc_consistency_candidates(&src, &dst).unwrap();
+        assert_eq!(cands[&x], vec![a]);
+    }
+}

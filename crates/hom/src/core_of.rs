@@ -1,0 +1,196 @@
+//! Cores and homomorphic equivalence.
+//!
+//! Every instance has a unique (up to isomorphism) minimal sub-instance to
+//! which it is homomorphically equivalent — its *core* (§2.1).  For pointed
+//! instances, homomorphisms must fix the distinguished tuple, so distinguished
+//! values are never folded away.
+
+use crate::{find_homomorphism, hom_exists};
+use cqfit_data::{Example, Value};
+use std::collections::HashSet;
+
+/// Computes the core of a pointed instance by greedy retraction: repeatedly
+/// remove a non-distinguished value `v` such that the example still maps
+/// homomorphically into the sub-instance induced by the remaining values.
+///
+/// Greedy one-value-at-a-time removal is complete: if the example is not a
+/// core, some retraction misses a value `v`, and then the example maps into
+/// the sub-instance without `v`.
+pub fn core_of(e: &Example) -> Example {
+    let mut current = e.clone();
+    'outer: loop {
+        let distinguished: HashSet<Value> = current.distinguished().iter().copied().collect();
+        let candidates: Vec<Value> = current
+            .instance()
+            .values()
+            .filter(|v| current.instance().is_active(*v) && !distinguished.contains(v))
+            .collect();
+        for v in candidates {
+            let keep: HashSet<Value> = current
+                .instance()
+                .values()
+                .filter(|&w| w != v)
+                .collect();
+            let (sub, map) = current.instance().induced(&keep);
+            let dist: Vec<Value> = current.distinguished().iter().map(|d| map[d]).collect();
+            let target = Example::new(sub, dist);
+            if hom_exists(&current, &target) {
+                current = target;
+                continue 'outer;
+            }
+        }
+        // Finally, drop isolated non-distinguished values: the core is a set
+        // of facts, and values outside the active domain and the
+        // distinguished tuple carry no information.
+        let keep: HashSet<Value> = current
+            .instance()
+            .values()
+            .filter(|&v| current.instance().is_active(v) || distinguished.contains(&v))
+            .collect();
+        if keep.len() < current.instance().num_values() {
+            let (sub, map) = current.instance().induced(&keep);
+            let dist: Vec<Value> = current.distinguished().iter().map(|d| map[d]).collect();
+            current = Example::new(sub, dist);
+        }
+        return current;
+    }
+}
+
+/// True if the example is a core: no proper retraction exists.
+pub fn is_core(e: &Example) -> bool {
+    let distinguished: HashSet<Value> = e.distinguished().iter().copied().collect();
+    for v in e.instance().values() {
+        if !e.instance().is_active(v) || distinguished.contains(&v) {
+            continue;
+        }
+        let keep: HashSet<Value> = e.instance().values().filter(|&w| w != v).collect();
+        let (sub, map) = e.instance().induced(&keep);
+        let dist: Vec<Value> = e.distinguished().iter().map(|d| map[d]).collect();
+        let target = Example::new(sub, dist);
+        if hom_exists(e, &target) {
+            return false;
+        }
+    }
+    true
+}
+
+/// True if the two examples are homomorphically equivalent (homomorphisms in
+/// both directions exist).
+pub fn hom_equivalent(e1: &Example, e2: &Example) -> bool {
+    find_homomorphism(e1, e2).is_some() && find_homomorphism(e2, e1).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfit_data::{Instance, Schema};
+
+    fn boolean(facts: &[(&str, &str)]) -> Example {
+        let mut i = Instance::new(Schema::digraph());
+        for (a, b) in facts {
+            i.add_fact_labels("R", &[a, b]).unwrap();
+        }
+        Example::boolean(i)
+    }
+
+    #[test]
+    fn core_of_symmetric_even_cycle_is_symmetric_edge() {
+        // The symmetric (undirected) 4-cycle is homomorphically equivalent to
+        // a single symmetric edge (it is 2-colorable), so its core has 2
+        // values and 2 facts.
+        let c4 = boolean(&[
+            ("0", "1"),
+            ("1", "0"),
+            ("1", "2"),
+            ("2", "1"),
+            ("2", "3"),
+            ("3", "2"),
+            ("3", "0"),
+            ("0", "3"),
+        ]);
+        let core = core_of(&c4);
+        assert_eq!(core.instance().num_values(), 2);
+        assert_eq!(core.size(), 2);
+        assert!(hom_equivalent(&c4, &core));
+        assert!(is_core(&core));
+    }
+
+    #[test]
+    fn directed_even_cycle_is_a_core() {
+        // Unlike the symmetric case, the *directed* 4-cycle has no proper
+        // retract (it contains no shorter directed cycle as a sub-instance).
+        let c4 = boolean(&[("0", "1"), ("1", "2"), ("2", "3"), ("3", "0")]);
+        assert!(is_core(&c4));
+    }
+
+    #[test]
+    fn two_disjoint_edges_core_to_one() {
+        let e = boolean(&[("a", "b"), ("c", "d")]);
+        let core = core_of(&e);
+        assert_eq!(core.instance().num_values(), 2);
+        assert_eq!(core.size(), 1);
+    }
+
+    #[test]
+    fn odd_cycle_is_core() {
+        let c5 = boolean(&[("0", "1"), ("1", "2"), ("2", "3"), ("3", "4"), ("4", "0")]);
+        assert!(is_core(&c5));
+        let core = core_of(&c5);
+        assert_eq!(core.instance().num_values(), 5);
+    }
+
+    #[test]
+    fn path_core_is_edge_free_of_distinguished() {
+        // A directed path of length 3 retracts onto ... nothing smaller: it is
+        // a core (no shorter structure admits a length-3 directed walk with
+        // all distinct images? In fact P3 folds: p0→p1→p2→p3 maps onto itself
+        // only; any proper retract would be a shorter path, to which P3 does
+        // not map). Verify with the library rather than by hand:
+        let p3 = boolean(&[("0", "1"), ("1", "2"), ("2", "3")]);
+        let core = core_of(&p3);
+        assert!(hom_equivalent(&p3, &core));
+        assert!(is_core(&core));
+        assert_eq!(core.instance().num_values(), 4, "directed paths are cores");
+    }
+
+    #[test]
+    fn distinguished_values_are_kept() {
+        // Two parallel edges from a distinguished source; the non-
+        // distinguished copy folds away, the distinguished one stays.
+        let mut i = Instance::new(Schema::digraph());
+        i.add_fact_labels("R", &["a", "b"]).unwrap();
+        i.add_fact_labels("R", &["a", "c"]).unwrap();
+        let a = i.value_by_label("a").unwrap();
+        let b = i.value_by_label("b").unwrap();
+        let e = Example::new(i, vec![a, b]);
+        let core = core_of(&e);
+        assert_eq!(core.instance().num_values(), 2);
+        assert_eq!(core.arity(), 2);
+        assert!(core.is_data_example());
+    }
+
+    #[test]
+    fn core_idempotent() {
+        let c6 = boolean(&[
+            ("0", "1"),
+            ("1", "2"),
+            ("2", "3"),
+            ("3", "4"),
+            ("4", "5"),
+            ("5", "0"),
+        ]);
+        let once = core_of(&c6);
+        let twice = core_of(&once);
+        assert_eq!(once.instance().num_values(), twice.instance().num_values());
+        assert!(hom_equivalent(&once, &twice));
+    }
+
+    #[test]
+    fn hom_equivalence_examples() {
+        let loop1 = boolean(&[("x", "x")]);
+        let loop2 = boolean(&[("y", "y"), ("y", "z"), ("z", "y")]);
+        assert!(hom_equivalent(&loop1, &loop2));
+        let edge = boolean(&[("a", "b")]);
+        assert!(!hom_equivalent(&loop1, &edge));
+    }
+}

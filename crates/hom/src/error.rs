@@ -1,0 +1,54 @@
+//! Error type for homomorphism-level operations.
+
+use cqfit_data::DataError;
+use std::fmt;
+
+/// Errors raised by homomorphism, product and simulation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HomError {
+    /// The two inputs are over different schemas.
+    SchemaMismatch,
+    /// The two inputs have different arities.
+    ArityMismatch {
+        /// Arity of the first input.
+        left: usize,
+        /// Arity of the second input.
+        right: usize,
+    },
+    /// Disjoint unions require the Unique Names Property (§2.2).
+    RequiresUnp,
+    /// Simulations are defined over binary schemas only (§5).
+    NonBinarySchema,
+    /// A data-layer error bubbled up.
+    Data(DataError),
+    /// A configured search budget (node limit) was exhausted.
+    BudgetExhausted,
+}
+
+impl fmt::Display for HomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HomError::SchemaMismatch => write!(f, "inputs are over different schemas"),
+            HomError::ArityMismatch { left, right } => {
+                write!(f, "inputs have different arities ({left} vs {right})")
+            }
+            HomError::RequiresUnp => write!(
+                f,
+                "operation requires the Unique Names Property (no repeated distinguished values)"
+            ),
+            HomError::NonBinarySchema => {
+                write!(f, "simulations are only defined over binary schemas")
+            }
+            HomError::Data(e) => write!(f, "{e}"),
+            HomError::BudgetExhausted => write!(f, "search budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for HomError {}
+
+impl From<DataError> for HomError {
+    fn from(e: DataError) -> Self {
+        HomError::Data(e)
+    }
+}

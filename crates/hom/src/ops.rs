@@ -1,0 +1,305 @@
+//! Lattice operations in the homomorphism pre-order: direct products
+//! (greatest lower bounds, Proposition 2.7) and disjoint unions (least upper
+//! bounds, Proposition 2.2).
+
+use crate::{HomError, Result};
+use cqfit_data::{Example, Instance, Schema, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The "top" example of a given schema and arity: a single value carrying
+/// every possible fact, with the distinguished tuple repeating that value.
+///
+/// By the paper's convention (§2.2) this is the direct product of the empty
+/// set of pointed instances; every example of the same schema and arity maps
+/// homomorphically into it.
+pub fn top_example(schema: &Arc<Schema>, arity: usize) -> Example {
+    let mut inst = Instance::new(schema.clone());
+    let v = inst.add_value("⊤");
+    for rel in schema.rel_ids() {
+        let args = vec![v; schema.arity(rel)];
+        inst.add_fact(rel, &args).expect("valid fact");
+    }
+    Example::new(inst, vec![v; arity])
+}
+
+/// The direct product of two pointed instances (§2.2).
+///
+/// The result's values are the pairs of values that occur in a common fact,
+/// plus the pairs of corresponding distinguished values; its facts are
+/// `R((c1,d1),…,(cn,dn))` whenever `R(c̄) ∈ I` and `R(d̄) ∈ J`; its
+/// distinguished tuple pairs the two distinguished tuples.  The result is a
+/// pointed instance but *not necessarily* a data example (Example 2.6).
+///
+/// # Errors
+/// Fails if the inputs have different schemas or arities.
+pub fn direct_product(e1: &Example, e2: &Example) -> Result<Example> {
+    let (i1, i2) = (e1.instance(), e2.instance());
+    if i1.schema().as_ref() != i2.schema().as_ref() {
+        return Err(HomError::SchemaMismatch);
+    }
+    if e1.arity() != e2.arity() {
+        return Err(HomError::ArityMismatch {
+            left: e1.arity(),
+            right: e2.arity(),
+        });
+    }
+    let schema = i1.schema().clone();
+    let mut out = Instance::new(schema.clone());
+    let mut pair_value: HashMap<(Value, Value), Value> = HashMap::new();
+    let mut value_of = |out: &mut Instance, a: Value, b: Value| -> Value {
+        *pair_value.entry((a, b)).or_insert_with(|| {
+            out.add_value(format!("({}|{})", i1.label(a), i2.label(b)))
+        })
+    };
+    for rel in schema.rel_ids() {
+        for &f1 in i1.facts_with_rel(rel) {
+            for &f2 in i2.facts_with_rel(rel) {
+                let a1 = &i1.fact(f1).args;
+                let a2 = &i2.fact(f2).args;
+                let args: Vec<Value> = a1
+                    .iter()
+                    .zip(a2.iter())
+                    .map(|(&a, &b)| value_of(&mut out, a, b))
+                    .collect();
+                out.add_fact(rel, &args)?;
+            }
+        }
+    }
+    let dist: Vec<Value> = e1
+        .distinguished()
+        .iter()
+        .zip(e2.distinguished().iter())
+        .map(|(&a, &b)| value_of(&mut out, a, b))
+        .collect();
+    Ok(Example::new(out, dist))
+}
+
+/// The direct product of a finite set of pointed instances; the product of
+/// the empty set is [`top_example`].
+///
+/// # Errors
+/// Fails on schema or arity mismatches between the inputs.
+pub fn product_of(schema: &Arc<Schema>, arity: usize, examples: &[Example]) -> Result<Example> {
+    let mut acc = top_example(schema, arity);
+    for e in examples {
+        acc = direct_product(&acc, e)?;
+    }
+    Ok(acc)
+}
+
+/// The disjoint union `e1 ⊎ e2` of two pointed instances with the Unique
+/// Names Property (§2.2): the union of (disjoint copies of) the two
+/// instances in which corresponding distinguished elements are identified.
+///
+/// # Errors
+/// Fails on schema or arity mismatches, or if either input lacks the UNP.
+pub fn disjoint_union(e1: &Example, e2: &Example) -> Result<Example> {
+    let (i1, i2) = (e1.instance(), e2.instance());
+    if i1.schema().as_ref() != i2.schema().as_ref() {
+        return Err(HomError::SchemaMismatch);
+    }
+    if e1.arity() != e2.arity() {
+        return Err(HomError::ArityMismatch {
+            left: e1.arity(),
+            right: e2.arity(),
+        });
+    }
+    if !e1.has_unp() || !e2.has_unp() {
+        return Err(HomError::RequiresUnp);
+    }
+    let mut out = i1.clone();
+    // Map e2's values: distinguished positions are identified with e1's
+    // distinguished values, everything else becomes a fresh value.
+    let mut map: HashMap<Value, Value> = HashMap::new();
+    for (pos, &d2) in e2.distinguished().iter().enumerate() {
+        map.insert(d2, e1.distinguished()[pos]);
+    }
+    for v in i2.values() {
+        map.entry(v)
+            .or_insert_with(|| out.add_value(format!("{}'", i2.label(v))));
+    }
+    for f in i2.facts() {
+        let args: Vec<Value> = f.args.iter().map(|a| map[a]).collect();
+        out.add_fact(f.rel, &args)?;
+    }
+    Ok(Example::new(out, e1.distinguished().to_vec()))
+}
+
+/// The disjoint union of a non-empty sequence of examples with the UNP.
+///
+/// # Errors
+/// Fails on an empty input or on any pairwise failure of [`disjoint_union`].
+pub fn disjoint_union_of(examples: &[Example]) -> Result<Example> {
+    let (first, rest) = examples
+        .split_first()
+        .ok_or(HomError::Data(cqfit_data::DataError::Parse(
+            "disjoint union of an empty family".into(),
+        )))?;
+    let mut acc = first.clone();
+    for e in rest {
+        acc = disjoint_union(&acc, e)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_homomorphism, hom_exists};
+    use cqfit_data::Schema;
+
+    fn example(facts: &[(&str, &str)], dist: &[&str]) -> Example {
+        let mut i = Instance::new(Schema::digraph());
+        for (a, b) in facts {
+            i.add_fact_labels("R", &[a, b]).unwrap();
+        }
+        let d = dist
+            .iter()
+            .map(|l| i.value_by_label(l).unwrap())
+            .collect();
+        Example::new(i, d)
+    }
+
+    /// Example 2.1 / Figure 2 of the paper: the disjoint union of two binary
+    /// examples identifies corresponding distinguished elements.
+    #[test]
+    fn paper_example_2_1_disjoint_union() {
+        let e1 = example(&[("a1", "a2"), ("a2", "a3"), ("a3", "a1")], &["a1", "a2"]);
+        let e2 = example(&[("b2", "b3"), ("b3", "b4"), ("b4", "b1")], &["b1", "b2"]);
+        let u = disjoint_union(&e1, &e2).unwrap();
+        assert_eq!(u.size(), 6);
+        // a1,a2 identified with b1,b2: 3 + 4 - 2 shared + ... = 5 values.
+        assert_eq!(u.instance().num_values(), 5);
+        // Least upper bound properties (Proposition 2.2).
+        assert!(hom_exists(&e1, &u));
+        assert!(hom_exists(&e2, &u));
+    }
+
+    /// Proposition 2.2(3): the disjoint union is the *least* upper bound.
+    #[test]
+    fn disjoint_union_is_least_upper_bound() {
+        let e1 = example(&[("a", "b")], &["a"]);
+        let e2 = example(&[("c", "c")], &["c"]);
+        let u = disjoint_union(&e1, &e2).unwrap();
+        // e' = a self-loop on the distinguished element is above both.
+        let above = example(&[("x", "x")], &["x"]);
+        assert!(hom_exists(&e1, &above));
+        assert!(hom_exists(&e2, &above));
+        assert!(hom_exists(&u, &above));
+    }
+
+    /// Example 2.5 / Figure 3: direct product of two Boolean examples.
+    #[test]
+    fn paper_example_2_5_direct_product() {
+        let schema = Schema::binary_schema([], ["R", "S"]);
+        let mut i1 = Instance::new(schema.clone());
+        i1.add_fact_labels("R", &["a", "b"]).unwrap();
+        i1.add_fact_labels("S", &["a", "a"]).unwrap();
+        i1.add_fact_labels("S", &["b", "b"]).unwrap();
+        let e1 = Example::boolean(i1);
+        let mut i2 = Instance::new(schema);
+        i2.add_fact_labels("S", &["c", "d"]).unwrap();
+        i2.add_fact_labels("R", &["c", "c"]).unwrap();
+        i2.add_fact_labels("R", &["d", "d"]).unwrap();
+        let e2 = Example::boolean(i2);
+        let p = direct_product(&e1, &e2).unwrap();
+        assert_eq!(p.instance().num_values(), 4);
+        assert_eq!(p.size(), 4);
+        // Greatest lower bound properties (Proposition 2.7).
+        assert!(hom_exists(&p, &e1));
+        assert!(hom_exists(&p, &e2));
+    }
+
+    /// Example 2.6: the direct product of two data examples need not be a
+    /// data example (the distinguished pair may be inactive).
+    #[test]
+    fn paper_example_2_6_product_not_data_example() {
+        let schema = Schema::binary_schema(["P", "Q"], ["R"]);
+        let mut i1 = Instance::new(schema.clone());
+        i1.add_fact_labels("P", &["a"]).unwrap();
+        i1.add_fact_labels("R", &["c", "d"]).unwrap();
+        let a = i1.value_by_label("a").unwrap();
+        let e1 = Example::new(i1, vec![a]);
+        let mut i2 = Instance::new(schema);
+        i2.add_fact_labels("Q", &["b"]).unwrap();
+        i2.add_fact_labels("R", &["c", "d"]).unwrap();
+        let b = i2.value_by_label("b").unwrap();
+        let e2 = Example::new(i2, vec![b]);
+        let p = direct_product(&e1, &e2).unwrap();
+        assert_eq!(p.size(), 1);
+        assert!(!p.is_data_example());
+    }
+
+    /// Proposition 2.7(3): anything below both factors is below the product.
+    #[test]
+    fn product_is_greatest_lower_bound() {
+        let e1 = example(&[("a", "b"), ("b", "a")], &[]);
+        let e2 = example(&[("x", "x")], &[]);
+        let below = example(&[("u", "v")], &[]);
+        assert!(hom_exists(&below, &e1));
+        assert!(hom_exists(&below, &e2));
+        let p = direct_product(&e1, &e2).unwrap();
+        let h = find_homomorphism(&below, &p).expect("glb property");
+        assert!(h.verify(&below, &p));
+    }
+
+    #[test]
+    fn top_example_is_maximum() {
+        let schema = Schema::digraph();
+        let top = top_example(&schema, 1);
+        let e = example(&[("a", "b"), ("b", "c")], &["a"]);
+        assert!(hom_exists(&e, &top));
+        assert!(top.is_data_example());
+    }
+
+    #[test]
+    fn empty_product_is_top() {
+        let schema = Schema::digraph();
+        let p = product_of(&schema, 0, &[]).unwrap();
+        assert_eq!(p.instance().num_values(), 1);
+        assert_eq!(p.size(), 1);
+    }
+
+    #[test]
+    fn product_of_three() {
+        let schema = Schema::digraph();
+        let es: Vec<Example> = vec![
+            example(&[("a", "b")], &["a"]),
+            example(&[("c", "d")], &["c"]),
+            example(&[("e", "f")], &["e"]),
+        ];
+        let p = product_of(&schema, 1, &es).unwrap();
+        assert!(p.is_data_example());
+        for e in &es {
+            assert!(hom_exists(&p, e));
+        }
+    }
+
+    #[test]
+    fn union_requires_unp() {
+        let e = example(&[("a", "b")], &["a", "a"]);
+        let f = example(&[("c", "d")], &["c", "d"]);
+        assert_eq!(disjoint_union(&e, &f).unwrap_err(), HomError::RequiresUnp);
+    }
+
+    #[test]
+    fn mismatches_rejected() {
+        let e1 = example(&[("a", "b")], &["a"]);
+        let e2 = example(&[("c", "d")], &[]);
+        assert!(matches!(
+            direct_product(&e1, &e2),
+            Err(HomError::ArityMismatch { .. })
+        ));
+        let other = {
+            let mut i = Instance::new(Schema::binary_schema(["P"], ["R"]));
+            i.add_fact_labels("P", &["x"]).unwrap();
+            Example::boolean(i)
+        };
+        let e3 = example(&[("a", "b")], &[]);
+        assert_eq!(
+            direct_product(&e3, &other).unwrap_err(),
+            HomError::SchemaMismatch
+        );
+    }
+}

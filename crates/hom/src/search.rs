@@ -1,0 +1,621 @@
+//! Homomorphism search between pointed instances.
+//!
+//! A homomorphism `h : (I, ā) → (J, b̄)` is a map from `adom(I) ∪ {ā}` to
+//! `adom(J) ∪ {b̄}` preserving all facts and mapping each distinguished
+//! element `a_i` to the corresponding `b_i` (§2.1 of the paper).
+//!
+//! The search is a constraint-satisfaction backtracking procedure: source
+//! values are variables, target values are candidate assignments, and every
+//! source fact is a constraint requiring its image to be a target fact.
+//! Arc-consistency propagation (generalised to arbitrary arities) prunes the
+//! candidate sets before and during search; it can be switched off via
+//! [`HomConfig`] for the ablation benchmarks.
+
+use crate::bitset::BitSet;
+use crate::{HomError, Result};
+use cqfit_data::{Example, Fact, Instance, Value};
+
+/// A homomorphism between two pointed instances, stored as a partial map
+/// from source value indices to target values (defined exactly on
+/// `adom(I) ∪ {ā}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Homomorphism {
+    map: Vec<Option<Value>>,
+}
+
+impl Homomorphism {
+    /// The image of a source value, if the map is defined on it.
+    pub fn get(&self, v: Value) -> Option<Value> {
+        self.map.get(v.index()).copied().flatten()
+    }
+
+    /// The image of a source value; panics if undefined.
+    pub fn apply(&self, v: Value) -> Value {
+        self.get(v).expect("homomorphism undefined on value")
+    }
+
+    /// Iterates over the defined (source, target) pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (Value, Value)> + '_ {
+        self.map
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (Value(i as u32), t)))
+    }
+
+    /// Verifies that this map really is a homomorphism from `src` to `dst`.
+    pub fn verify(&self, src: &Example, dst: &Example) -> bool {
+        for (i, &d) in src.distinguished().iter().enumerate() {
+            if self.get(d) != Some(dst.distinguished()[i]) {
+                return false;
+            }
+        }
+        for f in src.instance().facts() {
+            let mut args = Vec::with_capacity(f.args.len());
+            for &a in &f.args {
+                match self.get(a) {
+                    Some(t) => args.push(t),
+                    None => return false,
+                }
+            }
+            if !dst.instance().contains_fact(f.rel, &args) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Configuration of the homomorphism search.
+#[derive(Debug, Clone)]
+pub struct HomConfig {
+    /// Use arc-consistency propagation (default `true`).  Disabling it
+    /// degrades the search to forward-checking backtracking; exposed for the
+    /// ablation benchmark of the paper reproduction.
+    pub use_arc_consistency: bool,
+    /// Maximum number of search nodes before giving up with
+    /// [`HomError::BudgetExhausted`]; `None` means unlimited.
+    pub max_nodes: Option<u64>,
+}
+
+impl Default for HomConfig {
+    fn default() -> Self {
+        HomConfig {
+            use_arc_consistency: true,
+            max_nodes: None,
+        }
+    }
+}
+
+/// Statistics collected during a homomorphism search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HomSearchStats {
+    /// Number of branching nodes explored.
+    pub nodes: u64,
+    /// Number of backtracks (failed branches).
+    pub backtracks: u64,
+    /// Number of homomorphisms found (for enumeration).
+    pub found: u64,
+}
+
+/// Finds one homomorphism from `src` to `dst`, or `None`.
+///
+/// Panics if the examples have different schemas or arities (this always
+/// indicates a logic error in the caller).
+pub fn find_homomorphism(src: &Example, dst: &Example) -> Option<Homomorphism> {
+    let mut stats = HomSearchStats::default();
+    find_homomorphism_with(src, dst, &HomConfig::default(), &mut stats)
+        .expect("unlimited search cannot exhaust its budget")
+}
+
+/// True if a homomorphism from `src` to `dst` exists.
+pub fn hom_exists(src: &Example, dst: &Example) -> bool {
+    find_homomorphism(src, dst).is_some()
+}
+
+/// Finds one homomorphism under an explicit configuration, collecting search
+/// statistics.
+///
+/// # Errors
+/// Returns [`HomError::BudgetExhausted`] if the node limit is reached before
+/// the search completes.
+pub fn find_homomorphism_with(
+    src: &Example,
+    dst: &Example,
+    config: &HomConfig,
+    stats: &mut HomSearchStats,
+) -> Result<Option<Homomorphism>> {
+    let mut out = Vec::new();
+    search(src, dst, config, stats, 1, &mut out)?;
+    Ok(out.pop())
+}
+
+/// Enumerates up to `limit` homomorphisms from `src` to `dst`.
+pub fn find_all_homomorphisms(src: &Example, dst: &Example, limit: usize) -> Vec<Homomorphism> {
+    let mut out = Vec::new();
+    let mut stats = HomSearchStats::default();
+    search(src, dst, &HomConfig::default(), &mut stats, limit, &mut out)
+        .expect("unlimited search cannot exhaust its budget");
+    out
+}
+
+/// Computes the arc-consistency closure for `src → dst`: the surviving
+/// candidate sets per source value, or `None` if some set became empty (no
+/// homomorphism exists).  Used by [`crate::arc_consistent`].
+pub(crate) fn arc_closure(
+    src: &Example,
+    dst: &Example,
+) -> Option<std::collections::HashMap<Value, Vec<Value>>> {
+    let problem = Problem::new(src, dst)?;
+    let mut cands = problem.initial_candidates(&HomConfig::default())?;
+    if !problem.propagate_all(&mut cands) {
+        return None;
+    }
+    let mut out = std::collections::HashMap::new();
+    for (vi, &v) in problem.vars.iter().enumerate() {
+        out.insert(v, cands[vi].iter().map(|t| Value(t as u32)).collect());
+    }
+    Some(out)
+}
+
+/// The shared search driver.
+fn search(
+    src: &Example,
+    dst: &Example,
+    config: &HomConfig,
+    stats: &mut HomSearchStats,
+    limit: usize,
+    out: &mut Vec<Homomorphism>,
+) -> Result<()> {
+    assert_eq!(
+        src.instance().schema().as_ref(),
+        dst.instance().schema().as_ref(),
+        "homomorphism search requires a common schema"
+    );
+    assert_eq!(
+        src.arity(),
+        dst.arity(),
+        "homomorphism search requires a common arity"
+    );
+    if limit == 0 {
+        return Ok(());
+    }
+    let Some(problem) = Problem::new(src, dst) else {
+        return Ok(()); // trivially no homomorphism (distinguished clash)
+    };
+    let Some(mut cands) = problem.initial_candidates(config) else {
+        return Ok(());
+    };
+    if config.use_arc_consistency && !problem.propagate_all(&mut cands) {
+        return Ok(());
+    }
+    problem.branch(cands, config, stats, limit, out)?;
+    Ok(())
+}
+
+/// Internal representation of one search problem.
+struct Problem<'a> {
+    src: &'a Instance,
+    dst: &'a Instance,
+    /// The source values that act as variables.
+    vars: Vec<Value>,
+    /// Forced assignments coming from the distinguished tuples.
+    forced: Vec<Option<Value>>,
+    /// Source facts, with argument variable indices resolved.
+    constraints: Vec<Constraint>,
+    /// For each variable, the constraints it occurs in.
+    constraints_of_var: Vec<Vec<usize>>,
+}
+
+struct Constraint {
+    fact: Fact,
+    /// Variable index of each argument.
+    arg_vars: Vec<usize>,
+}
+
+impl<'a> Problem<'a> {
+    fn new(src_ex: &'a Example, dst_ex: &'a Example) -> Option<Self> {
+        let src = src_ex.instance();
+        let dst = dst_ex.instance();
+        let mut var_of_value = vec![usize::MAX; src.num_values()];
+        let mut vars = Vec::new();
+        let mut forced: Vec<Option<Value>> = Vec::new();
+        let add_var = |v: Value,
+                           var_of_value: &mut Vec<usize>,
+                           vars: &mut Vec<Value>,
+                           forced: &mut Vec<Option<Value>>| {
+            if var_of_value[v.index()] == usize::MAX {
+                var_of_value[v.index()] = vars.len();
+                vars.push(v);
+                forced.push(None);
+            }
+            var_of_value[v.index()]
+        };
+        // Distinguished values are variables with forced assignments.
+        for (i, &d) in src_ex.distinguished().iter().enumerate() {
+            let vi = add_var(d, &mut var_of_value, &mut vars, &mut forced);
+            let target = dst_ex.distinguished()[i];
+            match forced[vi] {
+                None => forced[vi] = Some(target),
+                Some(existing) if existing == target => {}
+                Some(_) => return None, // src repeats a value, dst does not
+            }
+        }
+        // Active values are variables.
+        for v in src.values() {
+            if src.is_active(v) {
+                add_var(v, &mut var_of_value, &mut vars, &mut forced);
+            }
+        }
+        let mut constraints_of_var = vec![Vec::new(); vars.len()];
+        let mut constraints = Vec::new();
+        for f in src.facts() {
+            let arg_vars: Vec<usize> = f.args.iter().map(|a| var_of_value[a.index()]).collect();
+            let ci = constraints.len();
+            let mut seen = std::collections::HashSet::new();
+            for &av in &arg_vars {
+                if seen.insert(av) {
+                    constraints_of_var[av].push(ci);
+                }
+            }
+            constraints.push(Constraint {
+                fact: f.clone(),
+                arg_vars,
+            });
+        }
+        Some(Problem {
+            src,
+            dst,
+            vars,
+            forced,
+            constraints,
+            constraints_of_var,
+        })
+    }
+
+    /// Builds the initial candidate sets; `None` if some variable has no
+    /// candidate at all.
+    fn initial_candidates(&self, _config: &HomConfig) -> Option<Vec<BitSet>> {
+        let n_dst = self.dst.num_values();
+        let mut cands = Vec::with_capacity(self.vars.len());
+        for (vi, &v) in self.vars.iter().enumerate() {
+            let mut set = BitSet::empty(n_dst);
+            match self.forced[vi] {
+                Some(t) => {
+                    set.insert(t.index());
+                }
+                None => {
+                    // An active source value must map to an active target value.
+                    if self.src.is_active(v) {
+                        for t in self.dst.values() {
+                            if self.dst.is_active(t) {
+                                set.insert(t.index());
+                            }
+                        }
+                    } else {
+                        for t in self.dst.values() {
+                            set.insert(t.index());
+                        }
+                    }
+                }
+            }
+            if set.is_empty() {
+                return None;
+            }
+            cands.push(set);
+        }
+        Some(cands)
+    }
+
+    /// Runs arc consistency over all constraints; returns false if some
+    /// candidate set becomes empty.
+    fn propagate_all(&self, cands: &mut Vec<BitSet>) -> bool {
+        let queue: Vec<usize> = (0..self.constraints.len()).collect();
+        self.propagate(cands, queue)
+    }
+
+    /// Generalised arc consistency from an initial worklist of constraints.
+    fn propagate(&self, cands: &mut Vec<BitSet>, mut queue: Vec<usize>) -> bool {
+        let mut queued = vec![false; self.constraints.len()];
+        for &q in &queue {
+            queued[q] = true;
+        }
+        while let Some(ci) = queue.pop() {
+            queued[ci] = false;
+            let c = &self.constraints[ci];
+            let n = c.arg_vars.len();
+            // Supports per position.
+            let mut supports: Vec<BitSet> =
+                (0..n).map(|_| BitSet::empty(self.dst.num_values())).collect();
+            'facts: for &fid in self.dst.facts_with_rel(c.fact.rel) {
+                let df = self.dst.fact(fid);
+                // Check consistency with candidate sets and repeated variables.
+                for i in 0..n {
+                    if !cands[c.arg_vars[i]].contains(df.args[i].index()) {
+                        continue 'facts;
+                    }
+                    for j in (i + 1)..n {
+                        if c.arg_vars[i] == c.arg_vars[j] && df.args[i] != df.args[j] {
+                            continue 'facts;
+                        }
+                    }
+                }
+                for i in 0..n {
+                    supports[i].insert(df.args[i].index());
+                }
+            }
+            for i in 0..n {
+                let var = c.arg_vars[i];
+                if cands[var].intersect_with(&supports[i]) {
+                    if cands[var].is_empty() {
+                        return false;
+                    }
+                    for &other in &self.constraints_of_var[var] {
+                        if !queued[other] {
+                            queued[other] = true;
+                            queue.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks that the (total, singleton) assignment satisfies every
+    /// constraint; used when arc consistency is disabled.
+    fn assignment_consistent(&self, cands: &[BitSet]) -> bool {
+        for c in &self.constraints {
+            let mut args = Vec::with_capacity(c.arg_vars.len());
+            for &av in &c.arg_vars {
+                match cands[av].only() {
+                    Some(t) => args.push(Value(t as u32)),
+                    None => return true, // not total yet; skip
+                }
+            }
+            if !self.dst.contains_fact(c.fact.rel, &args) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks constraints that are fully decided after `var` was assigned
+    /// (forward checking).
+    fn forward_check(&self, cands: &[BitSet], var: usize) -> bool {
+        for &ci in &self.constraints_of_var[var] {
+            let c = &self.constraints[ci];
+            let mut args = Vec::with_capacity(c.arg_vars.len());
+            let mut total = true;
+            for &av in &c.arg_vars {
+                match cands[av].only() {
+                    Some(t) => args.push(Value(t as u32)),
+                    None => {
+                        total = false;
+                        break;
+                    }
+                }
+            }
+            if total && !self.dst.contains_fact(c.fact.rel, &args) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn extract(&self, cands: &[BitSet]) -> Homomorphism {
+        let mut map = vec![None; self.src.num_values()];
+        for (vi, &v) in self.vars.iter().enumerate() {
+            map[v.index()] = cands[vi].only().map(|t| Value(t as u32));
+        }
+        Homomorphism { map }
+    }
+
+    fn branch(
+        &self,
+        cands: Vec<BitSet>,
+        config: &HomConfig,
+        stats: &mut HomSearchStats,
+        limit: usize,
+        out: &mut Vec<Homomorphism>,
+    ) -> Result<()> {
+        stats.nodes += 1;
+        if let Some(max) = config.max_nodes {
+            if stats.nodes > max {
+                return Err(HomError::BudgetExhausted);
+            }
+        }
+        // Select the unassigned variable with the fewest candidates.
+        let pick = (0..self.vars.len())
+            .filter(|&vi| cands[vi].len() > 1)
+            .min_by_key(|&vi| cands[vi].len());
+        let Some(var) = pick else {
+            // All candidate sets are singletons.
+            let ok = if config.use_arc_consistency {
+                // Arc consistency with singleton domains implies every
+                // constraint has a supporting target fact, so the assignment
+                // is a homomorphism.
+                true
+            } else {
+                self.assignment_consistent(&cands)
+            };
+            if ok {
+                let h = self.extract(&cands);
+                debug_assert!(!h.map.is_empty() || self.vars.is_empty());
+                stats.found += 1;
+                out.push(h);
+            } else {
+                stats.backtracks += 1;
+            }
+            return Ok(());
+        };
+        let choices: Vec<usize> = cands[var].iter().collect();
+        for t in choices {
+            if out.len() >= limit {
+                return Ok(());
+            }
+            let mut next = cands.clone();
+            next[var].retain_only(t);
+            let ok = if config.use_arc_consistency {
+                self.propagate(&mut next, self.constraints_of_var[var].clone())
+            } else {
+                self.forward_check(&next, var)
+            };
+            if ok {
+                self.branch(next, config, stats, limit, out)?;
+            } else {
+                stats.backtracks += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfit_data::Schema;
+
+    fn path(n: usize) -> Example {
+        // Directed path with n edges.
+        let mut i = Instance::new(Schema::digraph());
+        let vs = i.add_values("p", n + 1);
+        for k in 0..n {
+            i.add_fact_by_name("R", &[vs[k], vs[k + 1]]).unwrap();
+        }
+        Example::boolean(i)
+    }
+
+    fn cycle(n: usize) -> Example {
+        let mut i = Instance::new(Schema::digraph());
+        let vs = i.add_values("c", n);
+        for k in 0..n {
+            i.add_fact_by_name("R", &[vs[k], vs[(k + 1) % n]]).unwrap();
+        }
+        Example::boolean(i)
+    }
+
+    fn clique(n: usize) -> Example {
+        let mut i = Instance::new(Schema::digraph());
+        let vs = i.add_values("k", n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    i.add_fact_by_name("R", &[vs[a], vs[b]]).unwrap();
+                }
+            }
+        }
+        Example::boolean(i)
+    }
+
+    #[test]
+    fn path_maps_to_cycle() {
+        let h = find_homomorphism(&path(5), &cycle(3)).expect("path → cycle");
+        assert!(h.verify(&path(5), &cycle(3)));
+    }
+
+    #[test]
+    fn cycle_does_not_map_to_longer_path() {
+        assert!(!hom_exists(&cycle(3), &path(10)));
+    }
+
+    #[test]
+    fn odd_cycle_not_two_colorable() {
+        // C5 → K2 fails, C4 → K2 succeeds (2-colorability).
+        assert!(!hom_exists(&cycle(5), &clique(2)));
+        assert!(hom_exists(&cycle(4), &clique(2)));
+    }
+
+    #[test]
+    fn clique_homomorphism_is_coloring() {
+        // K3 → K3 yes; K4 → K3 no (graph 3-colorability of K4).
+        assert!(hom_exists(&clique(3), &clique(3)));
+        assert!(!hom_exists(&clique(4), &clique(3)));
+    }
+
+    #[test]
+    fn distinguished_elements_are_respected() {
+        let schema = Schema::digraph();
+        let mut i = Instance::new(schema.clone());
+        i.add_fact_labels("R", &["x", "y"]).unwrap();
+        let x = i.value_by_label("x").unwrap();
+        let src = Example::new(i, vec![x]);
+
+        let mut j = Instance::new(schema);
+        j.add_fact_labels("R", &["a", "b"]).unwrap();
+        let a = j.value_by_label("a").unwrap();
+        let b = j.value_by_label("b").unwrap();
+        let dst_ok = Example::new(j.clone(), vec![a]);
+        let dst_bad = Example::new(j, vec![b]);
+        assert!(hom_exists(&src, &dst_ok));
+        assert!(!hom_exists(&src, &dst_bad), "b has no outgoing edge");
+    }
+
+    #[test]
+    fn repeated_distinguished_values() {
+        let schema = Schema::digraph();
+        let mut i = Instance::new(schema.clone());
+        i.add_fact_labels("R", &["x", "x"]).unwrap();
+        let x = i.value_by_label("x").unwrap();
+        let src = Example::new(i, vec![x, x]);
+        let mut j = Instance::new(schema);
+        j.add_fact_labels("R", &["a", "a"]).unwrap();
+        j.add_fact_labels("R", &["a", "b"]).unwrap();
+        let a = j.value_by_label("a").unwrap();
+        let b = j.value_by_label("b").unwrap();
+        // Source repeats x in its distinguished tuple; target ⟨a,b⟩ does not
+        // repeat, so no homomorphism can exist.
+        let bad = Example::new(j.clone(), vec![a, b]);
+        assert!(!hom_exists(&src, &bad));
+        let good = Example::new(j, vec![a, a]);
+        assert!(hom_exists(&src, &good));
+    }
+
+    #[test]
+    fn enumeration_counts_colorings() {
+        // Homomorphisms from a single edge to K3: 3 * 2 = 6.
+        let homs = find_all_homomorphisms(&path(1), &clique(3), 100);
+        assert_eq!(homs.len(), 6);
+        for h in &homs {
+            assert!(h.verify(&path(1), &clique(3)));
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let homs = find_all_homomorphisms(&path(1), &clique(3), 2);
+        assert_eq!(homs.len(), 2);
+    }
+
+    #[test]
+    fn no_arc_consistency_agrees() {
+        let cfg = HomConfig {
+            use_arc_consistency: false,
+            max_nodes: None,
+        };
+        let mut stats = HomSearchStats::default();
+        let r = find_homomorphism_with(&cycle(5), &clique(2), &cfg, &mut stats).unwrap();
+        assert!(r.is_none());
+        let mut stats = HomSearchStats::default();
+        let r = find_homomorphism_with(&cycle(6), &clique(2), &cfg, &mut stats).unwrap();
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let cfg = HomConfig {
+            use_arc_consistency: false,
+            max_nodes: Some(1),
+        };
+        let mut stats = HomSearchStats::default();
+        let r = find_homomorphism_with(&clique(5), &clique(4), &cfg, &mut stats);
+        assert_eq!(r.unwrap_err(), HomError::BudgetExhausted);
+    }
+
+    #[test]
+    fn empty_source_always_maps() {
+        let schema = Schema::digraph();
+        let empty = Example::boolean(Instance::new(schema));
+        assert!(hom_exists(&empty, &cycle(3)));
+        assert!(hom_exists(&empty, &empty));
+    }
+}

@@ -1,0 +1,252 @@
+//! Simulations between instances over binary schemas (Section 5 of the
+//! paper).
+//!
+//! A *simulation* of `I` in `J` is a relation `S ⊆ adom(I) × adom(J)` such
+//! that (1) unary facts are preserved, (2) every outgoing binary fact of a
+//! simulated value can be matched forward, and (3) every incoming binary fact
+//! can be matched backward.  We compute the *maximal* simulation by a
+//! greatest-fixpoint refinement; `(I, ā) ⪯ (J, b̄)` holds iff every pair
+//! `(a_i, b_i)` survives.
+
+use crate::bitset::BitSet;
+use crate::{HomError, Result};
+use cqfit_data::{Example, Instance, RelId, Value};
+
+/// The maximal simulation between two instances, as a value-indexed family of
+/// target-value sets.
+#[derive(Debug, Clone)]
+pub struct SimulationRelation {
+    sets: Vec<BitSet>,
+}
+
+impl SimulationRelation {
+    /// True if `(a, b)` belongs to the maximal simulation.
+    pub fn contains(&self, a: Value, b: Value) -> bool {
+        self.sets[a.index()].contains(b.index())
+    }
+
+    /// All target values that simulate the source value `a`.
+    pub fn successors(&self, a: Value) -> Vec<Value> {
+        self.sets[a.index()].iter().map(|i| Value(i as u32)).collect()
+    }
+
+    /// Number of pairs in the relation.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Collects, for each value, its unary relations, outgoing and incoming
+/// binary facts.
+struct Adjacency {
+    unary: Vec<Vec<RelId>>,
+    /// (rel, source, target) triples for outgoing edges per value.
+    out: Vec<Vec<(RelId, Value)>>,
+    /// (rel, target, source) triples for incoming edges per value.
+    inc: Vec<Vec<(RelId, Value)>>,
+}
+
+impl Adjacency {
+    fn new(inst: &Instance) -> Result<Self> {
+        let schema = inst.schema();
+        if !schema.is_binary() {
+            return Err(HomError::NonBinarySchema);
+        }
+        let n = inst.num_values();
+        let mut unary = vec![Vec::new(); n];
+        let mut out = vec![Vec::new(); n];
+        let mut inc = vec![Vec::new(); n];
+        for f in inst.facts() {
+            match f.args.len() {
+                1 => unary[f.args[0].index()].push(f.rel),
+                2 => {
+                    out[f.args[0].index()].push((f.rel, f.args[1]));
+                    inc[f.args[1].index()].push((f.rel, f.args[0]));
+                }
+                _ => unreachable!("binary schema"),
+            }
+        }
+        Ok(Adjacency { unary, out, inc })
+    }
+}
+
+/// Computes the maximal simulation of `src` in `dst`.
+///
+/// Values outside the active domain have no facts and therefore simulate into
+/// every target value.
+///
+/// # Errors
+/// Fails if either schema contains a relation of arity greater than 2, or the
+/// schemas differ.
+pub fn max_simulation(src: &Instance, dst: &Instance) -> Result<SimulationRelation> {
+    if src.schema().as_ref() != dst.schema().as_ref() {
+        return Err(HomError::SchemaMismatch);
+    }
+    let sa = Adjacency::new(src)?;
+    let da = Adjacency::new(dst)?;
+    let n_src = src.num_values();
+    let n_dst = dst.num_values();
+    // Initialise with the unary-label condition.
+    let mut sets: Vec<BitSet> = Vec::with_capacity(n_src);
+    for a in 0..n_src {
+        let mut s = BitSet::empty(n_dst);
+        for b in 0..n_dst {
+            if sa.unary[a].iter().all(|r| da.unary[b].contains(r)) {
+                s.insert(b);
+            }
+        }
+        sets.push(s);
+    }
+    // Greatest fixpoint refinement.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in 0..n_src {
+            let candidates: Vec<usize> = sets[a].iter().collect();
+            'cand: for b in candidates {
+                // Forward condition.
+                for &(rel, a2) in &sa.out[a] {
+                    let ok = da.out[b]
+                        .iter()
+                        .any(|&(r2, b2)| r2 == rel && sets[a2.index()].contains(b2.index()));
+                    if !ok {
+                        sets[a].remove(b);
+                        changed = true;
+                        continue 'cand;
+                    }
+                }
+                // Backward condition.
+                for &(rel, a0) in &sa.inc[a] {
+                    let ok = da.inc[b]
+                        .iter()
+                        .any(|&(r2, b0)| r2 == rel && sets[a0.index()].contains(b0.index()));
+                    if !ok {
+                        sets[a].remove(b);
+                        changed = true;
+                        continue 'cand;
+                    }
+                }
+            }
+        }
+    }
+    Ok(SimulationRelation { sets })
+}
+
+/// Decides `(I, ā) ⪯ (J, b̄)`: is there a simulation of `I` in `J` relating
+/// each distinguished `a_i` to the corresponding `b_i`?
+///
+/// # Errors
+/// Fails on non-binary schemas or schema/arity mismatches.
+pub fn simulates(src: &Example, dst: &Example) -> Result<bool> {
+    if src.arity() != dst.arity() {
+        return Err(HomError::ArityMismatch {
+            left: src.arity(),
+            right: dst.arity(),
+        });
+    }
+    let sim = max_simulation(src.instance(), dst.instance())?;
+    Ok(src
+        .distinguished()
+        .iter()
+        .zip(dst.distinguished().iter())
+        .all(|(&a, &b)| sim.contains(a, b)))
+}
+
+/// The maximal simulation of an instance into itself (the simulation
+/// pre-order on its values), used by the tree-CQ algorithms of Section 5.
+pub fn simulation_preorder(inst: &Instance) -> Result<SimulationRelation> {
+    max_simulation(inst, inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom_exists;
+    use cqfit_data::Schema;
+
+    fn example(facts: &[(&str, &str)], dist: &str) -> Example {
+        let mut i = Instance::new(Schema::digraph());
+        for (a, b) in facts {
+            i.add_fact_labels("R", &[a, b]).unwrap();
+        }
+        let d = i.value_by_label(dist).unwrap();
+        Example::new(i, vec![d])
+    }
+
+    /// Examples 5.1 and 5.2 of the paper: the self-loop simulates into the
+    /// 2-cycle although there is no homomorphism.
+    #[test]
+    fn paper_example_5_1_5_2() {
+        let loop_ex = example(&[("a", "a")], "a");
+        let two_cycle = example(&[("a", "b"), ("b", "a")], "a");
+        assert!(!hom_exists(&loop_ex, &two_cycle));
+        assert!(simulates(&loop_ex, &two_cycle).unwrap());
+        assert!(simulates(&two_cycle, &loop_ex).unwrap());
+    }
+
+    #[test]
+    fn homomorphism_implies_simulation() {
+        let p = example(&[("a", "b"), ("b", "c")], "a");
+        let c = example(&[("x", "y"), ("y", "x")], "x");
+        assert!(hom_exists(&p, &c));
+        assert!(simulates(&p, &c).unwrap());
+    }
+
+    #[test]
+    fn unary_labels_block_simulation() {
+        let schema = Schema::binary_schema(["P"], ["R"]);
+        let mut i = Instance::new(schema.clone());
+        i.add_fact_labels("R", &["a", "b"]).unwrap();
+        i.add_fact_labels("P", &["b"]).unwrap();
+        let a = i.value_by_label("a").unwrap();
+        let src = Example::new(i, vec![a]);
+        let mut j = Instance::new(schema);
+        j.add_fact_labels("R", &["x", "y"]).unwrap();
+        let x = j.value_by_label("x").unwrap();
+        let dst = Example::new(j, vec![x]);
+        assert!(!simulates(&src, &dst).unwrap());
+        assert!(simulates(&dst, &src).unwrap());
+    }
+
+    #[test]
+    fn backward_condition_matters() {
+        // src: edge into the distinguished element; dst: distinguished element
+        // with only an outgoing edge.  Plain forward simulation would accept,
+        // the two-way simulation of §5 must reject.
+        let src = example(&[("p", "a")], "a");
+        let dst = example(&[("x", "y")], "x");
+        assert!(!simulates(&src, &dst).unwrap());
+    }
+
+    #[test]
+    fn non_binary_schema_rejected() {
+        let schema = std::sync::Arc::new(Schema::new([("T", 3)]).unwrap());
+        let mut i = Instance::new(schema);
+        i.add_fact_labels("T", &["a", "b", "c"]).unwrap();
+        let e = Example::boolean(i);
+        assert_eq!(
+            simulates(&e, &e).unwrap_err(),
+            HomError::NonBinarySchema
+        );
+    }
+
+    #[test]
+    fn simulation_preorder_on_path() {
+        let mut i = Instance::new(Schema::digraph());
+        i.add_fact_labels("R", &["a", "b"]).unwrap();
+        i.add_fact_labels("R", &["b", "c"]).unwrap();
+        let sim = simulation_preorder(&i).unwrap();
+        let a = i.value_by_label("a").unwrap();
+        let b = i.value_by_label("b").unwrap();
+        let c = i.value_by_label("c").unwrap();
+        // Every value simulates itself.
+        assert!(sim.contains(a, a) && sim.contains(b, b) && sim.contains(c, c));
+        // c (no outgoing edge, one incoming) is not simulated by a (no incoming).
+        assert!(!sim.contains(c, a));
+    }
+}

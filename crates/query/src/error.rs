@@ -1,0 +1,77 @@
+//! Error type for the query layer.
+
+use cqfit_data::DataError;
+use std::fmt;
+
+/// Errors raised while building or transforming queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An answer variable does not occur in any atom (violates the safety
+    /// condition of §2.1).
+    Unsafe(String),
+    /// An atom has the wrong number of arguments for its relation.
+    ArityMismatch {
+        /// Relation involved.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// An unknown relation was referenced.
+    UnknownRelation(String),
+    /// A variable id outside of the query was referenced.
+    UnknownVariable(u32),
+    /// The canonical CQ of a pointed instance that is not a data example was
+    /// requested (the result would be unsafe).
+    NotADataExample,
+    /// A tree CQ was requested from a CQ that is not unary, not connected,
+    /// not Berge-acyclic, or not over a binary schema.
+    NotATreeCq(String),
+    /// Two queries over different schemas or of different arities were
+    /// combined.
+    Incompatible,
+    /// Error from the data layer.
+    Data(DataError),
+    /// Error while parsing the textual query syntax.
+    Parse(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Unsafe(v) => write!(
+                f,
+                "answer variable `{v}` does not occur in any atom (safety violation)"
+            ),
+            QueryError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but {got} arguments were supplied"
+            ),
+            QueryError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            QueryError::UnknownVariable(v) => write!(f, "unknown variable id {v}"),
+            QueryError::NotADataExample => write!(
+                f,
+                "the canonical CQ is only defined for data examples (distinguished elements must be active)"
+            ),
+            QueryError::NotATreeCq(msg) => write!(f, "not a tree CQ: {msg}"),
+            QueryError::Incompatible => {
+                write!(f, "queries have different schemas or arities")
+            }
+            QueryError::Data(e) => write!(f, "{e}"),
+            QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<DataError> for QueryError {
+    fn from(e: DataError) -> Self {
+        QueryError::Data(e)
+    }
+}

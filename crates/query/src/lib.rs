@@ -1,0 +1,33 @@
+//! # cqfit-query
+//!
+//! Conjunctive queries (CQs), unions of conjunctive queries (UCQs) and tree
+//! CQs as studied in *Extremal Fitting Problems for Conjunctive Queries*
+//! (PODS 2023), together with:
+//!
+//! * the canonical example ↔ canonical CQ correspondence (§2.1),
+//! * query evaluation and the Chandra–Merlin theorem,
+//! * query containment and equivalence via the homomorphism pre-order (§2.2),
+//! * incidence graphs, degree, connectedness and c-acyclicity (§2.2),
+//! * tree CQs over binary schemas and their rooted-tree view (§5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acyclic;
+mod cq;
+mod error;
+mod parse;
+mod rooted;
+mod tree;
+mod ucq;
+
+pub use acyclic::{is_berge_acyclic, is_c_acyclic, is_c_acyclic_example, IncidenceGraph};
+pub use cq::{Atom, Cq, CqBuilder, Variable};
+pub use error::QueryError;
+pub use parse::parse_cq;
+pub use rooted::{Role, RootedTree};
+pub use tree::TreeCq;
+pub use ucq::Ucq;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,132 @@
+//! A textual syntax for conjunctive queries.
+//!
+//! ```text
+//! q(x, y) :- R(x, z), S(z, y), P(z)
+//! ```
+//!
+//! The head lists the answer variables (possibly repeated, possibly empty for
+//! Boolean queries); the body is a comma-separated list of atoms.  An empty
+//! body can be written as `true` (the resulting query must still satisfy the
+//! safety condition, so only Boolean queries may have an empty body).
+
+use crate::{Cq, QueryError, Result};
+use cqfit_data::Schema;
+use std::sync::Arc;
+
+/// Parses a CQ in the `q(x̄) :- body` syntax.
+pub fn parse_cq(schema: &Arc<Schema>, text: &str) -> Result<Cq> {
+    let text = text.trim();
+    let (head, body) = text
+        .split_once(":-")
+        .ok_or_else(|| QueryError::Parse("missing `:-`".into()))?;
+    let head = head.trim();
+    let open = head
+        .find('(')
+        .ok_or_else(|| QueryError::Parse("missing `(` in head".into()))?;
+    if !head.ends_with(')') {
+        return Err(QueryError::Parse("missing `)` in head".into()));
+    }
+    let answer_vars: Vec<&str> = head[open + 1..head.len() - 1]
+        .split(',')
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty())
+        .collect();
+
+    let mut builder = Cq::builder(schema.clone());
+    // Pre-create the answer variables so their indices come first.
+    let answer: Vec<_> = answer_vars.iter().map(|n| builder.var(*n)).collect();
+    builder.answer(&answer);
+
+    let body = body.trim();
+    if !body.is_empty() && body != "true" {
+        for atom_text in split_atoms(body)? {
+            let atom_text = atom_text.trim();
+            let open = atom_text
+                .find('(')
+                .ok_or_else(|| QueryError::Parse(format!("missing `(` in atom `{atom_text}`")))?;
+            if !atom_text.ends_with(')') {
+                return Err(QueryError::Parse(format!("missing `)` in atom `{atom_text}`")));
+            }
+            let rel = atom_text[..open].trim();
+            let args: Vec<&str> = atom_text[open + 1..atom_text.len() - 1]
+                .split(',')
+                .map(|s| s.trim())
+                .filter(|s| !s.is_empty())
+                .collect();
+            builder.atom(rel, &args)?;
+        }
+    }
+    builder.build()
+}
+
+/// Splits a query body at top-level commas (commas inside parentheses belong
+/// to atoms).
+fn split_atoms(body: &str) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in body.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| QueryError::Parse("unbalanced parentheses".into()))?;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if depth != 0 {
+        return Err(QueryError::Parse("unbalanced parentheses".into()));
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let q = parse_cq(&Schema::digraph(), "q(x) :- R(x,y), R(y,z)").unwrap();
+        assert_eq!(q.arity(), 1);
+        assert_eq!(q.num_atoms(), 2);
+        assert_eq!(q.num_variables(), 3);
+    }
+
+    #[test]
+    fn parse_boolean_true_body() {
+        let q = parse_cq(&Schema::digraph(), "q() :- true").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.num_atoms(), 0);
+    }
+
+    #[test]
+    fn parse_multi_relation() {
+        let schema = Schema::binary_schema(["P"], ["R", "S"]);
+        let q = parse_cq(&schema, "q(x, y) :- R(x, z), S(z, y), P(z)").unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.num_atoms(), 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let s = Schema::digraph();
+        assert!(parse_cq(&s, "q(x) R(x,y)").is_err());
+        assert!(parse_cq(&s, "q(x :- R(x,y)").is_err());
+        assert!(parse_cq(&s, "q(x) :- R(x,y").is_err());
+        assert!(parse_cq(&s, "q(x) :- S(x,y)").is_err());
+        assert!(parse_cq(&s, "q(x) :- true").is_err(), "unsafe query");
+        assert!(parse_cq(&s, "q(x) :- R(x)").is_err(), "arity mismatch");
+    }
+}

@@ -1,0 +1,545 @@
+//! Rooted-tree view of tree CQs (Section 5).
+//!
+//! A tree CQ over a binary schema corresponds to a rooted, node-labeled,
+//! edge-labeled tree: nodes are variables (the root is the answer variable),
+//! node labels are the unary relations holding at the variable, and each
+//! non-root node is attached to its parent by a single binary atom whose
+//! direction is recorded in a [`Role`] (`R` downward or `R⁻` upward, i.e. the
+//! atom is `R(parent, child)` or `R(child, parent)`).
+
+use crate::{Cq, QueryError, Result};
+use cqfit_data::{Example, Instance, RelId, Schema, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A role: a binary relation symbol or its converse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Role {
+    /// The binary relation symbol.
+    pub rel: RelId,
+    /// If true, the role is the converse `R⁻`: the atom points from the
+    /// child to the parent.
+    pub inverse: bool,
+}
+
+impl Role {
+    /// The forward role `R`.
+    pub fn forward(rel: RelId) -> Self {
+        Role { rel, inverse: false }
+    }
+
+    /// The converse role `R⁻`.
+    pub fn converse(rel: RelId) -> Self {
+        Role { rel, inverse: true }
+    }
+
+    /// The converse of this role.
+    pub fn flipped(self) -> Self {
+        Role {
+            rel: self.rel,
+            inverse: !self.inverse,
+        }
+    }
+}
+
+/// A rooted tree with unary-relation node labels and role-labeled edges;
+/// node 0 is the root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RootedTree {
+    schema: Arc<Schema>,
+    labels: Vec<BTreeSet<RelId>>,
+    children: Vec<Vec<(Role, usize)>>,
+    parent: Vec<Option<(Role, usize)>>,
+}
+
+impl RootedTree {
+    /// Creates a tree consisting of a single unlabeled root.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        RootedTree {
+            schema,
+            labels: vec![BTreeSet::new()],
+            children: vec![Vec::new()],
+            parent: vec![None],
+        }
+    }
+
+    /// The schema over which the tree is labeled.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The root node (always 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total size: nodes plus unary labels (a proxy for the number of atoms
+    /// plus variables of the corresponding tree CQ).
+    pub fn size(&self) -> usize {
+        self.num_nodes() + self.labels.iter().map(BTreeSet::len).sum::<usize>()
+    }
+
+    /// Adds a unary label to a node.
+    ///
+    /// # Errors
+    /// Fails if the relation is not unary.
+    pub fn add_label(&mut self, node: usize, rel: RelId) -> Result<()> {
+        if self.schema.arity(rel) != 1 {
+            return Err(QueryError::NotATreeCq(format!(
+                "`{}` is not unary",
+                self.schema.name(rel)
+            )));
+        }
+        self.labels[node].insert(rel);
+        Ok(())
+    }
+
+    /// Adds a unary label by name.
+    ///
+    /// # Errors
+    /// Fails if the relation does not exist or is not unary.
+    pub fn add_label_by_name(&mut self, node: usize, rel: &str) -> Result<()> {
+        let rel = self
+            .schema
+            .rel(rel)
+            .ok_or_else(|| QueryError::UnknownRelation(rel.to_string()))?;
+        self.add_label(node, rel)
+    }
+
+    /// Adds a child node connected by the given role; returns the new node.
+    ///
+    /// # Errors
+    /// Fails if the role's relation is not binary.
+    pub fn add_child(&mut self, parent: usize, role: Role) -> Result<usize> {
+        if self.schema.arity(role.rel) != 2 {
+            return Err(QueryError::NotATreeCq(format!(
+                "`{}` is not binary",
+                self.schema.name(role.rel)
+            )));
+        }
+        let node = self.labels.len();
+        self.labels.push(BTreeSet::new());
+        self.children.push(Vec::new());
+        self.parent.push(Some((role, parent)));
+        self.children[parent].push((role, node));
+        Ok(node)
+    }
+
+    /// Adds a child by relation name; `inverse = true` gives the converse
+    /// role.
+    ///
+    /// # Errors
+    /// Fails if the relation does not exist or is not binary.
+    pub fn add_child_by_name(&mut self, parent: usize, rel: &str, inverse: bool) -> Result<usize> {
+        let rel = self
+            .schema
+            .rel(rel)
+            .ok_or_else(|| QueryError::UnknownRelation(rel.to_string()))?;
+        self.add_child(parent, Role { rel, inverse })
+    }
+
+    /// The unary labels of a node.
+    pub fn labels(&self, node: usize) -> &BTreeSet<RelId> {
+        &self.labels[node]
+    }
+
+    /// The children of a node with their connecting roles.
+    pub fn children(&self, node: usize) -> &[(Role, usize)] {
+        &self.children[node]
+    }
+
+    /// The parent of a node, with the role connecting the parent to it.
+    pub fn parent(&self, node: usize) -> Option<(Role, usize)> {
+        self.parent[node]
+    }
+
+    /// All nodes in breadth-first order starting from the root.
+    pub fn nodes(&self) -> Vec<usize> {
+        let mut order = vec![self.root()];
+        let mut i = 0;
+        while i < order.len() {
+            let n = order[i];
+            for &(_, c) in &self.children[n] {
+                order.push(c);
+            }
+            i += 1;
+        }
+        order
+    }
+
+    /// The depth of the tree (a single node has depth 0).
+    pub fn depth(&self) -> usize {
+        fn go(t: &RootedTree, n: usize) -> usize {
+            t.children[n]
+                .iter()
+                .map(|&(_, c)| 1 + go(t, c))
+                .max()
+                .unwrap_or(0)
+        }
+        go(self, self.root())
+    }
+
+    /// The maximum number of atoms incident to a single node (unary labels
+    /// plus incident edges) — the degree of the corresponding tree CQ.
+    pub fn degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|n| {
+                self.labels[n].len()
+                    + self.children[n].len()
+                    + usize::from(self.parent[n].is_some())
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Converts the tree to a conjunctive query with the root as answer
+    /// variable.
+    ///
+    /// # Errors
+    /// Fails if the query would be unsafe (a single unlabeled node).
+    pub fn to_cq(&self) -> Result<Cq> {
+        let mut builder = Cq::builder(self.schema.clone());
+        let vars: Vec<_> = (0..self.num_nodes())
+            .map(|n| builder.var(format!("v{n}")))
+            .collect();
+        builder.answer(&[vars[self.root()]]);
+        for n in 0..self.num_nodes() {
+            for &rel in &self.labels[n] {
+                builder.atom_vars(rel, &[vars[n]])?;
+            }
+            if let Some((role, p)) = self.parent[n] {
+                let args = if role.inverse {
+                    [vars[n], vars[p]]
+                } else {
+                    [vars[p], vars[n]]
+                };
+                builder.atom_vars(role.rel, &args)?;
+            }
+        }
+        builder.build()
+    }
+
+    /// Converts the tree to a pointed instance with the root as the single
+    /// distinguished element.  Unlike [`RootedTree::to_cq`], this never fails:
+    /// a single unlabeled node yields a pointed instance that is not a data
+    /// example.
+    pub fn to_example(&self) -> Example {
+        let mut inst = Instance::new(self.schema.clone());
+        let vals: Vec<Value> = (0..self.num_nodes())
+            .map(|n| inst.add_value(format!("v{n}")))
+            .collect();
+        for n in 0..self.num_nodes() {
+            for &rel in &self.labels[n] {
+                inst.add_fact(rel, &[vals[n]]).expect("unary label");
+            }
+            if let Some((role, p)) = self.parent[n] {
+                let args = if role.inverse {
+                    [vals[n], vals[p]]
+                } else {
+                    [vals[p], vals[n]]
+                };
+                inst.add_fact(role.rel, &args).expect("binary edge");
+            }
+        }
+        Example::new(inst, vec![vals[self.root()]])
+    }
+
+    /// The subtree rooted at `node`, as a new tree.
+    pub fn subtree(&self, node: usize) -> RootedTree {
+        let mut out = RootedTree::new(self.schema.clone());
+        out.labels[0] = self.labels[node].clone();
+        self.copy_children(node, 0, &mut out);
+        out
+    }
+
+    fn copy_children(&self, from: usize, to: usize, out: &mut RootedTree) {
+        for &(role, c) in &self.children[from] {
+            let nc = out.add_child(to, role).expect("same schema");
+            out.labels[nc] = self.labels[c].clone();
+            self.copy_children(c, nc, out);
+        }
+    }
+
+    /// A copy of the tree without the subtree rooted at `node`.
+    ///
+    /// # Errors
+    /// Fails if `node` is the root.
+    pub fn without_subtree(&self, node: usize) -> Result<RootedTree> {
+        if node == self.root() {
+            return Err(QueryError::NotATreeCq(
+                "cannot remove the root subtree".into(),
+            ));
+        }
+        let mut out = RootedTree::new(self.schema.clone());
+        out.labels[0] = self.labels[self.root()].clone();
+        self.copy_children_excluding(self.root(), 0, node, &mut out);
+        Ok(out)
+    }
+
+    fn copy_children_excluding(&self, from: usize, to: usize, skip: usize, out: &mut RootedTree) {
+        for &(role, c) in &self.children[from] {
+            if c == skip {
+                continue;
+            }
+            let nc = out.add_child(to, role).expect("same schema");
+            out.labels[nc] = self.labels[c].clone();
+            self.copy_children_excluding(c, nc, skip, out);
+        }
+    }
+
+    /// A copy of the tree with one unary label removed from one node.
+    pub fn without_label(&self, node: usize, rel: RelId) -> RootedTree {
+        let mut out = self.clone();
+        out.labels[node].remove(&rel);
+        out
+    }
+
+    /// Grafts `other` (its root merges with `node`: labels are united and
+    /// `other`'s children become children of `node`).
+    pub fn graft(&mut self, node: usize, other: &RootedTree) {
+        let labels: Vec<RelId> = other.labels[other.root()].iter().copied().collect();
+        for rel in labels {
+            self.labels[node].insert(rel);
+        }
+        self.graft_children(node, other, other.root());
+    }
+
+    fn graft_children(&mut self, node: usize, other: &RootedTree, other_node: usize) {
+        for &(role, c) in &other.children[other_node] {
+            let nc = self.add_child(node, role).expect("same schema");
+            self.labels[nc] = other.labels[c].clone();
+            self.graft_children(nc, other, c);
+        }
+    }
+
+    /// A canonical string code of the tree, invariant under reordering of
+    /// children; two trees are isomorphic (as labeled rooted trees) iff their
+    /// codes are equal.
+    pub fn canonical_code(&self) -> String {
+        fn go(t: &RootedTree, n: usize) -> String {
+            let labels: Vec<String> = t.labels[n].iter().map(|r| r.0.to_string()).collect();
+            let mut kids: Vec<String> = t.children[n]
+                .iter()
+                .map(|&(role, c)| {
+                    format!(
+                        "{}{}>{}",
+                        role.rel.0,
+                        if role.inverse { "-" } else { "+" },
+                        go(t, c)
+                    )
+                })
+                .collect();
+            kids.sort();
+            format!("[{}|{}]", labels.join(","), kids.join(","))
+        }
+        go(self, self.root())
+    }
+
+    /// Builds a rooted tree from a unary, connected, Berge-acyclic CQ over a
+    /// binary schema, rooted at the answer variable.
+    ///
+    /// # Errors
+    /// Fails if the CQ does not have this shape.
+    pub fn from_cq(cq: &Cq) -> Result<Self> {
+        let schema = cq.schema().clone();
+        if !schema.is_binary() {
+            return Err(QueryError::NotATreeCq("schema is not binary".into()));
+        }
+        if cq.arity() != 1 {
+            return Err(QueryError::NotATreeCq("tree CQs are unary".into()));
+        }
+        let canon = cq.canonical_example();
+        // Connectivity of a tree CQ is connectivity of the Gaifman graph of
+        // its canonical instance (the answer variable gets no special role
+        // here, unlike the component notion of §2.2).
+        if canon.instance().connected_components().len() > 1 {
+            return Err(QueryError::NotATreeCq("query is not connected".into()));
+        }
+        if !crate::is_berge_acyclic(&canon) {
+            return Err(QueryError::NotATreeCq("query is not Berge-acyclic".into()));
+        }
+        let n_vars = cq.num_variables();
+        let root_var = cq.answer_vars()[0];
+        // Adjacency via binary atoms.
+        let mut adj: Vec<Vec<(Role, usize)>> = vec![Vec::new(); n_vars];
+        let mut unary: Vec<Vec<RelId>> = vec![Vec::new(); n_vars];
+        for atom in cq.atoms() {
+            match atom.args.len() {
+                1 => unary[atom.args[0].index()].push(atom.rel),
+                2 => {
+                    let (a, b) = (atom.args[0].index(), atom.args[1].index());
+                    adj[a].push((Role::forward(atom.rel), b));
+                    adj[b].push((Role::converse(atom.rel), a));
+                }
+                _ => unreachable!("binary schema"),
+            }
+        }
+        let mut tree = RootedTree::new(schema);
+        let mut node_of_var = vec![usize::MAX; n_vars];
+        node_of_var[root_var.index()] = tree.root();
+        let mut queue = vec![root_var.index()];
+        let mut qi = 0;
+        while qi < queue.len() {
+            let v = queue[qi];
+            qi += 1;
+            let node = node_of_var[v];
+            for &rel in &unary[v] {
+                tree.add_label(node, rel)?;
+            }
+            for &(role, w) in &adj[v] {
+                if node_of_var[w] == usize::MAX {
+                    let child = tree.add_child(node, role)?;
+                    node_of_var[w] = child;
+                    queue.push(w);
+                }
+            }
+        }
+        if queue.len() != n_vars {
+            return Err(QueryError::NotATreeCq("query is not connected".into()));
+        }
+        Ok(tree)
+    }
+}
+
+impl fmt::Display for RootedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(t: &RootedTree, n: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "(")?;
+            let labels: Vec<&str> = t.labels[n].iter().map(|r| t.schema.name(*r)).collect();
+            write!(f, "{}", labels.join(","))?;
+            for &(role, c) in &t.children[n] {
+                write!(
+                    f,
+                    " {}{}",
+                    t.schema.name(role.rel),
+                    if role.inverse { "⁻" } else { "" }
+                )?;
+                go(t, c, f)?;
+            }
+            write!(f, ")")
+        }
+        go(self, self.root(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_cq;
+
+    fn schema() -> Arc<Schema> {
+        Schema::binary_schema(["A", "P"], ["R", "S"])
+    }
+
+    #[test]
+    fn build_and_convert() {
+        let s = schema();
+        let mut t = RootedTree::new(s.clone());
+        let c1 = t.add_child_by_name(t.root(), "R", false).unwrap();
+        let c2 = t.add_child_by_name(t.root(), "S", true).unwrap();
+        t.add_label_by_name(c2, "A").unwrap();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.depth(), 1);
+        let q = t.to_cq().unwrap();
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.arity(), 1);
+        // Round-trip through from_cq preserves isomorphism type.
+        let t2 = RootedTree::from_cq(&q).unwrap();
+        assert_eq!(t.canonical_code(), t2.canonical_code());
+        let _ = c1;
+    }
+
+    #[test]
+    fn from_cq_rejects_non_trees() {
+        let s = schema();
+        let cyclic = parse_cq(&s, "q(x) :- R(x,y), S(x,y)").unwrap();
+        assert!(RootedTree::from_cq(&cyclic).is_err());
+        let disconnected = parse_cq(&s, "q(x) :- R(x,y), A(z)").unwrap();
+        assert!(RootedTree::from_cq(&disconnected).is_err());
+        let binary_answer = parse_cq(&s, "q(x,y) :- R(x,y)").unwrap();
+        assert!(RootedTree::from_cq(&binary_answer).is_err());
+        let self_loop = parse_cq(&s, "q(x) :- R(x,x)").unwrap();
+        assert!(RootedTree::from_cq(&self_loop).is_err());
+    }
+
+    #[test]
+    fn inverse_roles_preserved() {
+        let s = schema();
+        let q = parse_cq(&s, "q(x) :- R(y,x), A(y)").unwrap();
+        let t = RootedTree::from_cq(&q).unwrap();
+        assert_eq!(t.children(t.root()).len(), 1);
+        let (role, child) = t.children(t.root())[0];
+        assert!(role.inverse);
+        assert_eq!(t.labels(child).len(), 1);
+        let back = t.to_cq().unwrap();
+        assert!(back.equivalent_to(&q).unwrap());
+    }
+
+    #[test]
+    fn subtree_and_removal() {
+        let s = schema();
+        let mut t = RootedTree::new(s);
+        let c1 = t.add_child_by_name(t.root(), "R", false).unwrap();
+        let g1 = t.add_child_by_name(c1, "R", false).unwrap();
+        t.add_label_by_name(g1, "A").unwrap();
+        let c2 = t.add_child_by_name(t.root(), "S", false).unwrap();
+        let sub = t.subtree(c1);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.depth(), 1);
+        let rest = t.without_subtree(c1).unwrap();
+        assert_eq!(rest.num_nodes(), 2);
+        assert!(t.without_subtree(t.root()).is_err());
+        let _ = c2;
+    }
+
+    #[test]
+    fn canonical_code_is_order_invariant() {
+        let s = schema();
+        let mut t1 = RootedTree::new(s.clone());
+        t1.add_child_by_name(t1.root(), "R", false).unwrap();
+        t1.add_child_by_name(t1.root(), "S", false).unwrap();
+        let mut t2 = RootedTree::new(s);
+        t2.add_child_by_name(t2.root(), "S", false).unwrap();
+        t2.add_child_by_name(t2.root(), "R", false).unwrap();
+        assert_eq!(t1.canonical_code(), t2.canonical_code());
+    }
+
+    #[test]
+    fn graft_merges_roots() {
+        let s = schema();
+        let mut t = RootedTree::new(s.clone());
+        t.add_child_by_name(t.root(), "R", false).unwrap();
+        let mut other = RootedTree::new(s);
+        other.add_label_by_name(other.root(), "A").unwrap();
+        other.add_child_by_name(other.root(), "S", false).unwrap();
+        t.graft(t.root(), &other);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.labels(t.root()).len(), 1);
+        assert_eq!(t.children(t.root()).len(), 2);
+    }
+
+    #[test]
+    fn degree_counts_incident_atoms() {
+        let s = schema();
+        let mut t = RootedTree::new(s);
+        t.add_label_by_name(t.root(), "A").unwrap();
+        t.add_child_by_name(t.root(), "R", false).unwrap();
+        t.add_child_by_name(t.root(), "R", false).unwrap();
+        assert_eq!(t.degree(), 3);
+    }
+
+    #[test]
+    fn single_unlabeled_node_is_unsafe() {
+        let s = schema();
+        let t = RootedTree::new(s);
+        assert!(t.to_cq().is_err());
+        assert!(!t.to_example().is_data_example());
+    }
+}

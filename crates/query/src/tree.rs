@@ -1,0 +1,252 @@
+//! Tree CQs (Section 5): unary, connected, Berge-acyclic CQs over binary
+//! schemas, corresponding to ELI concept expressions.
+
+use crate::{Cq, QueryError, Result, RootedTree};
+use cqfit_data::Example;
+use cqfit_hom::simulates;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tree CQ: a unary CQ over a binary schema whose incidence graph is
+/// acyclic and connected, kept together with its rooted-tree view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeCq {
+    cq: Cq,
+    tree: RootedTree,
+}
+
+impl TreeCq {
+    /// Validates a CQ as a tree CQ.
+    ///
+    /// # Errors
+    /// Fails with [`QueryError::NotATreeCq`] if the CQ is not unary,
+    /// connected, Berge-acyclic, or over a binary schema.
+    pub fn try_new(cq: Cq) -> Result<Self> {
+        let tree = RootedTree::from_cq(&cq)?;
+        Ok(TreeCq { cq, tree })
+    }
+
+    /// Builds a tree CQ from its rooted-tree view.
+    ///
+    /// # Errors
+    /// Fails if the tree corresponds to an unsafe query (a single unlabeled
+    /// node).
+    pub fn from_rooted(tree: RootedTree) -> Result<Self> {
+        let cq = tree.to_cq()?;
+        Ok(TreeCq { cq, tree })
+    }
+
+    /// The underlying conjunctive query.
+    pub fn as_cq(&self) -> &Cq {
+        &self.cq
+    }
+
+    /// The rooted-tree view.
+    pub fn rooted(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// The canonical example of the query (a tree-shaped data example).
+    pub fn canonical_example(&self) -> Example {
+        self.cq.canonical_example()
+    }
+
+    /// Size: number of variables plus number of atoms.
+    pub fn size(&self) -> usize {
+        self.cq.size()
+    }
+
+    /// Number of variables (nodes of the tree).
+    pub fn num_variables(&self) -> usize {
+        self.cq.num_variables()
+    }
+
+    /// Degree: the largest number of atoms a single variable occurs in.
+    pub fn degree(&self) -> usize {
+        self.cq.degree()
+    }
+
+    /// Depth of the tree.
+    pub fn depth(&self) -> usize {
+        self.tree.depth()
+    }
+
+    /// True if the example satisfies the query at its distinguished element,
+    /// decided in polynomial time via simulations (Lemma 5.3).
+    pub fn is_satisfied_in(&self, example: &Example) -> bool {
+        simulates(&self.canonical_example(), example)
+            .expect("tree CQs and their examples live over binary schemas")
+    }
+
+    /// Containment `self ⊆ other` between tree CQs, decided in polynomial
+    /// time via simulations (Lemma 5.3: `q1 ⊆ q2` iff `e_{q2} ⪯ e_{q1}`).
+    pub fn is_contained_in(&self, other: &TreeCq) -> Result<bool> {
+        if self.cq.schema().as_ref() != other.cq.schema().as_ref() {
+            return Err(QueryError::Incompatible);
+        }
+        Ok(simulates(&other.canonical_example(), &self.canonical_example())
+            .expect("binary schemas"))
+    }
+
+    /// Equivalence of tree CQs.
+    pub fn equivalent_to(&self, other: &TreeCq) -> Result<bool> {
+        Ok(self.is_contained_in(other)? && other.is_contained_in(self)?)
+    }
+
+    /// Strict containment `self ⊊ other`.
+    pub fn strictly_contained_in(&self, other: &TreeCq) -> Result<bool> {
+        Ok(self.is_contained_in(other)? && !other.is_contained_in(self)?)
+    }
+
+    /// Reduces the tree CQ to an equivalent, irredundant tree CQ: repeatedly
+    /// drops subtrees and unary labels whose removal preserves equivalence.
+    /// (Removal always yields a more general query; equivalence is preserved
+    /// exactly when the original still simulates into the reduced query.)
+    pub fn reduce(&self) -> TreeCq {
+        let mut tree = self.tree.clone();
+        let original = tree.to_example();
+        loop {
+            let mut changed = false;
+            // Try to drop a subtree.
+            for node in tree.nodes() {
+                if node == tree.root() {
+                    continue;
+                }
+                let candidate = tree.without_subtree(node).expect("non-root node");
+                let cand_ex = candidate.to_example();
+                if simulates(&original, &cand_ex).expect("binary schema") {
+                    tree = candidate;
+                    changed = true;
+                    break;
+                }
+            }
+            if changed {
+                continue;
+            }
+            // Try to drop a unary label.
+            'labels: for node in tree.nodes() {
+                for &rel in tree.labels(node).clone().iter() {
+                    let candidate = tree.without_label(node, rel);
+                    let cand_ex = candidate.to_example();
+                    if simulates(&original, &cand_ex).expect("binary schema") {
+                        tree = candidate;
+                        changed = true;
+                        break 'labels;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        TreeCq::from_rooted(tree).expect("reduction preserves equivalence, hence safety")
+    }
+}
+
+impl fmt::Display for TreeCq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.cq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_cq;
+    use cqfit_data::{parse_example, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::binary_schema(["A", "P", "Q"], ["R", "S"])
+    }
+
+    fn tree_cq(text: &str) -> TreeCq {
+        TreeCq::try_new(parse_cq(&schema(), text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_example_tree_and_non_tree() {
+        // From §5: q(x) :- R(x,y), S(x,z), A(z) is a tree CQ;
+        // q(x) :- R(x,y), S(x,y) is not.
+        assert!(TreeCq::try_new(parse_cq(&schema(), "q(x) :- R(x,y), S(x,z), A(z)").unwrap()).is_ok());
+        assert!(TreeCq::try_new(parse_cq(&schema(), "q(x) :- R(x,y), S(x,y)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn satisfaction_via_simulation() {
+        // Example 5.1: q(x) :- R(x,x) is not a tree CQ, but its unraveling
+        // behaviour shows up through simulation: the tree CQ R(x,y) is
+        // satisfied at a on the loop {R(a,a)}.
+        let q = tree_cq("q(x) :- R(x,y), R(y,z)");
+        let loop_ex = parse_example(&schema(), "R(a,a)\n* a").unwrap();
+        assert!(q.is_satisfied_in(&loop_ex));
+        let edge_ex = parse_example(&schema(), "R(a,b)\n* a").unwrap();
+        assert!(!q.is_satisfied_in(&edge_ex));
+    }
+
+    #[test]
+    fn containment_is_polynomial_simulation() {
+        let more_specific = tree_cq("q(x) :- R(x,y), A(y)");
+        let more_general = tree_cq("q(x) :- R(x,y)");
+        assert!(more_specific.is_contained_in(&more_general).unwrap());
+        assert!(!more_general.is_contained_in(&more_specific).unwrap());
+        assert!(more_specific
+            .strictly_contained_in(&more_general)
+            .unwrap());
+    }
+
+    #[test]
+    fn containment_agrees_with_cq_containment() {
+        let q1 = tree_cq("q(x) :- R(x,y), R(y,z), A(z)");
+        let q2 = tree_cq("q(x) :- R(x,y)");
+        assert_eq!(
+            q1.is_contained_in(&q2).unwrap(),
+            q1.as_cq().is_contained_in(q2.as_cq()).unwrap()
+        );
+        assert_eq!(
+            q2.is_contained_in(&q1).unwrap(),
+            q2.as_cq().is_contained_in(q1.as_cq()).unwrap()
+        );
+    }
+
+    #[test]
+    fn reduce_drops_redundant_sibling() {
+        // R(x,y) ∧ R(x,z) ∧ A(z): the unlabeled sibling y is redundant.
+        let q = tree_cq("q(x) :- R(x,y), R(x,z), A(z)");
+        let r = q.reduce();
+        assert_eq!(r.num_variables(), 2);
+        assert!(r.equivalent_to(&q).unwrap());
+    }
+
+    #[test]
+    fn reduce_folds_backward_edge() {
+        // R(x,y) ∧ R(z,y): the second atom (a sibling of x below y via R⁻)
+        // is redundant because z can be simulated by x.
+        let q = tree_cq("q(x) :- R(x,y), R(z,y)");
+        let r = q.reduce();
+        assert_eq!(r.num_variables(), 2);
+        assert!(r.equivalent_to(&q).unwrap());
+    }
+
+    #[test]
+    fn reduce_keeps_irredundant_queries() {
+        let q = tree_cq("q(x) :- R(x,y), A(y), R(x,z), P(z)");
+        let r = q.reduce();
+        assert_eq!(r.num_variables(), 3);
+        assert!(r.equivalent_to(&q).unwrap());
+    }
+
+    #[test]
+    fn reduce_drops_redundant_label_never_happens_without_reason() {
+        let q = tree_cq("q(x) :- A(x), R(x,y)");
+        let r = q.reduce();
+        assert_eq!(r.size(), q.size());
+    }
+
+    #[test]
+    fn depth_and_degree() {
+        let q = tree_cq("q(x) :- R(x,y), R(y,z), S(y,w)");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.degree(), 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Automatic feature generation (see the introduction of the paper): given a
+//! relational dataset with labeled tuples, extremal fitting CQs are natural
+//! candidate features — most-specific fittings describe the positives
+//! exactly, most-general fittings generalize as far as the negatives allow,
+//! and the whole convex set of fittings lies between them.
+//!
+//! Run with `cargo run --example feature_generation`.
+
+use cqfit::{cq, ucq, Certainty, SearchBudget};
+use cqfit_data::{parse_example, LabeledExamples, Schema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy "molecule" schema: atoms carry element labels, bonds are binary.
+    let schema = Schema::binary_schema(["Carbon", "Oxygen", "Nitrogen"], ["bond"]);
+
+    // Positive molecules contain a carbon double-bonded… simplified here to:
+    // a carbon bonded to an oxygen.  Negative molecules do not.
+    let pos1 = parse_example(
+        &schema,
+        "Carbon(c1)\nOxygen(o1)\nbond(c1,o1)\nCarbon(c2)\nbond(c1,c2)\n* c1",
+    )?;
+    let pos2 = parse_example(
+        &schema,
+        "Carbon(c1)\nOxygen(o1)\nbond(c1,o1)\nNitrogen(n1)\nbond(n1,c1)\n* c1",
+    )?;
+    let neg1 = parse_example(&schema, "Carbon(c1)\nCarbon(c2)\nbond(c1,c2)\n* c1")?;
+    let neg2 = parse_example(&schema, "Oxygen(o1)\nNitrogen(n1)\nbond(o1,n1)\n* o1")?;
+    let examples = LabeledExamples::new(vec![pos1, pos2], vec![neg1, neg2])?;
+
+    let budget = SearchBudget::default();
+
+    // Feature 1: the most-specific fitting CQ (safe, conservative feature).
+    if let Some(q) = cq::most_specific_fitting(&examples)? {
+        println!("feature (most-specific fitting CQ, core): {}", q.core());
+    }
+
+    // Feature 2: a weakly most-general fitting CQ (the most permissive
+    // feature that still separates the examples).
+    match cq::construct_weakly_most_general(&examples, &budget)? {
+        Some(q) => println!("feature (weakly most-general fitting CQ): {q}"),
+        None => println!("no weakly most-general fitting CQ found within the budget"),
+    }
+
+    // Feature 3: the most-specific fitting UCQ (one disjunct per positive).
+    if let Some(u) = ucq::most_specific_fitting(&examples)? {
+        println!("feature (most-specific fitting UCQ): {} disjuncts", u.len());
+        match ucq::verify_most_general_fitting(&u, &examples, &budget)? {
+            Certainty::Yes => println!("  … and it is also most-general (unique fitting UCQ)"),
+            Certainty::No => println!("  … and it is not most-general"),
+            Certainty::Unknown => println!("  … most-generality undecided within the budget"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Query-By-Example on the EmpInfo database of Figure 1 / Example 1.1.
+//!
+//! Given the labeled employees (Hilbert, +), (Turing, −), (Einstein, +), we
+//! look for fitting queries.  The paper's hand-written fitting queries q1–q3
+//! all use constants or negation; constant-free CQs/UCQs cannot separate the
+//! examples, and the library detects this.  Promoting the constant `Gauss`
+//! to a unary relation (the standard trick in Query-By-Example systems)
+//! makes a unique fitting CQ appear.
+//!
+//! Run with `cargo run --example query_by_example`.
+
+use cqfit::{cq, ucq, SearchBudget};
+use cqfit_data::{Example, Instance, LabeledExamples, Schema};
+use cqfit_gen::empinfo_database;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (_schema, database, examples) = empinfo_database();
+    println!("database: {database}");
+
+    // 1. Constant-free CQs / UCQs cannot fit these labeled examples.
+    println!(
+        "constant-free fitting CQ exists:  {}",
+        cq::fitting_exists(&examples)?
+    );
+    println!(
+        "constant-free fitting UCQ exists: {}",
+        ucq::fitting_exists(&examples)?
+    );
+
+    // 2. Promote the constant `Gauss` to a unary relation and retry.
+    let schema = Arc::new(Schema::new([("EmpInfo", 3), ("IsGauss", 1)])?);
+    let mut inst = Instance::new(schema.clone());
+    inst.add_fact_labels("EmpInfo", &["Hilbert", "Math", "Gauss"])?;
+    inst.add_fact_labels("EmpInfo", &["Turing", "ComputerScience", "vonNeumann"])?;
+    inst.add_fact_labels("EmpInfo", &["Einstein", "Physics", "Gauss"])?;
+    inst.add_fact_labels("IsGauss", &["Gauss"])?;
+    let point = |name: &str| {
+        let v = inst.value_by_label(name).unwrap();
+        Example::new(inst.clone(), vec![v])
+    };
+    let examples = LabeledExamples::new(
+        vec![point("Hilbert"), point("Einstein")],
+        vec![point("Turing")],
+    )?;
+
+    println!(
+        "with IsGauss: fitting CQ exists:  {}",
+        cq::fitting_exists(&examples)?
+    );
+    let most_specific = cq::most_specific_fitting(&examples)?.expect("a fitting CQ exists");
+    println!("most-specific fitting CQ (core): {}", most_specific.core());
+
+    // Generalize as far as the negative example allows: this recovers the
+    // shape of q1 from Example 1.1, "employees managed by Gauss".
+    let budget = SearchBudget::default();
+    match cq::construct_weakly_most_general(&examples, &budget)? {
+        Some(q) => {
+            println!("weakly most-general fitting CQ:  {q}");
+            println!(
+                "  verified: {}",
+                cq::verify_weakly_most_general(&q, &examples)?
+            );
+        }
+        None => println!("no weakly most-general fitting CQ found within the budget"),
+    }
+    println!(
+        "unique fitting CQ exists:         {}",
+        cq::unique_fitting_exists(&examples)?
+    );
+
+    // Evaluate the most-specific fitting on the database: it must return
+    // Hilbert and Einstein but not Turing.
+    let answers = most_specific.evaluate(&inst);
+    let names: Vec<&str> = answers.iter().map(|t| inst.label(t[0])).collect();
+    println!("answers on the database:          {names:?}");
+    Ok(())
+}

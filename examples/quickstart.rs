@@ -1,0 +1,49 @@
+//! Quickstart: fit conjunctive queries to labeled data examples.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cqfit::{cq, SearchBudget};
+use cqfit_data::{parse_example, LabeledExamples, Schema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A schema with a single binary relation R (directed graphs).
+    let schema = Schema::digraph();
+
+    // Positive examples: a directed triangle and a directed 5-cycle.
+    // Negative example: the symmetric edge (2-cycle).
+    let c3 = parse_example(&schema, "R(a,b)\nR(b,c)\nR(c,a)")?;
+    let c5 = parse_example(&schema, "R(a,b)\nR(b,c)\nR(c,d)\nR(d,e)\nR(e,a)")?;
+    let k2 = parse_example(&schema, "R(a,b)\nR(b,a)")?;
+    let examples = LabeledExamples::new(vec![c3, c5], vec![k2])?;
+
+    println!("fitting CQ exists:          {}", cq::fitting_exists(&examples)?);
+
+    // The most-specific fitting CQ is the canonical CQ of the direct product
+    // of the positive examples (Theorem 3.3 / Proposition 3.5).
+    let most_specific = cq::most_specific_fitting(&examples)?.expect("a fitting exists");
+    println!(
+        "most-specific fitting:       {} atoms, {} variables (its core is the directed 15-cycle)",
+        most_specific.num_atoms(),
+        most_specific.num_variables()
+    );
+    println!("  core size: {} variables", most_specific.core().num_variables());
+    assert!(cq::verify_fitting(&most_specific, &examples)?);
+    assert!(cq::verify_most_specific_fitting(&most_specific, &examples)?);
+
+    // Is it also weakly most-general / unique?  (It is not: longer odd cycles
+    // are strictly more general fittings.)
+    println!(
+        "most-specific is weakly most-general: {}",
+        cq::verify_weakly_most_general(&most_specific.core(), &examples)?
+    );
+    println!("unique fitting exists:       {}", cq::unique_fitting_exists(&examples)?);
+
+    // The bounded search for a weakly most-general fitting reports Unknown
+    // here, reflecting Example 3.10(3) of the paper.
+    let budget = SearchBudget::default();
+    println!(
+        "weakly most-general search:  {:?}",
+        cq::weakly_most_general_exists(&examples, &budget)?
+    );
+    Ok(())
+}

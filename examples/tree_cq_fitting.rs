@@ -1,0 +1,54 @@
+//! Tree CQ (ELI concept) fitting, Section 5 of the paper.
+//!
+//! Run with `cargo run --example tree_cq_fitting`.
+
+use cqfit::{tree, SearchBudget};
+use cqfit_data::{parse_example, LabeledExamples, Schema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Example 5.20 of the paper.
+    let schema = Schema::binary_schema(["P", "Q"], ["R"]);
+    let pos = parse_example(&schema, "P(a)\nR(a,b)\nQ(b)\n* a")?;
+    let neg1 = parse_example(&schema, "P(a)\nR(a,b)\n* a")?;
+    let neg2 = parse_example(&schema, "R(a,b)\nR(c,b)\nR(c,d)\nQ(d)\n* a")?;
+    let examples = LabeledExamples::new(vec![pos], vec![neg1, neg2])?;
+    let budget = SearchBudget::default();
+
+    println!("fitting tree CQ exists:        {}", tree::fitting_exists(&examples)?);
+
+    let fitting = tree::construct_fitting(&examples, &budget)?.expect("fitting exists");
+    println!("a fitting tree CQ:             {fitting}");
+
+    println!(
+        "most-specific fitting exists:  {}",
+        tree::most_specific_exists(&examples)?
+    );
+    let ms = tree::construct_most_specific(&examples, &budget)?.expect("exists");
+    println!("most-specific fitting tree CQ: {ms}");
+    println!(
+        "  weakly most-general?         {}",
+        tree::verify_weakly_most_general(&ms, &examples)?
+    );
+
+    match tree::construct_weakly_most_general(&examples, &budget)? {
+        Some(q) => println!("weakly most-general fitting:   {q}"),
+        None => println!("no weakly most-general fitting found within the budget"),
+    }
+
+    println!(
+        "unique fitting tree CQ exists: {:?}",
+        tree::unique_exists(&examples, &budget)?
+    );
+
+    // Example 5.13: with only the positive loop example there are fittings
+    // but no most-specific one.
+    let schema2 = Schema::binary_schema([], ["R"]);
+    let loop_pos = parse_example(&schema2, "R(a,a)\n* a")?;
+    let loop_examples = LabeledExamples::new(vec![loop_pos], vec![])?;
+    println!(
+        "loop example: fitting exists = {}, most-specific exists = {}",
+        tree::fitting_exists(&loop_examples)?,
+        tree::most_specific_exists(&loop_examples)?
+    );
+    Ok(())
+}

@@ -1,0 +1,181 @@
+//! Cross-crate integration tests reproducing the worked examples of
+//! *Extremal Fitting Problems for Conjunctive Queries* (PODS 2023) through
+//! the public API.
+
+use cqfit::{cq, tree, ucq, Certainty, SearchBudget};
+use cqfit_data::{parse_example, LabeledExamples, Schema};
+use cqfit_duality::{check_hom_duality, frontier_examples, DualityConfig};
+use cqfit_gen::{empinfo_database, exact_colorability, ghrv_examples, symmetric_clique};
+use cqfit_hom::{hom_exists, product_of};
+use cqfit_query::{parse_cq, Cq, TreeCq};
+use std::sync::Arc;
+
+fn labeled(schema: &Arc<Schema>, pos: &[&str], neg: &[&str]) -> LabeledExamples {
+    LabeledExamples::new(
+        pos.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
+        neg.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
+    )
+    .unwrap()
+}
+
+/// Example 1.1: without constants, no CQ or UCQ separates
+/// (Hilbert, +), (Turing, −), (Einstein, +) over the EmpInfo database.
+#[test]
+fn example_1_1_empinfo_needs_constants() {
+    let (_, _, examples) = empinfo_database();
+    assert!(!cq::fitting_exists(&examples).unwrap());
+    assert!(!ucq::fitting_exists(&examples).unwrap());
+}
+
+/// Theorem 3.1: fitting verification encodes exact 4-colorability with the
+/// fixed examples E⁺ = {K4}, E⁻ = {K3}.
+#[test]
+fn theorem_3_1_exact_four_colorability() {
+    let e = exact_colorability(3);
+    let schema = Schema::digraph();
+    // K4 is exactly 4-colorable: its canonical CQ fits.
+    let k4 = Cq::from_example(&symmetric_clique(&schema, 4)).unwrap();
+    assert!(cq::verify_fitting(&k4, &e).unwrap());
+    // K3 is 3-colorable: its canonical CQ does not fit (maps to the negative).
+    let k3 = Cq::from_example(&symmetric_clique(&schema, 3)).unwrap();
+    assert!(!cq::verify_fitting(&k3, &e).unwrap());
+    // The symmetric 5-cycle is 3-colorable, hence does not fit either.
+    let c5 = parse_cq(
+        &schema,
+        "q() :- R(a,b), R(b,a), R(b,c), R(c,b), R(c,d), R(d,c), R(d,e), R(e,d), R(e,a), R(a,e)",
+    )
+    .unwrap();
+    assert!(!cq::verify_fitting(&c5, &e).unwrap());
+}
+
+/// Example 2.14 (Gallai–Hasse–Roy–Vitaver): the directed path of length n
+/// maps into a digraph iff the digraph does not map into the linear order of
+/// length n−1; spot-check with the duality machinery and plain hom tests.
+#[test]
+fn example_2_14_ghrv() {
+    // ({path with n edges}, {linear order on n vertices}) is a duality.
+    let (path4, order4) = ghrv_examples(4);
+    let (path3, _) = ghrv_examples(3);
+    // The path with 4 edges does not map into the order on 4 vertices, but
+    // the path with 3 edges does.
+    assert!(!hom_exists(&path4, &order4));
+    assert!(hom_exists(&path3, &order4));
+    let out = check_hom_duality(&[path4], &[order4], &DualityConfig::default());
+    assert_ne!(out.certainty, Certainty::No, "{}", out.reason);
+}
+
+/// Theorem 3.3 / Proposition 3.5 on a non-trivial instance: the product of
+/// the positive examples is the most-specific fitting.
+#[test]
+fn theorem_3_3_product_fitting() {
+    let schema = Schema::digraph();
+    let e = labeled(
+        &schema,
+        &["R(a,b)\nR(b,c)\nR(c,a)", "R(a,b)\nR(b,a)"],
+        &["R(a,b)"],
+    );
+    assert!(cq::fitting_exists(&e).unwrap());
+    let ms = cq::most_specific_fitting(&e).unwrap().unwrap();
+    assert!(cq::verify_most_specific_fitting(&ms, &e).unwrap());
+    // Its core is the directed 6-cycle.
+    assert_eq!(ms.core().num_variables(), 6);
+    // Every other fitting CQ contains it.
+    let product = product_of(&schema, 0, e.positives()).unwrap();
+    let c6 = Cq::from_example(&product).unwrap();
+    assert!(ms.equivalent_to(&c6).unwrap());
+}
+
+/// Example 3.33: unique fitting CQ q(x) :- R(x,x).
+#[test]
+fn example_3_33_unique_fitting() {
+    let schema = Schema::digraph();
+    let i = "R(a,b)\nR(b,a)\nR(b,b)";
+    let e = labeled(&schema, &[&format!("{i}\n* b")], &[&format!("{i}\n* a")]);
+    let q = parse_cq(&schema, "q(x) :- R(x,x)").unwrap();
+    assert!(cq::verify_unique_fitting(&q, &e).unwrap());
+    let constructed = cq::construct_unique_fitting(&e).unwrap().unwrap();
+    assert!(constructed.equivalent_to(&q).unwrap());
+}
+
+/// Example 2.13 frontiers through the public API.
+#[test]
+fn example_2_13_frontiers() {
+    let schema = Schema::digraph();
+    let q1 = parse_cq(&schema, "q(x) :- R(x,y), R(y,z)").unwrap();
+    assert!(!frontier_examples(&q1).unwrap().is_empty());
+    let q3 = parse_cq(&schema, "q(x) :- R(x,y), R(y,y)").unwrap();
+    assert!(frontier_examples(&q3).is_err());
+}
+
+/// Example 4.1: UCQ fitting where no CQ fits; the union of the positives is
+/// the unique fitting UCQ.
+#[test]
+fn example_4_1_ucq() {
+    let schema = Schema::binary_schema(["P", "Q", "R"], []);
+    let e = labeled(
+        &schema,
+        &["P(a)\nQ(a)", "P(a)\nR(a)"],
+        &["P(a)\nQ(b)\nR(b)"],
+    );
+    assert!(!cq::fitting_exists(&e).unwrap());
+    assert!(ucq::fitting_exists(&e).unwrap());
+    let budget = SearchBudget::default();
+    assert_eq!(
+        ucq::unique_fitting_exists(&e, &budget).unwrap(),
+        Certainty::Yes
+    );
+    let u = ucq::construct_unique_fitting(&e, &budget).unwrap().unwrap();
+    assert_eq!(u.len(), 2);
+}
+
+/// Example 5.1 / 5.13 / 5.20: the tree CQ pipeline.
+#[test]
+fn section_5_tree_examples() {
+    let budget = SearchBudget::default();
+    // 5.1: no fitting tree CQ although a CQ fits.
+    let schema = Schema::binary_schema([], ["R"]);
+    let e = labeled(&schema, &["R(a,a)\n* a"], &["R(a,b)\nR(b,a)\n* a"]);
+    assert!(cq::fitting_exists(&e).unwrap());
+    assert!(!tree::fitting_exists(&e).unwrap());
+    // 5.13: fittings exist but no most-specific one.
+    let e = labeled(&schema, &["R(a,a)\n* a"], &[]);
+    assert!(tree::fitting_exists(&e).unwrap());
+    assert!(!tree::most_specific_exists(&e).unwrap());
+    // 5.20: weakly most-general exists, unique does not.
+    let schema = Schema::binary_schema(["P", "Q"], ["R"]);
+    let e = labeled(
+        &schema,
+        &["P(a)\nR(a,b)\nQ(b)\n* a"],
+        &["P(a)\nR(a,b)\n* a", "R(a,b)\nR(c,b)\nR(c,d)\nQ(d)\n* a"],
+    );
+    let q = TreeCq::try_new(parse_cq(&schema, "q(x) :- R(x,y), Q(y)").unwrap()).unwrap();
+    assert!(tree::verify_weakly_most_general(&q, &e).unwrap());
+    assert_eq!(tree::unique_exists(&e, &budget).unwrap(), Certainty::No);
+    assert_eq!(
+        tree::weakly_most_general_exists(&e, &budget).unwrap(),
+        Certainty::Yes
+    );
+}
+
+/// The convexity of the set of fitting CQs (Introduction): if q1 ⊆ q ⊆ q2
+/// and q1, q2 fit, then q fits.
+#[test]
+fn fitting_set_is_convex() {
+    let schema = Schema::digraph();
+    let e = labeled(
+        &schema,
+        &["R(a,b)\nR(b,c)\nR(c,a)"],
+        &["R(a,b)\nR(b,a)"],
+    );
+    let q1 = parse_cq(&schema, "q() :- R(x,y), R(y,z), R(z,x), R(x,w)").unwrap();
+    let q = parse_cq(&schema, "q() :- R(x,y), R(y,z), R(z,x)").unwrap();
+    let q2 = parse_cq(
+        &schema,
+        "q() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x6), R(x6,x7), R(x7,x8), R(x8,x9), R(x9,x1)",
+    )
+    .unwrap();
+    assert!(q1.is_contained_in(&q).unwrap() && q.is_contained_in(&q2).unwrap());
+    assert!(cq::verify_fitting(&q1, &e).unwrap());
+    assert!(cq::verify_fitting(&q2, &e).unwrap());
+    assert!(cq::verify_fitting(&q, &e).unwrap());
+}

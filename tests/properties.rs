@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) for the core data structures and the
+//! order-theoretic invariants of Section 2.2.
+
+use cqfit_data::{Example, Instance, Schema, Value};
+use cqfit_hom::{core_of, direct_product, disjoint_union, hom_equivalent, hom_exists};
+use cqfit_query::{is_c_acyclic_example, Cq};
+use proptest::prelude::*;
+
+/// A strategy producing small random Boolean examples over the digraph
+/// schema (directed graphs with up to 4 vertices).
+fn digraph_example() -> impl Strategy<Value = Example> {
+    (1usize..=4, proptest::collection::vec((0usize..4, 0usize..4), 0..8)).prop_map(
+        |(n, edges)| {
+            let schema = Schema::digraph();
+            let rel = schema.rel("R").unwrap();
+            let mut inst = Instance::new(schema);
+            let vs: Vec<Value> = (0..n).map(|i| inst.add_value(format!("v{i}"))).collect();
+            for (a, b) in edges {
+                inst.add_fact(rel, &[vs[a % n], vs[b % n]]).unwrap();
+            }
+            Example::boolean(inst)
+        },
+    )
+}
+
+/// A strategy producing small unary examples over a binary schema with one
+/// unary and one binary relation.
+fn unary_example() -> impl Strategy<Value = Example> {
+    (
+        1usize..=4,
+        proptest::collection::vec((0usize..4, 0usize..4), 1..6),
+        proptest::collection::vec(0usize..4, 0..3),
+        0usize..4,
+    )
+        .prop_map(|(n, edges, labels, root)| {
+            let schema = Schema::binary_schema(["A"], ["R"]);
+            let r = schema.rel("R").unwrap();
+            let a = schema.rel("A").unwrap();
+            let mut inst = Instance::new(schema);
+            let vs: Vec<Value> = (0..n).map(|i| inst.add_value(format!("v{i}"))).collect();
+            for (x, y) in edges {
+                inst.add_fact(r, &[vs[x % n], vs[y % n]]).unwrap();
+            }
+            for x in labels {
+                inst.add_fact(a, &[vs[x % n]]).unwrap();
+            }
+            let active = inst.active_domain();
+            let root = active[root % active.len()];
+            Example::new(inst, vec![root])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Proposition 2.7: the direct product is a greatest lower bound.
+    #[test]
+    fn product_is_glb(e1 in digraph_example(), e2 in digraph_example(), below in digraph_example()) {
+        let p = direct_product(&e1, &e2).unwrap();
+        prop_assert!(hom_exists(&p, &e1));
+        prop_assert!(hom_exists(&p, &e2));
+        if hom_exists(&below, &e1) && hom_exists(&below, &e2) {
+            prop_assert!(hom_exists(&below, &p));
+        }
+    }
+
+    /// Proposition 2.2: the disjoint union is a least upper bound.
+    #[test]
+    fn disjoint_union_is_lub(e1 in digraph_example(), e2 in digraph_example(), above in digraph_example()) {
+        let u = disjoint_union(&e1, &e2).unwrap();
+        prop_assert!(hom_exists(&e1, &u));
+        prop_assert!(hom_exists(&e2, &u));
+        if hom_exists(&e1, &above) && hom_exists(&e2, &above) {
+            prop_assert!(hom_exists(&u, &above));
+        }
+    }
+
+    /// Cores are homomorphically equivalent to the original and idempotent.
+    #[test]
+    fn core_properties(e in digraph_example()) {
+        let c = core_of(&e);
+        prop_assert!(hom_equivalent(&e, &c));
+        let cc = core_of(&c);
+        prop_assert_eq!(c.instance().num_facts(), cc.instance().num_facts());
+        prop_assert!(c.instance().num_values() <= e.instance().num_values());
+    }
+
+    /// Canonical CQ ↔ canonical example round trips up to equivalence, and
+    /// containment is transitive and reflexive.
+    #[test]
+    fn canonical_roundtrip_and_containment(e in unary_example(), f in unary_example(), g in unary_example()) {
+        let qe = Cq::from_example(&e).unwrap();
+        let back = qe.canonical_example();
+        prop_assert!(hom_equivalent(&e, &back));
+        let qf = Cq::from_example(&f).unwrap();
+        let qg = Cq::from_example(&g).unwrap();
+        prop_assert!(qe.is_contained_in(&qe).unwrap());
+        if qe.is_contained_in(&qf).unwrap() && qf.is_contained_in(&qg).unwrap() {
+            prop_assert!(qe.is_contained_in(&qg).unwrap());
+        }
+    }
+
+    /// Homomorphism existence implies simulation existence (§5), and for
+    /// tree-shaped sources the two coincide.
+    #[test]
+    fn hom_implies_simulation(e in unary_example(), f in unary_example()) {
+        if hom_exists(&e, &f) {
+            prop_assert!(cqfit_hom::simulates(&e, &f).unwrap());
+        }
+    }
+
+    /// The frontier construction (Definitions 3.21/3.22): members are
+    /// strictly below the query, and random examples strictly below the query
+    /// map into some member.
+    #[test]
+    fn frontier_soundness_and_coverage(e in unary_example(), candidate in unary_example()) {
+        let q = Cq::from_example(&core_of(&e)).unwrap();
+        let canon = q.canonical_example();
+        if !is_c_acyclic_example(&canon) {
+            return Ok(());
+        }
+        let members = cqfit_duality::frontier_examples(&q).unwrap();
+        for m in &members {
+            prop_assert!(hom_exists(m, &canon));
+            prop_assert!(!hom_exists(&canon, m));
+        }
+        let strictly_below =
+            hom_exists(&candidate, &canon) && !hom_exists(&canon, &candidate);
+        if strictly_below {
+            prop_assert!(
+                members.iter().any(|m| hom_exists(&candidate, m)),
+                "frontier must cover {candidate}"
+            );
+        }
+    }
+
+    /// Fitting is monotone under generalization towards the most-specific
+    /// fitting: the most-specific fitting CQ is contained in every fitting CQ
+    /// (Proposition 3.5).
+    #[test]
+    fn most_specific_is_minimum(pos1 in unary_example(), pos2 in unary_example(), neg in unary_example(), other in unary_example()) {
+        let schema = pos1.instance().schema().clone();
+        let _ = schema;
+        let examples = cqfit_data::LabeledExamples::new(vec![pos1, pos2], vec![neg]).unwrap();
+        if let Some(ms) = cqfit::cq::most_specific_fitting(&examples).unwrap() {
+            let q = Cq::from_example(&other).unwrap();
+            if cqfit::cq::verify_fitting(&q, &examples).unwrap() {
+                prop_assert!(ms.is_contained_in(&q).unwrap());
+            }
+        }
+    }
+}
+
+/// The tree CQ reduction produces equivalent, no-larger queries (checked on a
+/// deterministic sample of random tree CQs).
+#[test]
+fn tree_reduce_preserves_equivalence() {
+    use rand::SeedableRng;
+    let schema = Schema::binary_schema(["A", "B"], ["R", "S"]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    for _ in 0..30 {
+        let q = cqfit_gen::random_tree_cq(&schema, 3, 2, &mut rng);
+        let r = q.reduce();
+        assert!(r.equivalent_to(&q).unwrap());
+        assert!(r.size() <= q.size());
+    }
+}
+
+/// Tree CQ containment (simulation-based) agrees with CQ containment
+/// (homomorphism-based) on random tree CQs.
+#[test]
+fn tree_containment_agrees_with_cq_containment() {
+    use rand::SeedableRng;
+    let schema = Schema::binary_schema(["A"], ["R", "S"]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+    for _ in 0..30 {
+        let q1 = cqfit_gen::random_tree_cq(&schema, 3, 2, &mut rng);
+        let q2 = cqfit_gen::random_tree_cq(&schema, 3, 2, &mut rng);
+        assert_eq!(
+            q1.is_contained_in(&q2).unwrap(),
+            q1.as_cq().is_contained_in(q2.as_cq()).unwrap()
+        );
+    }
+}
+
+/// Arc consistency is sound: whenever it refutes, no homomorphism exists.
+#[test]
+fn arc_consistency_soundness() {
+    use rand::SeedableRng;
+    let schema = Schema::binary_schema(["A"], ["R"]);
+    let cfg = cqfit_gen::RandomConfig {
+        num_values: 4,
+        density: 0.25,
+        arity: 1,
+        ..Default::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for _ in 0..40 {
+        let e1 = cqfit_gen::random_example(&schema, &cfg, &mut rng);
+        let e2 = cqfit_gen::random_example(&schema, &cfg, &mut rng);
+        if !cqfit_hom::arc_consistent(&e1, &e2) {
+            assert!(!hom_exists(&e1, &e2));
+        }
+    }
+}
+
+/// Arc consistency is complete on c-acyclic sources.
+#[test]
+fn arc_consistency_complete_on_c_acyclic() {
+    use rand::SeedableRng;
+    let schema = Schema::binary_schema(["A"], ["R"]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let cfg = cqfit_gen::RandomConfig {
+        num_values: 4,
+        density: 0.3,
+        arity: 1,
+        ..Default::default()
+    };
+    for _ in 0..40 {
+        let t = cqfit_gen::random_tree_cq(&schema, 3, 2, &mut rng);
+        let src = t.canonical_example();
+        let dst = cqfit_gen::random_example(&schema, &cfg, &mut rng);
+        assert_eq!(
+            cqfit_hom::arc_consistent(&src, &dst),
+            hom_exists(&src, &dst),
+            "arc consistency decides homomorphism existence for tree-shaped sources"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end workflow tests: consistency between the different fitting
+//! notions across the public API, on fixed scenarios and deterministic
+//! random collections.
+
+use cqfit::{cq, tree, ucq, Certainty, SearchBudget};
+use cqfit_data::{LabeledExamples, Schema};
+use cqfit_gen::{random_labeled_examples, RandomConfig};
+
+/// For random Boolean example collections over the digraph schema, the
+/// different CQ fitting notions are mutually consistent.
+#[test]
+fn cq_notions_are_consistent_on_random_collections() {
+    let schema = Schema::digraph();
+    let budget = SearchBudget::default();
+    for seed in 0..20u64 {
+        let cfg = RandomConfig {
+            num_values: 3,
+            density: 0.35,
+            arity: 0,
+            num_positive: 2,
+            num_negative: 2,
+            seed,
+        };
+        let examples = random_labeled_examples(&schema, &cfg);
+        let exists = cq::fitting_exists(&examples).unwrap();
+        let constructed = cq::construct_fitting(&examples).unwrap();
+        assert_eq!(exists, constructed.is_some(), "seed {seed}");
+        if let Some(q) = &constructed {
+            assert!(cq::verify_fitting(q, &examples).unwrap(), "seed {seed}");
+            assert!(
+                cq::verify_most_specific_fitting(q, &examples).unwrap(),
+                "seed {seed}"
+            );
+            // A unique fitting, when it exists, is the most-specific one and
+            // is weakly most-general.
+            if cq::unique_fitting_exists(&examples).unwrap() {
+                let u = cq::construct_unique_fitting(&examples).unwrap().unwrap();
+                assert!(cq::verify_unique_fitting(&u, &examples).unwrap());
+                assert!(cq::verify_weakly_most_general(&u, &examples).unwrap());
+            }
+        } else {
+            assert!(!cq::unique_fitting_exists(&examples).unwrap());
+        }
+        // UCQ fitting existence is implied by CQ fitting existence.
+        if exists {
+            assert!(ucq::fitting_exists(&examples).unwrap(), "seed {seed}");
+        }
+        // The most-specific UCQ, when defined, fits.
+        if let Some(u) = ucq::most_specific_fitting(&examples).unwrap() {
+            assert!(ucq::verify_fitting(&u, &examples).unwrap());
+            assert!(ucq::verify_most_specific_fitting(&u, &examples).unwrap());
+        }
+        let _ = &budget;
+    }
+}
+
+/// For random unary collections over a binary schema, the tree CQ notions
+/// are mutually consistent and consistent with the CQ notions.
+#[test]
+fn tree_notions_are_consistent_on_random_collections() {
+    let schema = Schema::binary_schema(["A"], ["R"]);
+    let budget = SearchBudget {
+        max_unraveling_depth: 12,
+        max_generalization_steps: 12,
+        ..SearchBudget::default()
+    };
+    for seed in 0..20u64 {
+        let cfg = RandomConfig {
+            num_values: 3,
+            density: 0.3,
+            arity: 1,
+            num_positive: 2,
+            num_negative: 1,
+            seed: 1000 + seed,
+        };
+        let examples = random_labeled_examples(&schema, &cfg);
+        let exists = tree::fitting_exists(&examples).unwrap();
+        // A fitting tree CQ is in particular a fitting CQ.
+        if exists {
+            assert!(cq::fitting_exists(&examples).unwrap(), "seed {seed}");
+        }
+        let constructed = tree::construct_fitting(&examples, &budget).unwrap();
+        if let Some(q) = &constructed {
+            assert!(exists);
+            assert!(tree::verify_fitting(q, &examples).unwrap(), "seed {seed}");
+        }
+        if tree::most_specific_exists(&examples).unwrap() {
+            assert!(exists, "seed {seed}");
+            if let Some(ms) = tree::construct_most_specific(&examples, &budget).unwrap() {
+                assert!(tree::verify_most_specific(&ms, &examples).unwrap(), "seed {seed}");
+            }
+        }
+        match tree::unique_exists(&examples, &budget).unwrap() {
+            Certainty::Yes => {
+                let u = tree::construct_unique(&examples, &budget).unwrap().unwrap();
+                assert!(tree::verify_unique(&u, &examples).unwrap(), "seed {seed}");
+            }
+            Certainty::No | Certainty::Unknown => {}
+        }
+    }
+}
+
+/// The empty collection is fitted by everything; collections whose positive
+/// and negative parts coincide are fitted by nothing.
+#[test]
+fn degenerate_collections() {
+    let schema = Schema::digraph();
+    let empty = LabeledExamples::empty();
+    let q = cqfit_query::parse_cq(&schema, "q() :- R(x,y)").unwrap();
+    assert!(cq::verify_fitting(&q, &empty).unwrap());
+
+    let e = cqfit_data::parse_example(&schema, "R(a,b)\nR(b,c)").unwrap();
+    let contradictory = LabeledExamples::new(vec![e.clone()], vec![e]).unwrap();
+    assert!(!cq::fitting_exists(&contradictory).unwrap());
+    assert!(!ucq::fitting_exists(&contradictory).unwrap());
+}
