@@ -1,21 +1,36 @@
 //! Ablation A-1: the effect of arc-consistency propagation in the
 //! homomorphism search (the workhorse of every algorithm in the library).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqfit_gen::{directed_cycle, prime_cycles_family, symmetric_clique};
 use cqfit_hom::{find_homomorphism_with, HomConfig, HomSearchStats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/arc_consistency");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let schema = cqfit_data::Schema::digraph();
     // Hard negative instances: does C_{3n} map into K_3? (yes) and does
     // C_{2n+1} map into K_2 plus padding? (no).
     let cases = [
-        ("c9_to_k3", directed_cycle(&schema, 9), symmetric_clique(&schema, 3)),
-        ("c15_to_k3", directed_cycle(&schema, 15), symmetric_clique(&schema, 3)),
-        ("c11_to_k4", directed_cycle(&schema, 11), symmetric_clique(&schema, 4)),
+        (
+            "c9_to_k3",
+            directed_cycle(&schema, 9),
+            symmetric_clique(&schema, 3),
+        ),
+        (
+            "c15_to_k3",
+            directed_cycle(&schema, 15),
+            symmetric_clique(&schema, 3),
+        ),
+        (
+            "c11_to_k4",
+            directed_cycle(&schema, 11),
+            symmetric_clique(&schema, 4),
+        ),
     ];
     for (name, src, dst) in &cases {
         for ac in [true, false] {

@@ -4,14 +4,17 @@
 //! inputs) can be compared against the paper's statements.  The measured
 //! series are recorded in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqfit::{cq, tree, SearchBudget};
 use cqfit_gen::{bitstring_family, bitstring_family_z, lra_family, prime_cycles_family};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 fn thm_3_40(c: &mut Criterion) {
     let mut group = c.benchmark_group("size/thm3.40_prime_cycles");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for n in [2usize, 3, 4, 5, 6] {
         let examples = prime_cycles_family(n);
         let fitting = cq::most_specific_fitting(&examples).unwrap().unwrap();
@@ -29,7 +32,10 @@ fn thm_3_40(c: &mut Criterion) {
 
 fn thm_3_41_42(c: &mut Criterion) {
     let mut group = c.benchmark_group("size/thm3.41_bitstrings");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for n in [1usize, 2, 3] {
         let examples = bitstring_family(n);
         let fitting = cq::most_specific_fitting(&examples).unwrap().unwrap();
@@ -59,7 +65,10 @@ fn thm_3_41_42(c: &mut Criterion) {
 
 fn thm_5_37(c: &mut Criterion) {
     let mut group = c.benchmark_group("size/thm5.37_lra");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
     let budget = SearchBudget {
         max_tree_nodes: 2_000_000,
         ..SearchBudget::default()

@@ -4,15 +4,18 @@
 //! prime-cycle family (Theorem 3.40) for existence/construction, whose
 //! difficulty grows exponentially with n.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqfit::{cq, SearchBudget};
 use cqfit_gen::{exact_colorability, prime_cycles_family, symmetric_clique};
 use cqfit_query::Cq;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 fn bench_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("t1/verification");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let schema = cqfit_data::Schema::digraph();
     for k in [3usize, 4, 5] {
         let examples = exact_colorability(k);
@@ -59,15 +62,20 @@ fn bench_verification(c: &mut Criterion) {
 
 fn bench_existence_and_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("t1/existence_construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for n in [2usize, 3, 4, 5] {
         let examples = prime_cycles_family(n);
         group.bench_with_input(BenchmarkId::new("fitting_exists", n), &n, |b, _| {
             b.iter(|| cq::fitting_exists(&examples).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("construct_most_specific", n), &n, |b, _| {
-            b.iter(|| cq::most_specific_fitting(&examples).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("construct_most_specific", n),
+            &n,
+            |b, _| b.iter(|| cq::most_specific_fitting(&examples).unwrap()),
+        );
         if n <= 3 {
             group.bench_with_input(BenchmarkId::new("unique_exists", n), &n, |b, _| {
                 b.iter(|| cq::unique_fitting_exists(&examples).unwrap())
@@ -86,5 +94,9 @@ fn bench_existence_and_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_verification, bench_existence_and_construction);
+criterion_group!(
+    benches,
+    bench_verification,
+    bench_existence_and_construction
+);
 criterion_main!(benches);

@@ -3,22 +3,27 @@
 //! exponential compared to CQs; the measured times should reflect that the
 //! UCQ procedures scale polynomially on the same workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqfit::{ucq, SearchBudget};
 use cqfit_gen::{exact_colorability, prime_cycles_family};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 fn bench_ucq(c: &mut Criterion) {
     let mut group = c.benchmark_group("t2/ucq");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for n in [2usize, 3, 4, 5, 6] {
         let examples = prime_cycles_family(n);
         group.bench_with_input(BenchmarkId::new("fitting_exists", n), &n, |b, _| {
             b.iter(|| ucq::fitting_exists(&examples).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("construct_most_specific", n), &n, |b, _| {
-            b.iter(|| ucq::most_specific_fitting(&examples).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("construct_most_specific", n),
+            &n,
+            |b, _| b.iter(|| ucq::most_specific_fitting(&examples).unwrap()),
+        );
         let ms = ucq::most_specific_fitting(&examples).unwrap().unwrap();
         group.bench_with_input(BenchmarkId::new("verify_fitting", n), &n, |b, _| {
             b.iter(|| ucq::verify_fitting(&ms, &examples).unwrap())

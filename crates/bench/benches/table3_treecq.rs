@@ -2,10 +2,10 @@
 //! fitting tree CQs, including the product-simulation core of the ExpTime
 //! procedures and the DAG-vs-explicit ablation on unravelings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqfit::{tree, SearchBudget};
 use cqfit_data::{parse_example, LabeledExamples, Schema};
 use cqfit_gen::lra_family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 /// Cycle-product workloads: positives are simple cycles of coprime lengths,
@@ -27,11 +27,18 @@ fn cycle_workload(lengths: &[usize]) -> LabeledExamples {
 
 fn bench_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("t3/treecq");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let budget = SearchBudget::default();
     let workloads = [vec![2usize, 3], vec![3, 4], vec![3, 5], vec![4, 5]];
     for lengths in &workloads {
-        let id = lengths.iter().map(usize::to_string).collect::<Vec<_>>().join("x");
+        let id = lengths
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join("x");
         let examples = cycle_workload(lengths);
         group.bench_with_input(BenchmarkId::new("fitting_exists", &id), &id, |b, _| {
             b.iter(|| tree::fitting_exists(&examples).unwrap())
@@ -39,9 +46,11 @@ fn bench_tree(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("construct_fitting", &id), &id, |b, _| {
             b.iter(|| tree::construct_fitting(&examples, &budget).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("most_specific_exists", &id), &id, |b, _| {
-            b.iter(|| tree::most_specific_exists(&examples).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("most_specific_exists", &id),
+            &id,
+            |b, _| b.iter(|| tree::most_specific_exists(&examples).unwrap()),
+        );
         if let Some(q) = tree::construct_fitting(&examples, &budget).unwrap() {
             group.bench_with_input(BenchmarkId::new("verify_fitting", &id), &id, |b, _| {
                 b.iter(|| tree::verify_fitting(&q, &examples).unwrap())

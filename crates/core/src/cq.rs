@@ -232,8 +232,7 @@ pub fn construct_weakly_most_general(
 /// Verifies that `q` is a *unique* fitting CQ (Proposition 3.34: `q` is a
 /// most-specific and weakly most-general fitting).
 pub fn verify_unique_fitting(q: &Cq, examples: &LabeledExamples) -> Result<bool> {
-    Ok(verify_most_specific_fitting(q, examples)?
-        && verify_weakly_most_general(q, examples)?)
+    Ok(verify_most_specific_fitting(q, examples)? && verify_weakly_most_general(q, examples)?)
 }
 
 /// Decides whether a unique fitting CQ exists (Theorem 3.35): the canonical
@@ -268,7 +267,11 @@ pub fn construct_unique_fitting(examples: &LabeledExamples) -> Result<Option<Cq>
 /// most-specific fitting, and the certified-counterexample refutations of the
 /// underlying duality check.  A `Yes` answer is produced only when the
 /// duality check is exhaustive (see [`cqfit_duality::check_relativized_duality`]).
-pub fn verify_basis(basis: &[Cq], examples: &LabeledExamples, budget: &SearchBudget) -> Result<Certainty> {
+pub fn verify_basis(
+    basis: &[Cq],
+    examples: &LabeledExamples,
+    budget: &SearchBudget,
+) -> Result<Certainty> {
     for q in basis {
         if !verify_fitting(q, examples)? {
             return Ok(Certainty::No);
@@ -302,8 +305,7 @@ pub fn verify_basis(basis: &[Cq], examples: &LabeledExamples, budget: &SearchBud
         return Ok(Certainty::No);
     }
     let f: Vec<Example> = basis.iter().map(Cq::canonical_example).collect();
-    let outcome =
-        check_relativized_duality(&f, examples.negatives(), &product, &budget.duality);
+    let outcome = check_relativized_duality(&f, examples.negatives(), &product, &budget.duality);
     Ok(outcome.certainty)
 }
 
@@ -394,14 +396,14 @@ mod tests {
     use cqfit_data::{parse_example, Instance};
     use cqfit_query::parse_cq;
 
-    fn labeled(
-        schema: &Arc<Schema>,
-        pos: &[&str],
-        neg: &[&str],
-    ) -> LabeledExamples {
+    fn labeled(schema: &Arc<Schema>, pos: &[&str], neg: &[&str]) -> LabeledExamples {
         LabeledExamples::new(
-            pos.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
-            neg.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
+            pos.iter()
+                .map(|t| parse_example(schema, t).unwrap())
+                .collect(),
+            neg.iter()
+                .map(|t| parse_example(schema, t).unwrap())
+                .collect(),
         )
         .unwrap()
     }
@@ -411,11 +413,7 @@ mod tests {
     #[test]
     fn paper_example_3_6_most_specific() {
         let schema = Arc::new(Schema::new([("R", 3), ("P", 1)]).unwrap());
-        let e = labeled(
-            &schema,
-            &["R(a,a,b)\nP(a)", "R(c,d,d)\nP(c)"],
-            &[],
-        );
+        let e = labeled(&schema, &["R(a,a,b)\nP(a)", "R(c,d,d)\nP(c)"], &[]);
         // The negative example is the empty instance; an empty instance has
         // an empty active domain, so we model it as "no negative examples"
         // plus the observation below (every Boolean CQ with at least one
@@ -442,7 +440,7 @@ mod tests {
         // It is a singleton basis; verification must not refute it.
         let budget = SearchBudget::default();
         assert_ne!(
-            verify_basis(&[q_edge.clone()], &e1, &budget).unwrap(),
+            verify_basis(std::slice::from_ref(&q_edge), &e1, &budget).unwrap(),
             Certainty::No
         );
 
@@ -589,7 +587,9 @@ mod tests {
         let neg = Example::boolean(j);
         let e = LabeledExamples::new(vec![pos], vec![neg]).unwrap();
         // Fitting CQs must mention Q; the most general one is q() :- Q(x).
-        let basis = construct_basis(&e, &SearchBudget::default()).unwrap().unwrap();
+        let basis = construct_basis(&e, &SearchBudget::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(basis.len(), 1);
         let expected = parse_cq(&schema, "q() :- Q(x)").unwrap();
         assert!(basis[0].equivalent_to(&expected).unwrap());

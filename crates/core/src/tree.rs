@@ -94,7 +94,11 @@ pub fn construct_fitting(
         let Ok(q) = TreeCq::from_rooted(tree) else {
             continue; // unsafe at depth 0 (unlabeled root); go deeper
         };
-        if !examples.negatives().iter().any(|neg| q.is_satisfied_in(neg)) {
+        if !examples
+            .negatives()
+            .iter()
+            .any(|neg| q.is_satisfied_in(neg))
+        {
             debug_assert!(examples.positives().iter().all(|e| q.is_satisfied_in(e)));
             return Ok(Some(q));
         }
@@ -375,10 +379,7 @@ pub fn verify_weakly_most_general(q: &TreeCq, examples: &LabeledExamples) -> Res
 
 /// A frontier member of `q` witnessing that `q` is not weakly most-general
 /// among tree CQs (see [`verify_weakly_most_general`]), if any.
-fn weakly_most_general_witness(
-    q: &TreeCq,
-    examples: &LabeledExamples,
-) -> Result<Option<Example>> {
+fn weakly_most_general_witness(q: &TreeCq, examples: &LabeledExamples) -> Result<Option<Example>> {
     for m in frontier_examples(q.as_cq())? {
         let root = m.distinguished()[0];
         if !m.instance().is_active(root) {
@@ -511,8 +512,7 @@ pub fn verify_basis(
         });
     }
     let f: Vec<Example> = basis.iter().map(TreeCq::canonical_example).collect();
-    let outcome =
-        check_simulation_duality(&f, examples.negatives(), &product, &budget.duality);
+    let outcome = check_simulation_duality(&f, examples.negatives(), &product, &budget.duality);
     Ok(outcome.certainty)
 }
 
@@ -525,8 +525,12 @@ mod tests {
 
     fn labeled(schema: &Arc<Schema>, pos: &[&str], neg: &[&str]) -> LabeledExamples {
         LabeledExamples::new(
-            pos.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
-            neg.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
+            pos.iter()
+                .map(|t| parse_example(schema, t).unwrap())
+                .collect(),
+            neg.iter()
+                .map(|t| parse_example(schema, t).unwrap())
+                .collect(),
         )
         .unwrap()
     }
@@ -542,7 +546,9 @@ mod tests {
         let schema = Schema::binary_schema([], ["R"]);
         let e = labeled(&schema, &["R(a,a)\n* a"], &["R(a,b)\nR(b,a)\n* a"]);
         assert!(!fitting_exists(&e).unwrap());
-        assert!(construct_fitting(&e, &SearchBudget::default()).unwrap().is_none());
+        assert!(construct_fitting(&e, &SearchBudget::default())
+            .unwrap()
+            .is_none());
         // An unrestricted CQ does fit (Example 5.1).
         assert!(crate::cq::fitting_exists(&e).unwrap());
     }
@@ -554,7 +560,9 @@ mod tests {
         let schema = Schema::binary_schema([], ["R"]);
         let e = labeled(&schema, &["R(a,a)\n* a"], &[]);
         assert!(fitting_exists(&e).unwrap());
-        let q = construct_fitting(&e, &SearchBudget::default()).unwrap().unwrap();
+        let q = construct_fitting(&e, &SearchBudget::default())
+            .unwrap()
+            .unwrap();
         assert!(verify_fitting(&q, &e).unwrap());
         assert!(!most_specific_exists(&e).unwrap());
         assert!(construct_most_specific(&e, &SearchBudget::default())
@@ -666,7 +674,9 @@ mod tests {
             &["R(a,b)\n* a"],
         );
         assert!(fitting_exists(&e).unwrap());
-        let q = construct_fitting(&e, &SearchBudget::default()).unwrap().unwrap();
+        let q = construct_fitting(&e, &SearchBudget::default())
+            .unwrap()
+            .unwrap();
         assert!(verify_fitting(&q, &e).unwrap());
         assert!(q.depth() >= 1);
     }

@@ -91,7 +91,11 @@ pub fn verify_most_general_fitting(
     if !verify_fitting(q, examples)? {
         return Ok(Certainty::No);
     }
-    let f: Vec<Example> = q.disjuncts().iter().map(|d| d.canonical_example()).collect();
+    let f: Vec<Example> = q
+        .disjuncts()
+        .iter()
+        .map(|d| d.canonical_example())
+        .collect();
     Ok(check_hom_duality(&f, examples.negatives(), &budget.duality).certainty)
 }
 
@@ -164,8 +168,12 @@ mod tests {
 
     fn labeled(schema: &Arc<Schema>, pos: &[&str], neg: &[&str]) -> LabeledExamples {
         LabeledExamples::new(
-            pos.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
-            neg.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
+            pos.iter()
+                .map(|t| parse_example(schema, t).unwrap())
+                .collect(),
+            neg.iter()
+                .map(|t| parse_example(schema, t).unwrap())
+                .collect(),
         )
         .unwrap()
     }
@@ -196,7 +204,10 @@ mod tests {
             verify_most_general_fitting(&q, &e, &budget).unwrap(),
             Certainty::Yes
         );
-        assert_eq!(verify_unique_fitting(&q, &e, &budget).unwrap(), Certainty::Yes);
+        assert_eq!(
+            verify_unique_fitting(&q, &e, &budget).unwrap(),
+            Certainty::Yes
+        );
         assert_eq!(unique_fitting_exists(&e, &budget).unwrap(), Certainty::Yes);
         let constructed = construct_unique_fitting(&e, &budget).unwrap().unwrap();
         assert!(constructed.equivalent_to(&q).unwrap());
@@ -235,10 +246,9 @@ mod tests {
         for i in 0..15 {
             cycle15.push_str(&format!("R(v{}, v{})\n", i, (i + 1) % 15));
         }
-        let c15_cq = cqfit_query::Cq::from_example(
-            &cqfit_data::parse_example(&schema, &cycle15).unwrap(),
-        )
-        .unwrap();
+        let c15_cq =
+            cqfit_query::Cq::from_example(&cqfit_data::parse_example(&schema, &cycle15).unwrap())
+                .unwrap();
         let c15 = Ucq::new(vec![c15_cq]).unwrap();
         assert!(verify_fitting(&c15, &e).unwrap());
         assert!(!verify_most_specific_fitting(&c15, &e).unwrap());

@@ -88,7 +88,9 @@ impl Example {
     /// True if every distinguished value occurs in some fact, i.e. the
     /// pointed instance is a data example in the sense of §2.1.
     pub fn is_data_example(&self) -> bool {
-        self.distinguished.iter().all(|&d| self.instance.is_active(d))
+        self.distinguished
+            .iter()
+            .all(|&d| self.instance.is_active(d))
     }
 
     /// True if the example has the Unique Names Property: no value repeats in
@@ -141,14 +143,14 @@ impl Example {
         use std::collections::HashMap;
         let n = self.instance.num_facts();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
             }
             x
         }
-        fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+        fn union(parent: &mut [usize], a: usize, b: usize) {
             let ra = find(parent, a);
             let rb = find(parent, b);
             if ra != rb {
@@ -175,7 +177,10 @@ impl Example {
         let mut groups: HashMap<usize, Vec<crate::FactId>> = HashMap::new();
         for fi in 0..n {
             let root = find(&mut parent, fi);
-            groups.entry(root).or_default().push(crate::FactId(fi as u32));
+            groups
+                .entry(root)
+                .or_default()
+                .push(crate::FactId(fi as u32));
         }
         let mut out: Vec<Vec<crate::FactId>> = groups.into_values().collect();
         out.sort_by_key(|g| g.first().copied());

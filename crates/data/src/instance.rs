@@ -89,7 +89,9 @@ impl Instance {
 
     /// Adds `n` fresh values labeled `prefix0 … prefix{n-1}` and returns them.
     pub fn add_values(&mut self, prefix: &str, n: usize) -> Vec<Value> {
-        (0..n).map(|i| self.add_value(format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.add_value(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Looks up a value by label (linear scan; intended for small, hand-built
@@ -154,7 +156,10 @@ impl Instance {
             return Ok(id);
         }
         let id = FactId(self.facts.len() as u32);
-        self.facts.push(Fact { rel, args: args.to_vec() });
+        self.facts.push(Fact {
+            rel,
+            args: args.to_vec(),
+        });
         self.by_rel[rel.index()].push(id);
         let mut seen = HashSet::new();
         for &a in args {
@@ -337,7 +342,8 @@ impl Instance {
         self.by_rel = vec![Vec::new(); self.schema.len()];
         self.by_value = vec![Vec::new(); self.labels.len()];
         for f in facts {
-            self.add_fact(f.rel, &f.args).expect("previously valid fact");
+            self.add_fact(f.rel, &f.args)
+                .expect("previously valid fact");
         }
     }
 

@@ -19,7 +19,10 @@ impl LabeledExamples {
     /// Creates a collection, checking schema and arity consistency and that
     /// every member is a data example.
     pub fn new(positives: Vec<Example>, negatives: Vec<Example>) -> Result<Self> {
-        let col = LabeledExamples { positives, negatives };
+        let col = LabeledExamples {
+            positives,
+            negatives,
+        };
         col.validate()?;
         Ok(col)
     }
@@ -93,9 +96,7 @@ impl LabeledExamples {
         let mut arity: Option<usize> = None;
         for (e, _) in self.all() {
             if !e.is_data_example() {
-                return Err(DataError::DistinguishedOutsideActiveDomain(format!(
-                    "{e}"
-                )));
+                return Err(DataError::DistinguishedOutsideActiveDomain(format!("{e}")));
             }
             match schema {
                 None => schema = Some(e.instance().schema()),

@@ -56,7 +56,10 @@ fn parse_inner(schema: &Arc<Schema>, text: &str) -> Result<(Instance, Vec<String
             .find('(')
             .ok_or_else(|| DataError::Parse(format!("line {}: missing `(`", lineno + 1)))?;
         if !line.ends_with(')') {
-            return Err(DataError::Parse(format!("line {}: missing `)`", lineno + 1)));
+            return Err(DataError::Parse(format!(
+                "line {}: missing `)`",
+                lineno + 1
+            )));
         }
         let rel_name = line[..open].trim();
         let args_str = &line[open + 1..line.len() - 1];

@@ -41,7 +41,9 @@ pub struct Schema {
 impl Schema {
     /// Starts building a schema.
     pub fn builder() -> SchemaBuilder {
-        SchemaBuilder { relations: Vec::new() }
+        SchemaBuilder {
+            relations: Vec::new(),
+        }
     }
 
     /// Builds a schema directly from `(name, arity)` pairs.

@@ -174,7 +174,12 @@ fn check_duality_impl(
     let Some(schema) = schema else {
         return DualityOutcome::yes("empty inputs form a trivial duality");
     };
-    let arity = f.first().or_else(|| d.first()).or(p).map(Example::arity).unwrap_or(0);
+    let arity = f
+        .first()
+        .or_else(|| d.first())
+        .or(p)
+        .map(Example::arity)
+        .unwrap_or(0);
 
     // Necessary condition 1 (homomorphism mode): after reduction to an
     // antichain of cores, every left-hand side must be c-acyclic
@@ -323,7 +328,8 @@ fn antichain_min(f: &[Example], mode: Mode) -> Vec<Example> {
     }
     f.iter()
         .zip(keep)
-        .filter_map(|(e, k)| k.then(|| e.clone()))
+        .filter(|&(_e, k)| k)
+        .map(|(e, _k)| e.clone())
         .collect()
 }
 
@@ -419,11 +425,17 @@ fn build_unary_example(
 
 /// A directed cycle of the given length over one binary relation, with the
 /// distinguished tuple repeating the first vertex.
-fn cycle_example(schema: &Arc<Schema>, rel: cqfit_data::RelId, len: usize, arity: usize) -> Example {
+fn cycle_example(
+    schema: &Arc<Schema>,
+    rel: cqfit_data::RelId,
+    len: usize,
+    arity: usize,
+) -> Example {
     let mut inst = Instance::new(schema.clone());
     let vs: Vec<Value> = (0..len).map(|i| inst.add_value(format!("c{i}"))).collect();
     for i in 0..len {
-        inst.add_fact(rel, &[vs[i], vs[(i + 1) % len]]).expect("cycle fact");
+        inst.add_fact(rel, &[vs[i], vs[(i + 1) % len]])
+            .expect("cycle fact");
     }
     let dist = (0..arity).map(|i| vs[i % len]).collect();
     Example::new(inst, dist)
@@ -595,15 +607,11 @@ mod tests {
         };
         let order3 = {
             // Transitive tournament on 4 vertices = linear order of length 3.
-            parse_example(
-                &schema,
-                "R(a,b)\nR(a,c)\nR(a,d)\nR(b,c)\nR(b,d)\nR(c,d)",
-            )
-            .unwrap()
+            parse_example(&schema, "R(a,b)\nR(a,c)\nR(a,d)\nR(b,c)\nR(b,d)\nR(c,d)").unwrap()
         };
         let ok = check_hom_duality(
-            &[path4.clone()],
-            &[order3.clone()],
+            std::slice::from_ref(&path4),
+            std::slice::from_ref(&order3),
             &DualityConfig::default(),
         );
         assert_ne!(ok.certainty, Certainty::No, "{}", ok.reason);
@@ -659,12 +667,22 @@ mod tests {
         let schema = Schema::digraph();
         let edge = parse_example(&schema, "R(a,b)").unwrap();
         let p = edge.clone();
-        let out = check_relativized_duality(&[edge.clone()], &[], &p, &DualityConfig::default());
+        let out = check_relativized_duality(
+            std::slice::from_ref(&edge),
+            &[],
+            &p,
+            &DualityConfig::default(),
+        );
         assert_ne!(out.certainty, Certainty::Yes);
 
         // ({}, {edge}) relative to p = edge *is* a duality (everything below
         // the edge is below the edge); the check must not refute it.
-        let out = check_relativized_duality(&[], &[edge.clone()], &p, &DualityConfig::default());
+        let out = check_relativized_duality(
+            &[],
+            std::slice::from_ref(&edge),
+            &p,
+            &DualityConfig::default(),
+        );
         assert_ne!(out.certainty, Certainty::No, "{}", out.reason);
     }
 

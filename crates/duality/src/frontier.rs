@@ -150,9 +150,9 @@ fn replicate_component(core: &Example, components: &[Vec<FactId>], target: usize
         let fact = inst.fact(fid);
         for &v in &fact.args {
             if !distinguished_set.contains(&v) {
-                ex_replica.entry((v, fid)).or_insert_with(|| {
-                    out.add_value(format!("u_({},f{})", inst.label(v), fid.0))
-                });
+                ex_replica
+                    .entry((v, fid))
+                    .or_insert_with(|| out.add_value(format!("u_({},f{})", inst.label(v), fid.0)));
             }
         }
     }
@@ -191,7 +191,8 @@ fn replicate_component(core: &Example, components: &[Vec<FactId>], target: usize
                     .zip(&position_choices)
                     .map(|(&i, choices)| choices[i])
                     .collect();
-                out.add_fact(fact.rel, &args).expect("replica fact is valid");
+                out.add_fact(fact.rel, &args)
+                    .expect("replica fact is valid");
             }
             // Advance the mixed-radix counter.
             let mut pos = 0;
@@ -249,7 +250,8 @@ fn replicate_component(core: &Example, components: &[Vec<FactId>], target: usize
                         .zip(&position_choices)
                         .map(|(&i, choices)| choices[i])
                         .collect();
-                    out.add_fact(fact.rel, &args).expect("inherited fact is valid");
+                    out.add_fact(fact.rel, &args)
+                        .expect("inherited fact is valid");
                 }
                 let mut pos = 0;
                 loop {
@@ -357,11 +359,7 @@ mod tests {
         assert_eq!(frontier.len(), 2, "one member per connected component");
         // The paper's frontier members:
         let f1 = parse_cq(&schema, "q(x) :- R(x,x), S(u,v)").unwrap();
-        let f2 = parse_cq(
-            &schema,
-            "q(x) :- R(x,y), R(y,x), R(y,y), S(u,v), S(v,w)",
-        )
-        .unwrap();
+        let f2 = parse_cq(&schema, "q(x) :- R(x,y), R(y,x), R(y,y), S(u,v), S(v,w)").unwrap();
         check_frontier_properties(&q2, &[f1, f2], &[]);
     }
 
@@ -380,7 +378,10 @@ mod tests {
     fn unp_required() {
         let schema = Schema::digraph();
         let q = parse_cq(&schema, "q(x,x) :- R(x,y)").unwrap();
-        assert_eq!(frontier_examples(&q).unwrap_err(), FrontierError::RequiresUnp);
+        assert_eq!(
+            frontier_examples(&q).unwrap_err(),
+            FrontierError::RequiresUnp
+        );
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! Frontier constructions are exact.  Duality *checking* is, as the paper
 //! itself discusses (Proposition 4.7 leaves the complexity of `HomDual`
 //! open between NP-hard and ExpTime), a hard problem; the checks in
-//! [`duality`] are three-valued: `No` answers are certified by an explicit
+//! [`check_hom_duality`] / [`check_simulation_duality`] are three-valued:
+//! `No` answers are certified by an explicit
 //! counterexample, `Yes` answers are produced only on fragments where the
 //! check is provably complete (e.g. schemas with only unary relations), and
 //! `Unknown` is returned when the configured search budget is exhausted.

@@ -8,7 +8,7 @@ pub fn primes(n: usize) -> Vec<usize> {
     let mut out = Vec::with_capacity(n);
     let mut candidate = 2usize;
     while out.len() < n {
-        if (2..candidate).all(|d| d * d > candidate || candidate % d != 0) {
+        if (2..candidate).all(|d| d * d > candidate || !candidate.is_multiple_of(d)) {
             out.push(candidate);
         }
         candidate += 1;
@@ -23,7 +23,8 @@ pub fn directed_cycle(schema: &Arc<Schema>, len: usize) -> Example {
     let mut inst = Instance::new(schema.clone());
     let vs: Vec<Value> = (0..len).map(|i| inst.add_value(format!("c{i}"))).collect();
     for i in 0..len {
-        inst.add_fact(rel, &[vs[i], vs[(i + 1) % len]]).expect("cycle");
+        inst.add_fact(rel, &[vs[i], vs[(i + 1) % len]])
+            .expect("cycle");
     }
     Example::boolean(inst)
 }
@@ -334,10 +335,12 @@ pub fn lra_family(n: usize) -> LabeledExamples {
 pub fn empinfo_database() -> (Arc<Schema>, Instance, LabeledExamples) {
     let schema = Arc::new(Schema::new([("EmpInfo", 3)]).unwrap());
     let mut inst = Instance::new(schema.clone());
-    inst.add_fact_labels("EmpInfo", &["Hilbert", "Math", "Gauss"]).unwrap();
+    inst.add_fact_labels("EmpInfo", &["Hilbert", "Math", "Gauss"])
+        .unwrap();
     inst.add_fact_labels("EmpInfo", &["Turing", "ComputerScience", "vonNeumann"])
         .unwrap();
-    inst.add_fact_labels("EmpInfo", &["Einstein", "Physics", "Gauss"]).unwrap();
+    inst.add_fact_labels("EmpInfo", &["Einstein", "Physics", "Gauss"])
+        .unwrap();
     let labeled = |name: &str| {
         let v = inst.value_by_label(name).unwrap();
         Example::new(inst.clone(), vec![v])

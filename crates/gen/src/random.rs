@@ -8,6 +8,12 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Parameters of the random generators.
+///
+/// Generation is **deterministic**: every generator derives its randomness
+/// from [`RandomConfig::seed`] via `StdRng::seed_from_u64`, so two runs
+/// with identical configurations produce identical workloads.  This is what
+/// makes `tests/properties.rs` and the size-family benchmarks reproducible
+/// run-to-run; never draw from an OS-seeded source here.
 #[derive(Debug, Clone)]
 pub struct RandomConfig {
     /// Number of domain elements per instance.
@@ -20,7 +26,10 @@ pub struct RandomConfig {
     pub num_positive: usize,
     /// Number of negative examples for labeled collections.
     pub num_negative: usize,
-    /// Random seed.
+    /// Seed for the deterministic generator (`StdRng::seed_from_u64`).
+    ///
+    /// Defaults to `42`; keep a fixed value to make test and benchmark
+    /// workloads reproducible run-to-run.
     pub seed: u64,
 }
 
@@ -106,7 +115,15 @@ pub fn random_tree_cq(
     let binaries: Vec<_> = schema.binary_rels().collect();
     loop {
         let mut tree = RootedTree::new(schema.clone());
-        grow(&mut tree, 0, max_depth, max_branching, &unaries, &binaries, rng);
+        grow(
+            &mut tree,
+            0,
+            max_depth,
+            max_branching,
+            &unaries,
+            &binaries,
+            rng,
+        );
         if let Ok(q) = TreeCq::from_rooted(tree) {
             return q;
         }
@@ -140,7 +157,15 @@ fn grow(
             Role::converse(rel)
         };
         let child = tree.add_child(node, role).expect("binary");
-        grow(tree, child, depth - 1, max_branching, unaries, binaries, rng);
+        grow(
+            tree,
+            child,
+            depth - 1,
+            max_branching,
+            unaries,
+            binaries,
+            rng,
+        );
     }
 }
 
@@ -161,7 +186,10 @@ mod tests {
     #[test]
     fn random_generation_is_deterministic_per_seed() {
         let schema = Schema::digraph();
-        let cfg = RandomConfig { arity: 0, ..RandomConfig::default() };
+        let cfg = RandomConfig {
+            arity: 0,
+            ..RandomConfig::default()
+        };
         let a = random_labeled_examples(&schema, &cfg);
         let b = random_labeled_examples(&schema, &cfg);
         assert_eq!(a.total_size(), b.total_size());

@@ -26,11 +26,7 @@ pub fn core_of(e: &Example) -> Example {
             .filter(|v| current.instance().is_active(*v) && !distinguished.contains(v))
             .collect();
         for v in candidates {
-            let keep: HashSet<Value> = current
-                .instance()
-                .values()
-                .filter(|&w| w != v)
-                .collect();
+            let keep: HashSet<Value> = current.instance().values().filter(|&w| w != v).collect();
             let (sub, map) = current.instance().induced(&keep);
             let dist: Vec<Value> = current.distinguished().iter().map(|d| map[d]).collect();
             let target = Example::new(sub, dist);

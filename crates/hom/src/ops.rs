@@ -48,9 +48,9 @@ pub fn direct_product(e1: &Example, e2: &Example) -> Result<Example> {
     let mut out = Instance::new(schema.clone());
     let mut pair_value: HashMap<(Value, Value), Value> = HashMap::new();
     let mut value_of = |out: &mut Instance, a: Value, b: Value| -> Value {
-        *pair_value.entry((a, b)).or_insert_with(|| {
-            out.add_value(format!("({}|{})", i1.label(a), i2.label(b)))
-        })
+        *pair_value
+            .entry((a, b))
+            .or_insert_with(|| out.add_value(format!("({}|{})", i1.label(a), i2.label(b))))
     };
     for rel in schema.rel_ids() {
         for &f1 in i1.facts_with_rel(rel) {
@@ -131,11 +131,12 @@ pub fn disjoint_union(e1: &Example, e2: &Example) -> Result<Example> {
 /// # Errors
 /// Fails on an empty input or on any pairwise failure of [`disjoint_union`].
 pub fn disjoint_union_of(examples: &[Example]) -> Result<Example> {
-    let (first, rest) = examples
-        .split_first()
-        .ok_or(HomError::Data(cqfit_data::DataError::Parse(
-            "disjoint union of an empty family".into(),
-        )))?;
+    let (first, rest) =
+        examples
+            .split_first()
+            .ok_or(HomError::Data(cqfit_data::DataError::Parse(
+                "disjoint union of an empty family".into(),
+            )))?;
     let mut acc = first.clone();
     for e in rest {
         acc = disjoint_union(&acc, e)?;
@@ -154,10 +155,7 @@ mod tests {
         for (a, b) in facts {
             i.add_fact_labels("R", &[a, b]).unwrap();
         }
-        let d = dist
-            .iter()
-            .map(|l| i.value_by_label(l).unwrap())
-            .collect();
+        let d = dist.iter().map(|l| i.value_by_label(l).unwrap()).collect();
         Example::new(i, d)
     }
 

@@ -220,9 +220,9 @@ impl<'a> Problem<'a> {
         let mut vars = Vec::new();
         let mut forced: Vec<Option<Value>> = Vec::new();
         let add_var = |v: Value,
-                           var_of_value: &mut Vec<usize>,
-                           vars: &mut Vec<Value>,
-                           forced: &mut Vec<Option<Value>>| {
+                       var_of_value: &mut Vec<usize>,
+                       vars: &mut Vec<Value>,
+                       forced: &mut Vec<Option<Value>>| {
             if var_of_value[v.index()] == usize::MAX {
                 var_of_value[v.index()] = vars.len();
                 vars.push(v);
@@ -308,13 +308,13 @@ impl<'a> Problem<'a> {
 
     /// Runs arc consistency over all constraints; returns false if some
     /// candidate set becomes empty.
-    fn propagate_all(&self, cands: &mut Vec<BitSet>) -> bool {
+    fn propagate_all(&self, cands: &mut [BitSet]) -> bool {
         let queue: Vec<usize> = (0..self.constraints.len()).collect();
         self.propagate(cands, queue)
     }
 
     /// Generalised arc consistency from an initial worklist of constraints.
-    fn propagate(&self, cands: &mut Vec<BitSet>, mut queue: Vec<usize>) -> bool {
+    fn propagate(&self, cands: &mut [BitSet], mut queue: Vec<usize>) -> bool {
         let mut queued = vec![false; self.constraints.len()];
         for &q in &queue {
             queued[q] = true;
@@ -324,8 +324,9 @@ impl<'a> Problem<'a> {
             let c = &self.constraints[ci];
             let n = c.arg_vars.len();
             // Supports per position.
-            let mut supports: Vec<BitSet> =
-                (0..n).map(|_| BitSet::empty(self.dst.num_values())).collect();
+            let mut supports: Vec<BitSet> = (0..n)
+                .map(|_| BitSet::empty(self.dst.num_values()))
+                .collect();
             'facts: for &fid in self.dst.facts_with_rel(c.fact.rel) {
                 let df = self.dst.fact(fid);
                 // Check consistency with candidate sets and repeated variables.
@@ -339,13 +340,13 @@ impl<'a> Problem<'a> {
                         }
                     }
                 }
-                for i in 0..n {
-                    supports[i].insert(df.args[i].index());
+                for (i, support) in supports.iter_mut().enumerate() {
+                    support.insert(df.args[i].index());
                 }
             }
-            for i in 0..n {
+            for (i, support) in supports.iter().enumerate() {
                 let var = c.arg_vars[i];
-                if cands[var].intersect_with(&supports[i]) {
+                if cands[var].intersect_with(support) {
                     if cands[var].is_empty() {
                         return false;
                     }

@@ -27,7 +27,10 @@ impl SimulationRelation {
 
     /// All target values that simulate the source value `a`.
     pub fn successors(&self, a: Value) -> Vec<Value> {
-        self.sets[a.index()].iter().map(|i| Value(i as u32)).collect()
+        self.sets[a.index()]
+            .iter()
+            .map(|i| Value(i as u32))
+            .collect()
     }
 
     /// Number of pairs in the relation.
@@ -229,10 +232,7 @@ mod tests {
         let mut i = Instance::new(schema);
         i.add_fact_labels("T", &["a", "b", "c"]).unwrap();
         let e = Example::boolean(i);
-        assert_eq!(
-            simulates(&e, &e).unwrap_err(),
-            HomError::NonBinarySchema
-        );
+        assert_eq!(simulates(&e, &e).unwrap_err(), HomError::NonBinarySchema);
     }
 
     #[test]

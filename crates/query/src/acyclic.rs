@@ -48,7 +48,7 @@ fn acyclic_modulo(e: &Example, excluded: &HashSet<Value>) -> bool {
     let n_vals = inst.num_values();
     let n_facts = inst.num_facts();
     let mut parent: Vec<usize> = (0..n_vals + n_facts).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

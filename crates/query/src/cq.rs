@@ -140,7 +140,8 @@ impl Cq {
             .collect();
         for a in &self.atoms {
             let args: Vec<Value> = a.args.iter().map(|v| vals[v.index()]).collect();
-            inst.add_fact(a.rel, &args).expect("atom arity checked at build time");
+            inst.add_fact(a.rel, &args)
+                .expect("atom arity checked at build time");
         }
         let dist = self.answer_vars.iter().map(|v| vals[v.index()]).collect();
         Example::new(inst, dist)
@@ -204,11 +205,7 @@ impl Cq {
         let mut seen = HashSet::new();
         let mut out = Vec::new();
         for h in homs {
-            let tuple: Vec<Value> = canon
-                .distinguished()
-                .iter()
-                .map(|d| h.apply(*d))
-                .collect();
+            let tuple: Vec<Value> = canon.distinguished().iter().map(|d| h.apply(*d)).collect();
             if seen.insert(tuple.clone()) {
                 out.push(tuple);
             }
@@ -365,7 +362,10 @@ impl CqBuilder {
             });
         }
         let vars: Vec<Variable> = args.iter().map(|a| self.var(*a)).collect();
-        self.atoms.push(Atom { rel: rel_id, args: vars });
+        self.atoms.push(Atom {
+            rel: rel_id,
+            args: vars,
+        });
         Ok(self)
     }
 
@@ -469,7 +469,10 @@ mod tests {
         i.add_fact_labels("R", &["a", "b"]).unwrap();
         let c = i.add_value("c");
         let e = Example::new(i, vec![c]);
-        assert_eq!(Cq::from_example(&e).unwrap_err(), QueryError::NotADataExample);
+        assert_eq!(
+            Cq::from_example(&e).unwrap_err(),
+            QueryError::NotADataExample
+        );
     }
 
     #[test]
@@ -541,7 +544,10 @@ mod tests {
     fn incompatible_containment_rejected() {
         let q1 = cq("q(x) :- R(x,y)");
         let q2 = cq("q() :- R(x,y)");
-        assert_eq!(q1.is_contained_in(&q2).unwrap_err(), QueryError::Incompatible);
+        assert_eq!(
+            q1.is_contained_in(&q2).unwrap_err(),
+            QueryError::Incompatible
+        );
     }
 
     #[test]

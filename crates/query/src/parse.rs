@@ -45,7 +45,9 @@ pub fn parse_cq(schema: &Arc<Schema>, text: &str) -> Result<Cq> {
                 .find('(')
                 .ok_or_else(|| QueryError::Parse(format!("missing `(` in atom `{atom_text}`")))?;
             if !atom_text.ends_with(')') {
-                return Err(QueryError::Parse(format!("missing `)` in atom `{atom_text}`")));
+                return Err(QueryError::Parse(format!(
+                    "missing `)` in atom `{atom_text}`"
+                )));
             }
             let rel = atom_text[..open].trim();
             let args: Vec<&str> = atom_text[open + 1..atom_text.len() - 1]

@@ -27,7 +27,10 @@ pub struct Role {
 impl Role {
     /// The forward role `R`.
     pub fn forward(rel: RelId) -> Self {
-        Role { rel, inverse: false }
+        Role {
+            rel,
+            inverse: false,
+        }
     }
 
     /// The converse role `R⁻`.

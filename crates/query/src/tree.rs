@@ -84,8 +84,10 @@ impl TreeCq {
         if self.cq.schema().as_ref() != other.cq.schema().as_ref() {
             return Err(QueryError::Incompatible);
         }
-        Ok(simulates(&other.canonical_example(), &self.canonical_example())
-            .expect("binary schemas"))
+        Ok(
+            simulates(&other.canonical_example(), &self.canonical_example())
+                .expect("binary schemas"),
+        )
     }
 
     /// Equivalence of tree CQs.
@@ -168,7 +170,9 @@ mod tests {
     fn paper_example_tree_and_non_tree() {
         // From §5: q(x) :- R(x,y), S(x,z), A(z) is a tree CQ;
         // q(x) :- R(x,y), S(x,y) is not.
-        assert!(TreeCq::try_new(parse_cq(&schema(), "q(x) :- R(x,y), S(x,z), A(z)").unwrap()).is_ok());
+        assert!(
+            TreeCq::try_new(parse_cq(&schema(), "q(x) :- R(x,y), S(x,z), A(z)").unwrap()).is_ok()
+        );
         assert!(TreeCq::try_new(parse_cq(&schema(), "q(x) :- R(x,y), S(x,y)").unwrap()).is_err());
     }
 
@@ -190,9 +194,7 @@ mod tests {
         let more_general = tree_cq("q(x) :- R(x,y)");
         assert!(more_specific.is_contained_in(&more_general).unwrap());
         assert!(!more_general.is_contained_in(&more_specific).unwrap());
-        assert!(more_specific
-            .strictly_contained_in(&more_general)
-            .unwrap());
+        assert!(more_specific.strictly_contained_in(&more_general).unwrap());
     }
 
     #[test]

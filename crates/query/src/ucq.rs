@@ -147,7 +147,8 @@ impl Ucq {
                 .disjuncts
                 .iter()
                 .zip(keep)
-                .filter_map(|(d, k)| k.then(|| d.clone()))
+                .filter(|&(_d, k)| k)
+                .map(|(d, _k)| d.clone())
                 .collect(),
         }
     }

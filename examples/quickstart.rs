@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k2 = parse_example(&schema, "R(a,b)\nR(b,a)")?;
     let examples = LabeledExamples::new(vec![c3, c5], vec![k2])?;
 
-    println!("fitting CQ exists:          {}", cq::fitting_exists(&examples)?);
+    println!(
+        "fitting CQ exists:          {}",
+        cq::fitting_exists(&examples)?
+    );
 
     // The most-specific fitting CQ is the canonical CQ of the direct product
     // of the positive examples (Theorem 3.3 / Proposition 3.5).
@@ -26,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         most_specific.num_atoms(),
         most_specific.num_variables()
     );
-    println!("  core size: {} variables", most_specific.core().num_variables());
+    println!(
+        "  core size: {} variables",
+        most_specific.core().num_variables()
+    );
     assert!(cq::verify_fitting(&most_specific, &examples)?);
     assert!(cq::verify_most_specific_fitting(&most_specific, &examples)?);
 
@@ -36,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "most-specific is weakly most-general: {}",
         cq::verify_weakly_most_general(&most_specific.core(), &examples)?
     );
-    println!("unique fitting exists:       {}", cq::unique_fitting_exists(&examples)?);
+    println!(
+        "unique fitting exists:       {}",
+        cq::unique_fitting_exists(&examples)?
+    );
 
     // The bounded search for a weakly most-general fitting reports Unknown
     // here, reflecting Example 3.10(3) of the paper.

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let examples = LabeledExamples::new(vec![pos], vec![neg1, neg2])?;
     let budget = SearchBudget::default();
 
-    println!("fitting tree CQ exists:        {}", tree::fitting_exists(&examples)?);
+    println!(
+        "fitting tree CQ exists:        {}",
+        tree::fitting_exists(&examples)?
+    );
 
     let fitting = tree::construct_fitting(&examples, &budget)?.expect("fitting exists");
     println!("a fitting tree CQ:             {fitting}");

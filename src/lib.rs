@@ -1,0 +1,25 @@
+//! # cqfit-suite
+//!
+//! Umbrella package for the `cqfit` workspace.  It carries the repo-level
+//! integration tests (`tests/`) and the runnable examples (`examples/`), and
+//! re-exports every member crate so that one `use cqfit_suite::*` path is
+//! enough to script against the whole stack.
+//!
+//! The member crates, in dependency order:
+//!
+//! 1. [`cqfit_data`] — schemas, instances, labeled examples,
+//! 2. [`cqfit_query`] — CQs, UCQs and tree CQs,
+//! 3. [`cqfit_hom`] — homomorphism search, cores, products, simulations,
+//! 4. [`cqfit_duality`] — frontiers and (simulation) dualities,
+//! 5. [`cqfit_gen`] — paper families and random workloads,
+//! 6. [`cqfit`] — the fitting algorithms themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cqfit;
+pub use cqfit_data;
+pub use cqfit_duality;
+pub use cqfit_gen;
+pub use cqfit_hom;
+pub use cqfit_query;

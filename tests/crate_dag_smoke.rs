@@ -1,0 +1,123 @@
+//! Smoke tests for the workspace dependency DAG.
+//!
+//! One test per public crate entry point, exercising the canonical
+//! pipeline `parse → product → core → frontier → fit`.  The point is not
+//! algorithmic coverage (the other suites do that) but *linkage*: if a
+//! future manifest change drops a crate from the workspace, breaks a
+//! re-export, or splits a type into two incompatible definitions, these
+//! tests fail loudly at `cargo test` time instead of at link time deep
+//! inside an unrelated suite.
+
+use cqfit_data::{parse_example, LabeledExamples, Schema};
+use cqfit_query::{parse_cq, Cq};
+
+/// `cqfit-data`: schema construction and the example parser.
+#[test]
+fn data_entry_point_parses() {
+    let schema = Schema::digraph();
+    let e = parse_example(&schema, "R(a,b)\nR(b,c)").unwrap();
+    assert_eq!(e.instance().num_facts(), 2);
+    assert_eq!(e.arity(), 0);
+}
+
+/// `cqfit-query`: the CQ parser round-trips through the canonical example.
+#[test]
+fn query_entry_point_parses() {
+    let schema = Schema::digraph();
+    let q = parse_cq(&schema, "q(x) :- R(x,y), R(y,x)").unwrap();
+    assert_eq!(q.arity(), 1);
+    let canon = q.canonical_example();
+    assert_eq!(canon.instance().num_facts(), 2);
+}
+
+/// `cqfit-hom`: direct products and homomorphism search compose.
+#[test]
+fn hom_entry_point_products() {
+    let schema = Schema::digraph();
+    let e1 = parse_example(&schema, "R(a,b)\nR(b,a)").unwrap();
+    let e2 = parse_example(&schema, "R(x,x)").unwrap();
+    let p = cqfit_hom::direct_product(&e1, &e2).unwrap();
+    assert!(cqfit_hom::hom_exists(&p, &e1));
+    assert!(cqfit_hom::hom_exists(&p, &e2));
+    let c = cqfit_hom::core_of(&p);
+    assert!(cqfit_hom::hom_equivalent(&p, &c));
+}
+
+/// `cqfit-duality`: the frontier construction runs on a c-acyclic CQ.
+#[test]
+fn duality_entry_point_frontier() {
+    let schema = Schema::digraph();
+    let q = parse_cq(&schema, "q(x) :- R(x,y)").unwrap();
+    let members = cqfit_duality::frontier_examples(&q).unwrap();
+    let canon = q.canonical_example();
+    for m in &members {
+        assert!(cqfit_hom::hom_exists(m, &canon));
+        assert!(!cqfit_hom::hom_exists(&canon, m));
+    }
+}
+
+/// `cqfit-gen`: generators are deterministic for a fixed seed.
+#[test]
+fn gen_entry_point_deterministic() {
+    let schema = Schema::binary_schema(["A"], ["R"]);
+    let cfg = cqfit_gen::RandomConfig::default();
+    let a = cqfit_gen::random_labeled_examples(&schema, &cfg);
+    let b = cqfit_gen::random_labeled_examples(&schema, &cfg);
+    assert_eq!(a.total_size(), b.total_size());
+    let fact_counts = |e: &cqfit_data::LabeledExamples| -> Vec<usize> {
+        e.positives()
+            .iter()
+            .chain(e.negatives())
+            .map(|ex| ex.instance().num_facts())
+            .collect()
+    };
+    assert_eq!(fact_counts(&a), fact_counts(&b));
+}
+
+/// `cqfit` (core): the full fitting pipeline end-to-end.
+#[test]
+fn core_entry_point_fits() {
+    let schema = Schema::digraph();
+    let pos = parse_example(&schema, "R(a,b)\nR(b,c)\nR(c,a)").unwrap();
+    let neg = parse_example(&schema, "R(a,b)").unwrap();
+    let examples = LabeledExamples::new(vec![pos], vec![neg]).unwrap();
+    assert!(cqfit::cq::fitting_exists(&examples).unwrap());
+    let fit = cqfit::cq::most_specific_fitting(&examples)
+        .unwrap()
+        .unwrap();
+    assert!(cqfit::cq::verify_fitting(&fit, &examples).unwrap());
+}
+
+/// `cqfit-bench` links and exposes its (doc-only) library target.
+#[test]
+fn bench_crate_links() {
+    // The crate has no API surface; depending on it at all is the test.
+    use cqfit_bench as _;
+}
+
+/// Satellite guarantee: `cqfit::Certainty` *is* `cqfit_duality::Certainty` —
+/// one canonical definition, re-exported, not duplicated.
+#[test]
+fn certainty_reexport_is_canonical() {
+    fn takes_duality(c: cqfit_duality::Certainty) -> cqfit::Certainty {
+        c
+    }
+    assert_eq!(
+        takes_duality(cqfit_duality::Certainty::Yes),
+        cqfit::Certainty::Yes
+    );
+    assert_eq!(
+        takes_duality(cqfit_duality::Certainty::Unknown),
+        cqfit::Certainty::Unknown
+    );
+}
+
+/// The re-exported umbrella paths in `cqfit-suite` resolve to the same
+/// crates as the direct dependencies.
+#[test]
+fn suite_reexports_resolve() {
+    let schema = Schema::digraph();
+    let e = cqfit_suite::cqfit_data::parse_example(&schema, "R(a,a)").unwrap();
+    let q: Cq = Cq::from_example(&e).unwrap();
+    assert!(q.is_contained_in(&q).unwrap());
+}

@@ -12,8 +12,12 @@ use std::sync::Arc;
 
 fn labeled(schema: &Arc<Schema>, pos: &[&str], neg: &[&str]) -> LabeledExamples {
     LabeledExamples::new(
-        pos.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
-        neg.iter().map(|t| parse_example(schema, t).unwrap()).collect(),
+        pos.iter()
+            .map(|t| parse_example(schema, t).unwrap())
+            .collect(),
+        neg.iter()
+            .map(|t| parse_example(schema, t).unwrap())
+            .collect(),
     )
     .unwrap()
 }
@@ -162,11 +166,7 @@ fn section_5_tree_examples() {
 #[test]
 fn fitting_set_is_convex() {
     let schema = Schema::digraph();
-    let e = labeled(
-        &schema,
-        &["R(a,b)\nR(b,c)\nR(c,a)"],
-        &["R(a,b)\nR(b,a)"],
-    );
+    let e = labeled(&schema, &["R(a,b)\nR(b,c)\nR(c,a)"], &["R(a,b)\nR(b,a)"]);
     let q1 = parse_cq(&schema, "q() :- R(x,y), R(y,z), R(z,x), R(x,w)").unwrap();
     let q = parse_cq(&schema, "q() :- R(x,y), R(y,z), R(z,x)").unwrap();
     let q2 = parse_cq(

@@ -1,151 +1,188 @@
-//! Property-based tests (proptest) for the core data structures and the
+//! Property-style tests for the core data structures and the
 //! order-theoretic invariants of Section 2.2.
+//!
+//! Every test draws its random cases from a [`StdRng`] with a fixed,
+//! documented seed, so failures reproduce identically run-to-run (no
+//! proptest shrinking, but also no flakiness and no external dependency).
 
 use cqfit_data::{Example, Instance, Schema, Value};
 use cqfit_hom::{core_of, direct_product, disjoint_union, hom_equivalent, hom_exists};
 use cqfit_query::{is_c_acyclic_example, Cq};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A strategy producing small random Boolean examples over the digraph
-/// schema (directed graphs with up to 4 vertices).
-fn digraph_example() -> impl Strategy<Value = Example> {
-    (1usize..=4, proptest::collection::vec((0usize..4, 0usize..4), 0..8)).prop_map(
-        |(n, edges)| {
-            let schema = Schema::digraph();
-            let rel = schema.rel("R").unwrap();
-            let mut inst = Instance::new(schema);
-            let vs: Vec<Value> = (0..n).map(|i| inst.add_value(format!("v{i}"))).collect();
-            for (a, b) in edges {
-                inst.add_fact(rel, &[vs[a % n], vs[b % n]]).unwrap();
-            }
-            Example::boolean(inst)
-        },
-    )
+/// Number of random cases per property.
+const CASES: usize = 24;
+
+/// Draws a small random Boolean example over the digraph schema (directed
+/// graphs with up to 4 vertices).
+fn digraph_example(rng: &mut StdRng) -> Example {
+    let n = rng.gen_range(1usize..=4);
+    let num_edges = rng.gen_range(0usize..8);
+    let schema = Schema::digraph();
+    let rel = schema.rel("R").unwrap();
+    let mut inst = Instance::new(schema);
+    let vs: Vec<Value> = (0..n).map(|i| inst.add_value(format!("v{i}"))).collect();
+    for _ in 0..num_edges {
+        let a = rng.gen_range(0usize..n);
+        let b = rng.gen_range(0usize..n);
+        inst.add_fact(rel, &[vs[a], vs[b]]).unwrap();
+    }
+    Example::boolean(inst)
 }
 
-/// A strategy producing small unary examples over a binary schema with one
-/// unary and one binary relation.
-fn unary_example() -> impl Strategy<Value = Example> {
-    (
-        1usize..=4,
-        proptest::collection::vec((0usize..4, 0usize..4), 1..6),
-        proptest::collection::vec(0usize..4, 0..3),
-        0usize..4,
-    )
-        .prop_map(|(n, edges, labels, root)| {
-            let schema = Schema::binary_schema(["A"], ["R"]);
-            let r = schema.rel("R").unwrap();
-            let a = schema.rel("A").unwrap();
-            let mut inst = Instance::new(schema);
-            let vs: Vec<Value> = (0..n).map(|i| inst.add_value(format!("v{i}"))).collect();
-            for (x, y) in edges {
-                inst.add_fact(r, &[vs[x % n], vs[y % n]]).unwrap();
-            }
-            for x in labels {
-                inst.add_fact(a, &[vs[x % n]]).unwrap();
-            }
-            let active = inst.active_domain();
-            let root = active[root % active.len()];
-            Example::new(inst, vec![root])
-        })
+/// Draws a small random unary example over a binary schema with one unary
+/// and one binary relation.
+fn unary_example(rng: &mut StdRng) -> Example {
+    let n = rng.gen_range(1usize..=4);
+    let num_edges = rng.gen_range(1usize..6);
+    let num_labels = rng.gen_range(0usize..3);
+    let schema = Schema::binary_schema(["A"], ["R"]);
+    let r = schema.rel("R").unwrap();
+    let a = schema.rel("A").unwrap();
+    let mut inst = Instance::new(schema);
+    let vs: Vec<Value> = (0..n).map(|i| inst.add_value(format!("v{i}"))).collect();
+    for _ in 0..num_edges {
+        let x = rng.gen_range(0usize..n);
+        let y = rng.gen_range(0usize..n);
+        inst.add_fact(r, &[vs[x], vs[y]]).unwrap();
+    }
+    for _ in 0..num_labels {
+        let x = rng.gen_range(0usize..n);
+        inst.add_fact(a, &[vs[x]]).unwrap();
+    }
+    let active = inst.active_domain();
+    let root = active[rng.gen_range(0usize..active.len())];
+    Example::new(inst, vec![root])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Proposition 2.7: the direct product is a greatest lower bound.
-    #[test]
-    fn product_is_glb(e1 in digraph_example(), e2 in digraph_example(), below in digraph_example()) {
+/// Proposition 2.7: the direct product is a greatest lower bound.
+#[test]
+fn product_is_glb() {
+    let mut rng = StdRng::seed_from_u64(0xC027);
+    for _ in 0..CASES {
+        let e1 = digraph_example(&mut rng);
+        let e2 = digraph_example(&mut rng);
+        let below = digraph_example(&mut rng);
         let p = direct_product(&e1, &e2).unwrap();
-        prop_assert!(hom_exists(&p, &e1));
-        prop_assert!(hom_exists(&p, &e2));
+        assert!(hom_exists(&p, &e1));
+        assert!(hom_exists(&p, &e2));
         if hom_exists(&below, &e1) && hom_exists(&below, &e2) {
-            prop_assert!(hom_exists(&below, &p));
+            assert!(hom_exists(&below, &p));
         }
     }
+}
 
-    /// Proposition 2.2: the disjoint union is a least upper bound.
-    #[test]
-    fn disjoint_union_is_lub(e1 in digraph_example(), e2 in digraph_example(), above in digraph_example()) {
+/// Proposition 2.2: the disjoint union is a least upper bound.
+#[test]
+fn disjoint_union_is_lub() {
+    let mut rng = StdRng::seed_from_u64(0xC022);
+    for _ in 0..CASES {
+        let e1 = digraph_example(&mut rng);
+        let e2 = digraph_example(&mut rng);
+        let above = digraph_example(&mut rng);
         let u = disjoint_union(&e1, &e2).unwrap();
-        prop_assert!(hom_exists(&e1, &u));
-        prop_assert!(hom_exists(&e2, &u));
+        assert!(hom_exists(&e1, &u));
+        assert!(hom_exists(&e2, &u));
         if hom_exists(&e1, &above) && hom_exists(&e2, &above) {
-            prop_assert!(hom_exists(&u, &above));
+            assert!(hom_exists(&u, &above));
         }
     }
+}
 
-    /// Cores are homomorphically equivalent to the original and idempotent.
-    #[test]
-    fn core_properties(e in digraph_example()) {
+/// Cores are homomorphically equivalent to the original and idempotent.
+#[test]
+fn core_properties() {
+    let mut rng = StdRng::seed_from_u64(0xC0_4E);
+    for _ in 0..CASES {
+        let e = digraph_example(&mut rng);
         let c = core_of(&e);
-        prop_assert!(hom_equivalent(&e, &c));
+        assert!(hom_equivalent(&e, &c));
         let cc = core_of(&c);
-        prop_assert_eq!(c.instance().num_facts(), cc.instance().num_facts());
-        prop_assert!(c.instance().num_values() <= e.instance().num_values());
+        assert_eq!(c.instance().num_facts(), cc.instance().num_facts());
+        assert!(c.instance().num_values() <= e.instance().num_values());
     }
+}
 
-    /// Canonical CQ ↔ canonical example round trips up to equivalence, and
-    /// containment is transitive and reflexive.
-    #[test]
-    fn canonical_roundtrip_and_containment(e in unary_example(), f in unary_example(), g in unary_example()) {
+/// Canonical CQ ↔ canonical example round trips up to equivalence, and
+/// containment is transitive and reflexive.
+#[test]
+fn canonical_roundtrip_and_containment() {
+    let mut rng = StdRng::seed_from_u64(0x2_1);
+    for _ in 0..CASES {
+        let e = unary_example(&mut rng);
+        let f = unary_example(&mut rng);
+        let g = unary_example(&mut rng);
         let qe = Cq::from_example(&e).unwrap();
         let back = qe.canonical_example();
-        prop_assert!(hom_equivalent(&e, &back));
+        assert!(hom_equivalent(&e, &back));
         let qf = Cq::from_example(&f).unwrap();
         let qg = Cq::from_example(&g).unwrap();
-        prop_assert!(qe.is_contained_in(&qe).unwrap());
+        assert!(qe.is_contained_in(&qe).unwrap());
         if qe.is_contained_in(&qf).unwrap() && qf.is_contained_in(&qg).unwrap() {
-            prop_assert!(qe.is_contained_in(&qg).unwrap());
+            assert!(qe.is_contained_in(&qg).unwrap());
         }
     }
+}
 
-    /// Homomorphism existence implies simulation existence (§5), and for
-    /// tree-shaped sources the two coincide.
-    #[test]
-    fn hom_implies_simulation(e in unary_example(), f in unary_example()) {
+/// Homomorphism existence implies simulation existence (§5).
+#[test]
+fn hom_implies_simulation() {
+    let mut rng = StdRng::seed_from_u64(0x5_1);
+    for _ in 0..CASES {
+        let e = unary_example(&mut rng);
+        let f = unary_example(&mut rng);
         if hom_exists(&e, &f) {
-            prop_assert!(cqfit_hom::simulates(&e, &f).unwrap());
+            assert!(cqfit_hom::simulates(&e, &f).unwrap());
         }
     }
+}
 
-    /// The frontier construction (Definitions 3.21/3.22): members are
-    /// strictly below the query, and random examples strictly below the query
-    /// map into some member.
-    #[test]
-    fn frontier_soundness_and_coverage(e in unary_example(), candidate in unary_example()) {
+/// The frontier construction (Definitions 3.21/3.22): members are
+/// strictly below the query, and random examples strictly below the query
+/// map into some member.
+#[test]
+fn frontier_soundness_and_coverage() {
+    let mut rng = StdRng::seed_from_u64(0x3_21);
+    for _ in 0..CASES {
+        let e = unary_example(&mut rng);
+        let candidate = unary_example(&mut rng);
         let q = Cq::from_example(&core_of(&e)).unwrap();
         let canon = q.canonical_example();
         if !is_c_acyclic_example(&canon) {
-            return Ok(());
+            continue;
         }
         let members = cqfit_duality::frontier_examples(&q).unwrap();
         for m in &members {
-            prop_assert!(hom_exists(m, &canon));
-            prop_assert!(!hom_exists(&canon, m));
+            assert!(hom_exists(m, &canon));
+            assert!(!hom_exists(&canon, m));
         }
-        let strictly_below =
-            hom_exists(&candidate, &canon) && !hom_exists(&canon, &candidate);
+        let strictly_below = hom_exists(&candidate, &canon) && !hom_exists(&canon, &candidate);
         if strictly_below {
-            prop_assert!(
+            assert!(
                 members.iter().any(|m| hom_exists(&candidate, m)),
                 "frontier must cover {candidate}"
             );
         }
     }
+}
 
-    /// Fitting is monotone under generalization towards the most-specific
-    /// fitting: the most-specific fitting CQ is contained in every fitting CQ
-    /// (Proposition 3.5).
-    #[test]
-    fn most_specific_is_minimum(pos1 in unary_example(), pos2 in unary_example(), neg in unary_example(), other in unary_example()) {
-        let schema = pos1.instance().schema().clone();
-        let _ = schema;
+/// Fitting is monotone under generalization towards the most-specific
+/// fitting: the most-specific fitting CQ is contained in every fitting CQ
+/// (Proposition 3.5).
+#[test]
+fn most_specific_is_minimum() {
+    let mut rng = StdRng::seed_from_u64(0x3_5);
+    for _ in 0..CASES {
+        let pos1 = unary_example(&mut rng);
+        let pos2 = unary_example(&mut rng);
+        let neg = unary_example(&mut rng);
+        let other = unary_example(&mut rng);
         let examples = cqfit_data::LabeledExamples::new(vec![pos1, pos2], vec![neg]).unwrap();
         if let Some(ms) = cqfit::cq::most_specific_fitting(&examples).unwrap() {
             let q = Cq::from_example(&other).unwrap();
             if cqfit::cq::verify_fitting(&q, &examples).unwrap() {
-                prop_assert!(ms.is_contained_in(&q).unwrap());
+                assert!(ms.is_contained_in(&q).unwrap());
             }
         }
     }

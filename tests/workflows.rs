@@ -87,7 +87,10 @@ fn tree_notions_are_consistent_on_random_collections() {
         if tree::most_specific_exists(&examples).unwrap() {
             assert!(exists, "seed {seed}");
             if let Some(ms) = tree::construct_most_specific(&examples, &budget).unwrap() {
-                assert!(tree::verify_most_specific(&ms, &examples).unwrap(), "seed {seed}");
+                assert!(
+                    tree::verify_most_specific(&ms, &examples).unwrap(),
+                    "seed {seed}"
+                );
             }
         }
         match tree::unique_exists(&examples, &budget).unwrap() {

@@ -1,0 +1,233 @@
+//! Offline stand-in for `criterion` 0.5 (see `vendor/README.md`).
+//!
+//! A real — if minimal — benchmark harness: it warms up, takes
+//! `sample_size` timed samples bounded by `measurement_time`, and reports
+//! median / min / max per benchmark on stderr.  It implements the API
+//! subset used by `crates/bench/benches/*`: [`Criterion::benchmark_group`],
+//! group configuration chaining, [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//! No statistical analysis, baselines, or HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant-folding of benchmark
+/// inputs (best-effort without compiler intrinsics).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier rendering only the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    config: &'a Config,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting up to `sample_size` samples within the
+    /// group's measurement-time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        let budget_start = Instant::now();
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if budget_start.elapsed() >= self.config.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing one configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs a parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, &self.config, |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterised benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, &self.config, |b| f(b));
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(label: &str, config: &Config, mut f: impl FnMut(&mut Bencher<'_>)) {
+    let mut samples = Vec::new();
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        config,
+    };
+    f(&mut bencher);
+    samples.sort_unstable();
+    if samples.is_empty() {
+        eprintln!("bench {label:<60} (no samples collected)");
+    } else {
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        eprintln!(
+            "bench {label:<60} median {median:>12.3?}  (min {min:.3?}, max {max:.3?}, n={})",
+            samples.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts and ignores harness CLI arguments (`--bench`, filters, …) so
+    /// `cargo bench` and `cargo test --benches` both work.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: Config::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark with the default configuration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(name, &Config::default(), |b| f(b));
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary built with `harness = false`.
+///
+/// When invoked by `cargo test --benches` (which passes `--test` and
+/// expects a fast smoke run), benchmarks still execute — they are simply
+/// bounded by their configured budgets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`: marker traits plus re-exported no-op
+//! derives.  See `vendor/README.md` for scope and how to swap the real
+//! crate back in.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

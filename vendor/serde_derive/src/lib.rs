@@ -1,0 +1,21 @@
+//! No-op stand-ins for serde's derive macros (offline build).
+//!
+//! The derives intentionally expand to nothing: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations and
+//! never serializes through them, so marker-trait conformance is not
+//! required.  The `attributes(serde)` declaration makes `#[serde(skip)]`
+//! and friends parse without effect.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; accepts and ignores `#[serde(...)]` field attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; accepts and ignores `#[serde(...)]` field attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
