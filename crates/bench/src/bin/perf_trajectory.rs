@@ -1,0 +1,355 @@
+//! Perf-trajectory capture: measures the trail-based homomorphism engine
+//! against the preserved pre-rewrite reference engine **in the same run**,
+//! and writes the result to `BENCH_pr2.json`.
+//!
+//! Both engines execute identical workloads drawn from the hom-heavy parts
+//! of the `table1_cq` and `size_families` criterion benches (exact
+//! k-colorability verification of Thm. 3.1, prime-cycle existence of
+//! Thm. 3.40), so the recorded speedups are relative to a baseline compiled
+//! with the same toolchain and flags on the same machine — not to a stale
+//! number from another environment.
+//!
+//! Usage:
+//! ```text
+//! perf_trajectory [--quick] [--out PATH]   # run and write the JSON capture
+//! perf_trajectory --check PATH             # validate an existing capture
+//! ```
+//! `--check` exits non-zero if the file is missing or malformed; CI uses it
+//! as the bench-smoke gate.
+
+use cqfit_data::{Example, LabeledExamples};
+use cqfit_gen::{exact_colorability, prime_cycles_family, symmetric_clique};
+use cqfit_hom::{product_of, reference, HomConfig, HomSearchStats};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Heap-allocation counter wrapping the system allocator, used to *measure*
+/// (not estimate) the per-search allocation counts of the two engines: the
+/// reference engine clones the candidate vector at every branch node, the
+/// trail engine must stay allocation-free in steady state.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic with no further side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Number of heap allocations performed by one invocation of `f`.
+fn count_allocs(f: &dyn Fn()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// One measured case: a name plus the two engine closures.
+struct Case {
+    name: String,
+    new_engine: Box<dyn Fn()>,
+    baseline: Box<dyn Fn()>,
+}
+
+/// Result of one measured case.
+struct CaseResult {
+    name: String,
+    baseline_median_ns: u128,
+    new_median_ns: u128,
+    speedup: f64,
+}
+
+fn median(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn sample_ns(f: &dyn Fn()) -> u128 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos()
+}
+
+fn run_cases(cases: Vec<Case>, repeats: usize) -> Vec<CaseResult> {
+    cases
+        .into_iter()
+        .map(|c| {
+            // Warm both engines, then interleave the samples so slow drift of
+            // the machine (other processes, frequency scaling) biases neither
+            // side.
+            c.baseline.as_ref()();
+            c.new_engine.as_ref()();
+            let mut base_samples = Vec::with_capacity(repeats);
+            let mut new_samples = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                base_samples.push(sample_ns(c.baseline.as_ref()));
+                new_samples.push(sample_ns(c.new_engine.as_ref()));
+            }
+            let baseline_median_ns = median(base_samples);
+            let new_median_ns = median(new_samples);
+            let speedup = baseline_median_ns as f64 / new_median_ns.max(1) as f64;
+            eprintln!(
+                "  {:<28} baseline {:>12} ns   new {:>12} ns   speedup {:.2}x",
+                c.name, baseline_median_ns, new_median_ns, speedup
+            );
+            CaseResult {
+                name: c.name,
+                baseline_median_ns,
+                new_median_ns,
+                speedup,
+            }
+        })
+        .collect()
+}
+
+/// A `hom_exists`-style check on both engines (arc consistency on).
+fn hom_case(name: &str, src: Example, dst: Example) -> Case {
+    let (s1, d1) = (src.clone(), dst.clone());
+    let (s2, d2) = (src, dst);
+    let config = HomConfig::default();
+    let config2 = config.clone();
+    Case {
+        name: name.to_string(),
+        new_engine: Box::new(move || {
+            let mut stats = HomSearchStats::default();
+            black_box(cqfit_hom::find_homomorphism_with(&s1, &d1, &config, &mut stats).unwrap());
+        }),
+        baseline: Box::new(move || {
+            let mut stats = HomSearchStats::default();
+            black_box(reference::find_homomorphism_with(&s2, &d2, &config2, &mut stats).unwrap());
+        }),
+    }
+}
+
+/// End-to-end CQ fitting existence (Prop. 3.3): the new path goes through
+/// `cqfit::cq::fitting_exists` (batched + trail engine); the baseline builds
+/// the same product and runs the reference engine sequentially.
+fn fitting_existence_case(name: &str, examples: LabeledExamples) -> Case {
+    let e1 = examples.clone();
+    let e2 = examples;
+    Case {
+        name: name.to_string(),
+        new_engine: Box::new(move || {
+            black_box(cqfit::cq::fitting_exists(&e1).unwrap());
+        }),
+        baseline: Box::new(move || {
+            let schema = e2.schema().expect("non-empty examples").clone();
+            let arity = e2.arity().expect("non-empty examples");
+            let product = product_of(&schema, arity, e2.positives()).unwrap();
+            let fits = product.is_data_example()
+                && !e2
+                    .negatives()
+                    .iter()
+                    .any(|n| reference::hom_exists(&product, n));
+            black_box(fits);
+        }),
+    }
+}
+
+/// The hom-heavy kernels of the `table1_cq` bench: exact-k-colorability
+/// verification (clique-to-clique searches) and prime-cycle existence.
+fn table1_cases(quick: bool) -> Vec<Case> {
+    let schema = cqfit_data::Schema::digraph();
+    let mut cases = Vec::new();
+    let ks: &[usize] = if quick { &[4] } else { &[4, 5] };
+    for &k in ks {
+        // Verification kernel of exact_colorability(k): does K_{k+1} map
+        // into K_k?  (No: the hardest, most backtracking-heavy direction.)
+        cases.push(hom_case(
+            &format!("verify/k{}_to_k{}", k + 1, k),
+            symmetric_clique(&schema, k + 1),
+            symmetric_clique(&schema, k),
+        ));
+        // And the satisfiable direction against the positive example.
+        let examples = exact_colorability(k);
+        cases.push(hom_case(
+            &format!("verify/k{}_to_pos", k + 1),
+            symmetric_clique(&schema, k + 1),
+            examples.positives()[0].clone(),
+        ));
+    }
+    let ns: &[usize] = if quick { &[3] } else { &[3, 4] };
+    for &n in ns {
+        cases.push(fitting_existence_case(
+            &format!("exists/prime_cycles_{n}"),
+            prime_cycles_family(n),
+        ));
+    }
+    cases
+}
+
+/// The hom-heavy kernels of the `size_families` bench (Thm. 3.40): the
+/// product of the first n prime cycles is one huge directed cycle; checking
+/// it against the negative 2-cycle is the inner loop of the most-specific
+/// fitting construction.
+fn size_family_cases(quick: bool) -> Vec<Case> {
+    let mut cases = Vec::new();
+    let ns: &[usize] = if quick { &[4] } else { &[4, 5] };
+    for &n in ns {
+        let examples = prime_cycles_family(n);
+        let schema = examples.schema().expect("non-empty").clone();
+        let arity = examples.arity().expect("non-empty");
+        let product = product_of(&schema, arity, examples.positives()).unwrap();
+        let negative = examples.negatives()[0].clone();
+        cases.push(hom_case(
+            &format!("product_c{}_to_c2", product.instance().active_domain_size()),
+            product,
+            negative,
+        ));
+    }
+    // The same shape with a satisfiable target: C_{3·5·7} → C_3.
+    let schema = cqfit_data::Schema::digraph();
+    let c105 = cqfit_gen::directed_cycle(&schema, 105);
+    let c3 = cqfit_gen::directed_cycle(&schema, 3);
+    cases.push(hom_case("c105_to_c3", c105, c3));
+    cases
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn bench_json(name: &str, results: &[CaseResult]) -> String {
+    let cases: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"case\": \"{}\", \"baseline_median_ns\": {}, \"new_median_ns\": {}, \"speedup\": {:.3}}}",
+                json_escape(&r.name),
+                r.baseline_median_ns,
+                r.new_median_ns,
+                r.speedup
+            )
+        })
+        .collect();
+    let mut speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
+    speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+    let median_speedup = speedups[speedups.len() / 2];
+    format!(
+        "    {{\n      \"name\": \"{}\",\n      \"median_speedup\": {:.3},\n      \"cases\": [\n{}\n      ]\n    }}",
+        json_escape(name),
+        median_speedup,
+        cases.join(",\n")
+    )
+}
+
+/// Minimal structural validation of a capture file: required keys present,
+/// braces balanced, every speedup parses as a positive float.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let balanced = |open: char, close: char| {
+        text.chars().filter(|&c| c == open).count() == text.chars().filter(|&c| c == close).count()
+    };
+    if !balanced('{', '}') || !balanced('[', ']') {
+        return Err(format!("{path}: unbalanced braces"));
+    }
+    for key in [
+        "\"pr\"",
+        "\"table1_cq\"",
+        "\"size_families\"",
+        "\"median_speedup\"",
+        "\"cases\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("{path}: missing key {key}"));
+        }
+    }
+    let mut speedups = 0usize;
+    for chunk in text.split("\"speedup\":").skip(1) {
+        let value: String = chunk
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        let parsed: f64 = value
+            .parse()
+            .map_err(|_| format!("{path}: non-numeric speedup {value:?}"))?;
+        if parsed <= 0.0 {
+            return Err(format!("{path}: non-positive speedup {parsed}"));
+        }
+        speedups += 1;
+    }
+    if speedups == 0 {
+        return Err(format!("{path}: no speedup entries"));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_pr2.json");
+        match check(path) {
+            Ok(()) => {
+                eprintln!("{path}: ok");
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_pr2.json")
+        .to_string();
+    let repeats = if quick { 5 } else { 15 };
+
+    eprintln!("table1_cq hom kernels ({repeats} samples/case):");
+    let t1 = run_cases(table1_cases(quick), repeats);
+    eprintln!("size_families hom kernels ({repeats} samples/case):");
+    let sf = run_cases(size_family_cases(quick), repeats);
+
+    // Allocation check (satellite of the trail rewrite): one representative
+    // backtracking-heavy search, measured with the counting allocator.  The
+    // reference engine clones the candidate vector at every branch node; the
+    // trail engine must allocate only its setup structures.
+    let schema = cqfit_data::Schema::digraph();
+    let alloc_case = hom_case(
+        "alloc/k6_to_k5",
+        symmetric_clique(&schema, 6),
+        symmetric_clique(&schema, 5),
+    );
+    let baseline_allocs = count_allocs(alloc_case.baseline.as_ref());
+    let new_allocs = count_allocs(alloc_case.new_engine.as_ref());
+    eprintln!(
+        "alloc check (K6 → K5 search): baseline {baseline_allocs} heap allocations, new {new_allocs}"
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 2,\n  \"description\": \"trail-based, index-accelerated hom engine vs pre-rewrite reference engine (same run, same build)\",\n  \"mode\": \"{}\",\n  \"alloc_check\": {{\"case\": \"k6_to_k5\", \"baseline_allocs\": {}, \"new_allocs\": {}}},\n  \"benches\": [\n{},\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        baseline_allocs,
+        new_allocs,
+        bench_json("table1_cq", &t1),
+        bench_json("size_families", &sf)
+    );
+    std::fs::write(&out_path, &json).expect("write capture file");
+    eprintln!("wrote {out_path}");
+    check(&out_path).expect("self-check of the freshly written capture");
+}

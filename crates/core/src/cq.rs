@@ -18,9 +18,26 @@
 use crate::{Certainty, FitError, Result, SearchBudget};
 use cqfit_data::{Example, LabeledExamples, Schema};
 use cqfit_duality::{check_relativized_duality, frontier_examples, FrontierError};
-use cqfit_hom::{hom_exists, product_of};
+use cqfit_hom::{any_hom_exists_batch, hom_exists_cross, product_of};
 use cqfit_query::Cq;
 use std::sync::Arc;
+
+/// True if the example maps homomorphically into *some* negative example;
+/// the independent checks run in parallel.
+fn maps_into_some_negative(e: &Example, examples: &LabeledExamples) -> bool {
+    let pairs: Vec<(&Example, &Example)> =
+        examples.negatives().iter().map(|neg| (e, neg)).collect();
+    any_hom_exists_batch(&pairs)
+}
+
+/// For each source, whether it maps homomorphically into *some* target.
+/// The full cross product of checks runs as one parallel batch.
+fn cross_product_hom_flags(srcs: &[Example], dsts: &[Example]) -> Vec<bool> {
+    let src_refs: Vec<&Example> = srcs.iter().collect();
+    let dst_refs: Vec<&Example> = dsts.iter().collect();
+    let cross = hom_exists_cross(&src_refs, &dst_refs);
+    (0..srcs.len()).map(|i| cross.any_in_row(i)).collect()
+}
 
 /// The schema and arity of a non-empty collection of labeled examples.
 fn schema_and_arity(examples: &LabeledExamples) -> Result<(Arc<Schema>, usize)> {
@@ -55,16 +72,14 @@ pub fn verify_fitting(q: &Cq, examples: &LabeledExamples) -> Result<bool> {
 /// Does *some* CQ fit the examples?  (Existence problem, Theorem 3.2.)
 ///
 /// By Theorem 3.3 this holds iff `Π E⁺` is a data example that does not map
-/// homomorphically into any negative example.
+/// homomorphically into any negative example.  The per-negative checks are
+/// independent and fanned across threads ([`any_hom_exists_batch`]).
 pub fn fitting_exists(examples: &LabeledExamples) -> Result<bool> {
     let product = product_of_positives(examples)?;
     if !product.is_data_example() {
         return Ok(false);
     }
-    Ok(!examples
-        .negatives()
-        .iter()
-        .any(|neg| hom_exists(&product, neg)))
+    Ok(!maps_into_some_negative(&product, examples))
 }
 
 /// Constructs a fitting CQ if one exists: the canonical CQ of `Π E⁺`
@@ -75,11 +90,7 @@ pub fn construct_fitting(examples: &LabeledExamples) -> Result<Option<Cq>> {
     if !product.is_data_example() {
         return Ok(None);
     }
-    if examples
-        .negatives()
-        .iter()
-        .any(|neg| hom_exists(&product, neg))
-    {
+    if maps_into_some_negative(&product, examples) {
         return Ok(None);
     }
     Ok(Some(Cq::from_example(&product)?))
@@ -128,12 +139,14 @@ fn generalize(q: &Cq, examples: &LabeledExamples) -> Result<GeneralizeStep> {
         Err(e) => return Err(e.into()),
     };
     // A frontier member "fails" for weak most-generality exactly if it does
-    // not map into any negative example (Proposition 3.11).
+    // not map into any negative example (Proposition 3.11).  All member ×
+    // negative checks are independent: run the whole cross product as one
+    // parallel batch.
+    let maps_to_negative = cross_product_hom_flags(&members, examples.negatives());
     let mut failing_safe = Vec::new();
     let mut failing_unsafe = 0usize;
-    for m in &members {
-        let maps_to_negative = examples.negatives().iter().any(|neg| hom_exists(m, neg));
-        if maps_to_negative {
+    for (mi, m) in members.iter().enumerate() {
+        if maps_to_negative[mi] {
             continue;
         }
         if m.is_data_example() {
@@ -172,9 +185,9 @@ pub fn verify_weakly_most_general(q: &Cq, examples: &LabeledExamples) -> Result<
         Err(FrontierError::RequiresUnp) => return Err(FitError::RequiresUnp),
         Err(e) => return Err(e.into()),
     };
-    Ok(members
-        .iter()
-        .all(|m| examples.negatives().iter().any(|neg| hom_exists(m, neg))))
+    // Member-level short-circuit (the first failing member settles the
+    // answer); the per-member negative checks still run as a parallel batch.
+    Ok(members.iter().all(|m| maps_into_some_negative(m, examples)))
 }
 
 /// Bounded-complete existence check for weakly most-general fitting CQs
@@ -278,12 +291,7 @@ pub fn verify_basis(
         }
     }
     let product = product_of_positives(examples)?;
-    if !product.is_data_example()
-        || examples
-            .negatives()
-            .iter()
-            .any(|neg| hom_exists(&product, neg))
-    {
+    if !product.is_data_example() || maps_into_some_negative(&product, examples) {
         // No fitting CQ exists: the empty basis (and only it) is valid.
         return Ok(if basis.is_empty() {
             Certainty::Yes

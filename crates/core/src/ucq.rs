@@ -19,7 +19,7 @@
 use crate::{Certainty, FitError, Result, SearchBudget};
 use cqfit_data::{Example, LabeledExamples};
 use cqfit_duality::check_hom_duality;
-use cqfit_hom::hom_exists;
+use cqfit_hom::any_hom_exists_batch;
 use cqfit_query::Ucq;
 
 /// Does the UCQ fit the examples?  (Verification problem, Theorem 4.6(3).)
@@ -39,18 +39,19 @@ pub fn verify_fitting(q: &Ucq, examples: &LabeledExamples) -> Result<bool> {
 /// homomorphically into a negative example.  For an empty `E⁺` a fitting UCQ
 /// exists iff a fitting CQ exists (a single disjunct suffices), which is
 /// delegated to [`crate::cq::fitting_exists`].
+///
+/// The `|E⁺| × |E⁻|` separation checks are independent, so they run as one
+/// parallel batch with early exit ([`any_hom_exists_batch`]).
 pub fn fitting_exists(examples: &LabeledExamples) -> Result<bool> {
     if examples.positives().is_empty() {
         return crate::cq::fitting_exists(examples);
     }
-    for pos in examples.positives() {
-        for neg in examples.negatives() {
-            if hom_exists(pos, neg) {
-                return Ok(false);
-            }
-        }
-    }
-    Ok(true)
+    let pairs: Vec<(&Example, &Example)> = examples
+        .positives()
+        .iter()
+        .flat_map(|pos| examples.negatives().iter().map(move |neg| (pos, neg)))
+        .collect();
+    Ok(!any_hom_exists_batch(&pairs))
 }
 
 /// Constructs the most-specific fitting UCQ `⋃_{e ∈ E⁺} q_e` if a fitting UCQ

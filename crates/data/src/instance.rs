@@ -1,5 +1,6 @@
 //! Instances: finite sets of facts over a schema.
 
+use crate::index::FactIndex;
 use crate::{DataError, RelId, Result, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -52,25 +53,22 @@ pub struct Instance {
     schema: Arc<Schema>,
     labels: Vec<String>,
     facts: Vec<Fact>,
+    /// Secondary access paths into `facts` (exact lookup, per-relation,
+    /// per-value and per-`(relation, position, value)` posting lists),
+    /// maintained incrementally by [`Instance::add_fact`].
     #[serde(skip)]
-    fact_index: HashMap<(RelId, Vec<Value>), FactId>,
-    #[serde(skip)]
-    by_rel: Vec<Vec<FactId>>,
-    #[serde(skip)]
-    by_value: Vec<Vec<FactId>>,
+    index: FactIndex,
 }
 
 impl Instance {
     /// Creates an empty instance over `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
-        let by_rel = vec![Vec::new(); schema.len()];
+        let index = FactIndex::new(&schema);
         Instance {
             schema,
             labels: Vec::new(),
             facts: Vec::new(),
-            fact_index: HashMap::new(),
-            by_rel,
-            by_value: Vec::new(),
+            index,
         }
     }
 
@@ -83,7 +81,7 @@ impl Instance {
     pub fn add_value(&mut self, label: impl Into<String>) -> Value {
         let v = Value(self.labels.len() as u32);
         self.labels.push(label.into());
-        self.by_value.push(Vec::new());
+        self.index.add_value();
         v
     }
 
@@ -151,23 +149,16 @@ impl Instance {
                 return Err(DataError::UnknownValue(a.0));
             }
         }
-        let key = (rel, args.to_vec());
-        if let Some(&id) = self.fact_index.get(&key) {
+        if let Some(id) = self.index.lookup(&self.facts, rel, args) {
             return Ok(id);
         }
         let id = FactId(self.facts.len() as u32);
-        self.facts.push(Fact {
+        let fact = Fact {
             rel,
             args: args.to_vec(),
-        });
-        self.by_rel[rel.index()].push(id);
-        let mut seen = HashSet::new();
-        for &a in args {
-            if seen.insert(a) {
-                self.by_value[a.index()].push(id);
-            }
-        }
-        self.fact_index.insert(key, id);
+        };
+        self.index.insert(&fact, id);
+        self.facts.push(fact);
         Ok(id)
     }
 
@@ -206,22 +197,32 @@ impl Instance {
 
     /// True if the instance contains the given fact.
     pub fn contains_fact(&self, rel: RelId, args: &[Value]) -> bool {
-        self.fact_index.contains_key(&(rel, args.to_vec()))
+        self.index.lookup(&self.facts, rel, args).is_some()
     }
 
     /// Ids of all facts using relation `rel`.
     pub fn facts_with_rel(&self, rel: RelId) -> &[FactId] {
-        &self.by_rel[rel.index()]
+        self.index.with_rel(rel)
+    }
+
+    /// Ids of all facts of relation `rel` whose argument at position `pos`
+    /// is the value `v` (empty for unknown keys).
+    ///
+    /// This is the index access path that makes homomorphism propagation
+    /// enumerate only the facts consistent with an already-narrowed
+    /// candidate set, instead of scanning all of [`Instance::facts_with_rel`].
+    pub fn facts_with_rel_pos_value(&self, rel: RelId, pos: usize, v: Value) -> &[FactId] {
+        self.index.with_rel_pos_value(rel, pos, v)
     }
 
     /// Ids of all facts in which value `v` occurs (each fact listed once).
     pub fn facts_containing(&self, v: Value) -> &[FactId] {
-        &self.by_value[v.index()]
+        self.index.containing_value(v)
     }
 
     /// True if `v` occurs in at least one fact.
     pub fn is_active(&self, v: Value) -> bool {
-        !self.by_value[v.index()].is_empty()
+        !self.index.containing_value(v).is_empty()
     }
 
     /// The active domain: all values occurring in at least one fact, in index
@@ -338,9 +339,8 @@ impl Instance {
     /// Restores the internal indexes after deserialization.
     pub fn finalize_after_deserialize(&mut self) {
         let facts = std::mem::take(&mut self.facts);
-        self.fact_index.clear();
-        self.by_rel = vec![Vec::new(); self.schema.len()];
-        self.by_value = vec![Vec::new(); self.labels.len()];
+        let schema = self.schema.clone();
+        self.index.reset(&schema, self.labels.len());
         for f in facts {
             self.add_fact(f.rel, &f.args)
                 .expect("previously valid fact");

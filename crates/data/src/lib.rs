@@ -27,6 +27,7 @@
 
 mod error;
 mod example;
+mod index;
 mod instance;
 mod labeled;
 mod parse;

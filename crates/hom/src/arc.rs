@@ -10,7 +10,7 @@
 
 use crate::search::arc_closure;
 use cqfit_data::{Example, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Runs arc consistency for the homomorphism problem `src → dst`.
 ///
@@ -24,10 +24,14 @@ pub fn arc_consistent(src: &Example, dst: &Example) -> bool {
 
 /// Runs arc consistency and returns the surviving candidate sets (for the
 /// values of `adom(src) ∪ {ā}`), or `None` if some set became empty.
+///
+/// The result is an ordered map with each candidate vector sorted
+/// ascending, so iteration order — and therefore everything derived from it
+/// downstream — is reproducible across runs.
 pub fn arc_consistency_candidates(
     src: &Example,
     dst: &Example,
-) -> Option<HashMap<Value, Vec<Value>>> {
+) -> Option<BTreeMap<Value, Vec<Value>>> {
     arc_closure(src, dst)
 }
 
@@ -84,5 +88,22 @@ mod tests {
         let dst = Example::new(j, vec![a]);
         let cands = arc_consistency_candidates(&src, &dst).unwrap();
         assert_eq!(cands[&x], vec![a]);
+    }
+
+    #[test]
+    fn candidates_are_deterministically_ordered() {
+        // BTreeMap keys ascend and each candidate vector is sorted, so two
+        // runs produce byte-identical debug renderings.
+        let p = path(2);
+        let c = cycle(3);
+        let a = arc_consistency_candidates(&p, &c).unwrap();
+        let b = arc_consistency_candidates(&p, &c).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let mut last = None;
+        for (v, cands) in &a {
+            assert!(last.is_none_or(|l| l < *v), "keys ascend");
+            last = Some(*v);
+            assert!(cands.windows(2).all(|w| w[0] < w[1]), "candidates sorted");
+        }
     }
 }

@@ -19,20 +19,26 @@
 #![warn(missing_docs)]
 
 mod arc;
+mod batch;
 mod bitset;
 mod core_of;
 mod error;
 mod ops;
+#[doc(hidden)]
+pub mod reference;
 mod search;
 mod simulation;
 
 pub use arc::{arc_consistency_candidates, arc_consistent};
+pub use batch::{
+    any_hom_exists_batch, find_first_hom_batch, hom_exists_batch, hom_exists_cross, CrossFlags,
+};
 pub use core_of::{core_of, hom_equivalent, is_core};
 pub use error::HomError;
 pub use ops::{direct_product, disjoint_union, disjoint_union_of, product_of, top_example};
 pub use search::{
-    find_all_homomorphisms, find_homomorphism, find_homomorphism_with, hom_exists, HomConfig,
-    HomSearchStats, Homomorphism,
+    find_all_homomorphisms, find_all_homomorphisms_with, find_homomorphism, find_homomorphism_with,
+    hom_exists, HomConfig, HomSearchStats, Homomorphism,
 };
 pub use simulation::{max_simulation, simulates, simulation_preorder, SimulationRelation};
 

@@ -46,16 +46,27 @@ pub fn direct_product(e1: &Example, e2: &Example) -> Result<Example> {
     }
     let schema = i1.schema().clone();
     let mut out = Instance::new(schema.clone());
-    let mut pair_value: HashMap<(Value, Value), Value> = HashMap::new();
+    // The fact join below resolves every argument pair through the pair→
+    // value map, so it wants an O(1) dense array — but a dense matrix is
+    // n1·n2 entries, which for two huge operands would dwarf the actual
+    // product.  Use the dense matrix up to a fixed footprint (16 MiB) and
+    // fall back to a hash map beyond it.
+    let mut pair_value = PairMap::new(i1.num_values(), i2.num_values());
     let mut value_of = |out: &mut Instance, a: Value, b: Value| -> Value {
-        *pair_value
-            .entry((a, b))
-            .or_insert_with(|| out.add_value(format!("({}|{})", i1.label(a), i2.label(b))))
+        pair_value.get_or_insert(a, b, || {
+            out.add_value(format!("({}|{})", i1.label(a), i2.label(b)))
+        })
     };
     for rel in schema.rel_ids() {
-        for &f1 in i1.facts_with_rel(rel) {
-            for &f2 in i2.facts_with_rel(rel) {
-                let a1 = &i1.fact(f1).args;
+        // The per-relation posting lists of the fact index drive the join;
+        // a relation empty on either side contributes no product facts.
+        let (facts1, facts2) = (i1.facts_with_rel(rel), i2.facts_with_rel(rel));
+        if facts1.is_empty() || facts2.is_empty() {
+            continue;
+        }
+        for &f1 in facts1 {
+            let a1 = &i1.fact(f1).args;
+            for &f2 in facts2 {
                 let a2 = &i2.fact(f2).args;
                 let args: Vec<Value> = a1
                     .iter()
@@ -73,6 +84,41 @@ pub fn direct_product(e1: &Example, e2: &Example) -> Result<Example> {
         .map(|(&a, &b)| value_of(&mut out, a, b))
         .collect();
     Ok(Example::new(out, dist))
+}
+
+/// Pair→value map of a direct product: dense matrix while the operand
+/// domains are small enough, hash map beyond that.
+enum PairMap {
+    Dense { cols: usize, slots: Vec<u32> },
+    Sparse(HashMap<(Value, Value), Value>),
+}
+
+impl PairMap {
+    /// Dense-matrix footprint cap: 4M entries (16 MiB of `u32`s).
+    const DENSE_LIMIT: usize = 1 << 22;
+
+    fn new(rows: usize, cols: usize) -> Self {
+        match rows.checked_mul(cols) {
+            Some(size) if size <= Self::DENSE_LIMIT => PairMap::Dense {
+                cols,
+                slots: vec![u32::MAX; size],
+            },
+            _ => PairMap::Sparse(HashMap::new()),
+        }
+    }
+
+    fn get_or_insert(&mut self, a: Value, b: Value, add: impl FnOnce() -> Value) -> Value {
+        match self {
+            PairMap::Dense { cols, slots } => {
+                let slot = &mut slots[a.index() * *cols + b.index()];
+                if *slot == u32::MAX {
+                    *slot = add().0;
+                }
+                Value(*slot)
+            }
+            PairMap::Sparse(map) => *map.entry((a, b)).or_insert_with(add),
+        }
+    }
 }
 
 /// The direct product of a finite set of pointed instances; the product of

@@ -10,10 +10,32 @@
 //! Arc-consistency propagation (generalised to arbitrary arities) prunes the
 //! candidate sets before and during search; it can be switched off via
 //! [`HomConfig`] for the ablation benchmarks.
+//!
+//! # Engine architecture
+//!
+//! The engine is *trail-based* and *index-accelerated*:
+//!
+//! * Candidate sets live in one flat `u64`-block store ([`CandStore`]) with
+//!   an undo **trail**: branching records the words it overwrites and
+//!   backtracking restores them, so no per-node clone of the candidate
+//!   vector is ever made (the pre-rewrite engine in [`crate::reference`]
+//!   cloned `Vec<BitSet>` at every node).
+//! * Propagation enumerates target facts through the instance's
+//!   per-`(relation, position, value)` fact index
+//!   ([`cqfit_data::Instance::facts_with_rel_pos_value`]), pivoting on the
+//!   constraint argument with the fewest candidates, instead of re-scanning
+//!   every fact of the relation.
+//! * Branching is an explicit-stack iterative loop, so deep searches on
+//!   large instances cannot overflow the call stack.
+//!
+//! All three changes are pure optimizations: the variable-selection
+//! heuristic, value ordering and propagation fixpoint are identical to the
+//! reference engine, so the two agree on existence, witnesses and
+//! enumeration order (asserted by `tests/differential_hom.rs`).
 
-use crate::bitset::BitSet;
 use crate::{HomError, Result};
-use cqfit_data::{Example, Fact, Instance, Value};
+use cqfit_data::{Example, Instance, Value};
+use std::collections::BTreeMap;
 
 /// A homomorphism between two pointed instances, stored as a partial map
 /// from source value indices to target values (defined exactly on
@@ -24,6 +46,11 @@ pub struct Homomorphism {
 }
 
 impl Homomorphism {
+    /// Internal constructor shared with the reference engine.
+    pub(crate) fn from_map(map: Vec<Option<Value>>) -> Self {
+        Homomorphism { map }
+    }
+
     /// The image of a source value, if the map is defined on it.
     pub fn get(&self, v: Value) -> Option<Value> {
         self.map.get(v.index()).copied().flatten()
@@ -131,28 +158,44 @@ pub fn find_homomorphism_with(
 
 /// Enumerates up to `limit` homomorphisms from `src` to `dst`.
 pub fn find_all_homomorphisms(src: &Example, dst: &Example, limit: usize) -> Vec<Homomorphism> {
+    find_all_homomorphisms_with(src, dst, &HomConfig::default(), limit)
+}
+
+/// Enumerates up to `limit` homomorphisms under an explicit configuration.
+///
+/// # Panics
+/// Panics if `config.max_nodes` is set and the budget is exhausted before
+/// the enumeration completes; pass `max_nodes: None` for a total function.
+pub fn find_all_homomorphisms_with(
+    src: &Example,
+    dst: &Example,
+    config: &HomConfig,
+    limit: usize,
+) -> Vec<Homomorphism> {
     let mut out = Vec::new();
     let mut stats = HomSearchStats::default();
-    search(src, dst, &HomConfig::default(), &mut stats, limit, &mut out)
-        .expect("unlimited search cannot exhaust its budget");
+    search(src, dst, config, &mut stats, limit, &mut out)
+        .expect("node budget exhausted during homomorphism enumeration");
     out
 }
 
 /// Computes the arc-consistency closure for `src → dst`: the surviving
-/// candidate sets per source value, or `None` if some set became empty (no
-/// homomorphism exists).  Used by [`crate::arc_consistent`].
-pub(crate) fn arc_closure(
-    src: &Example,
-    dst: &Example,
-) -> Option<std::collections::HashMap<Value, Vec<Value>>> {
+/// candidate sets per source value (in ascending target order, inside an
+/// ordered map, so iteration is reproducible run-to-run), or `None` if some
+/// set became empty (no homomorphism exists).  Used by
+/// [`crate::arc_consistent`].
+pub(crate) fn arc_closure(src: &Example, dst: &Example) -> Option<BTreeMap<Value, Vec<Value>>> {
     let problem = Problem::new(src, dst)?;
-    let mut cands = problem.initial_candidates(&HomConfig::default())?;
-    if !problem.propagate_all(&mut cands) {
+    let mut state = problem.fresh_state();
+    if !problem.initial_candidates(&mut state) {
         return None;
     }
-    let mut out = std::collections::HashMap::new();
+    if !problem.propagate_all(&mut state) {
+        return None;
+    }
+    let mut out = BTreeMap::new();
     for (vi, &v) in problem.vars.iter().enumerate() {
-        out.insert(v, cands[vi].iter().map(|t| Value(t as u32)).collect());
+        out.insert(v, state.cands.values(vi).map(|t| Value(t as u32)).collect());
     }
     Some(out)
 }
@@ -182,17 +225,218 @@ fn search(
     let Some(problem) = Problem::new(src, dst) else {
         return Ok(()); // trivially no homomorphism (distinguished clash)
     };
-    let Some(mut cands) = problem.initial_candidates(config) else {
-        return Ok(());
-    };
-    if config.use_arc_consistency && !problem.propagate_all(&mut cands) {
+    let mut state = problem.fresh_state();
+    if !problem.initial_candidates(&mut state) {
         return Ok(());
     }
-    problem.branch(cands, config, stats, limit, out)?;
-    Ok(())
+    if config.use_arc_consistency && !problem.propagate_all(&mut state) {
+        return Ok(());
+    }
+    problem.solve(&mut state, config, stats, limit, out)
+}
+
+/// A rollback point of the [`CandStore`] trail.
+#[derive(Debug, Clone, Copy, Default)]
+struct Mark {
+    words: usize,
+    counts: usize,
+}
+
+/// Flat candidate store: each variable owns `words_per_var` consecutive
+/// `u64` blocks, and every destructive update is recorded on an undo trail.
+#[derive(Debug)]
+struct CandStore {
+    /// Words per variable (`ceil(num_target_values / 64)`).
+    wpv: usize,
+    /// Candidate bit blocks, variable-major.
+    words: Vec<u64>,
+    /// Cached candidate count per variable.
+    counts: Vec<u32>,
+    /// Undo trail of overwritten words: `(word index, previous contents)`.
+    word_trail: Vec<(u32, u64)>,
+    /// Undo trail of count updates: `(variable, previous count)`.
+    count_trail: Vec<(u32, u32)>,
+}
+
+impl CandStore {
+    fn new(num_vars: usize, num_targets: usize) -> Self {
+        let wpv = num_targets.div_ceil(64);
+        CandStore {
+            wpv,
+            words: vec![0; num_vars * wpv],
+            counts: vec![0; num_vars],
+            word_trail: Vec::new(),
+            count_trail: Vec::new(),
+        }
+    }
+
+    fn mark(&self) -> Mark {
+        Mark {
+            words: self.word_trail.len(),
+            counts: self.count_trail.len(),
+        }
+    }
+
+    fn undo_to(&mut self, m: Mark) {
+        while self.word_trail.len() > m.words {
+            let (wi, old) = self.word_trail.pop().expect("non-empty trail");
+            self.words[wi as usize] = old;
+        }
+        while self.count_trail.len() > m.counts {
+            let (var, old) = self.count_trail.pop().expect("non-empty trail");
+            self.counts[var as usize] = old;
+        }
+    }
+
+    fn count(&self, var: usize) -> usize {
+        self.counts[var] as usize
+    }
+
+    fn contains(&self, var: usize, t: usize) -> bool {
+        (self.words[var * self.wpv + t / 64] >> (t % 64)) & 1 == 1
+    }
+
+    /// The candidate words of one variable.
+    #[inline]
+    fn block(&self, var: usize) -> &[u64] {
+        &self.words[var * self.wpv..(var + 1) * self.wpv]
+    }
+
+    /// Inserts during initial-candidate construction only: no trail.
+    fn insert_raw(&mut self, var: usize, t: usize) {
+        let w = &mut self.words[var * self.wpv + t / 64];
+        let mask = 1u64 << (t % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.counts[var] += 1;
+        }
+    }
+
+    /// Iterates the candidate values of `var` in increasing order.
+    fn values(&self, var: usize) -> impl Iterator<Item = usize> + '_ {
+        self.words[var * self.wpv..(var + 1) * self.wpv]
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| {
+                let mut bits = w;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(wi * 64 + b)
+                    }
+                })
+            })
+    }
+
+    /// The single candidate of a decided variable.
+    fn only(&self, var: usize) -> Option<usize> {
+        if self.counts[var] == 1 {
+            self.values(var).next()
+        } else {
+            None
+        }
+    }
+
+    /// Narrows `var` to the single value `t`, recording the trail.
+    fn assign(&mut self, var: usize, t: usize) {
+        debug_assert!(self.contains(var, t));
+        let base = var * self.wpv;
+        for k in 0..self.wpv {
+            let old = self.words[base + k];
+            let new = if k == t / 64 {
+                old & (1u64 << (t % 64))
+            } else {
+                0
+            };
+            if new != old {
+                self.word_trail.push(((base + k) as u32, old));
+                self.words[base + k] = new;
+            }
+        }
+        if self.counts[var] != 1 {
+            self.count_trail.push((var as u32, self.counts[var]));
+            self.counts[var] = 1;
+        }
+    }
+
+    /// Intersects `var`'s candidates with `support` (a `wpv`-word block),
+    /// recording the trail; returns true if the set changed.
+    fn intersect(&mut self, var: usize, support: &[u64]) -> bool {
+        debug_assert_eq!(support.len(), self.wpv);
+        let base = var * self.wpv;
+        let mut changed = false;
+        let mut count = 0u32;
+        for (k, &s) in support.iter().enumerate() {
+            let old = self.words[base + k];
+            let new = old & s;
+            if new != old {
+                self.word_trail.push(((base + k) as u32, old));
+                self.words[base + k] = new;
+                changed = true;
+            }
+            count += new.count_ones();
+        }
+        if changed {
+            self.count_trail.push((var as u32, self.counts[var]));
+            self.counts[var] = count;
+        }
+        changed
+    }
+}
+
+/// Reusable, trail-free scratch space of one search.
+#[derive(Debug)]
+struct Scratch {
+    /// Propagation worklist of constraint indices.
+    queue: Vec<usize>,
+    /// Membership flags for `queue`.
+    queued: Vec<bool>,
+    /// Argument buffer for ground-fact lookups.
+    args: Vec<Value>,
+}
+
+/// The full mutable state of one search: candidates, worklist scratch and
+/// the per-position support blocks (`max_arity × wpv` words), kept as three
+/// separate fields so the borrow checker allows reading candidates while
+/// writing supports and narrowing candidates while touching the worklist.
+#[derive(Debug)]
+struct SearchState {
+    cands: CandStore,
+    scratch: Scratch,
+    supports: Vec<u64>,
+}
+
+/// One entry of the explicit branching stack.
+#[derive(Debug, Default)]
+struct Frame {
+    /// The variable this node branches on.
+    var: usize,
+    /// Snapshot of the candidate values at node entry (ascending).
+    choices: Vec<u32>,
+    /// Next choice to try.
+    next: usize,
+    /// Trail state at node entry; restored before every choice.
+    mark: Mark,
+}
+
+/// Outcome of entering a search node.
+enum NodeKind {
+    /// All variables decided; the leaf was processed in place.
+    Leaf,
+    /// A branching frame was installed at the given depth.
+    Branch,
 }
 
 /// Internal representation of one search problem.
+///
+/// Constraints and the variable→constraint incidence lists live in flat
+/// arenas (`arg_arena`, `cov_arena`): building a problem performs a constant
+/// number of allocations regardless of the number of source facts, which
+/// matters because every containment / equivalence / core check constructs
+/// many small problems.
 struct Problem<'a> {
     src: &'a Instance,
     dst: &'a Instance,
@@ -200,16 +444,29 @@ struct Problem<'a> {
     vars: Vec<Value>,
     /// Forced assignments coming from the distinguished tuples.
     forced: Vec<Option<Value>>,
-    /// Source facts, with argument variable indices resolved.
-    constraints: Vec<Constraint>,
-    /// For each variable, the constraints it occurs in.
-    constraints_of_var: Vec<Vec<usize>>,
-}
-
-struct Constraint {
-    fact: Fact,
-    /// Variable index of each argument.
-    arg_vars: Vec<usize>,
+    /// Relation of each constraint (= source fact).
+    con_rel: Vec<cqfit_data::RelId>,
+    /// `(start, len)` of each constraint's argument-variable slice in
+    /// `arg_arena`.
+    con_args: Vec<(u32, u32)>,
+    /// Argument variable indices of all constraints, concatenated.
+    arg_arena: Vec<u32>,
+    /// Constraint indices of all variables, concatenated; the slice of
+    /// variable `v` is `cov_arena[cov_start[v]..cov_start[v + 1]]`.
+    cov_arena: Vec<u32>,
+    /// Slice boundaries into `cov_arena`, one per variable plus a sentinel.
+    cov_start: Vec<u32>,
+    /// Largest constraint arity (sizes the support scratch).
+    max_arity: usize,
+    /// For each unary relation used by a constraint: the bitmask of target
+    /// values carrying that relation.
+    unary_masks: Vec<Option<Vec<u64>>>,
+    /// For each binary relation used by a constraint: per target value `t`,
+    /// the bitmask of its `R`-successors (`out`) and `R`-predecessors
+    /// (`inc`), value-major.  Support computation for binary constraints is
+    /// then pure word arithmetic instead of per-fact scans.
+    bin_out_masks: Vec<Option<Vec<u64>>>,
+    bin_inc_masks: Vec<Option<Vec<u64>>>,
 }
 
 impl<'a> Problem<'a> {
@@ -246,117 +503,332 @@ impl<'a> Problem<'a> {
                 add_var(v, &mut var_of_value, &mut vars, &mut forced);
             }
         }
-        let mut constraints_of_var = vec![Vec::new(); vars.len()];
-        let mut constraints = Vec::new();
-        for f in src.facts() {
-            let arg_vars: Vec<usize> = f.args.iter().map(|a| var_of_value[a.index()]).collect();
-            let ci = constraints.len();
-            let mut seen = std::collections::HashSet::new();
-            for &av in &arg_vars {
-                if seen.insert(av) {
-                    constraints_of_var[av].push(ci);
+        // Pass 1: flatten constraints and count incidences per variable.
+        // A variable occurring at several positions of one fact is counted
+        // once (first occurrence within the fact), mirroring the dedup the
+        // per-fact hash set used to perform.
+        let facts = src.facts();
+        let mut con_rel = Vec::with_capacity(facts.len());
+        let mut con_args = Vec::with_capacity(facts.len());
+        let mut arg_arena: Vec<u32> = Vec::new();
+        let mut cov_count = vec![0u32; vars.len()];
+        let mut max_arity = 0;
+        for f in facts {
+            let start = arg_arena.len() as u32;
+            for (pos, a) in f.args.iter().enumerate() {
+                let av = var_of_value[a.index()] as u32;
+                if !arg_arena[start as usize..start as usize + pos].contains(&av) {
+                    cov_count[av as usize] += 1;
                 }
+                arg_arena.push(av);
             }
-            constraints.push(Constraint {
-                fact: f.clone(),
-                arg_vars,
-            });
+            con_rel.push(f.rel);
+            con_args.push((start, f.args.len() as u32));
+            max_arity = max_arity.max(f.args.len());
+        }
+        // Pass 2: prefix sums, then fill the incidence arena with cursors.
+        let mut cov_start = Vec::with_capacity(vars.len() + 1);
+        let mut acc = 0u32;
+        for &c in &cov_count {
+            cov_start.push(acc);
+            acc += c;
+        }
+        cov_start.push(acc);
+        let mut cov_arena = vec![0u32; acc as usize];
+        let mut cursor: Vec<u32> = cov_start[..vars.len()].to_vec();
+        for (ci, &(start, len)) in con_args.iter().enumerate() {
+            let args = &arg_arena[start as usize..(start + len) as usize];
+            for (pos, &av) in args.iter().enumerate() {
+                if args[..pos].contains(&av) {
+                    continue;
+                }
+                cov_arena[cursor[av as usize] as usize] = ci as u32;
+                cursor[av as usize] += 1;
+            }
+        }
+        // Target bitmasks for the relations the constraints actually use:
+        // one adjacency-mask pair per binary relation, one membership mask
+        // per unary relation.
+        let n_dst = dst.num_values();
+        let wpv = n_dst.div_ceil(64);
+        let schema = src.schema();
+        let mut unary_masks = vec![None; schema.len()];
+        let mut bin_out_masks: Vec<Option<Vec<u64>>> = vec![None; schema.len()];
+        let mut bin_inc_masks: Vec<Option<Vec<u64>>> = vec![None; schema.len()];
+        for (ci, &rel) in con_rel.iter().enumerate() {
+            let ri = rel.index();
+            match con_args[ci].1 {
+                1 if unary_masks[ri].is_none() => {
+                    let mut mask = vec![0u64; wpv];
+                    for &fid in dst.facts_with_rel(rel) {
+                        let t = dst.fact(fid).args[0].index();
+                        mask[t / 64] |= 1u64 << (t % 64);
+                    }
+                    unary_masks[ri] = Some(mask);
+                }
+                2 if bin_out_masks[ri].is_none() => {
+                    let mut out = vec![0u64; n_dst * wpv];
+                    let mut inc = vec![0u64; n_dst * wpv];
+                    for &fid in dst.facts_with_rel(rel) {
+                        let args = &dst.fact(fid).args;
+                        let (a, b) = (args[0].index(), args[1].index());
+                        out[a * wpv + b / 64] |= 1u64 << (b % 64);
+                        inc[b * wpv + a / 64] |= 1u64 << (a % 64);
+                    }
+                    bin_out_masks[ri] = Some(out);
+                    bin_inc_masks[ri] = Some(inc);
+                }
+                _ => {}
+            }
         }
         Some(Problem {
             src,
             dst,
             vars,
             forced,
-            constraints,
-            constraints_of_var,
+            con_rel,
+            con_args,
+            arg_arena,
+            cov_arena,
+            cov_start,
+            max_arity,
+            unary_masks,
+            bin_out_masks,
+            bin_inc_masks,
         })
     }
 
-    /// Builds the initial candidate sets; `None` if some variable has no
+    /// Number of constraints.
+    fn num_constraints(&self) -> usize {
+        self.con_rel.len()
+    }
+
+    /// The argument variable indices of constraint `ci`.
+    #[inline]
+    fn args_of(&self, ci: usize) -> &[u32] {
+        let (start, len) = self.con_args[ci];
+        &self.arg_arena[start as usize..(start + len) as usize]
+    }
+
+    /// The constraints variable `var` occurs in.
+    #[inline]
+    fn constraints_of(&self, var: usize) -> &[u32] {
+        &self.cov_arena[self.cov_start[var] as usize..self.cov_start[var + 1] as usize]
+    }
+
+    fn fresh_state(&self) -> SearchState {
+        let cands = CandStore::new(self.vars.len(), self.dst.num_values());
+        let scratch = Scratch {
+            queue: Vec::with_capacity(self.num_constraints()),
+            queued: vec![false; self.num_constraints()],
+            args: Vec::with_capacity(self.max_arity),
+        };
+        let supports = vec![0; self.max_arity * cands.wpv];
+        SearchState {
+            cands,
+            scratch,
+            supports,
+        }
+    }
+
+    /// Fills the initial candidate sets; `false` if some variable has no
     /// candidate at all.
-    fn initial_candidates(&self, _config: &HomConfig) -> Option<Vec<BitSet>> {
-        let n_dst = self.dst.num_values();
-        let mut cands = Vec::with_capacity(self.vars.len());
+    fn initial_candidates(&self, state: &mut SearchState) -> bool {
         for (vi, &v) in self.vars.iter().enumerate() {
-            let mut set = BitSet::empty(n_dst);
             match self.forced[vi] {
-                Some(t) => {
-                    set.insert(t.index());
-                }
+                Some(t) => state.cands.insert_raw(vi, t.index()),
                 None => {
                     // An active source value must map to an active target value.
                     if self.src.is_active(v) {
                         for t in self.dst.values() {
                             if self.dst.is_active(t) {
-                                set.insert(t.index());
+                                state.cands.insert_raw(vi, t.index());
                             }
                         }
                     } else {
                         for t in self.dst.values() {
-                            set.insert(t.index());
+                            state.cands.insert_raw(vi, t.index());
                         }
                     }
                 }
             }
-            if set.is_empty() {
-                return None;
+            if state.cands.count(vi) == 0 {
+                return false;
             }
-            cands.push(set);
         }
-        Some(cands)
+        true
     }
 
     /// Runs arc consistency over all constraints; returns false if some
     /// candidate set becomes empty.
-    fn propagate_all(&self, cands: &mut [BitSet]) -> bool {
-        let queue: Vec<usize> = (0..self.constraints.len()).collect();
-        self.propagate(cands, queue)
+    fn propagate_all(&self, state: &mut SearchState) -> bool {
+        let all: Vec<u32> = (0..self.num_constraints() as u32).collect();
+        self.propagate(state, &all)
     }
 
     /// Generalised arc consistency from an initial worklist of constraints.
-    fn propagate(&self, cands: &mut [BitSet], mut queue: Vec<usize>) -> bool {
-        let mut queued = vec![false; self.constraints.len()];
-        for &q in &queue {
-            queued[q] = true;
+    ///
+    /// Supports are computed by pivoting each constraint on the argument
+    /// position whose variable has the fewest candidates, and enumerating
+    /// only the target facts carrying one of those candidates at that
+    /// position, via the `(relation, position, value)` fact index.
+    fn propagate(&self, state: &mut SearchState, seed: &[u32]) -> bool {
+        debug_assert!(state.scratch.queue.is_empty());
+        for &ci in seed {
+            let ci = ci as usize;
+            if !state.scratch.queued[ci] {
+                state.scratch.queued[ci] = true;
+                state.scratch.queue.push(ci);
+            }
         }
-        while let Some(ci) = queue.pop() {
-            queued[ci] = false;
-            let c = &self.constraints[ci];
-            let n = c.arg_vars.len();
-            // Supports per position.
-            let mut supports: Vec<BitSet> = (0..n)
-                .map(|_| BitSet::empty(self.dst.num_values()))
-                .collect();
-            'facts: for &fid in self.dst.facts_with_rel(c.fact.rel) {
+        while let Some(ci) = state.scratch.queue.pop() {
+            state.scratch.queued[ci] = false;
+            if !self.revise(state, ci) {
+                // Leave the worklist clean for the next propagation.
+                for &q in &state.scratch.queue {
+                    state.scratch.queued[q] = false;
+                }
+                state.scratch.queue.clear();
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Narrows `var` to `support`, enqueueing its constraints on change;
+    /// returns false on a wipe-out.
+    fn narrow(
+        &self,
+        cands: &mut CandStore,
+        scratch: &mut Scratch,
+        var: usize,
+        support: &[u64],
+    ) -> bool {
+        if cands.intersect(var, support) {
+            if cands.count(var) == 0 {
+                return false;
+            }
+            for &other in self.constraints_of(var) {
+                let other = other as usize;
+                if !scratch.queued[other] {
+                    scratch.queued[other] = true;
+                    scratch.queue.push(other);
+                }
+            }
+        }
+        true
+    }
+
+    /// Recomputes the supports of constraint `ci` and narrows its variables;
+    /// returns false on a wipe-out.
+    ///
+    /// Three support strategies, cheapest applicable first:
+    /// * **unary** constraints intersect with the precomputed membership
+    ///   mask of the relation — one word operation per block;
+    /// * **binary** constraints on two distinct variables run over the
+    ///   precomputed adjacency masks of the target: for each candidate `t`
+    ///   of the narrower side, `mask(t) ∩ cands(other)` decides `t`'s
+    ///   support and accumulates the other side's support — word arithmetic
+    ///   only, no per-fact scanning;
+    /// * everything else (arity ≥ 3, repeated variables) enumerates the
+    ///   target facts through the `(relation, position, value)` index,
+    ///   pivoting on the argument with the fewest candidates.
+    ///
+    /// All three compute the same generalized-arc-consistency supports, so
+    /// the closure — and hence the search tree — is identical whichever
+    /// path runs.
+    fn revise(&self, state: &mut SearchState, ci: usize) -> bool {
+        let arg_vars = self.args_of(ci);
+        let rel = self.con_rel[ci];
+        let n = arg_vars.len();
+        if n == 0 {
+            return true;
+        }
+        let SearchState {
+            cands,
+            scratch,
+            supports,
+        } = state;
+        let wpv = cands.wpv;
+        // Unary fast path: the support is the precomputed membership mask.
+        if n == 1 {
+            if let Some(mask) = &self.unary_masks[rel.index()] {
+                return self.narrow(cands, scratch, arg_vars[0] as usize, mask);
+            }
+        }
+        // Binary fast path over the adjacency masks.
+        if n == 2 && arg_vars[0] != arg_vars[1] {
+            if let (Some(out), Some(inc)) = (
+                &self.bin_out_masks[rel.index()],
+                &self.bin_inc_masks[rel.index()],
+            ) {
+                let (x, y) = (arg_vars[0] as usize, arg_vars[1] as usize);
+                let (pivot_var, other_var, masks) = if cands.count(x) <= cands.count(y) {
+                    (x, y, out)
+                } else {
+                    (y, x, inc)
+                };
+                for w in &mut supports[..2 * wpv] {
+                    *w = 0;
+                }
+                // supports[..wpv] = pivot side, supports[wpv..2*wpv] = other.
+                let other_block = cands.block(other_var);
+                for t in cands.values(pivot_var) {
+                    let mut any = false;
+                    for k in 0..wpv {
+                        let hits = masks[t * wpv + k] & other_block[k];
+                        if hits != 0 {
+                            any = true;
+                            supports[wpv + k] |= hits;
+                        }
+                    }
+                    if any {
+                        supports[t / 64] |= 1u64 << (t % 64);
+                    }
+                }
+                // Narrow in fixed position order (x before y) so worklist
+                // order matches the generic path.
+                let (x_start, y_start) = if pivot_var == x { (0, wpv) } else { (wpv, 0) };
+                return self.narrow(cands, scratch, x, &supports[x_start..x_start + wpv])
+                    && self.narrow(cands, scratch, y, &supports[y_start..y_start + wpv]);
+            }
+        }
+        // Generic path: enumerate target facts through the index, pivoting
+        // on the argument position with the fewest candidates.
+        for w in &mut supports[..n * wpv] {
+            *w = 0;
+        }
+        let pivot = (0..n)
+            .min_by_key(|&i| cands.count(arg_vars[i] as usize))
+            .expect("constraint has arguments");
+        let pivot_var = arg_vars[pivot] as usize;
+        for t in cands.values(pivot_var) {
+            'facts: for &fid in self
+                .dst
+                .facts_with_rel_pos_value(rel, pivot, Value(t as u32))
+            {
                 let df = self.dst.fact(fid);
                 // Check consistency with candidate sets and repeated variables.
                 for i in 0..n {
-                    if !cands[c.arg_vars[i]].contains(df.args[i].index()) {
+                    if !cands.contains(arg_vars[i] as usize, df.args[i].index()) {
                         continue 'facts;
                     }
                     for j in (i + 1)..n {
-                        if c.arg_vars[i] == c.arg_vars[j] && df.args[i] != df.args[j] {
+                        if arg_vars[i] == arg_vars[j] && df.args[i] != df.args[j] {
                             continue 'facts;
                         }
                     }
                 }
-                for (i, support) in supports.iter_mut().enumerate() {
-                    support.insert(df.args[i].index());
+                for (i, &a) in df.args.iter().enumerate() {
+                    let t = a.index();
+                    supports[i * wpv + t / 64] |= 1u64 << (t % 64);
                 }
             }
-            for (i, support) in supports.iter().enumerate() {
-                let var = c.arg_vars[i];
-                if cands[var].intersect_with(support) {
-                    if cands[var].is_empty() {
-                        return false;
-                    }
-                    for &other in &self.constraints_of_var[var] {
-                        if !queued[other] {
-                            queued[other] = true;
-                            queue.push(other);
-                        }
-                    }
-                }
+        }
+        for i in 0..n {
+            let var = arg_vars[i] as usize;
+            if !self.narrow(cands, scratch, var, &supports[i * wpv..(i + 1) * wpv]) {
+                return false;
             }
         }
         true
@@ -364,16 +836,21 @@ impl<'a> Problem<'a> {
 
     /// Checks that the (total, singleton) assignment satisfies every
     /// constraint; used when arc consistency is disabled.
-    fn assignment_consistent(&self, cands: &[BitSet]) -> bool {
-        for c in &self.constraints {
-            let mut args = Vec::with_capacity(c.arg_vars.len());
-            for &av in &c.arg_vars {
-                match cands[av].only() {
-                    Some(t) => args.push(Value(t as u32)),
-                    None => return true, // not total yet; skip
+    fn assignment_consistent(&self, state: &mut SearchState) -> bool {
+        let SearchState { cands, scratch, .. } = state;
+        for ci in 0..self.num_constraints() {
+            scratch.args.clear();
+            let mut total = true;
+            for &av in self.args_of(ci) {
+                match cands.only(av as usize) {
+                    Some(t) => scratch.args.push(Value(t as u32)),
+                    None => {
+                        total = false;
+                        break;
+                    }
                 }
             }
-            if !self.dst.contains_fact(c.fact.rel, &args) {
+            if total && !self.dst.contains_fact(self.con_rel[ci], &scratch.args) {
                 return false;
             }
         }
@@ -382,43 +859,48 @@ impl<'a> Problem<'a> {
 
     /// Checks constraints that are fully decided after `var` was assigned
     /// (forward checking).
-    fn forward_check(&self, cands: &[BitSet], var: usize) -> bool {
-        for &ci in &self.constraints_of_var[var] {
-            let c = &self.constraints[ci];
-            let mut args = Vec::with_capacity(c.arg_vars.len());
+    fn forward_check(&self, state: &mut SearchState, var: usize) -> bool {
+        let SearchState { cands, scratch, .. } = state;
+        for &ci in self.constraints_of(var) {
+            let ci = ci as usize;
+            scratch.args.clear();
             let mut total = true;
-            for &av in &c.arg_vars {
-                match cands[av].only() {
-                    Some(t) => args.push(Value(t as u32)),
+            for &av in self.args_of(ci) {
+                match cands.only(av as usize) {
+                    Some(t) => scratch.args.push(Value(t as u32)),
                     None => {
                         total = false;
                         break;
                     }
                 }
             }
-            if total && !self.dst.contains_fact(c.fact.rel, &args) {
+            if total && !self.dst.contains_fact(self.con_rel[ci], &scratch.args) {
                 return false;
             }
         }
         true
     }
 
-    fn extract(&self, cands: &[BitSet]) -> Homomorphism {
+    fn extract(&self, state: &SearchState) -> Homomorphism {
         let mut map = vec![None; self.src.num_values()];
         for (vi, &v) in self.vars.iter().enumerate() {
-            map[v.index()] = cands[vi].only().map(|t| Value(t as u32));
+            map[v.index()] = state.cands.only(vi).map(|t| Value(t as u32));
         }
         Homomorphism { map }
     }
 
-    fn branch(
+    /// Enters a new search node: counts it against the budget and either
+    /// processes the leaf in place or installs a branching frame at `depth`.
+    #[allow(clippy::too_many_arguments)]
+    fn enter_node(
         &self,
-        cands: Vec<BitSet>,
+        state: &mut SearchState,
+        frames: &mut Vec<Frame>,
+        depth: usize,
         config: &HomConfig,
         stats: &mut HomSearchStats,
-        limit: usize,
         out: &mut Vec<Homomorphism>,
-    ) -> Result<()> {
+    ) -> Result<NodeKind> {
         stats.nodes += 1;
         if let Some(max) = config.max_nodes {
             if stats.nodes > max {
@@ -427,8 +909,8 @@ impl<'a> Problem<'a> {
         }
         // Select the unassigned variable with the fewest candidates.
         let pick = (0..self.vars.len())
-            .filter(|&vi| cands[vi].len() > 1)
-            .min_by_key(|&vi| cands[vi].len());
+            .filter(|&vi| state.cands.count(vi) > 1)
+            .min_by_key(|&vi| state.cands.count(vi));
         let Some(var) = pick else {
             // All candidate sets are singletons.
             let ok = if config.use_arc_consistency {
@@ -437,37 +919,75 @@ impl<'a> Problem<'a> {
                 // is a homomorphism.
                 true
             } else {
-                self.assignment_consistent(&cands)
+                self.assignment_consistent(state)
             };
             if ok {
-                let h = self.extract(&cands);
-                debug_assert!(!h.map.is_empty() || self.vars.is_empty());
                 stats.found += 1;
-                out.push(h);
+                out.push(self.extract(state));
             } else {
                 stats.backtracks += 1;
             }
-            return Ok(());
+            return Ok(NodeKind::Leaf);
         };
-        let choices: Vec<usize> = cands[var].iter().collect();
-        for t in choices {
-            if out.len() >= limit {
+        if frames.len() == depth {
+            frames.push(Frame::default());
+        }
+        let frame = &mut frames[depth];
+        frame.var = var;
+        frame.next = 0;
+        frame.mark = state.cands.mark();
+        frame.choices.clear();
+        frame
+            .choices
+            .extend(state.cands.values(var).map(|t| t as u32));
+        Ok(NodeKind::Branch)
+    }
+
+    /// The iterative branching loop (explicit stack + trail restoration).
+    fn solve(
+        &self,
+        state: &mut SearchState,
+        config: &HomConfig,
+        stats: &mut HomSearchStats,
+        limit: usize,
+        out: &mut Vec<Homomorphism>,
+    ) -> Result<()> {
+        let mut frames: Vec<Frame> = Vec::new();
+        match self.enter_node(state, &mut frames, 0, config, stats, out)? {
+            NodeKind::Leaf => return Ok(()),
+            NodeKind::Branch => {}
+        }
+        let mut depth = 1usize; // frames[..depth] are active
+        loop {
+            if depth == 0 || out.len() >= limit {
                 return Ok(());
             }
-            let mut next = cands.clone();
-            next[var].retain_only(t);
+            let frame = &mut frames[depth - 1];
+            // Restore the node-entry state before (re)trying a choice; this
+            // also unwinds the subtree of the previous choice.
+            state.cands.undo_to(frame.mark);
+            if frame.next >= frame.choices.len() {
+                depth -= 1;
+                continue;
+            }
+            let t = frame.choices[frame.next] as usize;
+            frame.next += 1;
+            let var = frame.var;
+            state.cands.assign(var, t);
             let ok = if config.use_arc_consistency {
-                self.propagate(&mut next, self.constraints_of_var[var].clone())
+                self.propagate(state, self.constraints_of(var))
             } else {
-                self.forward_check(&next, var)
+                self.forward_check(state, var)
             };
             if ok {
-                self.branch(next, config, stats, limit, out)?;
+                match self.enter_node(state, &mut frames, depth, config, stats, out)? {
+                    NodeKind::Leaf => {}
+                    NodeKind::Branch => depth += 1,
+                }
             } else {
                 stats.backtracks += 1;
             }
         }
-        Ok(())
     }
 }
 
@@ -618,5 +1138,47 @@ mod tests {
         let empty = Example::boolean(Instance::new(schema));
         assert!(hom_exists(&empty, &cycle(3)));
         assert!(hom_exists(&empty, &empty));
+    }
+
+    #[test]
+    fn deep_source_does_not_overflow_the_stack() {
+        // A directed path with thousands of edges maps into a 2-cycle; the
+        // explicit-stack engine must handle the depth that would overflow a
+        // recursion-per-variable implementation.
+        let n = 20_000;
+        let p = path(n);
+        let c2 = cycle(2);
+        let h = find_homomorphism(&p, &c2).expect("even cycle target");
+        assert!(h.verify(&p, &c2));
+    }
+
+    #[test]
+    fn stats_match_reference_engine() {
+        // The rewrite must preserve the search tree exactly: same nodes,
+        // backtracks and found counts as the pre-index engine, with and
+        // without arc consistency.
+        for (src, dst) in [
+            (cycle(9), clique(3)),
+            (cycle(5), clique(2)),
+            (clique(4), clique(3)),
+            (path(6), cycle(3)),
+        ] {
+            for ac in [true, false] {
+                let cfg = HomConfig {
+                    use_arc_consistency: ac,
+                    max_nodes: None,
+                };
+                let mut new_stats = HomSearchStats::default();
+                let new = find_homomorphism_with(&src, &dst, &cfg, &mut new_stats).unwrap();
+                let mut ref_stats = HomSearchStats::default();
+                let old =
+                    crate::reference::find_homomorphism_with(&src, &dst, &cfg, &mut ref_stats)
+                        .unwrap();
+                assert_eq!(new, old);
+                assert_eq!(new_stats.nodes, ref_stats.nodes);
+                assert_eq!(new_stats.backtracks, ref_stats.backtracks);
+                assert_eq!(new_stats.found, ref_stats.found);
+            }
+        }
     }
 }

@@ -44,13 +44,18 @@ impl SimulationRelation {
     }
 }
 
-/// Collects, for each value, its unary relations, outgoing and incoming
-/// binary facts.
+/// Collects, for each *source* value, its unary relations and its outgoing /
+/// incoming binary facts (one pass over the fact table; the source side is
+/// traversed once per refinement sweep, so a compact adjacency pays off).
+///
+/// The *target* side is intentionally not materialised: the fixpoint below
+/// queries the instance's `(relation, position, value)` fact index instead,
+/// which enumerates exactly the matching edges of a candidate `b`.
 struct Adjacency {
     unary: Vec<Vec<RelId>>,
-    /// (rel, source, target) triples for outgoing edges per value.
+    /// (rel, target) pairs for outgoing edges per value.
     out: Vec<Vec<(RelId, Value)>>,
-    /// (rel, target, source) triples for incoming edges per value.
+    /// (rel, source) pairs for incoming edges per value.
     inc: Vec<Vec<(RelId, Value)>>,
 }
 
@@ -90,33 +95,41 @@ pub fn max_simulation(src: &Instance, dst: &Instance) -> Result<SimulationRelati
     if src.schema().as_ref() != dst.schema().as_ref() {
         return Err(HomError::SchemaMismatch);
     }
+    if !dst.schema().is_binary() {
+        return Err(HomError::NonBinarySchema);
+    }
     let sa = Adjacency::new(src)?;
-    let da = Adjacency::new(dst)?;
     let n_src = src.num_values();
     let n_dst = dst.num_values();
-    // Initialise with the unary-label condition.
+    // Initialise with the unary-label condition, reading the target's unary
+    // facts straight from the fact index.
     let mut sets: Vec<BitSet> = Vec::with_capacity(n_src);
     for a in 0..n_src {
         let mut s = BitSet::empty(n_dst);
         for b in 0..n_dst {
-            if sa.unary[a].iter().all(|r| da.unary[b].contains(r)) {
+            let bv = Value(b as u32);
+            if sa.unary[a].iter().all(|&r| dst.contains_fact(r, &[bv])) {
                 s.insert(b);
             }
         }
         sets.push(s);
     }
-    // Greatest fixpoint refinement.
+    // Greatest fixpoint refinement.  The target-side edge enumerations go
+    // through the `(relation, position, value)` index: only the edges
+    // actually incident to the candidate `b` are visited.
     let mut changed = true;
     while changed {
         changed = false;
         for a in 0..n_src {
             let candidates: Vec<usize> = sets[a].iter().collect();
             'cand: for b in candidates {
+                let bv = Value(b as u32);
                 // Forward condition.
                 for &(rel, a2) in &sa.out[a] {
-                    let ok = da.out[b]
+                    let ok = dst
+                        .facts_with_rel_pos_value(rel, 0, bv)
                         .iter()
-                        .any(|&(r2, b2)| r2 == rel && sets[a2.index()].contains(b2.index()));
+                        .any(|&fid| sets[a2.index()].contains(dst.fact(fid).args[1].index()));
                     if !ok {
                         sets[a].remove(b);
                         changed = true;
@@ -125,9 +138,10 @@ pub fn max_simulation(src: &Instance, dst: &Instance) -> Result<SimulationRelati
                 }
                 // Backward condition.
                 for &(rel, a0) in &sa.inc[a] {
-                    let ok = da.inc[b]
+                    let ok = dst
+                        .facts_with_rel_pos_value(rel, 1, bv)
                         .iter()
-                        .any(|&(r2, b0)| r2 == rel && sets[a0.index()].contains(b0.index()));
+                        .any(|&fid| sets[a0.index()].contains(dst.fact(fid).args[0].index()));
                     if !ok {
                         sets[a].remove(b);
                         changed = true;

@@ -1,0 +1,188 @@
+//! Differential test suite for the trail-based homomorphism engine.
+//!
+//! The engine rewrite (flat `u64` candidate store + undo trail, explicit
+//! branching stack, index-accelerated propagation) is a pure optimization:
+//! variable selection, value ordering and the propagation fixpoint are
+//! unchanged, so the new engine must agree with the preserved pre-rewrite
+//! engine (`cqfit_hom::reference`) not only on existence but on the exact
+//! witnesses and enumeration order.  This harness drives ≥200 fixed-seed
+//! random source/target pairs from `cqfit-gen` through both engines, with
+//! arc-consistency propagation both on and off, and asserts:
+//!
+//! * identical existence answers,
+//! * identical enumeration results (same homomorphisms, same order, same
+//!   counts under a truncation limit),
+//! * every returned witness passes `Homomorphism::verify`,
+//! * identical search statistics (nodes / backtracks / found), proving the
+//!   search trees coincide, and
+//! * agreement of the standalone arc-consistency closure with a
+//!   deterministic, sorted rendering.
+
+use cqfit_data::{Example, Schema};
+use cqfit_gen::{random_example, RandomConfig};
+use cqfit_hom::{
+    arc_consistency_candidates, find_all_homomorphisms_with, find_homomorphism_with, reference,
+    HomConfig, HomSearchStats,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Enumeration cap: high enough that small random instances are enumerated
+/// exhaustively, low enough to bound the worst case.
+const ENUM_LIMIT: usize = 3_000;
+
+fn schemas() -> Vec<Arc<Schema>> {
+    vec![
+        Schema::digraph(),
+        Schema::binary_schema(["P", "Q"], ["R", "S"]),
+        Arc::new(Schema::new([("T", 3), ("U", 1)]).unwrap()),
+    ]
+}
+
+/// Generates `count` (src, dst) pairs over `schema` from a fixed seed.
+fn pairs(schema: &Arc<Schema>, seed: u64, count: usize, arity: usize) -> Vec<(Example, Example)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let src_cfg = RandomConfig {
+        num_values: 4,
+        density: 0.25,
+        arity,
+        ..RandomConfig::default()
+    };
+    let dst_cfg = RandomConfig {
+        num_values: 5,
+        density: 0.35,
+        arity,
+        ..RandomConfig::default()
+    };
+    (0..count)
+        .map(|_| {
+            (
+                random_example(schema, &src_cfg, &mut rng),
+                random_example(schema, &dst_cfg, &mut rng),
+            )
+        })
+        .collect()
+}
+
+/// Runs one pair through both engines under one configuration and asserts
+/// full agreement.  Returns whether a homomorphism exists.
+fn check_pair(src: &Example, dst: &Example, config: &HomConfig, label: &str) -> bool {
+    // Single-witness search, with statistics.
+    let mut new_stats = HomSearchStats::default();
+    let new_one = find_homomorphism_with(src, dst, config, &mut new_stats).unwrap();
+    let mut ref_stats = HomSearchStats::default();
+    let ref_one = reference::find_homomorphism_with(src, dst, config, &mut ref_stats).unwrap();
+    assert_eq!(
+        new_one.is_some(),
+        ref_one.is_some(),
+        "{label}: existence disagreement\nsrc = {}\ndst = {}",
+        src.instance(),
+        dst.instance()
+    );
+    assert_eq!(new_one, ref_one, "{label}: witness disagreement");
+    if let Some(h) = &new_one {
+        assert!(h.verify(src, dst), "{label}: invalid witness");
+    }
+    assert_eq!(
+        (new_stats.nodes, new_stats.backtracks, new_stats.found),
+        (ref_stats.nodes, ref_stats.backtracks, ref_stats.found),
+        "{label}: search-tree statistics diverged"
+    );
+
+    // Exhaustive enumeration under a shared truncation limit.
+    let new_all = find_all_homomorphisms_with(src, dst, config, ENUM_LIMIT);
+    let ref_all = reference::find_all_homomorphisms_with(src, dst, config, ENUM_LIMIT);
+    assert_eq!(
+        new_all.len(),
+        ref_all.len(),
+        "{label}: enumeration count disagreement"
+    );
+    assert_eq!(new_all, ref_all, "{label}: enumeration order disagreement");
+    for h in &new_all {
+        assert!(h.verify(src, dst), "{label}: invalid enumerated witness");
+    }
+    new_one.is_some()
+}
+
+#[test]
+fn differential_random_pairs_agree_with_reference_engine() {
+    let mut total = 0usize;
+    let mut with_hom = 0usize;
+    for (si, schema) in schemas().iter().enumerate() {
+        for arity in [0usize, 1] {
+            let seed = 0xD1F + (si as u64) * 1000 + arity as u64;
+            for (pi, (src, dst)) in pairs(schema, seed, 35, arity).iter().enumerate() {
+                for ac in [true, false] {
+                    let config = HomConfig {
+                        use_arc_consistency: ac,
+                        max_nodes: None,
+                    };
+                    let label = format!("schema {si}, arity {arity}, pair {pi}, ac {ac}");
+                    let exists = check_pair(src, dst, &config, &label);
+                    total += 1;
+                    if exists {
+                        with_hom += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(total >= 200, "differential suite ran only {total} checks");
+    // The workload must exercise both outcomes, not just one easy regime.
+    assert!(with_hom > 0, "no pair admitted a homomorphism");
+    assert!(with_hom < total, "every pair admitted a homomorphism");
+}
+
+#[test]
+fn differential_arc_closure_is_deterministic_and_consistent() {
+    let schema = Schema::digraph();
+    let ps = pairs(&schema, 0xAC, 40, 1);
+    for (src, dst) in &ps {
+        let a = arc_consistency_candidates(src, dst);
+        let b = arc_consistency_candidates(src, dst);
+        match (&a, &b) {
+            (None, None) => {
+                // Arc-consistency refutation is sound: the engines agree.
+                assert!(!cqfit_hom::hom_exists(src, dst));
+                assert!(!reference::hom_exists(src, dst));
+            }
+            (Some(x), Some(y)) => {
+                assert_eq!(x, y);
+                // Ordered map with sorted candidate vectors: the debug
+                // rendering is reproducible run-to-run.
+                assert_eq!(format!("{x:?}"), format!("{y:?}"));
+                for cands in x.values() {
+                    assert!(cands.windows(2).all(|w| w[0] < w[1]));
+                }
+            }
+            _ => panic!("arc closure not deterministic"),
+        }
+    }
+}
+
+#[test]
+fn differential_budget_behaviour_matches() {
+    // Budget exhaustion must trigger at the same node count in both engines.
+    let schema = Schema::digraph();
+    for (src, dst) in pairs(&schema, 0xB0D6E7, 20, 0) {
+        for budget in [1u64, 3, 10] {
+            let config = HomConfig {
+                use_arc_consistency: false,
+                max_nodes: Some(budget),
+            };
+            let mut s1 = HomSearchStats::default();
+            let r1 = find_homomorphism_with(&src, &dst, &config, &mut s1);
+            let mut s2 = HomSearchStats::default();
+            let r2 = reference::find_homomorphism_with(&src, &dst, &config, &mut s2);
+            match (r1, r2) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(e1), Err(e2)) => {
+                    assert_eq!(e1, e2);
+                    assert_eq!(s1.nodes, s2.nodes);
+                }
+                (a, b) => panic!("budget divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
