@@ -1,24 +1,33 @@
-//! Perf-trajectory capture: measures the trail-based homomorphism engine
-//! against the preserved pre-rewrite reference engine **in the same run**,
-//! and writes the result to `BENCH_pr2.json`.
+//! Perf-trajectory capture: measures this repo's engine rewrites against
+//! their preserved pre-rewrite reference implementations **in the same
+//! run**, and writes the result to a `BENCH_pr*.json` capture file.
 //!
-//! Both engines execute identical workloads drawn from the hom-heavy parts
-//! of the `table1_cq` and `size_families` criterion benches (exact
-//! k-colorability verification of Thm. 3.1, prime-cycle existence of
-//! Thm. 3.40), so the recorded speedups are relative to a baseline compiled
-//! with the same toolchain and flags on the same machine — not to a stale
-//! number from another environment.
+//! Two stages exist:
+//!
+//! * **pr3** (default) — the mask-based core engine (`cqfit_hom::core_of`)
+//!   against the preserved greedy oracle (`cqfit_hom::core::reference`), on
+//!   the Thm. 3.40 prime-cycle products (core-of-product speedups) and the
+//!   Thm. 3.41 bitstring products plus padded/foldable instances (output
+//!   size reductions).  Writes `BENCH_pr3.json`.
+//! * **pr2** (`--pr2`) — the trail-based hom engine against the pre-rewrite
+//!   clone-based engine (`cqfit_hom::reference`), reproducing
+//!   `BENCH_pr2.json`.
+//!
+//! Both engines of a stage execute identical workloads, so the recorded
+//! speedups are relative to a baseline compiled with the same toolchain and
+//! flags on the same machine — not to a stale number from another
+//! environment.
 //!
 //! Usage:
 //! ```text
-//! perf_trajectory [--quick] [--out PATH]   # run and write the JSON capture
-//! perf_trajectory --check PATH             # validate an existing capture
+//! perf_trajectory [--pr2] [--quick] [--out PATH]   # run and write the capture
+//! perf_trajectory --check PATH                     # validate a capture
 //! ```
 //! `--check` exits non-zero if the file is missing or malformed; CI uses it
-//! as the bench-smoke gate.
+//! as the bench-smoke gate for both committed captures.
 
 use cqfit_data::{Example, LabeledExamples};
-use cqfit_gen::{exact_colorability, prime_cycles_family, symmetric_clique};
+use cqfit_gen::{bitstring_family, directed_cycle, exact_colorability, primes, symmetric_clique};
 use cqfit_hom::{product_of, reference, HomConfig, HomSearchStats};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -61,11 +70,15 @@ fn count_allocs(f: &dyn Fn()) -> u64 {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
-/// One measured case: a name plus the two engine closures.
+/// One measured case: a name plus the two engine closures, and (for the
+/// core stage) the input/output sizes of the minimization.
 struct Case {
     name: String,
     new_engine: Box<dyn Fn()>,
     baseline: Box<dyn Fn()>,
+    /// `(values_before, facts_before, values_after, facts_after)` of a core
+    /// computation; `None` for plain hom cases.
+    sizes: Option<(usize, usize, usize, usize)>,
 }
 
 /// Result of one measured case.
@@ -74,6 +87,7 @@ struct CaseResult {
     baseline_median_ns: u128,
     new_median_ns: u128,
     speedup: f64,
+    sizes: Option<(usize, usize, usize, usize)>,
 }
 
 fn median(mut samples: Vec<u128>) -> u128 {
@@ -114,6 +128,7 @@ fn run_cases(cases: Vec<Case>, repeats: usize) -> Vec<CaseResult> {
                 baseline_median_ns,
                 new_median_ns,
                 speedup,
+                sizes: c.sizes,
             }
         })
         .collect()
@@ -135,6 +150,43 @@ fn hom_case(name: &str, src: Example, dst: Example) -> Case {
             let mut stats = HomSearchStats::default();
             black_box(reference::find_homomorphism_with(&s2, &d2, &config2, &mut stats).unwrap());
         }),
+        sizes: None,
+    }
+}
+
+/// A core computation on both engines: the mask-based engine
+/// (`cqfit_hom::core_of`) against the preserved greedy oracle
+/// (`cqfit_hom::core::reference::core_of`), with the size reduction checked
+/// for agreement and recorded.
+fn core_case(name: &str, example: Example) -> Case {
+    let new_core = cqfit_hom::core_of(&example);
+    let ref_core = cqfit_hom::core::reference::core_of(&example);
+    assert_eq!(
+        (new_core.instance().num_values(), new_core.size()),
+        (ref_core.instance().num_values(), ref_core.size()),
+        "{name}: engines disagree on the core size"
+    );
+    assert!(
+        cqfit_hom::hom_equivalent(&new_core, &ref_core),
+        "{name}: engines disagree up to homomorphic equivalence"
+    );
+    let sizes = Some((
+        example.instance().num_values(),
+        example.size(),
+        new_core.instance().num_values(),
+        new_core.size(),
+    ));
+    let e1 = example.clone();
+    let e2 = example;
+    Case {
+        name: name.to_string(),
+        new_engine: Box::new(move || {
+            black_box(cqfit_hom::core_of(&e1));
+        }),
+        baseline: Box::new(move || {
+            black_box(cqfit_hom::core::reference::core_of(&e2));
+        }),
+        sizes,
     }
 }
 
@@ -160,7 +212,81 @@ fn fitting_existence_case(name: &str, examples: LabeledExamples) -> Case {
                     .any(|n| reference::hom_exists(&product, n));
             black_box(fits);
         }),
+        sizes: None,
     }
+}
+
+/// The direct product of the directed cycles with the given lengths.
+fn cycle_product(lengths: &[usize]) -> Example {
+    let schema = cqfit_data::Schema::digraph();
+    let cycles: Vec<Example> = lengths
+        .iter()
+        .map(|&len| directed_cycle(&schema, len))
+        .collect();
+    product_of(&schema, 0, &cycles).expect("same schema and arity")
+}
+
+/// The Thm. 3.40 core-of-product cases: the direct product of prime-length
+/// directed cycles is one huge directed cycle, and the size claim of the
+/// theorem is a claim about its core.  Verifying that the product *is* a
+/// core is the hardest regime for a core engine (every retraction candidate
+/// must be refuted).
+fn core_product_cases(quick: bool) -> Vec<Case> {
+    let ps = primes(4);
+    let mut lens: Vec<Vec<usize>> = vec![vec![ps[1], ps[2]], vec![ps[2], ps[3]]];
+    if !quick {
+        lens.push(vec![ps[1], ps[2], ps[3]]);
+    }
+    lens.into_iter()
+        .map(|lengths| {
+            let product = cycle_product(&lengths);
+            let total: usize = lengths.iter().product();
+            core_case(&format!("core_product_c{total}"), product)
+        })
+        .collect()
+}
+
+/// The Thm. 3.41 / reduction cases: products of the bitstring positives, a
+/// padded prime-cycle product (pendant path + isolated declared values, the
+/// regression shape for the up-front isolated-value masking), and a
+/// symmetric path that folds to a single edge (orbit folding).
+fn core_reduction_cases(quick: bool) -> Vec<Case> {
+    let mut cases = Vec::new();
+    let ns: &[usize] = if quick { &[2] } else { &[2, 3] };
+    for &n in ns {
+        let fam = bitstring_family(n);
+        let schema = fam.schema().expect("non-empty").clone();
+        let product = product_of(&schema, 0, fam.positives()).unwrap();
+        cases.push(core_case(&format!("bitstring_product_n{n}"), product));
+    }
+    // Padded prime-cycle product: C15 with a pendant directed path (folds
+    // into the cycle) and isolated declared values (masked out up front).
+    let product = cycle_product(&[3, 5]);
+    let (mut inst, dist) = product.into_parts();
+    let rel = inst.schema().rel("R").expect("digraph");
+    let attach = cqfit_data::Value(0);
+    let mut prev = attach;
+    for k in 0..8 {
+        let next = inst.add_value(format!("pad{k}"));
+        inst.add_fact(rel, &[prev, next]).expect("path fact");
+        prev = next;
+    }
+    for k in 0..6 {
+        inst.add_value(format!("iso{k}"));
+    }
+    cases.push(core_case("padded_prime_product", Example::new(inst, dist)));
+    // Symmetric path: folds to a single symmetric edge through repeated
+    // orbit folding.
+    let schema = cqfit_data::Schema::digraph();
+    let mut inst = cqfit_data::Instance::new(schema);
+    let sym_rel = inst.schema().rel("R").expect("digraph");
+    let vs = inst.add_values("s", 14);
+    for k in 0..13 {
+        inst.add_fact(sym_rel, &[vs[k], vs[k + 1]]).expect("edge");
+        inst.add_fact(sym_rel, &[vs[k + 1], vs[k]]).expect("edge");
+    }
+    cases.push(core_case("symmetric_path_fold", Example::boolean(inst)));
+    cases
 }
 
 /// The hom-heavy kernels of the `table1_cq` bench: exact-k-colorability
@@ -189,7 +315,7 @@ fn table1_cases(quick: bool) -> Vec<Case> {
     for &n in ns {
         cases.push(fitting_existence_case(
             &format!("exists/prime_cycles_{n}"),
-            prime_cycles_family(n),
+            cqfit_gen::prime_cycles_family(n),
         ));
     }
     cases
@@ -203,7 +329,7 @@ fn size_family_cases(quick: bool) -> Vec<Case> {
     let mut cases = Vec::new();
     let ns: &[usize] = if quick { &[4] } else { &[4, 5] };
     for &n in ns {
-        let examples = prime_cycles_family(n);
+        let examples = cqfit_gen::prime_cycles_family(n);
         let schema = examples.schema().expect("non-empty").clone();
         let arity = examples.arity().expect("non-empty");
         let product = product_of(&schema, arity, examples.positives()).unwrap();
@@ -216,8 +342,8 @@ fn size_family_cases(quick: bool) -> Vec<Case> {
     }
     // The same shape with a satisfiable target: C_{3·5·7} → C_3.
     let schema = cqfit_data::Schema::digraph();
-    let c105 = cqfit_gen::directed_cycle(&schema, 105);
-    let c3 = cqfit_gen::directed_cycle(&schema, 3);
+    let c105 = directed_cycle(&schema, 105);
+    let c3 = directed_cycle(&schema, 3);
     cases.push(hom_case("c105_to_c3", c105, c3));
     cases
 }
@@ -230,12 +356,19 @@ fn bench_json(name: &str, results: &[CaseResult]) -> String {
     let cases: Vec<String> = results
         .iter()
         .map(|r| {
+            let sizes = match r.sizes {
+                Some((vb, fb, va, fa)) => format!(
+                    ", \"values_before\": {vb}, \"facts_before\": {fb}, \"values_after\": {va}, \"facts_after\": {fa}"
+                ),
+                None => String::new(),
+            };
             format!(
-                "      {{\"case\": \"{}\", \"baseline_median_ns\": {}, \"new_median_ns\": {}, \"speedup\": {:.3}}}",
+                "      {{\"case\": \"{}\", \"baseline_median_ns\": {}, \"new_median_ns\": {}, \"speedup\": {:.3}{}}}",
                 json_escape(&r.name),
                 r.baseline_median_ns,
                 r.new_median_ns,
-                r.speedup
+                r.speedup,
+                sizes
             )
         })
         .collect();
@@ -251,7 +384,8 @@ fn bench_json(name: &str, results: &[CaseResult]) -> String {
 }
 
 /// Minimal structural validation of a capture file: required keys present,
-/// braces balanced, every speedup parses as a positive float.
+/// braces balanced, every speedup parses as a positive float.  Works for
+/// both the pr2 and pr3 capture shapes.
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let balanced = |open: char, close: char| {
@@ -260,13 +394,7 @@ fn check(path: &str) -> Result<(), String> {
     if !balanced('{', '}') || !balanced('[', ']') {
         return Err(format!("{path}: unbalanced braces"));
     }
-    for key in [
-        "\"pr\"",
-        "\"table1_cq\"",
-        "\"size_families\"",
-        "\"median_speedup\"",
-        "\"cases\"",
-    ] {
+    for key in ["\"pr\"", "\"benches\"", "\"median_speedup\"", "\"cases\""] {
         if !text.contains(key) {
             return Err(format!("{path}: missing key {key}"));
         }
@@ -292,34 +420,8 @@ fn check(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(i) = args.iter().position(|a| a == "--check") {
-        let path = args
-            .get(i + 1)
-            .map(String::as_str)
-            .unwrap_or("BENCH_pr2.json");
-        match check(path) {
-            Ok(()) => {
-                eprintln!("{path}: ok");
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                std::process::exit(1);
-            }
-        }
-        return;
-    }
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("BENCH_pr2.json")
-        .to_string();
-    let repeats = if quick { 5 } else { 15 };
-
+/// The pr2 stage: trail-based hom engine vs pre-rewrite reference engine.
+fn run_pr2(quick: bool, repeats: usize) -> String {
     eprintln!("table1_cq hom kernels ({repeats} samples/case):");
     let t1 = run_cases(table1_cases(quick), repeats);
     eprintln!("size_families hom kernels ({repeats} samples/case):");
@@ -341,14 +443,67 @@ fn main() {
         "alloc check (K6 → K5 search): baseline {baseline_allocs} heap allocations, new {new_allocs}"
     );
 
-    let json = format!(
+    format!(
         "{{\n  \"pr\": 2,\n  \"description\": \"trail-based, index-accelerated hom engine vs pre-rewrite reference engine (same run, same build)\",\n  \"mode\": \"{}\",\n  \"alloc_check\": {{\"case\": \"k6_to_k5\", \"baseline_allocs\": {}, \"new_allocs\": {}}},\n  \"benches\": [\n{},\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         baseline_allocs,
         new_allocs,
         bench_json("table1_cq", &t1),
         bench_json("size_families", &sf)
-    );
+    )
+}
+
+/// The pr3 stage: mask-based core engine vs preserved greedy core oracle.
+fn run_pr3(quick: bool, repeats: usize) -> String {
+    eprintln!("core-of-product (Thm. 3.40) cases ({repeats} samples/case):");
+    let products = run_cases(core_product_cases(quick), repeats);
+    eprintln!("core reduction (Thm. 3.41 + padded/foldable) cases ({repeats} samples/case):");
+    let reductions = run_cases(core_reduction_cases(quick), repeats);
+    format!(
+        "{{\n  \"pr\": 3,\n  \"description\": \"mask-based core engine (endomorphism sweep + orbit folding + batched retraction checks) vs preserved greedy core oracle (same run, same build)\",\n  \"mode\": \"{}\",\n  \"benches\": [\n{},\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        bench_json("core_product_thm3_40", &products),
+        bench_json("core_reduction_thm3_41", &reductions)
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_pr3.json");
+        match check(path) {
+            Ok(()) => {
+                eprintln!("{path}: ok");
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let pr2 = args.iter().any(|a| a == "--pr2");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(if pr2 {
+            "BENCH_pr2.json"
+        } else {
+            "BENCH_pr3.json"
+        })
+        .to_string();
+    let repeats = if quick { 5 } else { 15 };
+    let json = if pr2 {
+        run_pr2(quick, repeats)
+    } else {
+        run_pr3(quick, repeats)
+    };
     std::fs::write(&out_path, &json).expect("write capture file");
     eprintln!("wrote {out_path}");
     check(&out_path).expect("self-check of the freshly written capture");

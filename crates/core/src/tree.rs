@@ -332,6 +332,96 @@ pub fn most_specific_exists(examples: &LabeledExamples) -> Result<bool> {
     Ok(analysis.good.contains_key(&(None, root)))
 }
 
+/// Rebuilds the rooted-tree view of a tree-shaped unary pointed example:
+/// a depth-first traversal from the distinguished root, turning each binary
+/// fact into the edge of a unique child (forward role when the visited value
+/// is the first argument, converse role otherwise) and each unary fact into
+/// a label.  (Traversal order only affects sibling order, not the rebuilt
+/// query.)  Returns `None` if the example is not tree-shaped (self-loop,
+/// re-entered value, unreached active value).
+fn rooted_tree_of_example(e: &Example) -> Option<RootedTree> {
+    let inst = e.instance();
+    if e.arity() != 1 || !inst.schema().is_binary() {
+        return None;
+    }
+    let root = e.distinguished()[0];
+    let mut tree = RootedTree::new(inst.schema().clone());
+    let mut node_of = vec![usize::MAX; inst.num_values()];
+    node_of[root.index()] = tree.root();
+    let mut queue = vec![root];
+    while let Some(v) = queue.pop() {
+        let node = node_of[v.index()];
+        for &fid in inst.facts_containing(v) {
+            let fact = inst.fact(fid);
+            if fact.args.len() == 1 {
+                tree.add_label(node, fact.rel).ok()?;
+                continue;
+            }
+            let (role, w) = if fact.args[0] == v {
+                (Role::forward(fact.rel), fact.args[1])
+            } else {
+                (Role::converse(fact.rel), fact.args[0])
+            };
+            if w == v {
+                return None; // self-loop: not a tree
+            }
+            if node_of[w.index()] != usize::MAX {
+                // Already reached: either this is the (already traversed)
+                // edge back to the parent, or a genuine cycle.
+                if tree
+                    .parent(node)
+                    .is_some_and(|(r, p)| p == node_of[w.index()] && r == role.flipped())
+                {
+                    continue;
+                }
+                return None;
+            }
+            let child = tree.add_child(node, role).ok()?;
+            node_of[w.index()] = child;
+            queue.push(w);
+        }
+    }
+    // Connectivity: every active value must have been reached.
+    if inst
+        .values()
+        .any(|v| inst.is_active(v) && node_of[v.index()] == usize::MAX)
+    {
+        return None;
+    }
+    Some(tree)
+}
+
+/// Minimizes a tree CQ through the mask-based core engine: cores the
+/// canonical example (retracts of trees are trees, so the core is
+/// tree-shaped) and rebuilds the rooted-tree view.  Falls back to the
+/// simulation-based [`TreeCq::reduce`] in the defensive case that the core
+/// cannot be rebuilt as a rooted tree.
+fn minimize_tree_cq(q: &TreeCq) -> TreeCq {
+    let core = cqfit_hom::core_of(&q.canonical_example());
+    match rooted_tree_of_example(&core).and_then(|t| TreeCq::from_rooted(t).ok()) {
+        Some(minimized) => minimized,
+        None => q.reduce(),
+    }
+}
+
+/// [`construct_most_specific`] with the output minimized: the complete
+/// initial piece is cored with the mask-based core engine
+/// (`cqfit_hom::core_of`) and rebuilt as a tree CQ.  The result is
+/// equivalent to the unminimized piece (cores are homomorphically
+/// equivalent, and homomorphic equivalence of tree-shaped examples implies
+/// simulation equivalence), hence still a most-specific fitting.
+pub fn construct_most_specific_minimized(
+    examples: &LabeledExamples,
+    budget: &SearchBudget,
+) -> Result<Option<TreeCq>> {
+    let Some(piece) = construct_most_specific(examples, budget)? else {
+        return Ok(None);
+    };
+    let minimized = minimize_tree_cq(&piece);
+    debug_assert!(verify_most_specific(&minimized, examples)?);
+    Ok(Some(minimized))
+}
+
 /// Constructs a most-specific fitting tree CQ (a complete initial piece of
 /// the unraveling of `Π E⁺`, Theorem 5.18) if one exists within the node
 /// budget.
@@ -660,6 +750,31 @@ mod tests {
             verify_basis(&[q], &e, &SearchBudget::default()).unwrap(),
             Certainty::No
         );
+    }
+
+    /// The minimized most-specific construction cores the complete initial
+    /// piece and rebuilds it as a tree CQ: equivalent, core-shaped, still a
+    /// most-specific fitting.
+    #[test]
+    fn minimized_most_specific_piece() {
+        let schema = Schema::binary_schema(["Q"], ["R"]);
+        let e = labeled(
+            &schema,
+            &["R(a,b)\nQ(b)\nR(a,c)\nQ(c)\n* a"],
+            &["R(a,b)\n* a"],
+        );
+        assert!(most_specific_exists(&e).unwrap());
+        let piece = construct_most_specific(&e, &SearchBudget::default())
+            .unwrap()
+            .unwrap();
+        let minimized = construct_most_specific_minimized(&e, &SearchBudget::default())
+            .unwrap()
+            .unwrap();
+        assert!(minimized.equivalent_to(&piece).unwrap());
+        assert!(verify_most_specific(&minimized, &e).unwrap());
+        assert!(cqfit_hom::is_core(&minimized.canonical_example()));
+        assert!(minimized.num_variables() <= piece.num_variables());
+        assert_eq!(minimized.num_variables(), 2, "the twin Q-children fold");
     }
 
     #[test]

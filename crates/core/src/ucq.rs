@@ -68,6 +68,15 @@ pub fn most_specific_fitting(examples: &LabeledExamples) -> Result<Option<Ucq>> 
     Ok(Some(Ucq::from_examples(examples.positives())?))
 }
 
+/// [`most_specific_fitting`] with the output minimized: every disjunct is
+/// cored with the mask-based core engine and disjuncts contained in another
+/// disjunct are dropped ([`Ucq::minimized`]).  The result is an equivalent
+/// most-specific fitting UCQ whose disjuncts are cores and pairwise
+/// incomparable under containment.
+pub fn most_specific_fitting_minimized(examples: &LabeledExamples) -> Result<Option<Ucq>> {
+    Ok(most_specific_fitting(examples)?.map(|q| q.minimized()))
+}
+
 /// Verifies that `q` is a most-specific fitting UCQ (Proposition 4.3: `q`
 /// fits and is equivalent to `⋃_{e ∈ E⁺} q_e`).
 pub fn verify_most_specific_fitting(q: &Ucq, examples: &LabeledExamples) -> Result<bool> {
@@ -253,6 +262,26 @@ mod tests {
         let c15 = Ucq::new(vec![c15_cq]).unwrap();
         assert!(verify_fitting(&c15, &e).unwrap());
         assert!(!verify_most_specific_fitting(&c15, &e).unwrap());
+    }
+
+    /// The minimized most-specific fitting cores each disjunct and prunes
+    /// contained ones, while remaining a most-specific fitting.
+    #[test]
+    fn minimized_most_specific_cores_and_prunes() {
+        let schema = Schema::digraph();
+        // First positive: C3 plus a redundant pendant path (folds into the
+        // cycle); second positive: C3 again (its canonical CQ is contained in
+        // the first's after coring, so pruning drops one disjunct).
+        let c3_padded = "R(a,b)\nR(b,c)\nR(c,a)\nR(a,d)\nR(d,e)";
+        let c3 = "R(a,b)\nR(b,c)\nR(c,a)";
+        let e = labeled(&schema, &[c3_padded, c3], &["R(a,b)\nR(b,a)"]);
+        let plain = most_specific_fitting(&e).unwrap().unwrap();
+        assert_eq!(plain.len(), 2);
+        let minimized = most_specific_fitting_minimized(&e).unwrap().unwrap();
+        assert_eq!(minimized.len(), 1, "equivalent disjuncts collapse");
+        assert_eq!(minimized.disjuncts()[0].num_variables(), 3);
+        assert!(minimized.equivalent_to(&plain).unwrap());
+        assert!(verify_most_specific_fitting(&minimized, &e).unwrap());
     }
 
     #[test]

@@ -42,8 +42,10 @@ fn worker_count(n: usize) -> usize {
 
 /// Runs `f(i)` for every `i < n` across scoped workers, merging the per-index
 /// results into a vector.  `skip(i)` allows workers to bypass indices whose
-/// result can no longer matter (they yield `None`).
-fn run_batch<T, F, S>(n: usize, f: F, skip: S) -> Vec<Option<T>>
+/// result can no longer matter (they yield `None`).  Shared with the core
+/// engine (`crate::core`), which batches its retraction candidate checks
+/// through the same worker pool.
+pub(crate) fn run_batch<T, F, S>(n: usize, f: F, skip: S) -> Vec<Option<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

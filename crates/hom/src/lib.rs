@@ -21,7 +21,7 @@
 mod arc;
 mod batch;
 mod bitset;
-mod core_of;
+pub mod core;
 mod error;
 mod ops;
 #[doc(hidden)]
@@ -33,7 +33,7 @@ pub use arc::{arc_consistency_candidates, arc_consistent};
 pub use batch::{
     any_hom_exists_batch, find_first_hom_batch, hom_exists_batch, hom_exists_cross, CrossFlags,
 };
-pub use core_of::{core_of, hom_equivalent, is_core};
+pub use core::{core_of, hom_equivalent, is_core};
 pub use error::HomError;
 pub use ops::{direct_product, disjoint_union, disjoint_union_of, product_of, top_example};
 pub use search::{

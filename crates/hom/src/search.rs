@@ -179,6 +179,126 @@ pub fn find_all_homomorphisms_with(
     out
 }
 
+/// Internal knobs for the specialized searches of the core engine
+/// (`crate::core`).  They are deliberately not part of [`HomConfig`]: every
+/// public entry point runs the one canonical strategy, while retraction
+/// checks during core computation use masks and a different propagation
+/// schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SearchTweaks<'m> {
+    /// Deactivation mask over the *source* domain: only facts all of whose
+    /// arguments are alive act as constraints, and only values occurring in
+    /// such facts (plus the distinguished tuple) act as variables.  `None`
+    /// means "everything alive".
+    pub src_alive: Option<&'m [bool]>,
+    /// Deactivation mask over the *target* domain: images are restricted to
+    /// alive values, and "active" (for the initial candidate sets) means
+    /// "occurs in a fact all of whose arguments are alive".
+    pub dst_alive: Option<&'m [bool]>,
+    /// Branch on this source value first while it is undecided.  Used by the
+    /// retraction checks of the core engine, where the deactivated target
+    /// value's variable is the only one that cannot map identically.
+    pub branch_first: Option<Value>,
+    /// Skip the full initial arc-consistency closure; propagation is then
+    /// seeded from the constraints of already-singleton (forced) variables
+    /// only and otherwise runs incrementally during branching (MAC).  Sound
+    /// and complete — see [`find_homomorphism_tweaked`].
+    pub lazy_propagation: bool,
+}
+
+/// Finds one homomorphism under internal [`SearchTweaks`] — the entry point
+/// of the core engine's retraction checks.
+///
+/// With `lazy_propagation` the full initial closure is replaced by seeding
+/// the worklist with the constraints of variables whose candidate set is
+/// already a singleton.  This preserves both soundness and completeness of
+/// the search:
+///
+/// * *completeness* — propagation only ever removes unsupported candidates;
+/// * *soundness of all-singleton leaves* — a constraint is (re)revised
+///   whenever one of its variables' candidate sets changes, and assignment
+///   during branching explicitly propagates the assigned variable's
+///   constraints; the only constraints that could otherwise escape revision
+///   are those all of whose variables started out as singletons, which is
+///   exactly what the seeding covers.
+pub(crate) fn find_homomorphism_tweaked(
+    src: &Example,
+    dst: &Example,
+    tweaks: SearchTweaks<'_>,
+) -> Option<Homomorphism> {
+    let problem = Problem::new_masked(src, dst, tweaks)?;
+    let mut state = problem.fresh_state();
+    if !problem.initial_candidates(&mut state) {
+        return None;
+    }
+    if !problem.initial_propagation(&mut state, tweaks.lazy_propagation) {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut stats = HomSearchStats::default();
+    problem
+        .solve(&mut state, &HomConfig::default(), &mut stats, 1, &mut out)
+        .expect("unlimited search cannot exhaust its budget");
+    out.pop()
+}
+
+/// Outcome of a capped, predicate-stopped enumeration
+/// ([`enumerate_homomorphisms_tweaked`]).
+pub(crate) enum TweakedEnumeration {
+    /// Enumeration stopped at the first homomorphism satisfying the
+    /// predicate.
+    Found(Homomorphism),
+    /// The whole space was exhausted without the predicate firing.
+    Exhausted,
+    /// The solution limit or node budget was reached first: inconclusive.
+    Capped,
+}
+
+/// Enumerates homomorphisms under [`SearchTweaks`] until `stop_when` accepts
+/// one, the space is exhausted, or a cap (`limit` solutions / `max_nodes`
+/// search nodes) is hit — the core engine's endomorphism sweep.
+pub(crate) fn enumerate_homomorphisms_tweaked(
+    src: &Example,
+    dst: &Example,
+    tweaks: SearchTweaks<'_>,
+    limit: usize,
+    max_nodes: u64,
+    mut stop_when: impl FnMut(&Homomorphism) -> bool,
+) -> TweakedEnumeration {
+    let Some(problem) = Problem::new_masked(src, dst, tweaks) else {
+        return TweakedEnumeration::Exhausted;
+    };
+    let mut state = problem.fresh_state();
+    if !problem.initial_candidates(&mut state) {
+        return TweakedEnumeration::Exhausted;
+    }
+    if !problem.initial_propagation(&mut state, tweaks.lazy_propagation) {
+        return TweakedEnumeration::Exhausted;
+    }
+    let config = HomConfig {
+        use_arc_consistency: true,
+        max_nodes: Some(max_nodes),
+    };
+    let mut out = Vec::new();
+    let mut stats = HomSearchStats::default();
+    let mut fired = false;
+    let result = problem.solve_until(&mut state, &config, &mut stats, limit, &mut out, &mut |h| {
+        fired = stop_when(h);
+        fired
+    });
+    if fired {
+        return TweakedEnumeration::Found(out.pop().expect("predicate fired on a found hom"));
+    }
+    match result {
+        // The node budget was hit (solve only ever errs with
+        // `HomError::BudgetExhausted`), or the solution cap was reached:
+        // either way the sweep is inconclusive.
+        Err(_) => TweakedEnumeration::Capped,
+        Ok(()) if out.len() >= limit => TweakedEnumeration::Capped,
+        Ok(()) => TweakedEnumeration::Exhausted,
+    }
+}
+
 /// Computes the arc-consistency closure for `src → dst`: the surviving
 /// candidate sets per source value (in ascending target order, inside an
 /// ordered map, so iteration is reproducible run-to-run), or `None` if some
@@ -467,12 +587,63 @@ struct Problem<'a> {
     /// then pure word arithmetic instead of per-fact scans.
     bin_out_masks: Vec<Option<Vec<u64>>>,
     bin_inc_masks: Vec<Option<Vec<u64>>>,
+    /// Mask-aware activeness of every source value; `None` on the unmasked
+    /// hot path, where plain [`Instance::is_active`] is used instead (no
+    /// extra allocation for ordinary searches).
+    src_active: Option<Vec<bool>>,
+    /// Mask-aware activeness of every target value: the initial candidate
+    /// set of every active source variable; `None` when unmasked.
+    dst_active: Option<Vec<bool>>,
+    /// Which target values may appear in images at all (the `dst_alive`
+    /// mask); `None` when unmasked (everything allowed).
+    dst_allowed: Option<Vec<bool>>,
+    /// Variable to branch on first while undecided (core retraction checks).
+    branch_first: Option<usize>,
+}
+
+/// Mask-aware activeness, computed only when a mask is present (the
+/// unmasked hot path keeps using [`Instance::is_active`] directly): under a
+/// mask a value is active iff it occurs in a fact all of whose arguments are
+/// alive, i.e. iff it is active in the induced sub-instance.
+fn masked_active(inst: &Instance, mask: Option<&[bool]>) -> Option<Vec<bool>> {
+    let alive = mask?;
+    let mut active = vec![false; inst.num_values()];
+    for f in inst.facts() {
+        if f.args.iter().all(|a| alive[a.index()]) {
+            for a in &f.args {
+                active[a.index()] = true;
+            }
+        }
+    }
+    Some(active)
 }
 
 impl<'a> Problem<'a> {
     fn new(src_ex: &'a Example, dst_ex: &'a Example) -> Option<Self> {
+        Self::new_masked(src_ex, dst_ex, SearchTweaks::default())
+    }
+
+    /// Builds the problem for the sub-instances induced by the optional
+    /// deactivation masks, without materializing either sub-instance: masked
+    /// facts simply contribute no constraints (source side) and masked
+    /// values no candidates (target side).  The per-relation target
+    /// adjacency/membership masks are still built from the full fact table —
+    /// they are only ever *intersected* with candidate sets, which never
+    /// contain dead values, so dead target facts cannot contribute support.
+    fn new_masked(
+        src_ex: &'a Example,
+        dst_ex: &'a Example,
+        tweaks: SearchTweaks<'_>,
+    ) -> Option<Self> {
         let src = src_ex.instance();
         let dst = dst_ex.instance();
+        let src_active = masked_active(src, tweaks.src_alive);
+        let dst_active = masked_active(dst, tweaks.dst_alive);
+        let dst_allowed: Option<Vec<bool>> = tweaks.dst_alive.map(<[bool]>::to_vec);
+        let is_src_active = |v: Value| match &src_active {
+            Some(active) => active[v.index()],
+            None => src.is_active(v),
+        };
         let mut var_of_value = vec![usize::MAX; src.num_values()];
         let mut vars = Vec::new();
         let mut forced: Vec<Option<Value>> = Vec::new();
@@ -489,6 +660,10 @@ impl<'a> Problem<'a> {
         };
         // Distinguished values are variables with forced assignments.
         for (i, &d) in src_ex.distinguished().iter().enumerate() {
+            debug_assert!(
+                tweaks.src_alive.is_none_or(|m| m[d.index()]),
+                "distinguished source values must never be masked out"
+            );
             let vi = add_var(d, &mut var_of_value, &mut vars, &mut forced);
             let target = dst_ex.distinguished()[i];
             match forced[vi] {
@@ -499,21 +674,31 @@ impl<'a> Problem<'a> {
         }
         // Active values are variables.
         for v in src.values() {
-            if src.is_active(v) {
+            if is_src_active(v) {
                 add_var(v, &mut var_of_value, &mut vars, &mut forced);
             }
         }
         // Pass 1: flatten constraints and count incidences per variable.
         // A variable occurring at several positions of one fact is counted
         // once (first occurrence within the fact), mirroring the dedup the
-        // per-fact hash set used to perform.
+        // per-fact hash set used to perform.  Facts with a masked-out
+        // argument are not constraints (they do not exist in the induced
+        // sub-instance).
         let facts = src.facts();
+        let fact_alive = |f: &cqfit_data::Fact| {
+            tweaks
+                .src_alive
+                .is_none_or(|m| f.args.iter().all(|a| m[a.index()]))
+        };
         let mut con_rel = Vec::with_capacity(facts.len());
         let mut con_args = Vec::with_capacity(facts.len());
         let mut arg_arena: Vec<u32> = Vec::new();
         let mut cov_count = vec![0u32; vars.len()];
         let mut max_arity = 0;
         for f in facts {
+            if !fact_alive(f) {
+                continue;
+            }
             let start = arg_arena.len() as u32;
             for (pos, a) in f.args.iter().enumerate() {
                 let av = var_of_value[a.index()] as u32;
@@ -581,6 +766,10 @@ impl<'a> Problem<'a> {
                 _ => {}
             }
         }
+        let branch_first = tweaks.branch_first.and_then(|v| {
+            let vi = var_of_value[v.index()];
+            (vi != usize::MAX).then_some(vi)
+        });
         Some(Problem {
             src,
             dst,
@@ -595,6 +784,10 @@ impl<'a> Problem<'a> {
             unary_masks,
             bin_out_masks,
             bin_inc_masks,
+            src_active,
+            dst_active,
+            dst_allowed,
+            branch_first,
         })
     }
 
@@ -631,23 +824,57 @@ impl<'a> Problem<'a> {
         }
     }
 
+    /// True if target value `t` is active (mask-aware when masked).
+    #[inline]
+    fn dst_is_active(&self, t: Value) -> bool {
+        match &self.dst_active {
+            Some(active) => active[t.index()],
+            None => self.dst.is_active(t),
+        }
+    }
+
+    /// True if target value `t` may appear in images at all.
+    #[inline]
+    fn dst_is_allowed(&self, t: Value) -> bool {
+        match &self.dst_allowed {
+            Some(allowed) => allowed[t.index()],
+            None => true,
+        }
+    }
+
+    /// True if source value `v` is active (mask-aware when masked).
+    #[inline]
+    fn src_is_active(&self, v: Value) -> bool {
+        match &self.src_active {
+            Some(active) => active[v.index()],
+            None => self.src.is_active(v),
+        }
+    }
+
     /// Fills the initial candidate sets; `false` if some variable has no
     /// candidate at all.
     fn initial_candidates(&self, state: &mut SearchState) -> bool {
         for (vi, &v) in self.vars.iter().enumerate() {
             match self.forced[vi] {
-                Some(t) => state.cands.insert_raw(vi, t.index()),
+                Some(t) => {
+                    if !self.dst_is_allowed(t) {
+                        return false;
+                    }
+                    state.cands.insert_raw(vi, t.index());
+                }
                 None => {
                     // An active source value must map to an active target value.
-                    if self.src.is_active(v) {
+                    if self.src_is_active(v) {
                         for t in self.dst.values() {
-                            if self.dst.is_active(t) {
+                            if self.dst_is_active(t) {
                                 state.cands.insert_raw(vi, t.index());
                             }
                         }
                     } else {
                         for t in self.dst.values() {
-                            state.cands.insert_raw(vi, t.index());
+                            if self.dst_is_allowed(t) {
+                                state.cands.insert_raw(vi, t.index());
+                            }
                         }
                     }
                 }
@@ -657,6 +884,22 @@ impl<'a> Problem<'a> {
             }
         }
         true
+    }
+
+    /// Runs the initial propagation phase: the full arc-consistency closure
+    /// normally, or — under lazy propagation — seeding only from the
+    /// constraints of already-singleton (forced) variables, which preserves
+    /// all-singleton leaf soundness (see [`find_homomorphism_tweaked`]).
+    fn initial_propagation(&self, state: &mut SearchState, lazy: bool) -> bool {
+        if lazy {
+            let seed: Vec<u32> = (0..self.vars.len())
+                .filter(|&vi| state.cands.count(vi) == 1)
+                .flat_map(|vi| self.constraints_of(vi).iter().copied())
+                .collect();
+            self.propagate(state, &seed)
+        } else {
+            self.propagate_all(state)
+        }
     }
 
     /// Runs arc consistency over all constraints; returns false if some
@@ -907,10 +1150,18 @@ impl<'a> Problem<'a> {
                 return Err(HomError::BudgetExhausted);
             }
         }
-        // Select the unassigned variable with the fewest candidates.
-        let pick = (0..self.vars.len())
+        // Select the unassigned variable with the fewest candidates — except
+        // that a `branch_first` variable takes precedence while undecided
+        // (retraction checks: only the deactivated value's variable cannot
+        // map identically, so deciding it first fails or succeeds fastest).
+        let pick = self
+            .branch_first
             .filter(|&vi| state.cands.count(vi) > 1)
-            .min_by_key(|&vi| state.cands.count(vi));
+            .or_else(|| {
+                (0..self.vars.len())
+                    .filter(|&vi| state.cands.count(vi) > 1)
+                    .min_by_key(|&vi| state.cands.count(vi))
+            });
         let Some(var) = pick else {
             // All candidate sets are singletons.
             let ok = if config.use_arc_consistency {
@@ -952,9 +1203,37 @@ impl<'a> Problem<'a> {
         limit: usize,
         out: &mut Vec<Homomorphism>,
     ) -> Result<()> {
+        self.solve_until(state, config, stats, limit, out, &mut |_| false)
+    }
+
+    /// [`Problem::solve`] with an early-stop predicate: enumeration ends as
+    /// soon as `stop_when` accepts a freshly found homomorphism (used by the
+    /// core engine's endomorphism sweep to stop at the first non-surjective
+    /// endomorphism).  The plain `solve` passes a constant-`false` predicate.
+    fn solve_until(
+        &self,
+        state: &mut SearchState,
+        config: &HomConfig,
+        stats: &mut HomSearchStats,
+        limit: usize,
+        out: &mut Vec<Homomorphism>,
+        stop_when: &mut dyn FnMut(&Homomorphism) -> bool,
+    ) -> Result<()> {
         let mut frames: Vec<Frame> = Vec::new();
+        let mut seen = out.len();
+        let mut check_new = |out: &Vec<Homomorphism>, seen: &mut usize| -> bool {
+            if out.len() > *seen {
+                *seen = out.len();
+                stop_when(out.last().expect("just pushed"))
+            } else {
+                false
+            }
+        };
         match self.enter_node(state, &mut frames, 0, config, stats, out)? {
-            NodeKind::Leaf => return Ok(()),
+            NodeKind::Leaf => {
+                check_new(out, &mut seen);
+                return Ok(());
+            }
             NodeKind::Branch => {}
         }
         let mut depth = 1usize; // frames[..depth] are active
@@ -981,7 +1260,11 @@ impl<'a> Problem<'a> {
             };
             if ok {
                 match self.enter_node(state, &mut frames, depth, config, stats, out)? {
-                    NodeKind::Leaf => {}
+                    NodeKind::Leaf => {
+                        if check_new(out, &mut seen) {
+                            return Ok(());
+                        }
+                    }
                     NodeKind::Branch => depth += 1,
                 }
             } else {

@@ -256,7 +256,17 @@ impl Cq {
 
     /// The homomorphism core of the query: the canonical CQ of the core of
     /// its canonical example.  The result is equivalent to the original.
+    ///
+    /// Alias of [`Cq::minimized`].
     pub fn core(&self) -> Cq {
+        self.minimized()
+    }
+
+    /// The minimized (cored) equivalent query, computed by running the
+    /// mask-based core engine ([`cqfit_hom::core_of`]) on the canonical
+    /// example: an equivalent CQ with the fewest variables and atoms among
+    /// all retracts.
+    pub fn minimized(&self) -> Cq {
         let core = cqfit_hom::core_of(&self.canonical_example());
         Cq::from_example(&core).expect("core of a canonical example is a data example")
     }

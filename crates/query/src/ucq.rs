@@ -116,25 +116,33 @@ impl Ucq {
         Ok(self.is_contained_in(other)? && other.is_contained_in(self)?)
     }
 
-    /// Removes disjuncts that are contained in another disjunct, producing an
-    /// equivalent, irredundant union.
+    /// Minimizes the union: cores every disjunct with the mask-based core
+    /// engine ([`Cq::minimized`]), then removes disjuncts contained in
+    /// another disjunct.  The result is an equivalent, irredundant union of
+    /// cores whose surviving disjuncts are pairwise incomparable under
+    /// containment.
+    ///
+    /// Coring first makes the quadratic containment-pruning pass run on the
+    /// smallest equivalent disjuncts (each containment check is a
+    /// homomorphism search on their canonical examples).
     pub fn minimized(&self) -> Ucq {
-        let mut keep: Vec<bool> = vec![true; self.disjuncts.len()];
-        for i in 0..self.disjuncts.len() {
+        let disjuncts: Vec<Cq> = self.disjuncts.iter().map(Cq::minimized).collect();
+        let mut keep: Vec<bool> = vec![true; disjuncts.len()];
+        for i in 0..disjuncts.len() {
             if !keep[i] {
                 continue;
             }
-            for j in 0..self.disjuncts.len() {
+            for j in 0..disjuncts.len() {
                 if i == j || !keep[j] {
                     continue;
                 }
                 // Drop disjunct i if it is contained in disjunct j (and, on
                 // equivalence, keep the earlier one).
-                let i_in_j = self.disjuncts[i]
-                    .is_contained_in(&self.disjuncts[j])
+                let i_in_j = disjuncts[i]
+                    .is_contained_in(&disjuncts[j])
                     .expect("same schema");
-                let j_in_i = self.disjuncts[j]
-                    .is_contained_in(&self.disjuncts[i])
+                let j_in_i = disjuncts[j]
+                    .is_contained_in(&disjuncts[i])
                     .expect("same schema");
                 if i_in_j && (!j_in_i || j < i) {
                     keep[i] = false;
@@ -143,12 +151,11 @@ impl Ucq {
             }
         }
         Ucq {
-            disjuncts: self
-                .disjuncts
-                .iter()
+            disjuncts: disjuncts
+                .into_iter()
                 .zip(keep)
-                .filter(|&(_d, k)| k)
-                .map(|(d, _k)| d.clone())
+                .filter(|&(_, k)| k)
+                .map(|(d, _)| d)
                 .collect(),
         }
     }

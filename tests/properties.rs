@@ -90,7 +90,8 @@ fn disjoint_union_is_lub() {
     }
 }
 
-/// Cores are homomorphically equivalent to the original and idempotent.
+/// Cores are homomorphically equivalent to the original and idempotent:
+/// `core_of(e)` is recognized by `is_core`, so coring twice changes nothing.
 #[test]
 fn core_properties() {
     let mut rng = StdRng::seed_from_u64(0xC0_4E);
@@ -98,10 +99,90 @@ fn core_properties() {
         let e = digraph_example(&mut rng);
         let c = core_of(&e);
         assert!(hom_equivalent(&e, &c));
+        assert!(cqfit_hom::is_core(&c), "core_of must return a core");
         let cc = core_of(&c);
         assert_eq!(c.instance().num_facts(), cc.instance().num_facts());
+        assert_eq!(c.instance().num_values(), cc.instance().num_values());
         assert!(c.instance().num_values() <= e.instance().num_values());
     }
+}
+
+/// `is_core(core_of(e))` also holds for pointed (unary) examples, where
+/// distinguished values must never fold away.
+#[test]
+fn core_idempotent_on_pointed_examples() {
+    let mut rng = StdRng::seed_from_u64(0xC0_4F);
+    for _ in 0..CASES {
+        let e = unary_example(&mut rng);
+        let c = core_of(&e);
+        assert!(hom_equivalent(&e, &c));
+        assert!(cqfit_hom::is_core(&c));
+        assert_eq!(c.arity(), e.arity());
+        assert!(
+            c.is_data_example(),
+            "active distinguished values stay active"
+        );
+    }
+}
+
+/// Coring preserves fitting: whenever the product-of-positives construction
+/// fits, the minimized construction yields an equivalent CQ that still fits
+/// (and whose canonical example is a core).
+#[test]
+fn core_preserves_verify_fitting() {
+    let mut rng = StdRng::seed_from_u64(0xC0_F1);
+    let mut fitted = 0usize;
+    for _ in 0..CASES {
+        let pos1 = unary_example(&mut rng);
+        let pos2 = unary_example(&mut rng);
+        let neg = unary_example(&mut rng);
+        let examples = cqfit_data::LabeledExamples::new(vec![pos1, pos2], vec![neg]).unwrap();
+        let plain = cqfit::cq::construct_fitting(&examples).unwrap();
+        let minimized = cqfit::cq::construct_fitting_minimized(&examples).unwrap();
+        assert_eq!(plain.is_some(), minimized.is_some());
+        let (Some(plain), Some(minimized)) = (plain, minimized) else {
+            continue;
+        };
+        fitted += 1;
+        assert!(cqfit::cq::verify_fitting(&minimized, &examples).unwrap());
+        assert!(minimized.equivalent_to(&plain).unwrap());
+        assert!(cqfit_hom::is_core(&minimized.canonical_example()));
+        assert!(minimized.size() <= plain.size());
+    }
+    assert!(fitted > 0, "the sweep never produced a fitting");
+}
+
+/// UCQ minimization cores every disjunct and leaves the surviving disjuncts
+/// pairwise incomparable under containment.
+#[test]
+fn minimized_ucq_disjuncts_pairwise_incomparable() {
+    use cqfit_query::Ucq;
+    let mut rng = StdRng::seed_from_u64(0xD151);
+    let mut pruned = 0usize;
+    for _ in 0..CASES {
+        let examples: Vec<Example> = (0..3).map(|_| unary_example(&mut rng)).collect();
+        let u = Ucq::from_examples(&examples).unwrap();
+        let m = u.minimized();
+        assert!(m.equivalent_to(&u).unwrap());
+        assert!(m.len() <= u.len());
+        if m.len() < u.len() {
+            pruned += 1;
+        }
+        for d in m.disjuncts() {
+            assert!(cqfit_hom::is_core(&d.canonical_example()));
+        }
+        for (i, di) in m.disjuncts().iter().enumerate() {
+            for (j, dj) in m.disjuncts().iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !di.is_contained_in(dj).unwrap(),
+                        "disjuncts {i} and {j} are comparable after minimization"
+                    );
+                }
+            }
+        }
+    }
+    assert!(pruned > 0, "the sweep never pruned a disjunct");
 }
 
 /// Canonical CQ ↔ canonical example round trips up to equivalence, and
