@@ -2,9 +2,15 @@
 //! their preserved pre-rewrite reference implementations **in the same
 //! run**, and writes the result to a `BENCH_pr*.json` capture file.
 //!
-//! Two stages exist:
+//! Three stages exist:
 //!
-//! * **pr3** (default) — the mask-based core engine (`cqfit_hom::core_of`)
+//! * **pr4** (default) — the session-based fitting engine
+//!   (`cqfit_engine::Engine`): repeated query-by-example sessions against
+//!   one cached engine, measuring requests/sec and cache hit rate **cold**
+//!   (first run, empty hom-cache) vs **warm** (the same sessions repeated),
+//!   with an in-run **uncached** engine as baseline.  The recorded speedup
+//!   is warm-vs-cold.  Writes `BENCH_pr4.json`.
+//! * **pr3** (`--pr3`) — the mask-based core engine (`cqfit_hom::core_of`)
 //!   against the preserved greedy oracle (`cqfit_hom::core::reference`), on
 //!   the Thm. 3.40 prime-cycle products (core-of-product speedups) and the
 //!   Thm. 3.41 bitstring products plus padded/foldable instances (output
@@ -13,18 +19,18 @@
 //!   clone-based engine (`cqfit_hom::reference`), reproducing
 //!   `BENCH_pr2.json`.
 //!
-//! Both engines of a stage execute identical workloads, so the recorded
-//! speedups are relative to a baseline compiled with the same toolchain and
-//! flags on the same machine — not to a stale number from another
-//! environment.
+//! All sides of a stage execute identical workloads in the same run, so the
+//! recorded speedups are relative to a baseline compiled with the same
+//! toolchain and flags on the same machine — not to a stale number from
+//! another environment.
 //!
 //! Usage:
 //! ```text
-//! perf_trajectory [--pr2] [--quick] [--out PATH]   # run and write the capture
-//! perf_trajectory --check PATH                     # validate a capture
+//! perf_trajectory [--pr2|--pr3] [--quick] [--out PATH]  # run and write the capture
+//! perf_trajectory --check PATH                          # validate a capture
 //! ```
 //! `--check` exits non-zero if the file is missing or malformed; CI uses it
-//! as the bench-smoke gate for both committed captures.
+//! as the bench-smoke gate for all committed captures.
 
 use cqfit_data::{Example, LabeledExamples};
 use cqfit_gen::{bitstring_family, directed_cycle, exact_colorability, primes, symmetric_clique};
@@ -453,6 +459,266 @@ fn run_pr2(quick: bool, repeats: usize) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// pr4: the session-based fitting engine, cold vs warm vs uncached.
+// ---------------------------------------------------------------------
+
+mod pr4 {
+    use cqfit_data::{Example, LabeledExamples, Schema};
+    use cqfit_engine::{
+        Engine, EngineConfig, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response,
+    };
+    use std::time::Instant;
+
+    /// A request-stream template, instantiated per workspace-name prefix.
+    type StreamFn = Box<dyn Fn(&str) -> Vec<Request>>;
+
+    /// One engine-session workload template: a closure producing the
+    /// request stream for a given workspace-name prefix.  The prefix
+    /// varies between passes (workspaces are recreated per pass), while
+    /// the *examples* are identical — exactly the repeated-session shape
+    /// the hom-cache exists for.
+    pub struct SessionCase {
+        pub name: String,
+        stream: StreamFn,
+    }
+
+    /// Result of one measured session case.
+    pub struct SessionResult {
+        pub name: String,
+        pub requests: usize,
+        pub cold_median_ns: u128,
+        pub warm_median_ns: u128,
+        pub uncached_median_ns: u128,
+        pub speedup: f64,
+        pub warm_hit_rate: f64,
+    }
+
+    fn create(ws: &str, schema: &Schema, arity: usize) -> Request {
+        Request::CreateWorkspace {
+            workspace: ws.to_string(),
+            schema: schema.clone(),
+            arity,
+        }
+    }
+
+    fn add(ws: &str, polarity: Polarity, e: &Example) -> Request {
+        Request::AddExample {
+            workspace: ws.to_string(),
+            polarity,
+            example: ExamplePayload::Structured(e.clone()),
+        }
+    }
+
+    fn fit(ws: &str, class: QueryClass, mode: FitMode) -> Request {
+        Request::Fit {
+            workspace: ws.to_string(),
+            class,
+            mode,
+        }
+    }
+
+    fn exists(ws: &str, class: QueryClass) -> Request {
+        Request::FittingExists {
+            workspace: ws.to_string(),
+            class,
+        }
+    }
+
+    fn drop_ws(ws: &str) -> Request {
+        Request::DropWorkspace {
+            workspace: ws.to_string(),
+        }
+    }
+
+    /// An interactive query-by-example session over directed cycles: the
+    /// user adds prime cycles one at a time, re-fitting after each step;
+    /// the minimized fitting is the core of the growing product.
+    pub fn cycles_case(name: &str, lengths: Vec<usize>) -> SessionCase {
+        let schema = Schema::digraph();
+        let cycles: Vec<Example> = lengths
+            .iter()
+            .map(|&len| cqfit_gen::directed_cycle(&schema, len))
+            .collect();
+        let negative = cqfit_gen::directed_cycle(&schema, 2);
+        SessionCase {
+            name: name.to_string(),
+            stream: Box::new(move |prefix| {
+                let ws = format!("{prefix}_cycles");
+                let mut reqs = vec![create(&ws, &schema, 0)];
+                for cycle in &cycles {
+                    reqs.push(add(&ws, Polarity::Positive, cycle));
+                    reqs.push(fit(&ws, QueryClass::Cq, FitMode::Minimized));
+                }
+                reqs.push(add(&ws, Polarity::Negative, &negative));
+                reqs.push(fit(&ws, QueryClass::Cq, FitMode::Minimized));
+                reqs.push(exists(&ws, QueryClass::Ucq));
+                reqs.push(fit(&ws, QueryClass::Ucq, FitMode::Minimized));
+                reqs.push(drop_ws(&ws));
+                reqs
+            }),
+        }
+    }
+
+    /// A session replaying a labeled-example family (colorability,
+    /// bitstrings): add everything, then ask the full battery.
+    pub fn family_case(name: &str, examples: LabeledExamples) -> SessionCase {
+        let schema = examples.schema().expect("non-empty family").clone();
+        let arity = examples.arity().expect("non-empty family");
+        SessionCase {
+            name: name.to_string(),
+            stream: Box::new(move |prefix| {
+                let ws = format!("{prefix}_family");
+                let mut reqs = vec![create(&ws, &schema, arity)];
+                for e in examples.positives() {
+                    reqs.push(add(&ws, Polarity::Positive, e));
+                }
+                for e in examples.negatives() {
+                    reqs.push(add(&ws, Polarity::Negative, e));
+                }
+                reqs.push(exists(&ws, QueryClass::Cq));
+                reqs.push(fit(&ws, QueryClass::Cq, FitMode::Minimized));
+                reqs.push(exists(&ws, QueryClass::Ucq));
+                reqs.push(fit(&ws, QueryClass::Ucq, FitMode::Minimized));
+                reqs.push(drop_ws(&ws));
+                reqs
+            }),
+        }
+    }
+
+    /// Runs one stream, panicking on any error response (silent failures
+    /// would turn the capture into a lie).
+    fn run_stream(engine: &Engine, requests: &[Request]) {
+        for request in requests {
+            let response = engine.handle(request);
+            if let Response::Error { message, .. } = response {
+                panic!("engine workload request failed: {message}");
+            }
+        }
+    }
+
+    fn timed(engine: &Engine, requests: &[Request]) -> u128 {
+        let t = Instant::now();
+        run_stream(engine, requests);
+        t.elapsed().as_nanos()
+    }
+
+    /// Measures one case: per repeat, a fresh cached engine runs the
+    /// session cold (empty cache) and then warm (same session again,
+    /// fresh workspace names, hot cache), and a fresh uncached engine
+    /// runs it as the in-run baseline.
+    pub fn run_case(case: &SessionCase, repeats: usize) -> SessionResult {
+        let mut cold = Vec::with_capacity(repeats);
+        let mut warm = Vec::with_capacity(repeats);
+        let mut uncached = Vec::with_capacity(repeats);
+        let mut requests = 0usize;
+        // Hit/miss totals accumulate over all repeats, so the reported
+        // rate aggregates the same runs the timing medians come from.
+        let mut warm_hits = 0u64;
+        let mut warm_misses = 0u64;
+        for r in 0..repeats {
+            let baseline = Engine::new(EngineConfig { caching: false });
+            uncached.push(timed(&baseline, &(case.stream)(&format!("u{r}"))));
+            let engine = Engine::new(EngineConfig { caching: true });
+            let cold_stream = (case.stream)(&format!("c{r}"));
+            requests = cold_stream.len();
+            cold.push(timed(&engine, &cold_stream));
+            let before = engine.cache().expect("caching enabled").stats();
+            warm.push(timed(&engine, &(case.stream)(&format!("w{r}"))));
+            let after = engine.cache().expect("caching enabled").stats();
+            warm_hits += (after.hom_hits - before.hom_hits) + (after.core_hits - before.core_hits);
+            warm_misses +=
+                (after.hom_misses - before.hom_misses) + (after.core_misses - before.core_misses);
+        }
+        let warm_hit_rate = if warm_hits + warm_misses == 0 {
+            0.0
+        } else {
+            warm_hits as f64 / (warm_hits + warm_misses) as f64
+        };
+        let cold_median_ns = super::median(cold);
+        let warm_median_ns = super::median(warm);
+        let uncached_median_ns = super::median(uncached);
+        let speedup = cold_median_ns as f64 / warm_median_ns.max(1) as f64;
+        let result = SessionResult {
+            name: case.name.clone(),
+            requests,
+            cold_median_ns,
+            warm_median_ns,
+            uncached_median_ns,
+            speedup,
+            warm_hit_rate,
+        };
+        eprintln!(
+            "  {:<24} cold {:>12} ns   warm {:>12} ns   uncached {:>12} ns   warm/cold {:.2}x   warm hit-rate {:.2}",
+            result.name,
+            result.cold_median_ns,
+            result.warm_median_ns,
+            result.uncached_median_ns,
+            result.speedup,
+            result.warm_hit_rate
+        );
+        result
+    }
+
+    /// Requests per second at a given per-stream median.
+    pub fn rps(requests: usize, median_ns: u128) -> f64 {
+        requests as f64 / (median_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// The pr4 stage: repeated engine sessions, cold vs warm vs uncached.
+fn run_pr4(quick: bool, repeats: usize) -> String {
+    let mut cases = vec![
+        pr4::cycles_case("qbe_cycles_c3_c5", vec![3, 5]),
+        pr4::family_case("colorability_k3", cqfit_gen::exact_colorability(3)),
+        pr4::family_case("bitstring_n2", cqfit_gen::bitstring_family(2)),
+    ];
+    if !quick {
+        cases.push(pr4::cycles_case("qbe_cycles_c3_c5_c7", vec![3, 5, 7]));
+        cases.push(pr4::family_case(
+            "colorability_k4",
+            cqfit_gen::exact_colorability(4),
+        ));
+        cases.push(pr4::family_case(
+            "prime_cycles_4",
+            cqfit_gen::prime_cycles_family(4),
+        ));
+    }
+    eprintln!("engine session workloads ({repeats} repeats/case):");
+    let results: Vec<pr4::SessionResult> = cases
+        .iter()
+        .map(|case| pr4::run_case(case, repeats))
+        .collect();
+    let case_jsons: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"case\": \"{}\", \"requests\": {}, \"baseline_median_ns\": {}, \"new_median_ns\": {}, \"uncached_median_ns\": {}, \"speedup\": {:.3}, \"cold_requests_per_sec\": {:.1}, \"warm_requests_per_sec\": {:.1}, \"uncached_requests_per_sec\": {:.1}, \"warm_hit_rate\": {:.3}}}",
+                json_escape(&r.name),
+                r.requests,
+                r.cold_median_ns,
+                r.warm_median_ns,
+                r.uncached_median_ns,
+                r.speedup,
+                pr4::rps(r.requests, r.cold_median_ns),
+                pr4::rps(r.requests, r.warm_median_ns),
+                pr4::rps(r.requests, r.uncached_median_ns),
+                r.warm_hit_rate
+            )
+        })
+        .collect();
+    let mut speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
+    speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+    let median_speedup = speedups[speedups.len() / 2];
+    eprintln!("median warm-vs-cold speedup: {median_speedup:.2}x");
+    format!(
+        "{{\n  \"pr\": 4,\n  \"description\": \"session-based fitting engine: repeated QBE sessions, warm (hot hom-cache) vs cold (empty cache) on one engine, uncached engine as in-run baseline; baseline_median_ns = cold, new_median_ns = warm\",\n  \"mode\": \"{}\",\n  \"benches\": [\n    {{\n      \"name\": \"engine_sessions\",\n      \"median_speedup\": {:.3},\n      \"cases\": [\n{}\n      ]\n    }}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        median_speedup,
+        case_jsons.join(",\n")
+    )
+}
+
 /// The pr3 stage: mask-based core engine vs preserved greedy core oracle.
 fn run_pr3(quick: bool, repeats: usize) -> String {
     eprintln!("core-of-product (Thm. 3.40) cases ({repeats} samples/case):");
@@ -473,7 +739,7 @@ fn main() {
         let path = args
             .get(i + 1)
             .map(String::as_str)
-            .unwrap_or("BENCH_pr3.json");
+            .unwrap_or("BENCH_pr4.json");
         match check(path) {
             Ok(()) => {
                 eprintln!("{path}: ok");
@@ -487,6 +753,7 @@ fn main() {
     }
     let quick = args.iter().any(|a| a == "--quick");
     let pr2 = args.iter().any(|a| a == "--pr2");
+    let pr3 = args.iter().any(|a| a == "--pr3");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -494,15 +761,19 @@ fn main() {
         .map(String::as_str)
         .unwrap_or(if pr2 {
             "BENCH_pr2.json"
-        } else {
+        } else if pr3 {
             "BENCH_pr3.json"
+        } else {
+            "BENCH_pr4.json"
         })
         .to_string();
     let repeats = if quick { 5 } else { 15 };
     let json = if pr2 {
         run_pr2(quick, repeats)
-    } else {
+    } else if pr3 {
         run_pr3(quick, repeats)
+    } else {
+        run_pr4(quick, repeats)
     };
     std::fs::write(&out_path, &json).expect("write capture file");
     eprintln!("wrote {out_path}");

@@ -24,7 +24,9 @@
 //! * [`cq`] — conjunctive queries (Section 3),
 //! * [`ucq`] — unions of conjunctive queries (Section 4),
 //! * [`tree`] — tree CQs over binary schemas (Section 5), including
-//!   unravelings and complete initial pieces.
+//!   unravelings and complete initial pieces,
+//! * [`incremental`] — incremental CQ/UCQ fitting over evolving example
+//!   collections, the state machine behind the `cqfit-engine` service.
 //!
 //! ## Exactness
 //!
@@ -58,6 +60,7 @@
 
 pub mod cq;
 mod error;
+pub mod incremental;
 pub mod tree;
 pub mod ucq;
 

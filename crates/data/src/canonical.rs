@@ -1,0 +1,273 @@
+//! Canonical structural hashing of schemas, instances and examples.
+//!
+//! The hashes are the cache keys of the `cqfit_hom` result cache: two
+//! objects with equal canonical hashes are (with overwhelming probability)
+//! *structurally identical* — same schema, same number of declared values,
+//! same fact set over the same value indices, same distinguished tuple.
+//! Every homomorphism-level question is invariant under structural
+//! identity, so equal keys may share answers.
+//!
+//! Properties:
+//!
+//! * **Insertion-order independent** — fact encodings are sorted before
+//!   being absorbed, so the same fact set built in any order hashes equal
+//!   (facts are deduplicated by [`crate::Instance::add_fact`], values are
+//!   part of the encoding).
+//! * **Label independent** — display labels are *excluded*: instances that
+//!   differ only in labels hash equal, because labels never influence
+//!   homomorphism answers.  Callers that cache label-carrying artifacts
+//!   (e.g. cores, whose labels surface in constructed queries) should mix
+//!   in [`CanonicalHasher::absorb_str`] of the labels themselves.
+//! * **Process independent** — no randomized hasher state; equal inputs
+//!   hash equal across runs and across machines, so captures and
+//!   differential tests are reproducible.
+//!
+//! The hash is 128 bits built from two independent 64-bit mixers (FNV-1a
+//! and a rotate-xor-multiply stream), which keeps accidental collisions
+//! out of reach for cache-sized key populations; it is *not* designed to
+//! resist adversarial collision construction.
+
+use crate::{Example, Instance, Schema};
+
+/// A 128-bit canonical structural hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalHash(pub u128);
+
+/// Streaming hasher behind [`CanonicalHash`]; exposed so that callers can
+/// derive compound keys (e.g. hash-of-hashes, or structure plus labels).
+#[derive(Debug, Clone)]
+pub struct CanonicalHasher {
+    fnv: u64,
+    mix: u64,
+}
+
+impl CanonicalHasher {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    const MIX_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+    const MIX_MULT: u64 = 0xff51_afd7_ed55_8ccd;
+
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        CanonicalHasher {
+            fnv: Self::FNV_OFFSET,
+            mix: Self::MIX_SEED,
+        }
+    }
+
+    /// Absorbs one byte into both mixers.
+    fn absorb_byte(&mut self, b: u8) {
+        self.fnv = (self.fnv ^ u64::from(b)).wrapping_mul(Self::FNV_PRIME);
+        self.mix = (self.mix.rotate_left(13) ^ u64::from(b)).wrapping_mul(Self::MIX_MULT);
+    }
+
+    /// Absorbs a `u64` (little-endian bytes).
+    pub fn absorb_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.absorb_byte(b);
+        }
+    }
+
+    /// Absorbs a `u32`.
+    pub fn absorb_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.absorb_byte(b);
+        }
+    }
+
+    /// Absorbs a length-prefixed string (prefixing makes concatenations
+    /// unambiguous).
+    pub fn absorb_str(&mut self, s: &str) {
+        self.absorb_u64(s.len() as u64);
+        for b in s.bytes() {
+            self.absorb_byte(b);
+        }
+    }
+
+    /// Absorbs another canonical hash (for compound keys).
+    pub fn absorb_hash(&mut self, h: CanonicalHash) {
+        self.absorb_u64(h.0 as u64);
+        self.absorb_u64((h.0 >> 64) as u64);
+    }
+
+    /// Finishes the hash.
+    pub fn finish(&self) -> CanonicalHash {
+        // A final avalanche round decorrelates the two lanes from short
+        // inputs before they are concatenated.
+        let mut a = self.fnv ^ self.mix.rotate_left(32);
+        a ^= a >> 33;
+        a = a.wrapping_mul(Self::MIX_MULT);
+        a ^= a >> 29;
+        let mut b = self.mix;
+        b ^= b >> 31;
+        b = b.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        b ^= b >> 27;
+        CanonicalHash((u128::from(a) << 64) | u128::from(b))
+    }
+}
+
+impl Default for CanonicalHasher {
+    fn default() -> Self {
+        CanonicalHasher::new()
+    }
+}
+
+impl Schema {
+    /// Canonical hash of the schema: relation names and arities in
+    /// declaration order (declaration order is structural — it fixes the
+    /// [`crate::RelId`] assignment).
+    pub fn canonical_hash(&self) -> CanonicalHash {
+        let mut h = CanonicalHasher::new();
+        h.absorb_u64(self.relations().len() as u64);
+        for r in self.relations() {
+            h.absorb_str(&r.name);
+            h.absorb_u64(r.arity as u64);
+        }
+        h.finish()
+    }
+}
+
+impl Instance {
+    /// Canonical structural hash of the instance: schema, number of
+    /// declared values, and the sorted fact set.  Labels are excluded; see
+    /// the module documentation for the exact invariance guarantees.
+    ///
+    /// The hash is memoized on the instance (structural mutations reset
+    /// the memo), so repeated cache lookups on the same — potentially
+    /// large — instance sort and hash its fact set only once.
+    pub fn canonical_hash(&self) -> CanonicalHash {
+        *self.structural_hash_cell().get_or_init(|| {
+            let mut h = CanonicalHasher::new();
+            h.absorb_hash(self.schema().canonical_hash());
+            h.absorb_u64(self.num_values() as u64);
+            let mut encodings: Vec<(u32, &[crate::Value])> = self
+                .facts()
+                .iter()
+                .map(|f| (f.rel.0, f.args.as_slice()))
+                .collect();
+            encodings.sort_unstable();
+            h.absorb_u64(encodings.len() as u64);
+            for (rel, args) in encodings {
+                h.absorb_u32(rel);
+                for a in args {
+                    h.absorb_u32(a.0);
+                }
+            }
+            h.finish()
+        })
+    }
+}
+
+impl Example {
+    /// Canonical structural hash of the pointed instance: the instance
+    /// hash plus the distinguished tuple.
+    pub fn canonical_hash(&self) -> CanonicalHash {
+        let mut h = CanonicalHasher::new();
+        h.absorb_hash(self.instance().canonical_hash());
+        h.absorb_u64(self.distinguished().len() as u64);
+        for d in self.distinguished() {
+            h.absorb_u32(d.0);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let schema = Schema::digraph();
+        let mut a = Instance::new(schema.clone());
+        a.add_fact_labels("R", &["x", "y"]).unwrap();
+        a.add_fact_labels("R", &["y", "z"]).unwrap();
+        let mut b = Instance::new(schema);
+        b.add_value("x");
+        b.add_value("y");
+        b.add_value("z");
+        let (y, z) = (Value(1), Value(2));
+        let x = Value(0);
+        let r = b.schema().rel("R").unwrap();
+        b.add_fact(r, &[y, z]).unwrap();
+        b.add_fact(r, &[x, y]).unwrap();
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+    }
+
+    #[test]
+    fn labels_do_not_matter_but_structure_does() {
+        let schema = Schema::digraph();
+        let mut a = Instance::new(schema.clone());
+        a.add_fact_labels("R", &["x", "y"]).unwrap();
+        let mut b = Instance::new(schema.clone());
+        b.add_fact_labels("R", &["u", "v"]).unwrap();
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        // One more declared (isolated) value changes the structure.
+        let mut c = Instance::new(schema.clone());
+        c.add_fact_labels("R", &["x", "y"]).unwrap();
+        c.add_value("iso");
+        assert_ne!(a.canonical_hash(), c.canonical_hash());
+        // A reversed edge changes the structure.
+        let mut d = Instance::new(schema);
+        d.add_value("x");
+        d.add_value("y");
+        let r = d.schema().rel("R").unwrap();
+        d.add_fact(r, &[Value(1), Value(0)]).unwrap();
+        assert_ne!(a.canonical_hash(), d.canonical_hash());
+    }
+
+    #[test]
+    fn distinguished_tuple_matters() {
+        let schema = Schema::digraph();
+        let mut i = Instance::new(schema);
+        i.add_fact_labels("R", &["x", "y"]).unwrap();
+        let x = i.value_by_label("x").unwrap();
+        let y = i.value_by_label("y").unwrap();
+        let ex = Example::new(i.clone(), vec![x]);
+        let ey = Example::new(i.clone(), vec![y]);
+        let eb = Example::boolean(i);
+        assert_ne!(ex.canonical_hash(), ey.canonical_hash());
+        assert_ne!(ex.canonical_hash(), eb.canonical_hash());
+        assert_ne!(
+            ex.canonical_hash(),
+            Example::new(ex.instance().clone(), vec![x, x]).canonical_hash()
+        );
+    }
+
+    #[test]
+    fn schema_identity_matters() {
+        let mut a = Instance::new(Schema::digraph());
+        a.add_fact_labels("R", &["x", "y"]).unwrap();
+        let other = Schema::binary_schema([], ["R", "S"]);
+        let mut b = Instance::new(other);
+        b.add_fact_labels("R", &["x", "y"]).unwrap();
+        assert_ne!(a.canonical_hash(), b.canonical_hash());
+    }
+
+    #[test]
+    fn memoized_hash_resets_on_structural_mutation() {
+        let mut i = Instance::new(Schema::digraph());
+        i.add_fact_labels("R", &["a", "b"]).unwrap();
+        let h1 = i.canonical_hash();
+        assert_eq!(i.canonical_hash(), h1, "memo answers repeat lookups");
+        i.add_fact_labels("R", &["b", "a"]).unwrap();
+        assert_ne!(i.canonical_hash(), h1, "add_fact resets the memo");
+        let v = i.add_value("iso");
+        let h2 = i.canonical_hash();
+        i.set_label(v, "renamed");
+        assert_eq!(
+            i.canonical_hash(),
+            h2,
+            "labels are excluded from the hash, so relabeling keeps it"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let schema = Schema::digraph();
+        let mut i = Instance::new(schema);
+        i.add_fact_labels("R", &["a", "b"]).unwrap();
+        assert_eq!(i.canonical_hash(), i.clone().canonical_hash());
+    }
+}

@@ -37,6 +37,40 @@ pub enum DataError {
     },
     /// Error while parsing the textual instance/example format.
     Parse(String),
+    /// Error while parsing the textual instance/example format, with the
+    /// offending line and token attached (1-based line numbers).  Produced
+    /// by [`crate::parse_instance`] / [`crate::parse_example`] so that
+    /// malformed requests can be answered with an actionable position.
+    ParseAt {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// The offending token (relation name, value label, or line
+        /// fragment).
+        token: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl DataError {
+    /// Attaches a position to a (position-less) error, turning it into
+    /// [`DataError::ParseAt`]; errors that already carry a position are
+    /// returned unchanged.
+    pub fn at_line(self, line: usize, token: &str) -> DataError {
+        match self {
+            DataError::ParseAt { .. } => self,
+            DataError::Parse(message) => DataError::ParseAt {
+                line,
+                token: token.to_string(),
+                message,
+            },
+            other => DataError::ParseAt {
+                line,
+                token: token.to_string(),
+                message: other.to_string(),
+            },
+        }
+    }
 }
 
 impl fmt::Display for DataError {
@@ -67,6 +101,11 @@ impl fmt::Display for DataError {
                 write!(f, "arity mismatch: {left} vs {right}")
             }
             DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DataError::ParseAt {
+                line,
+                token,
+                message,
+            } => write!(f, "parse error at line {line}, near `{token}`: {message}"),
         }
     }
 }

@@ -1,7 +1,6 @@
 //! Pointed instances and data examples.
 
 use crate::{DataError, Instance, Result, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A pointed instance `(I, ā)`: an instance together with a tuple of
@@ -10,7 +9,7 @@ use std::fmt;
 /// When every distinguished value lies in the active domain the pointed
 /// instance is a *data example* (see [`Example::is_data_example`]).  Boolean
 /// examples have an empty tuple of distinguished values.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Example {
     instance: Instance,
     distinguished: Vec<Value>,
@@ -214,11 +213,6 @@ impl Example {
         }
         let dist = self.distinguished.iter().map(|d| map[d]).collect();
         Example::new(out, dist)
-    }
-
-    /// Restores internal instance indexes after deserialization.
-    pub fn finalize_after_deserialize(&mut self) {
-        self.instance.finalize_after_deserialize();
     }
 }
 

@@ -53,8 +53,7 @@ impl FactIndex {
         index
     }
 
-    /// Clears everything and re-sizes for `schema` and `num_values` values
-    /// (used when rebuilding after deserialization).
+    /// Clears everything and re-sizes for `schema` and `num_values` values.
     pub fn reset(&mut self, schema: &Schema, num_values: usize) {
         self.by_rel.clear();
         self.by_rel.resize(schema.len(), Vec::new());

@@ -2,14 +2,13 @@
 
 use crate::index::FactIndex;
 use crate::{DataError, RelId, Result, Schema};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
 /// A value (domain element) of an [`Instance`], represented as a dense index
 /// local to that instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Value(pub u32);
 
 impl Value {
@@ -21,7 +20,7 @@ impl Value {
 }
 
 /// Identifier of a fact within an [`Instance`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FactId(pub u32);
 
 impl FactId {
@@ -33,7 +32,7 @@ impl FactId {
 }
 
 /// A fact `R(a1,…,an)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Fact {
     /// Relation symbol.
     pub rel: RelId,
@@ -48,7 +47,7 @@ pub struct Fact {
 /// domain* (`adom` in the paper) is the subset of values that occur in at
 /// least one fact.  Facts are deduplicated: adding an existing fact returns
 /// the existing [`FactId`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Instance {
     schema: Arc<Schema>,
     labels: Vec<String>,
@@ -56,8 +55,13 @@ pub struct Instance {
     /// Secondary access paths into `facts` (exact lookup, per-relation,
     /// per-value and per-`(relation, position, value)` posting lists),
     /// maintained incrementally by [`Instance::add_fact`].
-    #[serde(skip)]
     index: FactIndex,
+    /// Memoized structural hash ([`Instance::canonical_hash`]); reset by
+    /// every structural mutation (labels are excluded from the hash, so
+    /// [`Instance::set_label`] does not reset it).  Cached because cache
+    /// lookups in `cqfit_hom` hash the same (potentially large) instances
+    /// on every request.
+    structural_hash: std::sync::OnceLock<crate::CanonicalHash>,
 }
 
 impl Instance {
@@ -69,7 +73,14 @@ impl Instance {
             labels: Vec::new(),
             facts: Vec::new(),
             index,
+            structural_hash: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The memo cell of the structural hash (filled by
+    /// [`Instance::canonical_hash`] in the `canonical` module).
+    pub(crate) fn structural_hash_cell(&self) -> &std::sync::OnceLock<crate::CanonicalHash> {
+        &self.structural_hash
     }
 
     /// The schema of this instance.
@@ -82,6 +93,7 @@ impl Instance {
         let v = Value(self.labels.len() as u32);
         self.labels.push(label.into());
         self.index.add_value();
+        self.structural_hash = std::sync::OnceLock::new();
         v
     }
 
@@ -159,6 +171,7 @@ impl Instance {
         };
         self.index.insert(&fact, id);
         self.facts.push(fact);
+        self.structural_hash = std::sync::OnceLock::new();
         Ok(id)
     }
 
@@ -334,17 +347,6 @@ impl Instance {
         self.facts
             .iter()
             .all(|f| other.contains_fact(f.rel, &f.args))
-    }
-
-    /// Restores the internal indexes after deserialization.
-    pub fn finalize_after_deserialize(&mut self) {
-        let facts = std::mem::take(&mut self.facts);
-        let schema = self.schema.clone();
-        self.index.reset(&schema, self.labels.len());
-        for f in facts {
-            self.add_fact(f.rel, &f.args)
-                .expect("previously valid fact");
-        }
     }
 
     /// Formats one fact for display.

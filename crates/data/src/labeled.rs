@@ -1,7 +1,6 @@
 //! Collections of labeled examples.
 
 use crate::{DataError, Example, Result, Schema};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// A collection of labeled examples `E = (E⁺, E⁻)`: finite sets of positive
@@ -9,7 +8,7 @@ use std::sync::Arc;
 ///
 /// The *fitting problem* asks for a query that returns every positive example
 /// and no negative example.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LabeledExamples {
     positives: Vec<Example>,
     negatives: Vec<Example>,
@@ -119,13 +118,6 @@ impl LabeledExamples {
             }
         }
         Ok(())
-    }
-
-    /// Restores internal indexes after deserialization.
-    pub fn finalize_after_deserialize(&mut self) {
-        for e in self.positives.iter_mut().chain(self.negatives.iter_mut()) {
-            e.finalize_after_deserialize();
-        }
     }
 }
 

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canonical;
 mod error;
 mod example;
 mod index;
@@ -32,7 +33,9 @@ mod instance;
 mod labeled;
 mod parse;
 mod schema;
+mod serde_impls;
 
+pub use canonical::{CanonicalHash, CanonicalHasher};
 pub use error::DataError;
 pub use example::Example;
 pub use instance::{Fact, FactId, Instance, Value};

@@ -18,28 +18,38 @@ use std::sync::Arc;
 
 /// Parses an instance from the textual format, ignoring any `*` line.
 pub fn parse_instance(schema: &Arc<Schema>, text: &str) -> Result<Instance> {
-    let (inst, _) = parse_inner(schema, text)?;
+    let (inst, _, _) = parse_inner(schema, text)?;
     Ok(inst)
 }
 
 /// Parses an example from the textual format.  The distinguished tuple is
 /// given on a line starting with `*`; if absent, the example is Boolean.
+///
+/// # Errors
+/// All parse errors are [`DataError::ParseAt`] values carrying the 1-based
+/// line number and the offending token, so callers (notably the
+/// `cqfit-serve` request handler) can answer with an actionable position.
 pub fn parse_example(schema: &Arc<Schema>, text: &str) -> Result<Example> {
-    let (inst, dist_labels) = parse_inner(schema, text)?;
+    let (inst, dist_labels, dist_line) = parse_inner(schema, text)?;
     let mut dist = Vec::new();
     for label in dist_labels {
-        let v = inst
-            .value_by_label(&label)
-            .ok_or_else(|| DataError::Parse(format!("unknown distinguished value `{label}`")))?;
+        let v = inst.value_by_label(&label).ok_or_else(|| {
+            DataError::Parse(format!(
+                "unknown distinguished value `{label}` (it occurs in no fact)"
+            ))
+            .at_line(dist_line, &label)
+        })?;
         dist.push(v);
     }
     Ok(Example::new(inst, dist))
 }
 
-fn parse_inner(schema: &Arc<Schema>, text: &str) -> Result<(Instance, Vec<String>)> {
+fn parse_inner(schema: &Arc<Schema>, text: &str) -> Result<(Instance, Vec<String>, usize)> {
     let mut inst = Instance::new(schema.clone());
     let mut dist = Vec::new();
+    let mut dist_line = 0usize;
     for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -50,16 +60,20 @@ fn parse_inner(schema: &Arc<Schema>, text: &str) -> Result<(Instance, Vec<String
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect();
+            dist_line = lineno;
             continue;
         }
-        let open = line
-            .find('(')
-            .ok_or_else(|| DataError::Parse(format!("line {}: missing `(`", lineno + 1)))?;
+        let open = line.find('(').ok_or_else(|| DataError::ParseAt {
+            line: lineno,
+            token: line.to_string(),
+            message: "expected a fact `Relation(value, …)` but found no `(`".into(),
+        })?;
         if !line.ends_with(')') {
-            return Err(DataError::Parse(format!(
-                "line {}: missing `)`",
-                lineno + 1
-            )));
+            return Err(DataError::ParseAt {
+                line: lineno,
+                token: line.to_string(),
+                message: "missing closing `)`".into(),
+            });
         }
         let rel_name = line[..open].trim();
         let args_str = &line[open + 1..line.len() - 1];
@@ -68,9 +82,12 @@ fn parse_inner(schema: &Arc<Schema>, text: &str) -> Result<(Instance, Vec<String
             .map(|s| s.trim())
             .filter(|s| !s.is_empty())
             .collect();
-        inst.add_fact_labels(rel_name, &args)?;
+        // Attach the line and the relation token to whatever the instance
+        // builder rejects (unknown relation, wrong arity, …).
+        inst.add_fact_labels(rel_name, &args)
+            .map_err(|e| e.at_line(lineno, rel_name))?;
     }
-    Ok((inst, dist))
+    Ok((inst, dist, dist_line))
 }
 
 #[cfg(test)]
@@ -115,5 +132,54 @@ mod tests {
         assert!(parse_example(&schema, "R(a,b").is_err());
         assert!(parse_example(&schema, "S(a,b)").is_err());
         assert!(parse_example(&schema, "R(a,b)\n* z").is_err());
+    }
+
+    #[test]
+    fn parse_errors_report_line_and_token() {
+        let schema = Schema::digraph();
+        // Unknown relation on line 3 (line 1 is a comment).
+        let err = parse_example(&schema, "# header\nR(a,b)\nS(a,b)").unwrap_err();
+        match err {
+            DataError::ParseAt { line, token, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(token, "S");
+            }
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // Arity mismatch keeps the relation token and line.
+        let err = parse_example(&schema, "R(a,b)\nR(a)").unwrap_err();
+        match err {
+            DataError::ParseAt {
+                line,
+                token,
+                ref message,
+            } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "R");
+                assert!(message.contains("arity"), "{message}");
+            }
+            ref other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // Missing parenthesis names the offending line fragment.
+        let err = parse_example(&schema, "R(a,b)\nR b c").unwrap_err();
+        match err {
+            DataError::ParseAt { line, token, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "R b c");
+            }
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // Unknown distinguished value points at the `*` line.
+        let err = parse_example(&schema, "R(a,b)\n* z").unwrap_err();
+        match err {
+            DataError::ParseAt { line, token, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "z");
+            }
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // The rendered message is self-contained.
+        let msg = parse_example(&schema, "Q(a)").unwrap_err().to_string();
+        assert!(msg.contains("line 1") && msg.contains('Q'), "{msg}");
     }
 }

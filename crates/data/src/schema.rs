@@ -1,13 +1,12 @@
 //! Relational schemas (signatures).
 
 use crate::{DataError, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// Identifier of a relation symbol within a [`Schema`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelId(pub u32);
 
 impl RelId {
@@ -19,7 +18,7 @@ impl RelId {
 }
 
 /// A single relation symbol together with its arity.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     /// Name of the relation symbol.
     pub name: String,
@@ -31,10 +30,9 @@ pub struct Relation {
 ///
 /// Schemas are cheap to clone (shared internally via [`Arc`] by
 /// [`crate::Instance`]); equality is structural.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     relations: Vec<Relation>,
-    #[serde(skip)]
     by_name: HashMap<String, RelId>,
 }
 
@@ -149,11 +147,6 @@ impl Schema {
             .enumerate()
             .map(|(i, r)| (r.name.clone(), RelId(i as u32)))
             .collect();
-    }
-
-    /// Restores internal indexes after deserialization.
-    pub fn finalize_after_deserialize(&mut self) {
-        self.rebuild_index();
     }
 }
 

@@ -1,0 +1,61 @@
+//! `cqfit-serve` — the JSONL-over-TCP fitting server.
+//!
+//! ```text
+//! cqfit-serve [--addr HOST:PORT] [--no-cache]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7878`), prints `listening on <addr>` to
+//! stdout once ready, and serves until a client sends
+//! `{"op":"shutdown"}`.  `--no-cache` disables the shared hom/core result
+//! cache (the uncached baseline configuration of the perf capture).
+
+use cqfit_engine::{Engine, EngineConfig, Server};
+use std::io::Write;
+use std::sync::Arc;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("cqfit-serve: {message}");
+    eprintln!("usage: cqfit-serve [--addr HOST:PORT] [--no-cache]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut caching = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => match args.get(i + 1) {
+                Some(value) => {
+                    addr = value.clone();
+                    i += 1;
+                }
+                None => usage_error("`--addr` requires a HOST:PORT value"),
+            },
+            "--no-cache" => caching = false,
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let engine = Arc::new(Engine::new(EngineConfig { caching }));
+    let server = match Server::bind(&addr, engine) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cqfit-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = server
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.clone());
+    println!("listening on {bound}");
+    std::io::stdout().flush().expect("flush stdout");
+    if let Err(e) = server.run() {
+        eprintln!("cqfit-serve: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("cqfit-serve: shut down");
+}

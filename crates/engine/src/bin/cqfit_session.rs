@@ -1,0 +1,202 @@
+//! `cqfit-session` — a scripted client session against `cqfit-serve`.
+//!
+//! ```text
+//! cqfit-session [--addr HOST:PORT] [--shutdown]
+//! ```
+//!
+//! Connects (with retries, so it can be started right after the server),
+//! drives a fixed query-by-example session — create a workspace, add
+//! positive cycles and a negative 2-cycle, fit CQs and UCQs, exercise the
+//! parse-error path, read the cache statistics — and *validates* every
+//! response, exiting non-zero on the first unexpected answer.  CI uses it
+//! as the server smoke test.  With `--shutdown` the session ends by
+//! stopping the server.
+
+use cqfit_engine::{Client, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response};
+
+fn fail(step: &str, got: &Response) -> ! {
+    eprintln!("cqfit-session: step `{step}` got unexpected response: {got:?}");
+    std::process::exit(1);
+}
+
+fn call(client: &mut Client, step: &str, request: &Request) -> Response {
+    let response = match client.call(request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cqfit-session: step `{step}` failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{step}: {}", serde::to_string(&response));
+    response
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("cqfit-session: {message}");
+    eprintln!("usage: cqfit-session [--addr HOST:PORT] [--shutdown]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => match args.get(i + 1) {
+                Some(value) => {
+                    addr = value.clone();
+                    i += 1;
+                }
+                None => usage_error("`--addr` requires a HOST:PORT value"),
+            },
+            "--shutdown" => shutdown = true,
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let mut client = match Client::connect_with_retry(&addr, 50) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cqfit-session: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let r = call(&mut client, "ping", &Request::Ping);
+    if !matches!(r, Response::Pong) {
+        fail("ping", &r);
+    }
+
+    let schema = cqfit_data::Schema::new([("R", 2)]).expect("digraph schema");
+    let r = call(
+        &mut client,
+        "create",
+        &Request::CreateWorkspace {
+            workspace: "qbe".into(),
+            schema,
+            arity: 0,
+        },
+    );
+    if !r.is_ok() {
+        fail("create", &r);
+    }
+
+    for (step, text) in [
+        ("add_c3", "R(a,b)\nR(b,c)\nR(c,a)"),
+        ("add_c5", "R(a,b)\nR(b,c)\nR(c,d)\nR(d,e)\nR(e,a)"),
+    ] {
+        let r = call(
+            &mut client,
+            step,
+            &Request::AddExample {
+                workspace: "qbe".into(),
+                polarity: Polarity::Positive,
+                example: ExamplePayload::Text(text.into()),
+            },
+        );
+        if !matches!(r, Response::ExampleAdded { .. }) {
+            fail(step, &r);
+        }
+    }
+    let r = call(
+        &mut client,
+        "add_neg_c2",
+        &Request::AddExample {
+            workspace: "qbe".into(),
+            polarity: Polarity::Negative,
+            example: ExamplePayload::Text("R(a,b)\nR(b,a)".into()),
+        },
+    );
+    if !matches!(r, Response::ExampleAdded { .. }) {
+        fail("add_neg_c2", &r);
+    }
+
+    // The minimized most-specific fitting CQ of {C3, C5} vs C2 is the
+    // 15-cycle: 15 variables + 15 atoms.
+    let r = call(
+        &mut client,
+        "fit_cq_min",
+        &Request::Fit {
+            workspace: "qbe".into(),
+            class: QueryClass::Cq,
+            mode: FitMode::Minimized,
+        },
+    );
+    match &r {
+        Response::Fitting { query: Some(q), .. } if q.size() == 30 => {}
+        _ => fail("fit_cq_min (expected size 30)", &r),
+    }
+
+    let r = call(
+        &mut client,
+        "exists_ucq",
+        &Request::FittingExists {
+            workspace: "qbe".into(),
+            class: QueryClass::Ucq,
+        },
+    );
+    match &r {
+        Response::Exists { exists: true, .. } => {}
+        _ => fail("exists_ucq (expected true)", &r),
+    }
+
+    let r = call(
+        &mut client,
+        "fit_ucq_min",
+        &Request::Fit {
+            workspace: "qbe".into(),
+            class: QueryClass::Ucq,
+            mode: FitMode::Minimized,
+        },
+    );
+    if !matches!(&r, Response::Fitting { query: Some(_), .. }) {
+        fail("fit_ucq_min", &r);
+    }
+
+    // Malformed textual example: the error must point at line 2.
+    let r = call(
+        &mut client,
+        "bad_example",
+        &Request::AddExample {
+            workspace: "qbe".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("R(a,b)\nQ(a,b)".into()),
+        },
+    );
+    match &r {
+        Response::Error { line: Some(2), .. } => {}
+        _ => fail("bad_example (expected error at line 2)", &r),
+    }
+
+    // Re-fit: the workspace is unchanged, the answer must be identical.
+    let r = call(
+        &mut client,
+        "refit_cq_min",
+        &Request::Fit {
+            workspace: "qbe".into(),
+            class: QueryClass::Cq,
+            mode: FitMode::Minimized,
+        },
+    );
+    match &r {
+        Response::Fitting { query: Some(q), .. } if q.size() == 30 => {}
+        _ => fail("refit_cq_min (expected size 30)", &r),
+    }
+
+    let r = call(&mut client, "stats", &Request::Stats);
+    match &r {
+        Response::Stats(stats) if stats.requests > 0 => {}
+        _ => fail("stats", &r),
+    }
+
+    if shutdown {
+        let r = call(&mut client, "shutdown", &Request::Shutdown);
+        if !matches!(r, Response::ShuttingDown) {
+            fail("shutdown", &r);
+        }
+    }
+    println!("cqfit-session: ok");
+}

@@ -1,0 +1,82 @@
+//! A small blocking JSONL-over-TCP client for the engine server.
+
+use crate::protocol::{Request, Response};
+use serde::Deserialize;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A blocking client: one request line out, one response line in.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    ///
+    /// # Errors
+    /// Propagates the connection failure.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Connects with retries (the server may still be binding), backing
+    /// off 100 ms between attempts.
+    ///
+    /// # Errors
+    /// Returns the last connection failure after `attempts` tries.
+    pub fn connect_with_retry(addr: &str, attempts: u32) -> std::io::Result<Client> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Sends a raw line and returns the raw response line (used to test
+    /// server-side error reporting on malformed input).
+    ///
+    /// # Errors
+    /// Propagates I/O failures; EOF is `UnexpectedEof`.
+    pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Sends a request and reads the response.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; an unparsable response line becomes
+    /// `InvalidData`.
+    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
+        let line = self.call_raw(&serde::to_string(request))?;
+        match serde::json::Value::parse(&line).and_then(|v| Response::from_json(&v)) {
+            Ok(response) => Ok(response),
+            Err(e) => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unparsable response `{line}`: {e}"),
+            )),
+        }
+    }
+}

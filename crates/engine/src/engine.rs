@@ -1,0 +1,503 @@
+//! The in-process fitting engine: a concurrent map of workspaces sharing
+//! one hom/core result cache.
+
+use crate::protocol::{EngineStats, ExamplePayload, Polarity, Request, Response};
+use crate::workspace::Workspace;
+use cqfit_data::parse_example;
+use cqfit_hom::HomCache;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Maximum accepted workspace/relation arity.  Far above anything the
+/// paper's workloads use; bounds the `vec![v; arity]` allocations that
+/// wire-supplied sizes would otherwise drive unchecked.
+const MAX_ARITY: usize = 64;
+
+/// Configuration of an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Route hom/core work through a shared [`HomCache`] (default `true`).
+    /// Disabling it yields the uncached baseline used by the perf capture.
+    pub caching: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { caching: true }
+    }
+}
+
+/// A long-lived fitting service holding named workspaces.
+///
+/// All methods take `&self` — the engine is interior-mutability-safe and
+/// meant to be shared (`Arc<Engine>`) across request threads:
+///
+/// * the workspace *map* sits behind an `RwLock` (created/dropped/listed
+///   rarely, resolved on every request),
+/// * each workspace sits behind its own `Mutex`, so requests against
+///   different workspaces run fully in parallel while requests against
+///   one workspace serialize (each sees a consistent revision),
+/// * hom/core computations inside a request fan out across the scoped
+///   worker pool of `cqfit_hom`, and their results land in the shared
+///   [`HomCache`], where *every* workspace and connection can hit them.
+///
+/// The per-workspace lock is held across the fitting computation; that is
+/// deliberate — a fit pins the revision it answers for, and concurrent
+/// mutations of the *same* workspace queue behind it (the differential
+/// concurrency suite certifies that any interleaving yields the same
+/// answers as the sequential schedule).
+pub struct Engine {
+    workspaces: RwLock<HashMap<String, Arc<Mutex<Workspace>>>>,
+    cache: Option<Arc<HomCache>>,
+    requests: AtomicU64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// A fresh engine.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            workspaces: RwLock::new(HashMap::new()),
+            cache: config.caching.then(|| Arc::new(HomCache::new())),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared hom/core cache, when caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<HomCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Engine-wide statistics.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            workspaces: self.workspaces.read().expect("workspace map").len(),
+            cache: self.cache.as_ref().map(|c| c.stats()),
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Option<Arc<Mutex<Workspace>>> {
+        self.workspaces
+            .read()
+            .expect("workspace map")
+            .get(name)
+            .cloned()
+    }
+
+    fn with_workspace(&self, name: &str, f: impl FnOnce(&mut Workspace) -> Response) -> Response {
+        match self.resolve(name) {
+            Some(ws) => f(&mut ws.lock().expect("workspace")),
+            None => Response::error(format!("unknown workspace `{name}`")),
+        }
+    }
+
+    /// Handles one request.  Never panics on malformed input — every
+    /// failure becomes a [`Response::Error`].
+    pub fn handle(&self, request: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Ping => Response::Pong,
+            Request::CreateWorkspace {
+                workspace,
+                schema,
+                arity,
+            } => {
+                // Bound the wire-supplied sizes before any allocation
+                // proportional to them (`top_example` allocates
+                // `vec![v; arity]`); a panic here would otherwise unwind
+                // while the workspace lock is held and poison it.
+                if *arity > MAX_ARITY {
+                    return Response::error(format!(
+                        "arity {arity} exceeds the supported maximum {MAX_ARITY}"
+                    ));
+                }
+                if schema.max_arity() > MAX_ARITY {
+                    return Response::error(format!(
+                        "relation arity {} exceeds the supported maximum {MAX_ARITY}",
+                        schema.max_arity()
+                    ));
+                }
+                // Build the workspace before taking the write lock: no
+                // user-influenced code runs under the lock.
+                let ws = Arc::new(Mutex::new(Workspace::new(
+                    workspace.clone(),
+                    Arc::new(schema.clone()),
+                    *arity,
+                )));
+                let mut map = self.workspaces.write().expect("workspace map");
+                if map.contains_key(workspace) {
+                    return Response::error(format!("workspace `{workspace}` already exists"));
+                }
+                map.insert(workspace.clone(), ws);
+                Response::WorkspaceCreated {
+                    workspace: workspace.clone(),
+                }
+            }
+            Request::DropWorkspace { workspace } => {
+                let existed = self
+                    .workspaces
+                    .write()
+                    .expect("workspace map")
+                    .remove(workspace)
+                    .is_some();
+                Response::WorkspaceDropped {
+                    workspace: workspace.clone(),
+                    existed,
+                }
+            }
+            Request::ListWorkspaces => {
+                let mut names: Vec<String> = self
+                    .workspaces
+                    .read()
+                    .expect("workspace map")
+                    .keys()
+                    .cloned()
+                    .collect();
+                names.sort();
+                Response::Workspaces { names }
+            }
+            Request::WorkspaceInfo { workspace } => self.with_workspace(workspace, |ws| {
+                let state = ws.state();
+                Response::Info {
+                    workspace: ws.name().to_string(),
+                    positives: state.num_positives(),
+                    negatives: state.num_negatives(),
+                    arity: state.arity(),
+                    revision: state.revision(),
+                    product_fresh: state.product_is_fresh(),
+                }
+            }),
+            Request::AddExample {
+                workspace,
+                polarity,
+                example,
+            } => self.with_workspace(workspace, |ws| {
+                let example = match example {
+                    ExamplePayload::Structured(e) => e.clone(),
+                    ExamplePayload::Text(text) => match parse_example(ws.state().schema(), text) {
+                        Ok(e) => e,
+                        Err(e) => return Response::from_data_error(&e),
+                    },
+                };
+                let added = match polarity {
+                    Polarity::Positive => ws.state_mut().add_positive(example),
+                    Polarity::Negative => ws.state_mut().add_negative(example),
+                };
+                match added {
+                    Ok(id) => Response::ExampleAdded {
+                        polarity: *polarity,
+                        id,
+                    },
+                    Err(e) => Response::error(e.to_string()),
+                }
+            }),
+            Request::RemoveExample {
+                workspace,
+                polarity,
+                id,
+            } => self.with_workspace(workspace, |ws| {
+                let removed = match polarity {
+                    Polarity::Positive => ws.state_mut().remove_positive(*id),
+                    Polarity::Negative => ws.state_mut().remove_negative(*id),
+                };
+                Response::ExampleRemoved {
+                    polarity: *polarity,
+                    id: *id,
+                    removed,
+                }
+            }),
+            Request::FittingExists { workspace, class } => self.with_workspace(workspace, |ws| {
+                match ws.fitting_exists(*class, self.cache.as_deref()) {
+                    Ok(exists) => Response::Exists {
+                        class: *class,
+                        exists,
+                    },
+                    Err(e) => Response::error(e.to_string()),
+                }
+            }),
+            Request::Fit {
+                workspace,
+                class,
+                mode,
+            } => self.with_workspace(workspace, |ws| {
+                match ws.fit(*class, *mode, self.cache.as_deref()) {
+                    Ok(query) => Response::Fitting {
+                        class: *class,
+                        mode: *mode,
+                        query,
+                    },
+                    Err(e) => Response::error(e.to_string()),
+                }
+            }),
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    /// Handles a batch of requests, fanning independent workspaces across
+    /// scoped worker threads.
+    ///
+    /// Semantics: requests are grouped by target workspace; within one
+    /// workspace the batch order is preserved (so ids and revisions come
+    /// out as in the sequential loop), distinct workspaces run
+    /// concurrently, and workspace-less requests (`ping`, `stats`,
+    /// `list_workspaces`, `shutdown`) are answered on the calling thread
+    /// *after* all groups finish.  Responses are returned in request
+    /// order.
+    pub fn handle_batch(&self, requests: &[Request]) -> Vec<Response> {
+        let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut global = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            match req.workspace() {
+                Some(ws) => groups.entry(ws).or_default().push(i),
+                None => global.push(i),
+            }
+        }
+        let mut out: Vec<Option<Response>> = Vec::new();
+        out.resize_with(requests.len(), || None);
+        let group_list: Vec<Vec<usize>> = groups.into_values().collect();
+        // Bounded worker pool over the groups (a batch may touch thousands
+        // of workspaces; one OS thread per workspace would oversubscribe):
+        // each worker claims whole groups via an atomic cursor, so
+        // per-workspace order is still preserved.
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(group_list.len())
+            .max(1);
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<Vec<(usize, Response)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let g = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(indices) = group_list.get(g) else {
+                                break;
+                            };
+                            local.extend(indices.iter().map(|&i| (i, self.handle(&requests[i]))));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine batch worker panicked"))
+                .collect()
+        });
+        for (i, resp) in results.into_iter().flatten() {
+            out[i] = Some(resp);
+        }
+        for i in global {
+            out[i] = Some(self.handle(&requests[i]));
+        }
+        out.into_iter().map(|r| r.expect("all filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{FitMode, QueryClass};
+    use cqfit_data::Schema;
+
+    fn create(engine: &Engine, name: &str) {
+        let resp = engine.handle(&Request::CreateWorkspace {
+            workspace: name.into(),
+            schema: Schema::new([("R", 2)]).unwrap(),
+            arity: 0,
+        });
+        assert!(resp.is_ok(), "{resp:?}");
+    }
+
+    fn add_text(engine: &Engine, ws: &str, polarity: Polarity, text: &str) -> u64 {
+        match engine.handle(&Request::AddExample {
+            workspace: ws.into(),
+            polarity,
+            example: ExamplePayload::Text(text.into()),
+        }) {
+            Response::ExampleAdded { id, .. } => id,
+            other => panic!("add failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_lifecycle() {
+        let engine = Engine::default();
+        assert!(matches!(engine.handle(&Request::Ping), Response::Pong));
+        create(&engine, "w");
+        // Duplicate create fails.
+        assert!(!engine
+            .handle(&Request::CreateWorkspace {
+                workspace: "w".into(),
+                schema: Schema::new([("R", 2)]).unwrap(),
+                arity: 0,
+            })
+            .is_ok());
+        add_text(&engine, "w", Polarity::Positive, "R(a,b)\nR(b,c)\nR(c,a)");
+        add_text(&engine, "w", Polarity::Negative, "R(a,b)\nR(b,a)");
+        match engine.handle(&Request::Fit {
+            workspace: "w".into(),
+            class: QueryClass::Cq,
+            mode: FitMode::Minimized,
+        }) {
+            Response::Fitting { query: Some(q), .. } => {
+                assert_eq!(q.size(), 6, "C3 core: 3 variables + 3 atoms")
+            }
+            other => panic!("fit failed: {other:?}"),
+        }
+        match engine.handle(&Request::WorkspaceInfo {
+            workspace: "w".into(),
+        }) {
+            Response::Info {
+                positives,
+                negatives,
+                ..
+            } => {
+                assert_eq!((positives, negatives), (1, 1));
+            }
+            other => panic!("info failed: {other:?}"),
+        }
+        match engine.handle(&Request::DropWorkspace {
+            workspace: "w".into(),
+        }) {
+            Response::WorkspaceDropped { existed, .. } => assert!(existed),
+            other => panic!("drop failed: {other:?}"),
+        }
+        assert!(!engine
+            .handle(&Request::WorkspaceInfo {
+                workspace: "w".into()
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn absurd_arities_rejected_without_poisoning() {
+        let engine = Engine::default();
+        let huge = engine.handle(&Request::CreateWorkspace {
+            workspace: "w".into(),
+            schema: Schema::new([("R", 2)]).unwrap(),
+            arity: usize::MAX / 2,
+        });
+        assert!(!huge.is_ok());
+        let huge_rel = engine.handle(&Request::CreateWorkspace {
+            workspace: "w".into(),
+            schema: Schema::new([("R", 1 << 40)]).unwrap(),
+            arity: 0,
+        });
+        assert!(!huge_rel.is_ok());
+        // The engine survives: the lock is not poisoned.
+        create(&engine, "w");
+        assert!(engine
+            .handle(&Request::WorkspaceInfo {
+                workspace: "w".into()
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn parse_errors_carry_position_through_the_engine() {
+        let engine = Engine::default();
+        create(&engine, "w");
+        let resp = engine.handle(&Request::AddExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("R(a,b)\nS(a,b)".into()),
+        });
+        match resp {
+            Response::Error { message, line, .. } => {
+                assert_eq!(line, Some(2));
+                assert!(message.contains('S'), "{message}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memo_serves_unchanged_workspace() {
+        let engine = Engine::default();
+        create(&engine, "w");
+        add_text(&engine, "w", Polarity::Positive, "R(a,b)\nR(b,c)\nR(c,a)");
+        let fit = Request::Fit {
+            workspace: "w".into(),
+            class: QueryClass::Cq,
+            mode: FitMode::Minimized,
+        };
+        let first = engine.handle(&fit);
+        let cache_after_first = engine.cache().unwrap().stats();
+        let second = engine.handle(&fit);
+        let cache_after_second = engine.cache().unwrap().stats();
+        assert_eq!(
+            cache_after_first.core_misses, cache_after_second.core_misses,
+            "memo answered without recomputing"
+        );
+        match (first, second) {
+            (
+                Response::Fitting { query: Some(a), .. },
+                Response::Fitting { query: Some(b), .. },
+            ) => assert_eq!(a.display(), b.display()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A mutation invalidates the memo (revision changed).
+        add_text(&engine, "w", Polarity::Negative, "R(a,b)\nR(b,a)");
+        assert!(engine.handle(&fit).is_ok());
+    }
+
+    #[test]
+    fn batch_preserves_order_and_matches_sequential() {
+        let seq = Engine::default();
+        let par = Engine::default();
+        let mut requests = vec![Request::Ping];
+        for ws in ["a", "b", "c"] {
+            requests.push(Request::CreateWorkspace {
+                workspace: ws.into(),
+                schema: Schema::new([("R", 2)]).unwrap(),
+                arity: 0,
+            });
+        }
+        for ws in ["a", "b", "c"] {
+            requests.push(Request::AddExample {
+                workspace: ws.into(),
+                polarity: Polarity::Positive,
+                example: ExamplePayload::Text("R(a,b)\nR(b,c)\nR(c,a)".into()),
+            });
+            requests.push(Request::AddExample {
+                workspace: ws.into(),
+                polarity: Polarity::Negative,
+                example: ExamplePayload::Text("R(a,b)\nR(b,a)".into()),
+            });
+            requests.push(Request::Fit {
+                workspace: ws.into(),
+                class: QueryClass::Cq,
+                mode: FitMode::Minimized,
+            });
+        }
+        let seq_out: Vec<Response> = requests.iter().map(|r| seq.handle(r)).collect();
+        let par_out = par.handle_batch(&requests);
+        assert_eq!(seq_out.len(), par_out.len());
+        for (s, p) in seq_out.iter().zip(&par_out) {
+            assert_eq!(
+                serde::to_string(s),
+                serde::to_string(p),
+                "batch answer differs from sequential"
+            );
+        }
+    }
+}

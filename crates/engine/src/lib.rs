@@ -1,0 +1,42 @@
+//! # cqfit-engine
+//!
+//! A concurrent, session-based fitting service over the `cqfit` stack:
+//! long-lived named **workspaces** hold evolving `(E⁺, E⁻)` example
+//! collections whose direct-product / most-specific-fitting state is
+//! maintained **incrementally** ([`cqfit::incremental`]) as examples are
+//! added and removed, and all homomorphism/core work is routed through a
+//! shared **canonical-hash keyed result cache**
+//! ([`cqfit_hom::HomCache`]), so repeated containment and core checks —
+//! across requests, workspaces and sessions — are hits instead of
+//! recomputes.
+//!
+//! Two front ends share the same [`Request`]/[`Response`] protocol:
+//!
+//! * the in-process [`Engine`] (interior-mutability-safe; share it via
+//!   `Arc` across request threads, or push whole batches through
+//!   [`Engine::handle_batch`]),
+//! * the std-only JSONL-over-TCP [`Server`] behind the `cqfit-serve`
+//!   binary, with [`Client`] and the scripted `cqfit-session` binary as
+//!   consumers.
+//!
+//! See `DESIGN.md` ("Engine architecture") for the workspace model, the
+//! incremental product maintenance rules, and the cache keying and
+//! invalidation story; `EXPERIMENTS.md` documents the throughput
+//! methodology behind `BENCH_pr4.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod engine;
+mod protocol;
+mod server;
+mod workspace;
+
+pub use client::Client;
+pub use engine::{Engine, EngineConfig};
+pub use protocol::{
+    EngineStats, ExamplePayload, FitMode, FitQuery, Polarity, QueryClass, Request, Response,
+};
+pub use server::Server;
+pub use workspace::Workspace;

@@ -1,0 +1,818 @@
+//! The request/response protocol of the fitting service.
+//!
+//! Requests and responses are JSON objects, one per line on the wire
+//! (JSONL); the in-process [`crate::Engine`] consumes the same [`Request`]
+//! values directly.  Every request object carries an `"op"` tag; every
+//! response carries `"ok"` (`true`/`false`) plus op-specific fields.
+//! Examples travel either as structured JSON (the
+//! `cqfit_data::serde_impls` shape, self-describing with their schema) or
+//! as the textual fact format of [`cqfit_data::parse_example`] (parsed
+//! against the workspace schema; parse errors come back with the
+//! offending line and token).
+//!
+//! A scripted session:
+//!
+//! ```text
+//! → {"op":"create_workspace","workspace":"w","schema":{"relations":[{"name":"R","arity":2}]},"arity":0}
+//! ← {"ok":true,"workspace":"w"}
+//! → {"op":"add_example","workspace":"w","polarity":"positive","text":"R(a,b)\nR(b,c)\nR(c,a)"}
+//! ← {"ok":true,"id":0,"polarity":"positive"}
+//! → {"op":"fit","workspace":"w","class":"cq","mode":"minimized"}
+//! ← {"ok":true,"found":true,"query":"q() :- …","size":…,"query_json":{…}}
+//! ```
+
+use cqfit_data::{Example, Schema};
+use cqfit_query::{Cq, Ucq};
+use serde::json::{JsonError, Value as Json};
+use serde::{Deserialize, Serialize};
+
+/// Whether an example is added to `E⁺` or `E⁻`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// A positive example (`E⁺`).
+    Positive,
+    /// A negative example (`E⁻`).
+    Negative,
+}
+
+impl Polarity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Polarity::Positive => "positive",
+            Polarity::Negative => "negative",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, JsonError> {
+        match s {
+            "positive" => Ok(Polarity::Positive),
+            "negative" => Ok(Polarity::Negative),
+            other => Err(JsonError::semantic(format!(
+                "unknown polarity `{other}` (expected `positive` or `negative`)"
+            ))),
+        }
+    }
+}
+
+/// The query class a fitting question is asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Conjunctive queries (Section 3 of the paper).
+    Cq,
+    /// Unions of conjunctive queries (Section 4).
+    Ucq,
+}
+
+impl QueryClass {
+    fn as_str(self) -> &'static str {
+        match self {
+            QueryClass::Cq => "cq",
+            QueryClass::Ucq => "ucq",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, JsonError> {
+        match s {
+            "cq" => Ok(QueryClass::Cq),
+            "ucq" => Ok(QueryClass::Ucq),
+            other => Err(JsonError::semantic(format!(
+                "unknown query class `{other}` (expected `cq` or `ucq`)"
+            ))),
+        }
+    }
+}
+
+/// Whether a fitting is returned as constructed or minimized (cored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FitMode {
+    /// The canonical construction (most-specific fitting).
+    Plain,
+    /// The cored, equivalent construction.
+    Minimized,
+}
+
+impl FitMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            FitMode::Plain => "plain",
+            FitMode::Minimized => "minimized",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, JsonError> {
+        match s {
+            "plain" => Ok(FitMode::Plain),
+            "minimized" => Ok(FitMode::Minimized),
+            other => Err(JsonError::semantic(format!(
+                "unknown fit mode `{other}` (expected `plain` or `minimized`)"
+            ))),
+        }
+    }
+}
+
+/// An example in a request: structured JSON or the textual fact format.
+#[derive(Debug, Clone)]
+pub enum ExamplePayload {
+    /// A self-describing structured example (`cqfit_data` serde shape).
+    Structured(Example),
+    /// The textual format of [`cqfit_data::parse_example`], parsed against
+    /// the workspace schema.
+    Text(String),
+}
+
+/// A request to the fitting service.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Creates a workspace; fails if the name is taken.
+    CreateWorkspace {
+        /// Workspace name.
+        workspace: String,
+        /// Schema of the workspace's examples.
+        schema: Schema,
+        /// Arity of the workspace's examples.
+        arity: usize,
+    },
+    /// Drops a workspace (reports whether it existed).
+    DropWorkspace {
+        /// Workspace name.
+        workspace: String,
+    },
+    /// Lists workspace names.
+    ListWorkspaces,
+    /// Reports a workspace's state (sizes, revision, product freshness).
+    WorkspaceInfo {
+        /// Workspace name.
+        workspace: String,
+    },
+    /// Adds an example to a workspace.
+    AddExample {
+        /// Workspace name.
+        workspace: String,
+        /// Positive or negative.
+        polarity: Polarity,
+        /// The example itself.
+        example: ExamplePayload,
+    },
+    /// Removes an example by id.
+    RemoveExample {
+        /// Workspace name.
+        workspace: String,
+        /// Positive or negative.
+        polarity: Polarity,
+        /// Id returned by the corresponding add.
+        id: u64,
+    },
+    /// Does a fitting query of the class exist?
+    FittingExists {
+        /// Workspace name.
+        workspace: String,
+        /// Query class.
+        class: QueryClass,
+    },
+    /// Constructs a (most-specific) fitting query.
+    Fit {
+        /// Workspace name.
+        workspace: String,
+        /// Query class.
+        class: QueryClass,
+        /// Plain or minimized output.
+        mode: FitMode,
+    },
+    /// Engine-wide statistics (requests, workspaces, cache hit rates).
+    Stats,
+    /// Asks the server to stop accepting connections (in-process engines
+    /// treat it as a no-op acknowledgment).
+    Shutdown,
+}
+
+impl Request {
+    /// The workspace this request targets, if any (used by
+    /// [`crate::Engine::handle_batch`] to group independent requests).
+    pub fn workspace(&self) -> Option<&str> {
+        match self {
+            Request::CreateWorkspace { workspace, .. }
+            | Request::DropWorkspace { workspace }
+            | Request::WorkspaceInfo { workspace }
+            | Request::AddExample { workspace, .. }
+            | Request::RemoveExample { workspace, .. }
+            | Request::FittingExists { workspace, .. }
+            | Request::Fit { workspace, .. } => Some(workspace),
+            Request::Ping | Request::ListWorkspaces | Request::Stats | Request::Shutdown => None,
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => Json::obj([("op", Json::str("ping"))]),
+            Request::CreateWorkspace {
+                workspace,
+                schema,
+                arity,
+            } => Json::obj([
+                ("op", Json::str("create_workspace")),
+                ("workspace", Json::str(workspace)),
+                ("schema", schema.to_json()),
+                ("arity", Json::Int(*arity as i64)),
+            ]),
+            Request::DropWorkspace { workspace } => Json::obj([
+                ("op", Json::str("drop_workspace")),
+                ("workspace", Json::str(workspace)),
+            ]),
+            Request::ListWorkspaces => Json::obj([("op", Json::str("list_workspaces"))]),
+            Request::WorkspaceInfo { workspace } => Json::obj([
+                ("op", Json::str("workspace_info")),
+                ("workspace", Json::str(workspace)),
+            ]),
+            Request::AddExample {
+                workspace,
+                polarity,
+                example,
+            } => {
+                let mut fields = vec![
+                    ("op", Json::str("add_example")),
+                    ("workspace", Json::str(workspace)),
+                    ("polarity", Json::str(polarity.as_str())),
+                ];
+                match example {
+                    ExamplePayload::Structured(e) => fields.push(("example", e.to_json())),
+                    ExamplePayload::Text(t) => fields.push(("text", Json::str(t))),
+                }
+                Json::obj(fields)
+            }
+            Request::RemoveExample {
+                workspace,
+                polarity,
+                id,
+            } => Json::obj([
+                ("op", Json::str("remove_example")),
+                ("workspace", Json::str(workspace)),
+                ("polarity", Json::str(polarity.as_str())),
+                ("id", id.to_json()),
+            ]),
+            Request::FittingExists { workspace, class } => Json::obj([
+                ("op", Json::str("fitting_exists")),
+                ("workspace", Json::str(workspace)),
+                ("class", Json::str(class.as_str())),
+            ]),
+            Request::Fit {
+                workspace,
+                class,
+                mode,
+            } => Json::obj([
+                ("op", Json::str("fit")),
+                ("workspace", Json::str(workspace)),
+                ("class", Json::str(class.as_str())),
+                ("mode", Json::str(mode.as_str())),
+            ]),
+            Request::Stats => Json::obj([("op", Json::str("stats"))]),
+            Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
+        }
+    }
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, JsonError> {
+    String::from_json(v.req(key)?)
+}
+
+impl Deserialize for Request {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let op = req_str(v, "op")?;
+        match op.as_str() {
+            "ping" => Ok(Request::Ping),
+            "create_workspace" => Ok(Request::CreateWorkspace {
+                workspace: req_str(v, "workspace")?,
+                schema: Schema::from_json(v.req("schema")?)?,
+                arity: usize::from_json(v.req("arity")?)?,
+            }),
+            "drop_workspace" => Ok(Request::DropWorkspace {
+                workspace: req_str(v, "workspace")?,
+            }),
+            "list_workspaces" => Ok(Request::ListWorkspaces),
+            "workspace_info" => Ok(Request::WorkspaceInfo {
+                workspace: req_str(v, "workspace")?,
+            }),
+            "add_example" => {
+                let example = match (v.get("example"), v.get("text")) {
+                    (Some(e), None) => ExamplePayload::Structured(Example::from_json(e)?),
+                    (None, Some(t)) => ExamplePayload::Text(
+                        t.as_str()
+                            .ok_or_else(|| JsonError::mismatch("string", t))?
+                            .to_string(),
+                    ),
+                    (Some(_), Some(_)) => {
+                        return Err(JsonError::semantic(
+                            "give either `example` (structured) or `text`, not both",
+                        ))
+                    }
+                    (None, None) => {
+                        return Err(JsonError::semantic(
+                            "missing example: give `example` (structured) or `text`",
+                        ))
+                    }
+                };
+                Ok(Request::AddExample {
+                    workspace: req_str(v, "workspace")?,
+                    polarity: Polarity::parse(&req_str(v, "polarity")?)?,
+                    example,
+                })
+            }
+            "remove_example" => Ok(Request::RemoveExample {
+                workspace: req_str(v, "workspace")?,
+                polarity: Polarity::parse(&req_str(v, "polarity")?)?,
+                id: u64::from_json(v.req("id")?)?,
+            }),
+            "fitting_exists" => Ok(Request::FittingExists {
+                workspace: req_str(v, "workspace")?,
+                class: QueryClass::parse(&req_str(v, "class")?)?,
+            }),
+            "fit" => Ok(Request::Fit {
+                workspace: req_str(v, "workspace")?,
+                class: QueryClass::parse(&req_str(v, "class")?)?,
+                mode: FitMode::parse(&req_str(v, "mode")?)?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(JsonError::semantic(format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+/// A fitting query in a response: the CQ or UCQ plus display/size info.
+#[derive(Debug, Clone)]
+pub enum FitQuery {
+    /// A conjunctive query.
+    Cq(Cq),
+    /// A union of conjunctive queries.
+    Ucq(Ucq),
+}
+
+impl FitQuery {
+    /// Human-readable rendering.
+    pub fn display(&self) -> String {
+        match self {
+            FitQuery::Cq(q) => q.to_string(),
+            FitQuery::Ucq(q) => q.to_string(),
+        }
+    }
+
+    /// Size (variables + atoms, summed over disjuncts for UCQs).
+    pub fn size(&self) -> usize {
+        match self {
+            FitQuery::Cq(q) => q.size(),
+            FitQuery::Ucq(q) => q.size(),
+        }
+    }
+}
+
+/// Statistics reported by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Requests handled since engine start.
+    pub requests: u64,
+    /// Current number of workspaces.
+    pub workspaces: usize,
+    /// Hom/core cache statistics, when caching is enabled.
+    pub cache: Option<cqfit_hom::CacheStats>,
+}
+
+/// A response from the fitting service.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::CreateWorkspace`].
+    WorkspaceCreated {
+        /// Workspace name.
+        workspace: String,
+    },
+    /// Reply to [`Request::DropWorkspace`].
+    WorkspaceDropped {
+        /// Workspace name.
+        workspace: String,
+        /// Whether it existed.
+        existed: bool,
+    },
+    /// Reply to [`Request::ListWorkspaces`].
+    Workspaces {
+        /// Sorted workspace names.
+        names: Vec<String>,
+    },
+    /// Reply to [`Request::WorkspaceInfo`].
+    Info {
+        /// Workspace name.
+        workspace: String,
+        /// Number of positive examples.
+        positives: usize,
+        /// Number of negative examples.
+        negatives: usize,
+        /// Arity of the workspace.
+        arity: usize,
+        /// Mutation counter.
+        revision: u64,
+        /// Whether the maintained product is fresh (no rebuild pending).
+        product_fresh: bool,
+    },
+    /// Reply to [`Request::AddExample`].
+    ExampleAdded {
+        /// Polarity of the added example.
+        polarity: Polarity,
+        /// Its id (for removal).
+        id: u64,
+    },
+    /// Reply to [`Request::RemoveExample`].
+    ExampleRemoved {
+        /// Polarity of the removed example.
+        polarity: Polarity,
+        /// The id asked for.
+        id: u64,
+        /// Whether it existed.
+        removed: bool,
+    },
+    /// Reply to [`Request::FittingExists`].
+    Exists {
+        /// Query class asked about.
+        class: QueryClass,
+        /// The (exact) answer.
+        exists: bool,
+    },
+    /// Reply to [`Request::Fit`].
+    Fitting {
+        /// Query class asked about.
+        class: QueryClass,
+        /// Output mode.
+        mode: FitMode,
+        /// The fitting query, if one exists.
+        query: Option<FitQuery>,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats(EngineStats),
+    /// Reply to [`Request::Shutdown`].
+    ShuttingDown,
+    /// Any failure: a message, optionally with the position of the
+    /// offending token (JSON parse errors and textual example parse
+    /// errors).
+    Error {
+        /// Human-readable description.
+        message: String,
+        /// 1-based line of the offending token, when known.
+        line: Option<usize>,
+        /// 1-based column of the offending token, when known.
+        col: Option<usize>,
+    },
+}
+
+impl Response {
+    /// An error response without position.
+    pub fn error(message: impl Into<String>) -> Response {
+        Response::Error {
+            message: message.into(),
+            line: None,
+            col: None,
+        }
+    }
+
+    /// An error response from a JSON error, keeping its position if any.
+    pub fn from_json_error(e: &JsonError) -> Response {
+        Response::Error {
+            message: e.msg.clone(),
+            line: e.has_position().then_some(e.line),
+            col: e.has_position().then_some(e.col),
+        }
+    }
+
+    /// An error response from a data-layer error; `ParseAt` positions are
+    /// surfaced.
+    pub fn from_data_error(e: &cqfit_data::DataError) -> Response {
+        match e {
+            cqfit_data::DataError::ParseAt {
+                line,
+                token,
+                message,
+            } => Response::Error {
+                message: format!("near `{token}`: {message}"),
+                line: Some(*line),
+                col: None,
+            },
+            other => Response::error(other.to_string()),
+        }
+    }
+
+    /// True for every variant except [`Response::Error`].
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Error { .. })
+    }
+}
+
+impl Serialize for Response {
+    fn to_json(&self) -> Json {
+        let ok = |fields: Vec<(&'static str, Json)>| {
+            let mut all = vec![("ok", Json::Bool(true))];
+            all.extend(fields);
+            Json::obj(all)
+        };
+        match self {
+            Response::Pong => ok(vec![("kind", Json::str("pong"))]),
+            Response::WorkspaceCreated { workspace } => ok(vec![
+                ("kind", Json::str("workspace_created")),
+                ("workspace", Json::str(workspace)),
+            ]),
+            Response::WorkspaceDropped { workspace, existed } => ok(vec![
+                ("kind", Json::str("workspace_dropped")),
+                ("workspace", Json::str(workspace)),
+                ("existed", Json::Bool(*existed)),
+            ]),
+            Response::Workspaces { names } => ok(vec![
+                ("kind", Json::str("workspaces")),
+                ("names", names.clone().to_json()),
+            ]),
+            Response::Info {
+                workspace,
+                positives,
+                negatives,
+                arity,
+                revision,
+                product_fresh,
+            } => ok(vec![
+                ("kind", Json::str("info")),
+                ("workspace", Json::str(workspace)),
+                ("positives", Json::Int(*positives as i64)),
+                ("negatives", Json::Int(*negatives as i64)),
+                ("arity", Json::Int(*arity as i64)),
+                ("revision", revision.to_json()),
+                ("product_fresh", Json::Bool(*product_fresh)),
+            ]),
+            Response::ExampleAdded { polarity, id } => ok(vec![
+                ("kind", Json::str("example_added")),
+                ("polarity", Json::str(polarity.as_str())),
+                ("id", id.to_json()),
+            ]),
+            Response::ExampleRemoved {
+                polarity,
+                id,
+                removed,
+            } => ok(vec![
+                ("kind", Json::str("example_removed")),
+                ("polarity", Json::str(polarity.as_str())),
+                ("id", id.to_json()),
+                ("removed", Json::Bool(*removed)),
+            ]),
+            Response::Exists { class, exists } => ok(vec![
+                ("kind", Json::str("exists")),
+                ("class", Json::str(class.as_str())),
+                ("exists", Json::Bool(*exists)),
+            ]),
+            Response::Fitting { class, mode, query } => {
+                let mut fields = vec![
+                    ("kind", Json::str("fitting")),
+                    ("class", Json::str(class.as_str())),
+                    ("mode", Json::str(mode.as_str())),
+                    ("found", Json::Bool(query.is_some())),
+                ];
+                if let Some(q) = query {
+                    fields.push(("query", Json::str(q.display())));
+                    fields.push(("size", Json::Int(q.size() as i64)));
+                    let qj = match q {
+                        FitQuery::Cq(q) => q.to_json(),
+                        FitQuery::Ucq(q) => q.to_json(),
+                    };
+                    fields.push(("query_json", qj));
+                }
+                ok(fields)
+            }
+            Response::Stats(stats) => {
+                let mut fields = vec![
+                    ("kind", Json::str("stats")),
+                    ("requests", stats.requests.to_json()),
+                    ("workspaces", Json::Int(stats.workspaces as i64)),
+                    ("caching", Json::Bool(stats.cache.is_some())),
+                ];
+                if let Some(c) = &stats.cache {
+                    fields.push((
+                        "cache",
+                        Json::obj([
+                            ("hom_hits", c.hom_hits.to_json()),
+                            ("hom_misses", c.hom_misses.to_json()),
+                            ("core_hits", c.core_hits.to_json()),
+                            ("core_misses", c.core_misses.to_json()),
+                            ("hom_entries", Json::Int(c.hom_entries as i64)),
+                            ("core_entries", Json::Int(c.core_entries as i64)),
+                            ("hit_rate", Json::Float(c.hit_rate())),
+                        ]),
+                    ));
+                }
+                ok(fields)
+            }
+            Response::ShuttingDown => ok(vec![("kind", Json::str("shutting_down"))]),
+            Response::Error { message, line, col } => {
+                let mut fields = vec![("ok", Json::Bool(false)), ("error", Json::str(message))];
+                if let Some(line) = line {
+                    fields.push(("line", Json::Int(*line as i64)));
+                }
+                if let Some(col) = col {
+                    fields.push(("col", Json::Int(*col as i64)));
+                }
+                Json::Obj(
+                    fields
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let ok = bool::from_json(v.req("ok")?)?;
+        if !ok {
+            return Ok(Response::Error {
+                message: req_str(v, "error")?,
+                line: v.get("line").and_then(Json::as_i64).map(|l| l as usize),
+                col: v.get("col").and_then(Json::as_i64).map(|c| c as usize),
+            });
+        }
+        match req_str(v, "kind")?.as_str() {
+            "pong" => Ok(Response::Pong),
+            "workspace_created" => Ok(Response::WorkspaceCreated {
+                workspace: req_str(v, "workspace")?,
+            }),
+            "workspace_dropped" => Ok(Response::WorkspaceDropped {
+                workspace: req_str(v, "workspace")?,
+                existed: bool::from_json(v.req("existed")?)?,
+            }),
+            "workspaces" => Ok(Response::Workspaces {
+                names: Vec::<String>::from_json(v.req("names")?)?,
+            }),
+            "info" => Ok(Response::Info {
+                workspace: req_str(v, "workspace")?,
+                positives: usize::from_json(v.req("positives")?)?,
+                negatives: usize::from_json(v.req("negatives")?)?,
+                arity: usize::from_json(v.req("arity")?)?,
+                revision: u64::from_json(v.req("revision")?)?,
+                product_fresh: bool::from_json(v.req("product_fresh")?)?,
+            }),
+            "example_added" => Ok(Response::ExampleAdded {
+                polarity: Polarity::parse(&req_str(v, "polarity")?)?,
+                id: u64::from_json(v.req("id")?)?,
+            }),
+            "example_removed" => Ok(Response::ExampleRemoved {
+                polarity: Polarity::parse(&req_str(v, "polarity")?)?,
+                id: u64::from_json(v.req("id")?)?,
+                removed: bool::from_json(v.req("removed")?)?,
+            }),
+            "exists" => Ok(Response::Exists {
+                class: QueryClass::parse(&req_str(v, "class")?)?,
+                exists: bool::from_json(v.req("exists")?)?,
+            }),
+            "fitting" => {
+                let class = QueryClass::parse(&req_str(v, "class")?)?;
+                let mode = FitMode::parse(&req_str(v, "mode")?)?;
+                let found = bool::from_json(v.req("found")?)?;
+                let query = if found {
+                    let qj = v.req("query_json")?;
+                    Some(match class {
+                        QueryClass::Cq => FitQuery::Cq(Cq::from_json(qj)?),
+                        QueryClass::Ucq => FitQuery::Ucq(Ucq::from_json(qj)?),
+                    })
+                } else {
+                    None
+                };
+                Ok(Response::Fitting { class, mode, query })
+            }
+            "stats" => {
+                let cache = match v.get("cache") {
+                    Some(c) => Some(cqfit_hom::CacheStats {
+                        hom_hits: u64::from_json(c.req("hom_hits")?)?,
+                        hom_misses: u64::from_json(c.req("hom_misses")?)?,
+                        core_hits: u64::from_json(c.req("core_hits")?)?,
+                        core_misses: u64::from_json(c.req("core_misses")?)?,
+                        hom_entries: usize::from_json(c.req("hom_entries")?)?,
+                        core_entries: usize::from_json(c.req("core_entries")?)?,
+                    }),
+                    None => None,
+                };
+                Ok(Response::Stats(EngineStats {
+                    requests: u64::from_json(v.req("requests")?)?,
+                    workspaces: usize::from_json(v.req("workspaces")?)?,
+                    cache,
+                }))
+            }
+            "shutting_down" => Ok(Response::ShuttingDown),
+            other => Err(JsonError::semantic(format!(
+                "unknown response kind `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: &Request) -> Request {
+        serde::from_str(&serde::to_string(req)).unwrap()
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let schema = Schema::new([("R", 2)]).unwrap();
+        let reqs = vec![
+            Request::Ping,
+            Request::CreateWorkspace {
+                workspace: "w".into(),
+                schema,
+                arity: 1,
+            },
+            Request::AddExample {
+                workspace: "w".into(),
+                polarity: Polarity::Positive,
+                example: ExamplePayload::Text("R(a,b)\n* a".into()),
+            },
+            Request::RemoveExample {
+                workspace: "w".into(),
+                polarity: Polarity::Negative,
+                id: 3,
+            },
+            Request::Fit {
+                workspace: "w".into(),
+                class: QueryClass::Ucq,
+                mode: FitMode::Minimized,
+            },
+            Request::FittingExists {
+                workspace: "w".into(),
+                class: QueryClass::Cq,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let back = round_trip_request(&req);
+            assert_eq!(
+                serde::to_string(&back),
+                serde::to_string(&req),
+                "round trip of {req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn structured_example_round_trips() {
+        let schema = Schema::digraph();
+        let e = cqfit_data::parse_example(&schema, "R(a,b)\n* a").unwrap();
+        let req = Request::AddExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Structured(e.clone()),
+        };
+        match round_trip_request(&req) {
+            Request::AddExample {
+                example: ExamplePayload::Structured(back),
+                ..
+            } => {
+                assert!(back.instance().same_facts(e.instance()));
+                assert_eq!(back.distinguished(), e.distinguished());
+            }
+            other => panic!("unexpected round trip {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_response_keeps_position() {
+        let e = JsonError {
+            line: 3,
+            col: 7,
+            msg: "boom".into(),
+        };
+        let resp = Response::from_json_error(&e);
+        let back: Response = serde::from_str(&serde::to_string(&resp)).unwrap();
+        match back {
+            Response::Error { message, line, col } => {
+                assert_eq!(message, "boom");
+                assert_eq!(line, Some(3));
+                assert_eq!(col, Some(7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        assert!(serde::from_str::<Request>(r#"{"op":"nope"}"#).is_err());
+        assert!(
+            serde::from_str::<Request>(r#"{"op":"fit","workspace":"w","class":"cq"}"#).is_err()
+        );
+        assert!(serde::from_str::<Request>(
+            r#"{"op":"add_example","workspace":"w","polarity":"maybe","text":"R(a,b)"}"#
+        )
+        .is_err());
+        assert!(serde::from_str::<Request>(
+            r#"{"op":"add_example","workspace":"w","polarity":"positive"}"#
+        )
+        .is_err());
+    }
+}

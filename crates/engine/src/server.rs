@@ -1,0 +1,301 @@
+//! A std-only JSONL-over-TCP front end for the engine.
+//!
+//! Wire protocol: one JSON request per line in, one JSON response per line
+//! out (see [`crate::protocol`]).  Malformed lines are answered with an
+//! error response carrying the line-internal column of the offending
+//! token; the connection stays open.  A `{"op":"shutdown"}` request is
+//! acknowledged, then the server stops accepting connections and `run`
+//! returns after the remaining connection threads drain.
+//!
+//! **Trust model**: the server is meant for cooperating clients (it binds
+//! loopback by default and any client may shut it down).  Malformed and
+//! oversized input is handled defensively, but the shared hom-cache keys
+//! results by canonical hash alone — the hash is collision-resistant
+//! against accidents, not against adversarially *constructed* collisions
+//! (see `cqfit_data::canonical`), so do not expose the port to untrusted
+//! networks.
+
+use crate::engine::Engine;
+use crate::protocol::{Request, Response};
+use serde::Deserialize;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Maximum accepted request-line size (16 MiB) — a structured example of
+/// hundreds of thousands of facts fits comfortably; a newline-less byte
+/// stream cannot grow a connection buffer beyond it.
+const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// A JSONL-over-TCP server wrapping an [`Engine`].
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `127.0.0.1:7878`, or port `0` for an
+    /// ephemeral port).
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    ///
+    /// # Errors
+    /// Propagates the lookup failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a shutdown request arrives, then joins all connection
+    /// threads and returns.  One thread per connection; every connection
+    /// shares the engine (and therefore the hom-cache).
+    ///
+    /// # Errors
+    /// Propagates accept-loop I/O failures (per-connection I/O errors only
+    /// end that connection).
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.local_addr()?;
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // Transient per-connection failures (a queued client reset
+                // before accept, fd pressure) must not take down the
+                // service and orphan every live connection.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::ConnectionAborted
+                            | ErrorKind::ConnectionReset
+                            | ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            // Reap finished connection threads so a long-lived server does
+            // not accumulate one JoinHandle per connection ever accepted.
+            handles.retain(|h| !h.is_finished());
+            let engine = Arc::clone(&self.engine);
+            let shutdown = Arc::clone(&self.shutdown);
+            handles.push(std::thread::spawn(move || {
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "<unknown>".into());
+                if let Err(e) = serve_connection(&engine, &shutdown, addr, stream) {
+                    eprintln!("cqfit-serve: connection {peer}: {e}");
+                }
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Handles one connection; returns on EOF, I/O error, or shutdown.
+fn serve_connection(
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    server_addr: SocketAddr,
+    stream: TcpStream,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    // A read timeout turns the blocking line read into a periodic poll of
+    // the shutdown flag: without it, connections parked in a read would
+    // outlive a shutdown request on another connection and keep `run`
+    // blocked in join() until the client went away on its own.
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    let mut reader = BufReader::new(stream);
+    // Accumulate raw bytes via read_until, not read_line: read_until keeps
+    // already-read bytes in the buffer when a timeout fires mid-line
+    // (read_line would discard the call's bytes if they end mid UTF-8
+    // character), so partial lines survive the shutdown-poll timeouts.
+    // Reads go through a per-iteration `take` so a client streaming a
+    // newline-less request cannot grow the buffer without bound.
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let remaining = (MAX_LINE_BYTES + 1).saturating_sub(buf.len()) as u64;
+        match std::io::Read::take(&mut reader, remaining).read_until(b'\n', &mut buf) {
+            Ok(0) if buf.is_empty() => return Ok(()), // EOF
+            Ok(_) => {}
+            // Timeout: partial bytes stay in `buf`; poll the flag again.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) => return Err(e),
+        }
+        // Size check counts the payload, not the `\n` terminator.
+        let terminated = buf.last() == Some(&b'\n');
+        if buf.len() - usize::from(terminated) > MAX_LINE_BYTES {
+            write_response(
+                &mut writer,
+                &Response::error(format!("request line exceeds {MAX_LINE_BYTES} bytes")),
+            )?;
+            if terminated {
+                // Framing intact: skip this line, keep the connection.
+                buf.clear();
+                continue;
+            }
+            // Unterminated: framing is lost, drop the connection.
+            return Ok(());
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            write_response(
+                &mut writer,
+                &Response::error("request line is not valid UTF-8"),
+            )?;
+            buf.clear();
+            continue;
+        };
+        if line.trim().is_empty() {
+            buf.clear();
+            continue;
+        }
+        let response = match serde::json::Value::parse(line) {
+            Err(e) => Response::from_json_error(&e),
+            Ok(v) => match Request::from_json(&v) {
+                Err(e) => Response::from_json_error(&e),
+                Ok(request) => {
+                    let response = engine.handle(&request);
+                    if matches!(request, Request::Shutdown) {
+                        write_response(&mut writer, &response)?;
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Wake the blocked accept loop with a no-op
+                        // connection so `run` can observe the flag.
+                        let _ = TcpStream::connect(server_addr);
+                        return Ok(());
+                    }
+                    response
+                }
+            },
+        };
+        write_response(&mut writer, &response)?;
+        buf.clear();
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut text = serde::to_string(response);
+    text.push('\n');
+    writer.write_all(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::engine::EngineConfig;
+    use crate::protocol::{ExamplePayload, FitMode, Polarity, QueryClass};
+    use cqfit_data::Schema;
+
+    /// End-to-end: server on an ephemeral port, scripted client session,
+    /// shutdown, join.
+    #[test]
+    fn tcp_round_trip_session() {
+        let engine = Arc::new(Engine::new(EngineConfig::default()));
+        let server = Server::bind("127.0.0.1:0", engine).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
+        client
+            .call(&Request::CreateWorkspace {
+                workspace: "w".into(),
+                schema: Schema::new([("R", 2)]).unwrap(),
+                arity: 0,
+            })
+            .unwrap();
+        client
+            .call(&Request::AddExample {
+                workspace: "w".into(),
+                polarity: Polarity::Positive,
+                example: ExamplePayload::Text("R(a,b)\nR(b,c)\nR(c,a)".into()),
+            })
+            .unwrap();
+        client
+            .call(&Request::AddExample {
+                workspace: "w".into(),
+                polarity: Polarity::Negative,
+                example: ExamplePayload::Text("R(a,b)\nR(b,a)".into()),
+            })
+            .unwrap();
+        match client
+            .call(&Request::Fit {
+                workspace: "w".into(),
+                class: QueryClass::Cq,
+                mode: FitMode::Minimized,
+            })
+            .unwrap()
+        {
+            Response::Fitting { query: Some(q), .. } => assert_eq!(q.size(), 6),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Malformed JSON gets an error with a column, connection survives.
+        let resp = client.call_raw("{\"op\": \"fit\",, }").unwrap();
+        match serde::from_str::<Response>(&resp).unwrap() {
+            Response::Error { line, .. } => assert_eq!(line, Some(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Textual parse errors relay the offending line.
+        match client
+            .call(&Request::AddExample {
+                workspace: "w".into(),
+                polarity: Polarity::Positive,
+                example: ExamplePayload::Text("R(a,b)\nBAD".into()),
+            })
+            .unwrap()
+        {
+            Response::Error { line, .. } => assert_eq!(line, Some(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            client.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        ));
+        handle.join().unwrap();
+    }
+
+    /// A shutdown on one connection must terminate `run` even while other
+    /// connections sit idle in a blocking read.
+    #[test]
+    fn shutdown_drains_idle_connections() {
+        let engine = Arc::new(Engine::new(EngineConfig::default()));
+        let server = Server::bind("127.0.0.1:0", engine).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        // An idle connection that never sends anything.
+        let _idle = Client::connect(&addr.to_string()).unwrap();
+        let mut active = Client::connect(&addr.to_string()).unwrap();
+        assert!(matches!(
+            active.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        ));
+        // run() must return promptly despite the idle connection (the
+        // 200 ms read timeout polls the flag); joining would hang forever
+        // without the timeout, so the join itself is the assertion.
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,107 @@
+//! A named workspace: an evolving example collection plus a revision-keyed
+//! memo of fitting answers.
+
+use crate::protocol::{FitMode, FitQuery, QueryClass};
+use cqfit::incremental::IncrementalFitting;
+use cqfit::Result;
+use cqfit_data::Schema;
+use cqfit_hom::HomCache;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A workspace owned by the engine: one evolving `(E⁺, E⁻)` collection
+/// with incrementally maintained product state
+/// ([`cqfit::incremental::IncrementalFitting`]) and a memo of fitting
+/// answers keyed by the state's revision, so re-asking an unchanged
+/// workspace costs a map lookup.
+#[derive(Debug)]
+pub struct Workspace {
+    name: String,
+    state: IncrementalFitting,
+    /// Memoized existence answers: `(class) → (revision, answer)`.
+    exists_memo: HashMap<QueryClass, (u64, bool)>,
+    /// Memoized fittings: `(class, mode) → (revision, query)`.
+    fit_memo: HashMap<(QueryClass, FitMode), (u64, Option<FitQuery>)>,
+}
+
+impl Workspace {
+    /// A fresh workspace.
+    pub fn new(name: String, schema: Arc<Schema>, arity: usize) -> Self {
+        Workspace {
+            name,
+            state: IncrementalFitting::new(schema, arity),
+            exists_memo: HashMap::new(),
+            fit_memo: HashMap::new(),
+        }
+    }
+
+    /// The workspace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying incremental state (examples, product, revision).
+    pub fn state(&self) -> &IncrementalFitting {
+        &self.state
+    }
+
+    /// Mutable access to the underlying incremental state.  Mutations bump
+    /// the revision, which implicitly invalidates the memo (entries are
+    /// revision-checked on read).
+    pub fn state_mut(&mut self) -> &mut IncrementalFitting {
+        &mut self.state
+    }
+
+    /// Answers the existence question, serving an unchanged workspace from
+    /// the memo.
+    pub fn fitting_exists(&mut self, class: QueryClass, cache: Option<&HomCache>) -> Result<bool> {
+        let revision = self.state.revision();
+        if let Some(&(rev, answer)) = self.exists_memo.get(&class) {
+            if rev == revision {
+                return Ok(answer);
+            }
+        }
+        let answer = match class {
+            QueryClass::Cq => self.state.cq_fitting_exists(cache)?,
+            QueryClass::Ucq => self.state.ucq_fitting_exists(cache)?,
+        };
+        self.exists_memo.insert(class, (revision, answer));
+        Ok(answer)
+    }
+
+    /// Constructs the requested fitting, serving an unchanged workspace
+    /// from the memo.
+    pub fn fit(
+        &mut self,
+        class: QueryClass,
+        mode: FitMode,
+        cache: Option<&HomCache>,
+    ) -> Result<Option<FitQuery>> {
+        let revision = self.state.revision();
+        if let Some((rev, query)) = self.fit_memo.get(&(class, mode)) {
+            if *rev == revision {
+                return Ok(query.clone());
+            }
+        }
+        let query = match (class, mode) {
+            (QueryClass::Cq, FitMode::Plain) => {
+                self.state.cq_construct_fitting(cache)?.map(FitQuery::Cq)
+            }
+            (QueryClass::Cq, FitMode::Minimized) => self
+                .state
+                .cq_construct_fitting_minimized(cache)?
+                .map(FitQuery::Cq),
+            (QueryClass::Ucq, FitMode::Plain) => self
+                .state
+                .ucq_most_specific_fitting(cache)?
+                .map(FitQuery::Ucq),
+            (QueryClass::Ucq, FitMode::Minimized) => self
+                .state
+                .ucq_most_specific_fitting_minimized(cache)?
+                .map(FitQuery::Ucq),
+        };
+        self.fit_memo
+            .insert((class, mode), (revision, query.clone()));
+        Ok(query)
+    }
+}

@@ -10,7 +10,10 @@
 //! * cores and homomorphic equivalence,
 //! * least upper bounds (disjoint unions, Proposition 2.2) and greatest lower
 //!   bounds (direct products, Proposition 2.7) in the homomorphism pre-order,
-//! * simulations and the simulation pre-order over binary schemas (Section 5).
+//! * simulations and the simulation pre-order over binary schemas (Section 5),
+//! * a canonical-hash keyed result cache for hom-existence and core
+//!   computations ([`HomCache`]), shared across requests by the
+//!   `cqfit-engine` fitting service.
 //!
 //! All operations act on [`cqfit_data::Example`] values (pointed instances);
 //! plain instances are treated as Boolean examples.
@@ -21,6 +24,7 @@
 mod arc;
 mod batch;
 mod bitset;
+mod cache;
 pub mod core;
 mod error;
 mod ops;
@@ -33,6 +37,7 @@ pub use arc::{arc_consistency_candidates, arc_consistent};
 pub use batch::{
     any_hom_exists_batch, find_first_hom_batch, hom_exists_batch, hom_exists_cross, CrossFlags,
 };
+pub use cache::{CacheStats, HomCache};
 pub use core::{core_of, hom_equivalent, is_core};
 pub use error::HomError;
 pub use ops::{direct_product, disjoint_union, disjoint_union_of, product_of, top_example};

@@ -3,13 +3,12 @@
 use crate::{QueryError, Result};
 use cqfit_data::{Example, Instance, RelId, Schema, Value};
 use cqfit_hom::{find_all_homomorphisms, find_homomorphism, hom_exists};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
 /// A query variable, represented as a dense index local to its [`Cq`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Variable(pub u32);
 
 impl Variable {
@@ -21,7 +20,7 @@ impl Variable {
 }
 
 /// An atom `R(x1,…,xn)` in the body of a CQ.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Atom {
     /// Relation symbol.
     pub rel: RelId,
@@ -33,7 +32,7 @@ pub struct Atom {
 ///
 /// The *answer variables* `x̄` may repeat; every answer variable must occur
 /// in at least one atom (the safety condition).  A CQ of arity 0 is Boolean.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cq {
     schema: Arc<Schema>,
     var_names: Vec<String>,
@@ -42,6 +41,58 @@ pub struct Cq {
 }
 
 impl Cq {
+    /// Builds a CQ directly from its parts: variable display names (their
+    /// positions fix the [`Variable`] indices; names may repeat), answer
+    /// variables, and atoms.  This is the validated counterpart of the
+    /// name-deduplicating [`CqBuilder`], used by deserialization, where
+    /// repeated display names must *not* merge distinct variables.
+    ///
+    /// # Errors
+    /// Fails on atoms with out-of-range variables or wrong arities, on
+    /// out-of-range answer variables, and on safety violations (an answer
+    /// variable occurring in no atom).
+    pub fn from_parts(
+        schema: Arc<Schema>,
+        var_names: Vec<String>,
+        answer_vars: Vec<Variable>,
+        atoms: Vec<Atom>,
+    ) -> Result<Cq> {
+        for a in &atoms {
+            if a.rel.index() >= schema.len() {
+                return Err(QueryError::UnknownRelation(format!("#{}", a.rel.0)));
+            }
+            let arity = schema.arity(a.rel);
+            if a.args.len() != arity {
+                return Err(QueryError::ArityMismatch {
+                    relation: schema.name(a.rel).to_string(),
+                    expected: arity,
+                    got: a.args.len(),
+                });
+            }
+            for v in &a.args {
+                if v.index() >= var_names.len() {
+                    return Err(QueryError::UnknownVariable(v.0));
+                }
+            }
+        }
+        let occurring: HashSet<Variable> =
+            atoms.iter().flat_map(|a| a.args.iter().copied()).collect();
+        for v in &answer_vars {
+            if v.index() >= var_names.len() {
+                return Err(QueryError::UnknownVariable(v.0));
+            }
+            if !occurring.contains(v) {
+                return Err(QueryError::Unsafe(var_names[v.index()].clone()));
+            }
+        }
+        Ok(Cq {
+            schema,
+            var_names,
+            answer_vars,
+            atoms,
+        })
+    }
+
     /// Starts building a CQ over the given schema.
     pub fn builder(schema: Arc<Schema>) -> CqBuilder {
         CqBuilder {

@@ -18,6 +18,7 @@ mod cq;
 mod error;
 mod parse;
 mod rooted;
+mod serde_impls;
 mod tree;
 mod ucq;
 

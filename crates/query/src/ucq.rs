@@ -2,13 +2,12 @@
 
 use crate::{Cq, QueryError, Result};
 use cqfit_data::{Example, Instance, Schema, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// A union of conjunctive queries `q = q1 ∪ … ∪ qn` over a common schema and
 /// arity (n ≥ 1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ucq {
     disjuncts: Vec<Cq>,
 }
@@ -126,7 +125,34 @@ impl Ucq {
     /// smallest equivalent disjuncts (each containment check is a
     /// homomorphism search on their canonical examples).
     pub fn minimized(&self) -> Ucq {
-        let disjuncts: Vec<Cq> = self.disjuncts.iter().map(Cq::minimized).collect();
+        self.minimized_with(None)
+    }
+
+    /// [`Ucq::minimized`] with the core computations and the pairwise
+    /// containment checks routed through a [`cqfit_hom::HomCache`] when
+    /// one is given (`None` behaves exactly like `minimized`).  Used by
+    /// the incremental fitting path so that repeated minimizations across
+    /// requests and sessions are cache hits; there is exactly one copy of
+    /// the pruning logic (including the equivalence tie-break) for the
+    /// cached and uncached paths.
+    pub fn minimized_with(&self, cache: Option<&cqfit_hom::HomCache>) -> Ucq {
+        let disjuncts: Vec<Cq> = self
+            .disjuncts
+            .iter()
+            .map(|d| match cache {
+                Some(c) => Cq::from_example(&c.core_of(&d.canonical_example()))
+                    .expect("core of a canonical example is a data example"),
+                None => d.minimized(),
+            })
+            .collect();
+        // Containment `q_i ⊆ q_j` is a homomorphism `e_{q_j} → e_{q_i}`
+        // between the canonical examples of the cored disjuncts; they are
+        // materialized once here instead of per pairwise check.
+        let canon: Vec<Example> = disjuncts.iter().map(Cq::canonical_example).collect();
+        let contained = |i: usize, j: usize| match cache {
+            Some(c) => c.hom_exists(&canon[j], &canon[i]),
+            None => cqfit_hom::hom_exists(&canon[j], &canon[i]),
+        };
         let mut keep: Vec<bool> = vec![true; disjuncts.len()];
         for i in 0..disjuncts.len() {
             if !keep[i] {
@@ -138,12 +164,8 @@ impl Ucq {
                 }
                 // Drop disjunct i if it is contained in disjunct j (and, on
                 // equivalence, keep the earlier one).
-                let i_in_j = disjuncts[i]
-                    .is_contained_in(&disjuncts[j])
-                    .expect("same schema");
-                let j_in_i = disjuncts[j]
-                    .is_contained_in(&disjuncts[i])
-                    .expect("same schema");
+                let i_in_j = contained(i, j);
+                let j_in_i = contained(j, i);
                 if i_in_j && (!j_in_i || j < i) {
                     keep[i] = false;
                     break;

@@ -1,0 +1,145 @@
+//! Fixed-seed serde round-trip property suite: random instances, examples
+//! and labeled collections (plus queries derived from them) must survive
+//! JSON serialization byte-exactly in structure.
+//!
+//! Determinism: every workload is generated from `StdRng::seed_from_u64`
+//! with fixed seeds, so failures reproduce run-to-run.
+
+use cqfit_data::{Example, Instance, LabeledExamples, Schema};
+use cqfit_gen::{random_example, random_labeled_examples, RandomConfig};
+use cqfit_query::{Cq, Ucq};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn schemas() -> Vec<Arc<Schema>> {
+    vec![
+        Schema::digraph(),
+        Schema::binary_schema(["P", "Q"], ["R", "S"]),
+        Arc::new(Schema::new([("T", 3), ("P", 1)]).unwrap()),
+    ]
+}
+
+fn assert_instances_equal(a: &Instance, b: &Instance) {
+    assert_eq!(a.num_values(), b.num_values());
+    assert!(a.same_facts(b), "fact sets differ");
+    for v in a.values() {
+        assert_eq!(a.label(v), b.label(v), "label of {v:?} differs");
+    }
+    assert_eq!(a.canonical_hash(), b.canonical_hash());
+}
+
+fn assert_examples_equal(a: &Example, b: &Example) {
+    assert_instances_equal(a.instance(), b.instance());
+    assert_eq!(a.distinguished(), b.distinguished());
+}
+
+#[test]
+fn random_examples_round_trip() {
+    for (si, schema) in schemas().into_iter().enumerate() {
+        for seed in 0..20u64 {
+            let cfg = RandomConfig {
+                num_values: 3 + (seed as usize % 4),
+                density: 0.25 + 0.1 * (seed % 3) as f64,
+                arity: (seed % 3) as usize,
+                seed: 1000 * si as u64 + seed,
+                ..RandomConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let e = random_example(&schema, &cfg, &mut rng);
+            let text = serde::to_string(&e);
+            let back: Example = serde::from_str(&text).expect("round trip parses");
+            assert_examples_equal(&e, &back);
+            // Serialization is deterministic: same value, same text.
+            assert_eq!(serde::to_string(&back), text);
+        }
+    }
+}
+
+#[test]
+fn random_labeled_collections_round_trip() {
+    for (si, schema) in schemas().into_iter().enumerate() {
+        for seed in 0..10u64 {
+            let cfg = RandomConfig {
+                num_values: 4,
+                density: 0.3,
+                arity: (seed % 2) as usize,
+                num_positive: 1 + (seed as usize % 3),
+                num_negative: seed as usize % 3,
+                seed: 5000 + 100 * si as u64 + seed,
+            };
+            let col = random_labeled_examples(&schema, &cfg);
+            let back: LabeledExamples =
+                serde::from_str(&serde::to_string(&col)).expect("round trip parses");
+            assert_eq!(back.positives().len(), col.positives().len());
+            assert_eq!(back.negatives().len(), col.negatives().len());
+            for ((a, la), (b, lb)) in col.all().zip(back.all()) {
+                assert_eq!(la, lb);
+                assert_examples_equal(a, b);
+            }
+            assert!(back.validate().is_ok());
+        }
+    }
+}
+
+#[test]
+fn canonical_cqs_of_random_examples_round_trip() {
+    for (si, schema) in schemas().into_iter().enumerate() {
+        for seed in 0..10u64 {
+            let cfg = RandomConfig {
+                num_values: 4,
+                density: 0.35,
+                arity: (seed % 3) as usize,
+                seed: 9000 + 100 * si as u64 + seed,
+                ..RandomConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let e = random_example(&schema, &cfg, &mut rng);
+            let q = Cq::from_example(&e).expect("random examples are data examples");
+            let back: Cq = serde::from_str(&serde::to_string(&q)).expect("round trip parses");
+            // Cq derives Eq: the round trip must be *identical*, not just
+            // equivalent.
+            assert_eq!(back, q);
+        }
+    }
+}
+
+#[test]
+fn ucqs_of_random_positives_round_trip() {
+    let schema = Schema::digraph();
+    for seed in 0..10u64 {
+        let cfg = RandomConfig {
+            num_values: 4,
+            density: 0.35,
+            arity: 1,
+            num_positive: 2 + (seed as usize % 3),
+            num_negative: 0,
+            seed: 42_000 + seed,
+        };
+        let col = random_labeled_examples(&schema, &cfg);
+        let u = Ucq::from_examples(col.positives()).expect("data examples");
+        let back: Ucq = serde::from_str(&serde::to_string(&u)).expect("round trip parses");
+        assert_eq!(back, u);
+    }
+}
+
+/// JSON-level determinism and self-containment: a serialized example can be
+/// shipped to another process with no shared schema state.
+#[test]
+fn serialized_examples_are_self_describing() {
+    let schema = Arc::new(Schema::new([("EmpInfo", 3)]).unwrap());
+    let e = cqfit_data::parse_example(
+        &schema,
+        "EmpInfo(Hilbert, Math, Gauss)\nEmpInfo(Einstein, Physics, Gauss)\n* Gauss",
+    )
+    .unwrap();
+    let text = serde::to_string(&e);
+    // No out-of-band context: parse with nothing but the text.
+    let back: Example = serde::from_str(&text).unwrap();
+    assert_eq!(
+        back.instance().schema().name(cqfit_data::RelId(0)),
+        "EmpInfo"
+    );
+    assert_eq!(back.arity(), 1);
+    assert_eq!(back.instance().label(back.distinguished()[0]), "Gauss");
+}

@@ -1,13 +1,231 @@
-//! Offline stand-in for `serde`: marker traits plus re-exported no-op
-//! derives.  See `vendor/README.md` for scope and how to swap the real
-//! crate back in.
+//! Offline stand-in for `serde`: a small but *functional* JSON data model
+//! and codec behind `Serialize` / `Deserialize` traits, plus re-exported
+//! no-op derives.  See `vendor/README.md` for scope and how to swap the
+//! real crate back in.
+//!
+//! Unlike the original marker-only stub, this version actually serializes:
+//! [`Serialize::to_json`] produces a [`json::Value`], [`Deserialize::from_json`]
+//! reads one back, and [`json::Value::parse`] / the `Display` impl of
+//! [`json::Value`] convert between values and JSON text.  The parser reports the offending
+//! line and column on malformed input, which the `cqfit-serve` JSONL server
+//! relays to clients verbatim.
 
 #![forbid(unsafe_code)]
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+pub mod json;
 
-/// Marker stand-in for `serde::Deserialize`.
-pub trait Deserialize<'de> {}
+/// Functional stand-in for `serde::Serialize`: conversion into the JSON
+/// data model.
+pub trait Serialize {
+    /// Serializes `self` into a JSON value.
+    fn to_json(&self) -> json::Value;
+}
+
+/// Functional stand-in for `serde::Deserialize`: conversion from the JSON
+/// data model.
+pub trait Deserialize: Sized {
+    /// Deserializes a value of this type from a JSON value.
+    ///
+    /// # Errors
+    /// Returns a [`json::JsonError`] describing the structural mismatch.
+    fn from_json(v: &json::Value) -> Result<Self, json::JsonError>;
+}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    value.to_json().to_string()
+}
+
+/// Parses JSON text and deserializes a value of type `T` from it.
+///
+/// # Errors
+/// Returns a [`json::JsonError`] with line/column position on malformed
+/// JSON, or a position-less error on a structural mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, json::JsonError> {
+    let v = json::Value::parse(text)?;
+    T::from_json(&v)
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &json::Value) -> Result<Self, json::JsonError> {
+        v.as_bool()
+            .ok_or_else(|| json::JsonError::mismatch("bool", v))
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &json::Value) -> Result<Self, json::JsonError> {
+                let i = v.as_i64().ok_or_else(|| json::JsonError::mismatch("integer", v))?;
+                <$t>::try_from(i).map_err(|_| {
+                    json::JsonError::semantic(format!(
+                        "integer {i} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64);
+
+// Unsigned values above `i64::MAX` have no JSON integer representation in
+// this model; they serialize as decimal strings (and deserialize from
+// either shape), so the wire never carries a silently wrapped negative.
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                match i64::try_from(*self) {
+                    Ok(i) => json::Value::Int(i),
+                    Err(_) => json::Value::Str(self.to_string()),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &json::Value) -> Result<Self, json::JsonError> {
+                if let Some(s) = v.as_str() {
+                    return s.parse::<$t>().map_err(|_| {
+                        json::JsonError::semantic(format!(
+                            "invalid {} string `{s}`",
+                            stringify!($t)
+                        ))
+                    });
+                }
+                let i = v.as_i64().ok_or_else(|| json::JsonError::mismatch("integer", v))?;
+                <$t>::try_from(i).map_err(|_| {
+                    json::JsonError::semantic(format!(
+                        "integer {i} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+uint_impls!(u8, u16, u32, usize, u64);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &json::Value) -> Result<Self, json::JsonError> {
+        v.as_f64()
+            .ok_or_else(|| json::JsonError::mismatch("number", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &json::Value) -> Result<Self, json::JsonError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| json::JsonError::mismatch("string", v))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &json::Value) -> Result<Self, json::JsonError> {
+        v.as_arr()
+            .ok_or_else(|| json::JsonError::mismatch("array", v))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Value {
+        match self {
+            Some(t) => t.to_json(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &json::Value) -> Result<Self, json::JsonError> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert!(from_str::<bool>(&to_string(&true)).unwrap());
+        assert_eq!(from_str::<u32>(&to_string(&7u32)).unwrap(), 7);
+        assert_eq!(from_str::<i64>(&to_string(&-3i64)).unwrap(), -3);
+        assert_eq!(from_str::<f64>(&to_string(&1.5f64)).unwrap(), 1.5);
+        let s = "hé\"llo\n".to_string();
+        assert_eq!(from_str::<String>(&to_string(&s)).unwrap(), s);
+        let v = vec![1u32, 2, 3];
+        assert_eq!(from_str::<Vec<u32>>(&to_string(&v)).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(from_str::<Option<u32>>(&to_string(&o)).unwrap(), None);
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<u32>("-1").is_err());
+    }
+
+    #[test]
+    fn huge_u64_round_trips_without_wrapping() {
+        let huge = u64::MAX - 7;
+        let text = to_string(&huge);
+        assert!(!text.starts_with('-'), "must not wrap negative: {text}");
+        assert_eq!(from_str::<u64>(&text).unwrap(), huge);
+        // In-range values still serialize as plain integers.
+        assert_eq!(to_string(&42u64), "42");
+        assert!(from_str::<u64>("\"notanumber\"").is_err());
+    }
+}

@@ -1,10 +1,12 @@
 //! No-op stand-ins for serde's derive macros (offline build).
 //!
-//! The derives intentionally expand to nothing: the workspace only uses
-//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations and
-//! never serializes through them, so marker-trait conformance is not
-//! required.  The `attributes(serde)` declaration makes `#[serde(skip)]`
-//! and friends parse without effect.
+//! The derives intentionally expand to nothing: types that actually
+//! serialize implement the stub `serde::Serialize` / `serde::Deserialize`
+//! traits *by hand* (see `cqfit_data::serde_impls` and
+//! `cqfit_query::serde_impls`); the remaining `#[derive(Serialize,
+//! Deserialize)]` occurrences are forward-looking annotations only.  The
+//! `attributes(serde)` declaration makes `#[serde(skip)]` and friends
+//! parse without effect.
 
 use proc_macro::TokenStream;
 
