@@ -2,8 +2,18 @@
 //! their preserved pre-rewrite reference implementations **in the same
 //! run**, and writes the result to a `BENCH_pr*.json` capture file.
 //!
-//! Three stages exist:
+//! Four stages exist:
 //!
+//! * **pr5** (`--pr5`) — the durable-workspace store
+//!   (`cqfit_store::Store` behind `cqfit_engine::Engine::with_store`):
+//!   fixed-seed churn sessions (`cqfit_gen::churn_workload`) against a
+//!   fsync'd write-ahead log, measuring **append** throughput
+//!   (records/s, including the fsync), **cold-restore** latency and
+//!   log-replay throughput (records/s) at several workspace sizes, the
+//!   **compaction ratio** of a forced persist, with an in-run baseline
+//!   that rebuilds the same state by re-running the session against a
+//!   fresh storeless engine (what a crash without a WAL would cost in
+//!   recomputation, ignoring the network).  Writes `BENCH_pr5.json`.
 //! * **pr4** (default) — the session-based fitting engine
 //!   (`cqfit_engine::Engine`): repeated query-by-example sessions against
 //!   one cached engine, measuring requests/sec and cache hit rate **cold**
@@ -26,8 +36,8 @@
 //!
 //! Usage:
 //! ```text
-//! perf_trajectory [--pr2|--pr3] [--quick] [--out PATH]  # run and write the capture
-//! perf_trajectory --check PATH                          # validate a capture
+//! perf_trajectory [--pr2|--pr3|--pr5] [--quick] [--out PATH]  # run and write the capture
+//! perf_trajectory --check PATH                                # validate a capture
 //! ```
 //! `--check` exits non-zero if the file is missing or malformed; CI uses it
 //! as the bench-smoke gate for all committed captures.
@@ -719,6 +729,284 @@ fn run_pr4(quick: bool, repeats: usize) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// pr5: the durable-workspace store — WAL append, replay, compaction.
+// ---------------------------------------------------------------------
+
+mod pr5 {
+    use cqfit_engine::{Engine, EngineConfig, ExamplePayload, Polarity, Request, Response};
+    use cqfit_gen::{churn_workload, resolve_churn, ChurnOp, RandomConfig, ResolvedChurnOp};
+    use cqfit_store::{Store, StoreConfig};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    /// A unique scratch directory per measurement (removed afterwards).
+    fn scratch_dir() -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cqfit_bench_pr5_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_at(dir: &std::path::Path, fsync: bool) -> Store {
+        Store::open(StoreConfig {
+            dir: dir.to_path_buf(),
+            // No auto-compaction during the measured run: replay length
+            // must equal the appended record count.
+            compact_after: usize::MAX >> 1,
+            fsync,
+        })
+        .expect("open bench store")
+    }
+
+    /// Drives one churn session against an engine, with ids resolved by
+    /// the shared `cqfit_gen::resolve_churn` (the same resolver the
+    /// recovery differential suite uses, so the bench measures exactly
+    /// the workload the suite certifies).  Panics on any error response
+    /// (a silent failure would fake the capture).
+    fn run_churn(engine: &Engine, ws: &str, ops: &[ChurnOp]) {
+        let polarity = |positive| {
+            if positive {
+                Polarity::Positive
+            } else {
+                Polarity::Negative
+            }
+        };
+        for op in resolve_churn(ops, 0) {
+            let request = match op {
+                ResolvedChurnOp::Add { positive, example } => Request::AddExample {
+                    workspace: ws.to_string(),
+                    polarity: polarity(positive),
+                    example: ExamplePayload::Structured(*example),
+                },
+                ResolvedChurnOp::Remove { positive, id } => Request::RemoveExample {
+                    workspace: ws.to_string(),
+                    polarity: polarity(positive),
+                    id,
+                },
+            };
+            let response = engine.handle(&request);
+            match &response {
+                Response::ExampleAdded { .. } | Response::ExampleRemoved { removed: true, .. } => {}
+                other => panic!("churn request failed: {other:?}"),
+            }
+        }
+    }
+
+    fn create_request(ws: &str) -> Request {
+        Request::CreateWorkspace {
+            workspace: ws.to_string(),
+            schema: cqfit_data::Schema::digraph().as_ref().clone(),
+            arity: 0,
+        }
+    }
+
+    /// Result of one measured churn-store case.
+    pub struct StoreResult {
+        pub name: String,
+        pub records: u64,
+        pub append_median_ns: u128,
+        /// Cold restore replaying the full, uncompacted log.
+        pub restore_median_ns: u128,
+        /// Cold restore from the snapshot-compacted log of the same state.
+        pub restore_compacted_ns: u128,
+        /// Rebuilding the same state by re-running the session against a
+        /// fresh storeless engine (context: what recomputation costs when
+        /// the client is still around to resend everything).
+        pub rerun_median_ns: u128,
+        /// Full-log restore over compacted restore: what compaction buys
+        /// on restart latency.
+        pub speedup: f64,
+        pub compaction_ratio: f64,
+        pub live_examples: usize,
+    }
+
+    /// Measures one workload size: append (engine + WAL, fsync'd),
+    /// cold-restore from the full log and from the compacted log, the
+    /// forced-compaction ratio, and an in-run storeless-rerun context
+    /// number.
+    pub fn run_case(steps: usize, repeats: usize) -> StoreResult {
+        let schema = cqfit_data::Schema::digraph();
+        let cfg = RandomConfig {
+            num_values: 4,
+            density: 0.3,
+            arity: 0,
+            num_positive: 5,
+            num_negative: 4,
+            seed: 1105,
+        };
+        let ops = churn_workload(&schema, &cfg, steps);
+        let mut append = Vec::with_capacity(repeats);
+        let mut restore = Vec::with_capacity(repeats);
+        let mut restore_compacted = Vec::with_capacity(repeats);
+        let mut rerun = Vec::with_capacity(repeats);
+        let mut records = 0u64;
+        let mut compaction_ratio = 1.0f64;
+        let mut live_examples = 0usize;
+        for _ in 0..repeats {
+            let dir = scratch_dir();
+            // Append pass: durable engine, fsync on — what a live server
+            // pays per acknowledged mutation.
+            let (engine, _) = Engine::with_store(EngineConfig::default(), store_at(&dir, true))
+                .expect("fresh durable engine");
+            let t = Instant::now();
+            assert!(engine.handle(&create_request("churn")).is_ok());
+            run_churn(&engine, "churn", &ops);
+            append.push(t.elapsed().as_nanos());
+            records = match engine.handle(&Request::StoreInfo) {
+                Response::StoreInfo { records, .. } => records,
+                other => panic!("store_info failed: {other:?}"),
+            };
+            drop(engine); // simulated crash: no clean shutdown
+
+            // Cold-restore pass: replay the log back into a workspace.
+            let t = Instant::now();
+            let (revived, report) =
+                Engine::with_store(EngineConfig::default(), store_at(&dir, true))
+                    .expect("recovery");
+            restore.push(t.elapsed().as_nanos());
+            assert_eq!(report.workspaces, 1, "workspace must survive");
+            assert_eq!(report.records_replayed, records, "full log replayed");
+
+            // In-run baseline: rebuild the same state by re-running the
+            // session against a fresh storeless engine.
+            let baseline = Engine::new(EngineConfig::default());
+            let t = Instant::now();
+            assert!(baseline.handle(&create_request("churn")).is_ok());
+            run_churn(&baseline, "churn", &ops);
+            rerun.push(t.elapsed().as_nanos());
+
+            // The two engines agree on the surviving state.
+            let info = |e: &Engine| match e.handle(&Request::WorkspaceInfo {
+                workspace: "churn".into(),
+            }) {
+                Response::Info {
+                    positives,
+                    negatives,
+                    revision,
+                    ..
+                } => (positives, negatives, revision),
+                other => panic!("info failed: {other:?}"),
+            };
+            assert_eq!(info(&revived), info(&baseline), "restored state differs");
+            live_examples = info(&revived).0 + info(&revived).1;
+
+            // Forced compaction on the revived engine, then a second cold
+            // restore from the compacted log of the *same* state — the
+            // restart-latency win compaction exists for.
+            match revived.handle(&Request::Persist) {
+                Response::Persisted {
+                    bytes_before,
+                    bytes_after,
+                    ..
+                } => {
+                    if bytes_after > 0 {
+                        compaction_ratio = bytes_before as f64 / bytes_after as f64;
+                    }
+                }
+                other => panic!("persist failed: {other:?}"),
+            }
+            drop(revived);
+            let t = Instant::now();
+            let (compacted, report) =
+                Engine::with_store(EngineConfig::default(), store_at(&dir, true))
+                    .expect("recovery from compacted log");
+            restore_compacted.push(t.elapsed().as_nanos());
+            assert_eq!(report.workspaces, 1);
+            assert!(
+                report.records_replayed < records,
+                "compacted log must be shorter than the full log"
+            );
+            assert_eq!(info(&compacted), info(&baseline), "compacted state differs");
+            drop(compacted);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let append_median_ns = super::median(append);
+        let restore_median_ns = super::median(restore);
+        let restore_compacted_ns = super::median(restore_compacted);
+        let rerun_median_ns = super::median(rerun);
+        let result = StoreResult {
+            name: format!("churn_s{steps}"),
+            records,
+            append_median_ns,
+            restore_median_ns,
+            restore_compacted_ns,
+            rerun_median_ns,
+            speedup: restore_median_ns as f64 / restore_compacted_ns.max(1) as f64,
+            compaction_ratio,
+            live_examples,
+        };
+        eprintln!(
+            "  {:<16} {:>5} records   append {:>11} ns ({:>8.0} rec/s)   restore {:>10} ns ({:>8.0} rec/s)   compacted-restore {:>10} ns   full/compacted {:.2}x   compaction {:.1}x",
+            result.name,
+            result.records,
+            result.append_median_ns,
+            rate(result.records, result.append_median_ns),
+            result.restore_median_ns,
+            rate(result.records, result.restore_median_ns),
+            result.restore_compacted_ns,
+            result.speedup,
+            result.compaction_ratio
+        );
+        result
+    }
+
+    /// Records per second at a given total duration.
+    pub fn rate(records: u64, total_ns: u128) -> f64 {
+        records as f64 / (total_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// The pr5 stage: WAL append / replay / compaction on churn workloads.
+fn run_pr5(quick: bool) -> String {
+    let (sizes, repeats): (&[usize], usize) = if quick {
+        (&[50, 150], 3)
+    } else {
+        (&[100, 300, 800], 5)
+    };
+    eprintln!("store churn workloads ({repeats} repeats/case, fsync on):");
+    let results: Vec<pr5::StoreResult> = sizes
+        .iter()
+        .map(|&steps| pr5::run_case(steps, repeats))
+        .collect();
+    let case_jsons: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"case\": \"{}\", \"records\": {}, \"live_examples\": {}, \"baseline_median_ns\": {}, \"new_median_ns\": {}, \"append_median_ns\": {}, \"storeless_rerun_ns\": {}, \"speedup\": {:.3}, \"append_records_per_sec\": {:.1}, \"replay_records_per_sec\": {:.1}, \"cold_restore_ms\": {:.3}, \"compacted_restore_ms\": {:.3}, \"compaction_ratio\": {:.3}}}",
+                json_escape(&r.name),
+                r.records,
+                r.live_examples,
+                r.restore_median_ns,
+                r.restore_compacted_ns,
+                r.append_median_ns,
+                r.rerun_median_ns,
+                r.speedup,
+                pr5::rate(r.records, r.append_median_ns),
+                pr5::rate(r.records, r.restore_median_ns),
+                r.restore_median_ns as f64 / 1e6,
+                r.restore_compacted_ns as f64 / 1e6,
+                r.compaction_ratio
+            )
+        })
+        .collect();
+    let mut speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
+    speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+    let median_speedup = speedups[speedups.len() / 2];
+    eprintln!("median full-log-vs-compacted cold-restore speedup: {median_speedup:.2}x");
+    format!(
+        "{{\n  \"pr\": 5,\n  \"description\": \"durable-workspace store: fsync'd WAL append throughput, cold-restore latency / log-replay throughput at several workspace sizes, and the snapshot-compaction ratio on fixed-seed churn workloads; baseline_median_ns = cold restore replaying the full log, new_median_ns = cold restore from the compacted log of the same state (the restart-latency win of compaction); storeless_rerun_ns is context\",\n  \"mode\": \"{}\",\n  \"benches\": [\n    {{\n      \"name\": \"store_churn\",\n      \"median_speedup\": {:.3},\n      \"cases\": [\n{}\n      ]\n    }}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        median_speedup,
+        case_jsons.join(",\n")
+    )
+}
+
 /// The pr3 stage: mask-based core engine vs preserved greedy core oracle.
 fn run_pr3(quick: bool, repeats: usize) -> String {
     eprintln!("core-of-product (Thm. 3.40) cases ({repeats} samples/case):");
@@ -754,6 +1042,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let pr2 = args.iter().any(|a| a == "--pr2");
     let pr3 = args.iter().any(|a| a == "--pr3");
+    let pr5 = args.iter().any(|a| a == "--pr5");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -763,6 +1052,8 @@ fn main() {
             "BENCH_pr2.json"
         } else if pr3 {
             "BENCH_pr3.json"
+        } else if pr5 {
+            "BENCH_pr5.json"
         } else {
             "BENCH_pr4.json"
         })
@@ -772,6 +1063,8 @@ fn main() {
         run_pr2(quick, repeats)
     } else if pr3 {
         run_pr3(quick, repeats)
+    } else if pr5 {
+        run_pr5(quick)
     } else {
         run_pr4(quick, repeats)
     };

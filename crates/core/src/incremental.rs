@@ -85,9 +85,70 @@ impl IncrementalFitting {
         self.arity
     }
 
+    /// Rebuilds a workspace from externally persisted state (the restore
+    /// path of `cqfit-store` recovery): examples arrive with their original
+    /// ids, and the id/revision counters are restored verbatim so clients
+    /// holding pre-crash ids keep working and the revision-keyed memos of
+    /// the engine stay correct.  The maintained product starts invalidated
+    /// (first question rebuilds it by the same id-order fold as the batch
+    /// path), so restore cost is proportional to the replayed examples,
+    /// not to the product.
+    ///
+    /// # Errors
+    /// Rejects examples failing [`IncrementalFitting::validate_example`],
+    /// duplicate ids, and ids at or above `next_id`.
+    pub fn from_parts(
+        schema: Arc<Schema>,
+        arity: usize,
+        positives: Vec<(ExampleId, Example)>,
+        negatives: Vec<(ExampleId, Example)>,
+        next_id: ExampleId,
+        revision: u64,
+    ) -> Result<Self> {
+        let mut inc = IncrementalFitting {
+            schema,
+            arity,
+            next_id,
+            positives: BTreeMap::new(),
+            negatives: BTreeMap::new(),
+            product: None,
+            revision,
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for (polarity_positive, examples) in [(true, positives), (false, negatives)] {
+            for (id, e) in examples {
+                inc.validate_example(&e)?;
+                if id >= next_id {
+                    return Err(FitError::Data(cqfit_data::DataError::Parse(format!(
+                        "restored example id {id} is not below next_id {next_id}"
+                    ))));
+                }
+                // Ids are drawn from one shared counter, so they must be
+                // unique across both polarities, not just within one.
+                if !seen.insert(id) {
+                    return Err(FitError::Data(cqfit_data::DataError::Parse(format!(
+                        "duplicate restored example id {id}"
+                    ))));
+                }
+                let map = if polarity_positive {
+                    &mut inc.positives
+                } else {
+                    &mut inc.negatives
+                };
+                map.insert(id, e);
+            }
+        }
+        Ok(inc)
+    }
+
     /// The current revision; bumped by every successful mutation.
     pub fn revision(&self) -> u64 {
         self.revision
+    }
+
+    /// The id the next added example will receive.
+    pub fn next_id(&self) -> ExampleId {
+        self.next_id
     }
 
     /// Number of positive examples.
@@ -115,6 +176,29 @@ impl IncrementalFitting {
     /// transparently.
     pub fn product_is_fresh(&self) -> bool {
         self.product.is_some()
+    }
+
+    /// True if a positive example with this id exists.
+    pub fn has_positive(&self, id: ExampleId) -> bool {
+        self.positives.contains_key(&id)
+    }
+
+    /// True if a negative example with this id exists.
+    pub fn has_negative(&self, id: ExampleId) -> bool {
+        self.negatives.contains_key(&id)
+    }
+
+    /// Checks that an example is admissible for this workspace (right
+    /// schema and arity, distinguished tuple inside the active domain) —
+    /// the exact validation the add entry points perform.  Exposed so
+    /// callers that must order a durable log write *before* the mutation
+    /// (the engine's persist-before-ack path) can establish up front that
+    /// the subsequent add cannot fail.
+    ///
+    /// # Errors
+    /// The same errors as [`IncrementalFitting::add_positive`].
+    pub fn validate_example(&self, e: &Example) -> Result<()> {
+        self.validate(e)
     }
 
     fn validate(&self, e: &Example) -> Result<()> {
@@ -461,6 +545,57 @@ mod tests {
         // Valid example passes.
         assert!(inc.add_positive(ex("R(a,b)\n* a")).is_ok());
         assert_eq!(inc.num_positives(), 1);
+    }
+
+    #[test]
+    fn from_parts_restores_counters_and_answers() {
+        let mut live = IncrementalFitting::new(Schema::digraph(), 0);
+        let id3 = live.add_positive(ex("R(a,b)\nR(b,c)\nR(c,a)")).unwrap();
+        live.add_positive(ex("R(a,b)\nR(b,c)\nR(c,d)\nR(d,e)\nR(e,a)"))
+            .unwrap();
+        live.add_negative(ex("R(a,b)\nR(b,a)")).unwrap();
+        assert!(live.remove_positive(id3));
+        let mut restored = IncrementalFitting::from_parts(
+            Schema::digraph(),
+            0,
+            live.positives().map(|(id, e)| (id, e.clone())).collect(),
+            live.negatives().map(|(id, e)| (id, e.clone())).collect(),
+            live.next_id(),
+            live.revision(),
+        )
+        .unwrap();
+        assert_eq!(restored.revision(), live.revision());
+        assert_eq!(restored.next_id(), live.next_id());
+        assert!(!restored.product_is_fresh(), "product rebuilds lazily");
+        // A fresh add in the restored workspace gets the next pre-crash id.
+        let next = restored.add_negative(ex("R(x,x)")).unwrap();
+        assert_eq!(next, live.next_id());
+        assert!(restored.remove_negative(next));
+        let live_fit = live.cq_construct_fitting_minimized(None).unwrap().unwrap();
+        let restored_fit = restored
+            .cq_construct_fitting_minimized(None)
+            .unwrap()
+            .unwrap();
+        assert!(live_fit.equivalent_to(&restored_fit).unwrap());
+        // Invalid restores are rejected.
+        let dup = IncrementalFitting::from_parts(
+            Schema::digraph(),
+            0,
+            vec![(0, ex("R(a,b)"))],
+            vec![(0, ex("R(a,b)"))],
+            1,
+            2,
+        );
+        assert!(dup.is_err(), "duplicate id across polarities");
+        let high = IncrementalFitting::from_parts(
+            Schema::digraph(),
+            0,
+            vec![(5, ex("R(a,b)"))],
+            vec![],
+            3,
+            1,
+        );
+        assert!(high.is_err(), "id at or above next_id");
     }
 
     #[test]

@@ -2,20 +2,33 @@
 //!
 //! ```text
 //! cqfit-serve [--addr HOST:PORT] [--no-cache]
+//!             [--data-dir PATH] [--compact-after N] [--no-fsync]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7878`), prints `listening on <addr>` to
 //! stdout once ready, and serves until a client sends
 //! `{"op":"shutdown"}`.  `--no-cache` disables the shared hom/core result
 //! cache (the uncached baseline configuration of the perf capture).
+//!
+//! With `--data-dir` the engine is **durable**: workspace mutations are
+//! written to per-workspace write-ahead logs under the directory before
+//! they are acknowledged, and startup replays the logs back into
+//! workspaces (a `recovered …` line reports what was restored — also
+//! available over the wire as `{"op":"recover"}`).  `--compact-after`
+//! sets the per-log record budget before snapshot compaction (default
+//! 1024); `--no-fsync` trades the power-loss guarantee for faster appends
+//! (a process `kill -9` still loses nothing — see DESIGN.md).
 
 use cqfit_engine::{Engine, EngineConfig, Server};
+use cqfit_store::{Store, StoreConfig};
 use std::io::Write;
 use std::sync::Arc;
 
 fn usage_error(message: &str) -> ! {
     eprintln!("cqfit-serve: {message}");
-    eprintln!("usage: cqfit-serve [--addr HOST:PORT] [--no-cache]");
+    eprintln!(
+        "usage: cqfit-serve [--addr HOST:PORT] [--no-cache] [--data-dir PATH] [--compact-after N] [--no-fsync]"
+    );
     std::process::exit(2);
 }
 
@@ -23,6 +36,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7878".to_string();
     let mut caching = true;
+    let mut data_dir: Option<String> = None;
+    let mut compact_after = 1024usize;
+    let mut fsync = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,12 +50,59 @@ fn main() {
                 None => usage_error("`--addr` requires a HOST:PORT value"),
             },
             "--no-cache" => caching = false,
+            "--data-dir" => match args.get(i + 1) {
+                Some(value) => {
+                    data_dir = Some(value.clone());
+                    i += 1;
+                }
+                None => usage_error("`--data-dir` requires a directory path"),
+            },
+            "--compact-after" => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) if value > 0 => {
+                    compact_after = value;
+                    i += 1;
+                }
+                _ => usage_error("`--compact-after` requires a positive record count"),
+            },
+            "--no-fsync" => fsync = false,
             other => usage_error(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
 
-    let engine = Arc::new(Engine::new(EngineConfig { caching }));
+    let config = EngineConfig { caching };
+    let engine = match data_dir {
+        Some(dir) => {
+            let store = match Store::open(StoreConfig {
+                dir: dir.clone().into(),
+                compact_after,
+                fsync,
+            }) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cqfit-serve: cannot open data dir {dir}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match Engine::with_store(config, store) {
+                Ok((engine, report)) => {
+                    println!(
+                        "recovered {} workspaces ({} records replayed, {} torn bytes dropped, {} bytes compacted)",
+                        report.workspaces,
+                        report.records_replayed,
+                        report.torn_bytes_dropped,
+                        report.bytes_compacted
+                    );
+                    Arc::new(engine)
+                }
+                Err(e) => {
+                    eprintln!("cqfit-serve: recovery from {dir} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Arc::new(Engine::new(config)),
+    };
     let server = match Server::bind(&addr, engine) {
         Ok(s) => s,
         Err(e) => {

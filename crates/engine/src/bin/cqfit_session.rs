@@ -1,7 +1,9 @@
 //! `cqfit-session` — a scripted client session against `cqfit-serve`.
 //!
 //! ```text
-//! cqfit-session [--addr HOST:PORT] [--shutdown]
+//! cqfit-session [--addr HOST:PORT] [--store] [--shutdown]
+//! cqfit-session [--addr HOST:PORT] --verify-recovery [--shutdown]
+//! cqfit-session [--addr HOST:PORT] stats
 //! ```
 //!
 //! Connects (with retries, so it can be started right after the server),
@@ -11,8 +13,25 @@
 //! response, exiting non-zero on the first unexpected answer.  CI uses it
 //! as the server smoke test.  With `--shutdown` the session ends by
 //! stopping the server.
+//!
+//! `--store` additionally exercises the durability ops against a server
+//! started with `--data-dir`: `store_info`, a forced `persist`
+//! (snapshot + compaction), a post-snapshot add/remove pair (so the log
+//! has records after its snapshot), and `recover`.
+//!
+//! `--verify-recovery` replaces the scripted session with its post-crash
+//! counterpart: instead of creating the workspace it asserts that the
+//! `qbe` workspace *survived* — same example counts, same minimized
+//! fitting — and that the server reports a non-trivial recovery.  CI runs
+//! it after `kill -9`-ing and restarting a durable server.
+//!
+//! `stats` prints an operator summary (requests, cache hit rate, store
+//! records/bytes, per-workspace revisions) — the warm-up view after a
+//! recovery.
 
-use cqfit_engine::{Client, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response};
+use cqfit_engine::{
+    Client, EngineStats, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response,
+};
 
 fn fail(step: &str, got: &Response) -> ! {
     eprintln!("cqfit-session: step `{step}` got unexpected response: {got:?}");
@@ -33,14 +52,191 @@ fn call(client: &mut Client, step: &str, request: &Request) -> Response {
 
 fn usage_error(message: &str) -> ! {
     eprintln!("cqfit-session: {message}");
-    eprintln!("usage: cqfit-session [--addr HOST:PORT] [--shutdown]");
+    eprintln!("usage: cqfit-session [--addr HOST:PORT] [--store] [--verify-recovery] [--shutdown] [stats]");
     std::process::exit(2);
+}
+
+fn connect(addr: &str) -> Client {
+    match Client::connect_with_retry(addr, 50) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cqfit-session: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `stats` command: a human-readable operator summary.
+fn run_stats(addr: &str) -> ! {
+    let mut client = connect(addr);
+    let stats = match client.call(&Request::Stats) {
+        Ok(Response::Stats(stats)) => stats,
+        Ok(other) => fail("stats", &other),
+        Err(e) => {
+            eprintln!("cqfit-session: stats failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print_stats(&stats);
+    std::process::exit(0);
+}
+
+fn print_stats(stats: &EngineStats) {
+    println!("requests handled : {}", stats.requests);
+    println!("workspaces       : {}", stats.workspaces);
+    match &stats.cache {
+        Some(c) => println!(
+            "cache hit rate   : {:.3} ({} hits, {} misses, {} hom + {} core entries)",
+            c.hit_rate(),
+            c.hom_hits + c.core_hits,
+            c.hom_misses + c.core_misses,
+            c.hom_entries,
+            c.core_entries
+        ),
+        None => println!("cache hit rate   : (caching disabled)"),
+    }
+    match &stats.store {
+        Some(s) => println!(
+            "store            : {} records, {} bytes across {} logs ({} compactions, {} bytes reclaimed)",
+            s.records, s.bytes, s.workspaces, s.compactions, s.bytes_compacted
+        ),
+        None => println!("store            : (not configured)"),
+    }
+    for (name, revision) in &stats.revisions {
+        println!("workspace {name:<12} revision {revision}");
+    }
+}
+
+/// The durability tail of the scripted session (`--store`).
+fn store_ops(client: &mut Client) {
+    let r = call(client, "store_info", &Request::StoreInfo);
+    match &r {
+        Response::StoreInfo { records, .. } if *records > 0 => {}
+        _ => fail("store_info (expected records > 0)", &r),
+    }
+    let r = call(client, "persist", &Request::Persist);
+    match &r {
+        Response::Persisted {
+            bytes_before,
+            bytes_after,
+            ..
+        } if bytes_after <= bytes_before => {}
+        _ => fail("persist (expected bytes_after <= bytes_before)", &r),
+    }
+    // Leave records *after* the snapshot so a later recovery replays a
+    // snapshot-plus-tail log, then restore the workspace to its scripted
+    // state (add and remove the same positive).
+    let r = call(
+        client,
+        "add_post_snapshot",
+        &Request::AddExample {
+            workspace: "qbe".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text(
+                "R(a,b)\nR(b,c)\nR(c,d)\nR(d,e)\nR(e,f)\nR(f,g)\nR(g,a)".into(),
+            ),
+        },
+    );
+    let id = match r {
+        Response::ExampleAdded { id, .. } => id,
+        _ => fail("add_post_snapshot", &r),
+    };
+    let r = call(
+        client,
+        "remove_post_snapshot",
+        &Request::RemoveExample {
+            workspace: "qbe".into(),
+            polarity: Polarity::Positive,
+            id,
+        },
+    );
+    if !matches!(r, Response::ExampleRemoved { removed: true, .. }) {
+        fail("remove_post_snapshot", &r);
+    }
+    let r = call(client, "recover_report", &Request::Recover);
+    if !matches!(r, Response::Recovery { .. }) {
+        fail("recover_report", &r);
+    }
+}
+
+/// The post-crash verification session (`--verify-recovery`).
+fn verify_recovery(client: &mut Client) {
+    let r = call(client, "list", &Request::ListWorkspaces);
+    match &r {
+        Response::Workspaces { names } if names.iter().any(|n| n == "qbe") => {}
+        _ => fail("list (expected recovered workspace `qbe`)", &r),
+    }
+    let r = call(
+        client,
+        "info",
+        &Request::WorkspaceInfo {
+            workspace: "qbe".into(),
+        },
+    );
+    match &r {
+        Response::Info {
+            positives: 2,
+            negatives: 1,
+            arity: 0,
+            revision,
+            ..
+        } if *revision >= 3 => {}
+        _ => fail("info (expected 2 positives, 1 negative, revision >= 3)", &r),
+    }
+    // The recovered workspace answers exactly as before the crash: the
+    // minimized most-specific fitting CQ of {C3, C5} vs C2 is the
+    // 15-cycle (15 variables + 15 atoms).
+    let r = call(
+        client,
+        "fit_cq_min",
+        &Request::Fit {
+            workspace: "qbe".into(),
+            class: QueryClass::Cq,
+            mode: FitMode::Minimized,
+        },
+    );
+    match &r {
+        Response::Fitting { query: Some(q), .. } if q.size() == 30 => {}
+        _ => fail("fit_cq_min (expected size 30 after recovery)", &r),
+    }
+    let r = call(
+        client,
+        "exists_ucq",
+        &Request::FittingExists {
+            workspace: "qbe".into(),
+            class: QueryClass::Ucq,
+        },
+    );
+    if !matches!(&r, Response::Exists { exists: true, .. }) {
+        fail("exists_ucq (expected true)", &r);
+    }
+    let r = call(client, "recover_report", &Request::Recover);
+    match &r {
+        Response::Recovery {
+            workspaces,
+            records_replayed,
+            ..
+        } if *workspaces >= 1 && *records_replayed >= 1 => {}
+        _ => fail("recover_report (expected restored workspaces)", &r),
+    }
+    let r = call(client, "store_info", &Request::StoreInfo);
+    if !matches!(&r, Response::StoreInfo { .. }) {
+        fail("store_info", &r);
+    }
+    let r = call(client, "stats", &Request::Stats);
+    match &r {
+        Response::Stats(stats) if stats.revisions.iter().any(|(n, _)| n == "qbe") => {}
+        _ => fail("stats (expected per-workspace revisions)", &r),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7878".to_string();
     let mut shutdown = false;
+    let mut store = false;
+    let mut verify = false;
+    let mut stats_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,22 +248,34 @@ fn main() {
                 None => usage_error("`--addr` requires a HOST:PORT value"),
             },
             "--shutdown" => shutdown = true,
+            "--store" => store = true,
+            "--verify-recovery" => verify = true,
+            "stats" => stats_mode = true,
             other => usage_error(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
+    if stats_mode {
+        run_stats(&addr);
+    }
 
-    let mut client = match Client::connect_with_retry(&addr, 50) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("cqfit-session: cannot connect to {addr}: {e}");
-            std::process::exit(1);
-        }
-    };
+    let mut client = connect(&addr);
 
     let r = call(&mut client, "ping", &Request::Ping);
     if !matches!(r, Response::Pong) {
         fail("ping", &r);
+    }
+
+    if verify {
+        verify_recovery(&mut client);
+        if shutdown {
+            let r = call(&mut client, "shutdown", &Request::Shutdown);
+            if !matches!(r, Response::ShuttingDown) {
+                fail("shutdown", &r);
+            }
+        }
+        println!("cqfit-session: recovery ok");
+        return;
     }
 
     let schema = cqfit_data::Schema::new([("R", 2)]).expect("digraph schema");
@@ -190,6 +398,10 @@ fn main() {
     match &r {
         Response::Stats(stats) if stats.requests > 0 => {}
         _ => fail("stats", &r),
+    }
+
+    if store {
+        store_ops(&mut client);
     }
 
     if shutdown {

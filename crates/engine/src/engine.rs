@@ -1,10 +1,12 @@
 //! The in-process fitting engine: a concurrent map of workspaces sharing
-//! one hom/core result cache.
+//! one hom/core result cache, optionally backed by a durable store.
 
 use crate::protocol::{EngineStats, ExamplePayload, Polarity, Request, Response};
 use crate::workspace::Workspace;
+use cqfit::incremental::IncrementalFitting;
 use cqfit_data::parse_example;
 use cqfit_hom::HomCache;
+use cqfit_store::{LogRecord, RecoveryReport, Store, StoreError, WorkspaceSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -47,10 +49,36 @@ impl Default for EngineConfig {
 /// mutations of the *same* workspace queue behind it (the differential
 /// concurrency suite certifies that any interleaving yields the same
 /// answers as the sequential schedule).
+/// The store contract (when one is attached via [`Engine::with_store`])
+/// is **persist before ack**: every mutation is appended to the
+/// workspace's write-ahead log — under the same lock that serializes the
+/// workspace's mutations, so log order is mutation order — *before* it is
+/// applied and acknowledged.  A store append failure leaves the workspace
+/// unchanged and surfaces as an error response.
 pub struct Engine {
-    workspaces: RwLock<HashMap<String, Arc<Mutex<Workspace>>>>,
+    workspaces: RwLock<HashMap<String, Arc<WorkspaceSlot>>>,
     cache: Option<Arc<HomCache>>,
     requests: AtomicU64,
+    store: Option<Arc<Store>>,
+    recovery: RecoveryReport,
+}
+
+/// A workspace plus a lock-free mirror of its revision counter, refreshed
+/// after every request served under the workspace lock.  `stats()` reads
+/// the mirror, so a Stats request never blocks behind a long-running fit.
+struct WorkspaceSlot {
+    ws: Mutex<Workspace>,
+    revision: AtomicU64,
+}
+
+impl WorkspaceSlot {
+    fn new(ws: Workspace) -> Arc<WorkspaceSlot> {
+        let revision = ws.state().revision();
+        Arc::new(WorkspaceSlot {
+            ws: Mutex::new(ws),
+            revision: AtomicU64::new(revision),
+        })
+    }
 }
 
 impl std::fmt::Debug for Engine {
@@ -68,13 +96,65 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// A fresh engine.
+    /// A fresh, non-durable engine.
     pub fn new(config: EngineConfig) -> Self {
         Engine {
             workspaces: RwLock::new(HashMap::new()),
             cache: config.caching.then(|| Arc::new(HomCache::new())),
             requests: AtomicU64::new(0),
+            store: None,
+            recovery: RecoveryReport::default(),
         }
+    }
+
+    /// A durable engine over a [`Store`]: runs recovery (replaying every
+    /// workspace log back into an [`IncrementalFitting`], with the
+    /// maintained product rebuilt lazily on the first question), then
+    /// persists every subsequent mutation before acknowledging it.
+    ///
+    /// # Errors
+    /// Propagates store I/O failures and logs whose restored state fails
+    /// validation.
+    pub fn with_store(
+        config: EngineConfig,
+        store: Store,
+    ) -> Result<(Engine, RecoveryReport), StoreError> {
+        let (restored, report) = store.recover()?;
+        let mut map = HashMap::new();
+        for ws in restored {
+            let cqfit_store::RestoredWorkspace {
+                name,
+                schema,
+                arity,
+                next_id,
+                revision,
+                positives,
+                negatives,
+            } = ws;
+            let state = IncrementalFitting::from_parts(
+                Arc::new(schema),
+                arity,
+                positives,
+                negatives,
+                next_id,
+                revision,
+            )
+            .map_err(|e| {
+                StoreError::Corrupt(format!("workspace `{name}` cannot be restored: {e}"))
+            })?;
+            map.insert(
+                name.clone(),
+                WorkspaceSlot::new(Workspace::from_state(name, state)),
+            );
+        }
+        let engine = Engine {
+            workspaces: RwLock::new(map),
+            cache: config.caching.then(|| Arc::new(HomCache::new())),
+            requests: AtomicU64::new(0),
+            store: Some(Arc::new(store)),
+            recovery: report,
+        };
+        Ok((engine, report))
     }
 
     /// The shared hom/core cache, when caching is enabled.
@@ -82,16 +162,60 @@ impl Engine {
         self.cache.as_ref()
     }
 
-    /// Engine-wide statistics.
-    pub fn stats(&self) -> EngineStats {
-        EngineStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            workspaces: self.workspaces.read().expect("workspace map").len(),
-            cache: self.cache.as_ref().map(|c| c.stats()),
+    /// The attached store, when the engine is durable.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// What startup recovery restored (zeroes for non-durable engines and
+    /// fresh data directories).
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Flushes and (when fsync is enabled) syncs every open store file —
+    /// the clean-shutdown path of `cqfit-serve`.  A no-op without a store.
+    ///
+    /// # Errors
+    /// Propagates the first sync failure.
+    pub fn sync_store(&self) -> Result<(), StoreError> {
+        match &self.store {
+            Some(store) => store.sync_all(),
+            None => Ok(()),
         }
     }
 
-    fn resolve(&self, name: &str) -> Option<Arc<Mutex<Workspace>>> {
+    /// The full logical state of a workspace, as a compaction snapshot.
+    fn snapshot_of(state: &IncrementalFitting) -> WorkspaceSnapshot {
+        WorkspaceSnapshot {
+            schema: state.schema().as_ref().clone(),
+            arity: state.arity(),
+            next_id: state.next_id(),
+            revision: state.revision(),
+            positives: state.positives().map(|(id, e)| (id, e.clone())).collect(),
+            negatives: state.negatives().map(|(id, e)| (id, e.clone())).collect(),
+        }
+    }
+
+    /// Engine-wide statistics.  Reads only lock-free revision mirrors, so
+    /// it never blocks behind a long-running fit.
+    pub fn stats(&self) -> EngineStats {
+        let map = self.workspaces.read().expect("workspace map");
+        let mut revisions: Vec<(String, u64)> = map
+            .iter()
+            .map(|(name, slot)| (name.clone(), slot.revision.load(Ordering::Acquire)))
+            .collect();
+        revisions.sort();
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            workspaces: map.len(),
+            cache: self.cache.as_ref().map(|c| c.stats()),
+            store: self.store.as_ref().map(|s| s.stats()),
+            revisions,
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Option<Arc<WorkspaceSlot>> {
         self.workspaces
             .read()
             .expect("workspace map")
@@ -101,7 +225,15 @@ impl Engine {
 
     fn with_workspace(&self, name: &str, f: impl FnOnce(&mut Workspace) -> Response) -> Response {
         match self.resolve(name) {
-            Some(ws) => f(&mut ws.lock().expect("workspace")),
+            Some(slot) => {
+                let mut ws = slot.ws.lock().expect("workspace");
+                let response = f(&mut ws);
+                // Refresh the lock-free revision mirror while still
+                // holding the workspace lock.
+                slot.revision
+                    .store(ws.state().revision(), Ordering::Release);
+                response
+            }
             None => Response::error(format!("unknown workspace `{name}`")),
         }
     }
@@ -132,32 +264,82 @@ impl Engine {
                         schema.max_arity()
                     ));
                 }
+                // Fast-path duplicate check under the read lock only.
+                if self
+                    .workspaces
+                    .read()
+                    .expect("workspace map")
+                    .contains_key(workspace)
+                {
+                    return Response::error(format!("workspace `{workspace}` already exists"));
+                }
+                // Persist before ack: the create record must be durable
+                // before the workspace becomes visible.  This runs
+                // *outside* every engine lock — an fsync'd file create
+                // must not stall unrelated requests — and the store's own
+                // per-name log map doubles as the reservation: of two
+                // racing creates, exactly one opens the log, the other
+                // gets a duplicate error here.
+                if let Some(store) = &self.store {
+                    if let Err(e) = store.create_workspace(workspace, schema, *arity) {
+                        return Response::error(format!(
+                            "workspace `{workspace}` not created: {e}"
+                        ));
+                    }
+                }
                 // Build the workspace before taking the write lock: no
                 // user-influenced code runs under the lock.
-                let ws = Arc::new(Mutex::new(Workspace::new(
+                let slot = WorkspaceSlot::new(Workspace::new(
                     workspace.clone(),
                     Arc::new(schema.clone()),
                     *arity,
-                )));
+                ));
                 let mut map = self.workspaces.write().expect("workspace map");
                 if map.contains_key(workspace) {
+                    // Lost a duplicate-create race.  Only reachable on
+                    // storeless engines: with a store, the loser already
+                    // failed at the log reservation above.
                     return Response::error(format!("workspace `{workspace}` already exists"));
                 }
-                map.insert(workspace.clone(), ws);
+                map.insert(workspace.clone(), slot);
                 Response::WorkspaceCreated {
                     workspace: workspace.clone(),
                 }
             }
             Request::DropWorkspace { workspace } => {
-                let existed = self
+                // Take the slot out under the write lock (a pure map op),
+                // then do the store unlink + directory sync *outside* it —
+                // disk barriers must not stall every request on the
+                // engine.  If the unlink fails, the slot is reinserted
+                // and the drop reports an error: a dropped workspace must
+                // never resurrect on restart.  (A concurrent create of
+                // the same name during the failure window loses at the
+                // store's log reservation, which still holds the name.)
+                let removed = self
                     .workspaces
                     .write()
                     .expect("workspace map")
-                    .remove(workspace)
-                    .is_some();
+                    .remove(workspace);
+                let Some(slot) = removed else {
+                    return Response::WorkspaceDropped {
+                        workspace: workspace.clone(),
+                        existed: false,
+                    };
+                };
+                if let Some(store) = &self.store {
+                    if let Err(e) = store.drop_workspace(workspace) {
+                        self.workspaces
+                            .write()
+                            .expect("workspace map")
+                            .insert(workspace.clone(), slot);
+                        return Response::error(format!(
+                            "workspace `{workspace}` not dropped: {e}"
+                        ));
+                    }
+                }
                 Response::WorkspaceDropped {
                     workspace: workspace.clone(),
-                    existed,
+                    existed: true,
                 }
             }
             Request::ListWorkspaces => {
@@ -194,6 +376,24 @@ impl Engine {
                         Err(e) => return Response::from_data_error(&e),
                     },
                 };
+                // Validate up front so the apply after the durable log
+                // write cannot fail (log order must be mutation order).
+                if let Err(e) = ws.state().validate_example(&example) {
+                    return Response::error(e.to_string());
+                }
+                let id = ws.state().next_id();
+                if let Some(store) = &self.store {
+                    let record = LogRecord::AddExample {
+                        id,
+                        positive: matches!(polarity, Polarity::Positive),
+                        example: example.clone(),
+                    };
+                    if let Err(e) =
+                        store.append(ws.name(), &record, || Self::snapshot_of(ws.state()))
+                    {
+                        return Response::error(format!("example not added: {e}"));
+                    }
+                }
                 let added = match polarity {
                     Polarity::Positive => ws.state_mut().add_positive(example),
                     Polarity::Negative => ws.state_mut().add_negative(example),
@@ -211,6 +411,24 @@ impl Engine {
                 polarity,
                 id,
             } => self.with_workspace(workspace, |ws| {
+                let positive = matches!(polarity, Polarity::Positive);
+                let present = if positive {
+                    ws.state().has_positive(*id)
+                } else {
+                    ws.state().has_negative(*id)
+                };
+                // Only mutations are logged: removing an absent id is a
+                // no-op and must not grow the log.
+                if present {
+                    if let Some(store) = &self.store {
+                        let record = LogRecord::RemoveExample { id: *id, positive };
+                        if let Err(e) =
+                            store.append(ws.name(), &record, || Self::snapshot_of(ws.state()))
+                        {
+                            return Response::error(format!("example not removed: {e}"));
+                        }
+                    }
+                }
                 let removed = match polarity {
                     Polarity::Positive => ws.state_mut().remove_positive(*id),
                     Polarity::Negative => ws.state_mut().remove_negative(*id),
@@ -245,6 +463,68 @@ impl Engine {
                 }
             }),
             Request::Stats => Response::Stats(self.stats()),
+            Request::Persist => match &self.store {
+                None => Response::error("no store configured (start cqfit-serve with --data-dir)"),
+                Some(store) => {
+                    let workspaces: Vec<(String, Arc<WorkspaceSlot>)> = self
+                        .workspaces
+                        .read()
+                        .expect("workspace map")
+                        .iter()
+                        .map(|(name, slot)| (name.clone(), Arc::clone(slot)))
+                        .collect();
+                    let (mut before, mut after, mut compacted) = (0u64, 0u64, 0usize);
+                    for (name, slot) in &workspaces {
+                        let ws = slot.ws.lock().expect("workspace");
+                        match store.compact(name, Self::snapshot_of(ws.state())) {
+                            Ok(Some((b, a))) => {
+                                before += b;
+                                after += a;
+                                compacted += 1;
+                            }
+                            // Dropped concurrently after the list was
+                            // taken: sequentially this persist simply
+                            // would not have included it.
+                            Ok(None) => {}
+                            Err(e) => {
+                                return Response::error(format!("persist of `{name}` failed: {e}"))
+                            }
+                        }
+                    }
+                    if let Err(e) = store.sync_all() {
+                        return Response::error(format!("store sync failed: {e}"));
+                    }
+                    Response::Persisted {
+                        workspaces: compacted,
+                        bytes_before: before,
+                        bytes_after: after,
+                    }
+                }
+            },
+            Request::Recover => match &self.store {
+                None => Response::error("no store configured (start cqfit-serve with --data-dir)"),
+                Some(_) => Response::Recovery {
+                    workspaces: self.recovery.workspaces,
+                    records_replayed: self.recovery.records_replayed,
+                    torn_bytes_dropped: self.recovery.torn_bytes_dropped,
+                    bytes_compacted: self.recovery.bytes_compacted,
+                },
+            },
+            Request::StoreInfo => match &self.store {
+                None => Response::error("no store configured (start cqfit-serve with --data-dir)"),
+                Some(store) => {
+                    let stats = store.stats();
+                    let config = store.config();
+                    Response::StoreInfo {
+                        dir: config.dir.display().to_string(),
+                        workspaces: stats.workspaces,
+                        records: stats.records,
+                        bytes: stats.bytes,
+                        compact_after: config.compact_after,
+                        fsync: config.fsync,
+                    }
+                }
+            },
             Request::Shutdown => Response::ShuttingDown,
         }
     }
@@ -458,6 +738,128 @@ mod tests {
         // A mutation invalidates the memo (revision changed).
         add_text(&engine, "w", Polarity::Negative, "R(a,b)\nR(b,a)");
         assert!(engine.handle(&fit).is_ok());
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cqfit_engine_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_engine(dir: &std::path::Path) -> (Engine, RecoveryReport) {
+        let store = Store::open(cqfit_store::StoreConfig {
+            dir: dir.to_path_buf(),
+            compact_after: 1024,
+            fsync: false,
+        })
+        .unwrap();
+        Engine::with_store(EngineConfig::default(), store).unwrap()
+    }
+
+    #[test]
+    fn durable_engine_restores_workspaces_and_answers() {
+        let dir = tmp_dir("restore");
+        let (engine, report) = durable_engine(&dir);
+        assert_eq!(report.workspaces, 0, "fresh data dir");
+        create(&engine, "w");
+        add_text(&engine, "w", Polarity::Positive, "R(a,b)\nR(b,c)\nR(c,a)");
+        let neg = add_text(&engine, "w", Polarity::Negative, "R(a,b)\nR(b,a)");
+        let extra = add_text(&engine, "w", Polarity::Positive, "R(x,y)");
+        engine.handle(&Request::RemoveExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            id: extra,
+        });
+        // Removing an absent id is a no-op and must not be logged.
+        engine.handle(&Request::RemoveExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            id: 999,
+        });
+        let fit = Request::Fit {
+            workspace: "w".into(),
+            class: QueryClass::Cq,
+            mode: FitMode::Minimized,
+        };
+        let live_fit = serde::to_string(&engine.handle(&fit));
+        let live_info = engine.handle(&Request::WorkspaceInfo {
+            workspace: "w".into(),
+        });
+        drop(engine); // crash: no shutdown, no sync beyond per-record flush
+
+        let (revived, report) = durable_engine(&dir);
+        assert_eq!(report.workspaces, 1);
+        assert!(report.records_replayed >= 5, "create + 3 adds + 1 remove");
+        assert_eq!(report.torn_bytes_dropped, 0);
+        match (
+            live_info,
+            revived.handle(&Request::WorkspaceInfo {
+                workspace: "w".into(),
+            }),
+        ) {
+            (
+                Response::Info {
+                    positives: lp,
+                    negatives: ln,
+                    revision: lr,
+                    ..
+                },
+                Response::Info {
+                    positives: rp,
+                    negatives: rn,
+                    revision: rr,
+                    ..
+                },
+            ) => {
+                assert_eq!((lp, ln, lr), (rp, rn, rr), "logical state survives");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            serde::to_string(&revived.handle(&fit)),
+            live_fit,
+            "recovered fitting answer is byte-identical"
+        );
+        // Ids keep flowing from the pre-crash counter.
+        let next = add_text(&revived, "w", Polarity::Positive, "R(p,q)");
+        assert!(next > neg, "next id continues past pre-crash ids");
+        // Store ops answer.
+        assert!(revived.handle(&Request::Persist).is_ok());
+        assert!(revived.handle(&Request::Recover).is_ok());
+        assert!(revived.handle(&Request::StoreInfo).is_ok());
+        // Stats expose store numbers and revisions.
+        match revived.handle(&Request::Stats) {
+            Response::Stats(stats) => {
+                assert!(stats.store.is_some());
+                assert_eq!(stats.revisions.len(), 1);
+                assert_eq!(stats.revisions[0].0, "w");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Dropping removes the log: a restart must not resurrect it.
+        assert!(revived
+            .handle(&Request::DropWorkspace {
+                workspace: "w".into()
+            })
+            .is_ok());
+        drop(revived);
+        let (empty, report) = durable_engine(&dir);
+        assert_eq!(report.workspaces, 0, "dropped workspace stays dropped");
+        drop(empty);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_ops_error_without_a_store() {
+        let engine = Engine::default();
+        for req in [Request::Persist, Request::Recover, Request::StoreInfo] {
+            assert!(!engine.handle(&req).is_ok(), "{req:?} must error");
+        }
     }
 
     #[test]

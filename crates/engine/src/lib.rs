@@ -19,10 +19,20 @@
 //!   binary, with [`Client`] and the scripted `cqfit-session` binary as
 //!   consumers.
 //!
-//! See `DESIGN.md` ("Engine architecture") for the workspace model, the
-//! incremental product maintenance rules, and the cache keying and
-//! invalidation story; `EXPERIMENTS.md` documents the throughput
-//! methodology behind `BENCH_pr4.json`.
+//! Since PR 5 the engine is optionally **durable**: attach a
+//! [`cqfit_store::Store`] via [`Engine::with_store`] (`cqfit-serve
+//! --data-dir`) and every mutation is written to a per-workspace
+//! write-ahead log *before* it is acknowledged, startup replays the logs
+//! back into workspaces (reported by [`Request::Recover`]), and
+//! [`Request::Persist`] / [`Request::StoreInfo`] expose compaction and
+//! store introspection over the wire.
+//!
+//! See `DESIGN.md` ("Engine architecture", "Durability") for the
+//! workspace model, the incremental product maintenance rules, the cache
+//! keying and invalidation story, and the log format/recovery invariants;
+//! `EXPERIMENTS.md` documents the throughput methodology behind
+//! `BENCH_pr4.json` and the replay/restore methodology behind
+//! `BENCH_pr5.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

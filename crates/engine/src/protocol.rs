@@ -180,8 +180,19 @@ pub enum Request {
         /// Plain or minimized output.
         mode: FitMode,
     },
-    /// Engine-wide statistics (requests, workspaces, cache hit rates).
+    /// Engine-wide statistics (requests, workspaces, cache hit rates,
+    /// per-workspace revisions, store bytes/records).
     Stats,
+    /// Forces snapshot + log-compaction of every workspace and syncs the
+    /// store.  Errors when the engine has no store.
+    Persist,
+    /// Reports what startup recovery restored (zeroes on a fresh data
+    /// directory).  Errors when the engine has no store.
+    Recover,
+    /// Describes the store: data directory, open logs, record/byte
+    /// totals, compaction budget, fsync discipline.  Errors when the
+    /// engine has no store.
+    StoreInfo,
     /// Asks the server to stop accepting connections (in-process engines
     /// treat it as a no-op acknowledgment).
     Shutdown,
@@ -199,7 +210,13 @@ impl Request {
             | Request::RemoveExample { workspace, .. }
             | Request::FittingExists { workspace, .. }
             | Request::Fit { workspace, .. } => Some(workspace),
-            Request::Ping | Request::ListWorkspaces | Request::Stats | Request::Shutdown => None,
+            Request::Ping
+            | Request::ListWorkspaces
+            | Request::Stats
+            | Request::Persist
+            | Request::Recover
+            | Request::StoreInfo
+            | Request::Shutdown => None,
         }
     }
 }
@@ -269,6 +286,9 @@ impl Serialize for Request {
                 ("mode", Json::str(mode.as_str())),
             ]),
             Request::Stats => Json::obj([("op", Json::str("stats"))]),
+            Request::Persist => Json::obj([("op", Json::str("persist"))]),
+            Request::Recover => Json::obj([("op", Json::str("recover"))]),
+            Request::StoreInfo => Json::obj([("op", Json::str("store_info"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
         }
     }
@@ -335,6 +355,9 @@ impl Deserialize for Request {
                 mode: FitMode::parse(&req_str(v, "mode")?)?,
             }),
             "stats" => Ok(Request::Stats),
+            "persist" => Ok(Request::Persist),
+            "recover" => Ok(Request::Recover),
+            "store_info" => Ok(Request::StoreInfo),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(JsonError::semantic(format!("unknown op `{other}`"))),
         }
@@ -369,7 +392,7 @@ impl FitQuery {
 }
 
 /// Statistics reported by [`Request::Stats`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EngineStats {
     /// Requests handled since engine start.
     pub requests: u64,
@@ -377,6 +400,12 @@ pub struct EngineStats {
     pub workspaces: usize,
     /// Hom/core cache statistics, when caching is enabled.
     pub cache: Option<cqfit_hom::CacheStats>,
+    /// Store statistics (records, bytes, compactions), when a store is
+    /// configured.
+    pub store: Option<cqfit_store::StoreStats>,
+    /// Per-workspace revisions, sorted by workspace name — lets operators
+    /// watch which workspaces moved since recovery.
+    pub revisions: Vec<(String, u64)>,
 }
 
 /// A response from the fitting service.
@@ -450,6 +479,41 @@ pub enum Response {
     },
     /// Reply to [`Request::Stats`].
     Stats(EngineStats),
+    /// Reply to [`Request::Persist`].
+    Persisted {
+        /// Workspaces whose logs were compacted.
+        workspaces: usize,
+        /// Total log bytes before compaction.
+        bytes_before: u64,
+        /// Total log bytes after compaction.
+        bytes_after: u64,
+    },
+    /// Reply to [`Request::Recover`]: what startup recovery restored.
+    Recovery {
+        /// Workspaces restored.
+        workspaces: usize,
+        /// Log records replayed.
+        records_replayed: u64,
+        /// Bytes discarded as torn tails.
+        torn_bytes_dropped: u64,
+        /// Bytes reclaimed by compaction during recovery.
+        bytes_compacted: u64,
+    },
+    /// Reply to [`Request::StoreInfo`].
+    StoreInfo {
+        /// The data directory.
+        dir: String,
+        /// Number of open workspace logs.
+        workspaces: usize,
+        /// Total records across all logs.
+        records: u64,
+        /// Total bytes across all logs.
+        bytes: u64,
+        /// The compaction record budget.
+        compact_after: usize,
+        /// Whether every append is fsync'd before acknowledgment.
+        fsync: bool,
+    },
     /// Reply to [`Request::Shutdown`].
     ShuttingDown,
     /// Any failure: a message, optionally with the position of the
@@ -604,8 +668,68 @@ impl Serialize for Response {
                         ]),
                     ));
                 }
+                if let Some(s) = &stats.store {
+                    fields.push((
+                        "store",
+                        Json::obj([
+                            ("workspaces", Json::Int(s.workspaces as i64)),
+                            ("records", s.records.to_json()),
+                            ("bytes", s.bytes.to_json()),
+                            ("compactions", s.compactions.to_json()),
+                            ("bytes_compacted", s.bytes_compacted.to_json()),
+                        ]),
+                    ));
+                }
+                fields.push((
+                    "revisions",
+                    Json::Obj(
+                        stats
+                            .revisions
+                            .iter()
+                            .map(|(name, rev)| (name.clone(), rev.to_json()))
+                            .collect(),
+                    ),
+                ));
                 ok(fields)
             }
+            Response::Persisted {
+                workspaces,
+                bytes_before,
+                bytes_after,
+            } => ok(vec![
+                ("kind", Json::str("persisted")),
+                ("workspaces", Json::Int(*workspaces as i64)),
+                ("bytes_before", bytes_before.to_json()),
+                ("bytes_after", bytes_after.to_json()),
+            ]),
+            Response::Recovery {
+                workspaces,
+                records_replayed,
+                torn_bytes_dropped,
+                bytes_compacted,
+            } => ok(vec![
+                ("kind", Json::str("recovery")),
+                ("workspaces", Json::Int(*workspaces as i64)),
+                ("records_replayed", records_replayed.to_json()),
+                ("torn_bytes_dropped", torn_bytes_dropped.to_json()),
+                ("bytes_compacted", bytes_compacted.to_json()),
+            ]),
+            Response::StoreInfo {
+                dir,
+                workspaces,
+                records,
+                bytes,
+                compact_after,
+                fsync,
+            } => ok(vec![
+                ("kind", Json::str("store_info")),
+                ("dir", Json::str(dir)),
+                ("workspaces", Json::Int(*workspaces as i64)),
+                ("records", records.to_json()),
+                ("bytes", bytes.to_json()),
+                ("compact_after", Json::Int(*compact_after as i64)),
+                ("fsync", Json::Bool(*fsync)),
+            ]),
             Response::ShuttingDown => ok(vec![("kind", Json::str("shutting_down"))]),
             Response::Error { message, line, col } => {
                 let mut fields = vec![("ok", Json::Bool(false)), ("error", Json::str(message))];
@@ -696,12 +820,52 @@ impl Deserialize for Response {
                     }),
                     None => None,
                 };
+                let store = match v.get("store") {
+                    Some(s) => Some(cqfit_store::StoreStats {
+                        workspaces: usize::from_json(s.req("workspaces")?)?,
+                        records: u64::from_json(s.req("records")?)?,
+                        bytes: u64::from_json(s.req("bytes")?)?,
+                        compactions: u64::from_json(s.req("compactions")?)?,
+                        bytes_compacted: u64::from_json(s.req("bytes_compacted")?)?,
+                    }),
+                    None => None,
+                };
+                let revisions = match v.get("revisions") {
+                    Some(r) => r
+                        .as_obj()
+                        .ok_or_else(|| JsonError::mismatch("object", r))?
+                        .iter()
+                        .map(|(name, rev)| Ok((name.clone(), u64::from_json(rev)?)))
+                        .collect::<Result<Vec<_>, JsonError>>()?,
+                    None => Vec::new(),
+                };
                 Ok(Response::Stats(EngineStats {
                     requests: u64::from_json(v.req("requests")?)?,
                     workspaces: usize::from_json(v.req("workspaces")?)?,
                     cache,
+                    store,
+                    revisions,
                 }))
             }
+            "persisted" => Ok(Response::Persisted {
+                workspaces: usize::from_json(v.req("workspaces")?)?,
+                bytes_before: u64::from_json(v.req("bytes_before")?)?,
+                bytes_after: u64::from_json(v.req("bytes_after")?)?,
+            }),
+            "recovery" => Ok(Response::Recovery {
+                workspaces: usize::from_json(v.req("workspaces")?)?,
+                records_replayed: u64::from_json(v.req("records_replayed")?)?,
+                torn_bytes_dropped: u64::from_json(v.req("torn_bytes_dropped")?)?,
+                bytes_compacted: u64::from_json(v.req("bytes_compacted")?)?,
+            }),
+            "store_info" => Ok(Response::StoreInfo {
+                dir: req_str(v, "dir")?,
+                workspaces: usize::from_json(v.req("workspaces")?)?,
+                records: u64::from_json(v.req("records")?)?,
+                bytes: u64::from_json(v.req("bytes")?)?,
+                compact_after: usize::from_json(v.req("compact_after")?)?,
+                fsync: bool::from_json(v.req("fsync")?)?,
+            }),
             "shutting_down" => Ok(Response::ShuttingDown),
             other => Err(JsonError::semantic(format!(
                 "unknown response kind `{other}`"
@@ -748,6 +912,9 @@ mod tests {
                 class: QueryClass::Cq,
             },
             Request::Stats,
+            Request::Persist,
+            Request::Recover,
+            Request::StoreInfo,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -797,6 +964,49 @@ mod tests {
                 assert_eq!(col, Some(7));
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_responses_round_trip() {
+        let responses = vec![
+            Response::Persisted {
+                workspaces: 2,
+                bytes_before: 4096,
+                bytes_after: 512,
+            },
+            Response::Recovery {
+                workspaces: 3,
+                records_replayed: 17,
+                torn_bytes_dropped: 42,
+                bytes_compacted: 1000,
+            },
+            Response::StoreInfo {
+                dir: "/data/cqfit".into(),
+                workspaces: 3,
+                records: 17,
+                bytes: 2048,
+                compact_after: 1024,
+                fsync: true,
+            },
+            Response::Stats(EngineStats {
+                requests: 9,
+                workspaces: 1,
+                cache: None,
+                store: Some(cqfit_store::StoreStats {
+                    workspaces: 1,
+                    records: 5,
+                    bytes: 300,
+                    compactions: 1,
+                    bytes_compacted: 120,
+                }),
+                revisions: vec![("w".into(), 4)],
+            }),
+        ];
+        for resp in responses {
+            let text = serde::to_string(&resp);
+            let back: Response = serde::from_str(&text).unwrap();
+            assert_eq!(serde::to_string(&back), text, "round trip of {resp:?}");
         }
     }
 

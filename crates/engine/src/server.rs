@@ -7,6 +7,14 @@
 //! acknowledged, then the server stops accepting connections and `run`
 //! returns after the remaining connection threads drain.
 //!
+//! Shutdown is a **clean drain**: connections that observe the shutdown
+//! flag keep serving any requests already received (including a partial
+//! line that completes within the grace window) and reply to them instead
+//! of dropping the socket, bounded by a short grace deadline so a client
+//! streaming forever cannot hold the server open.  After every connection
+//! thread has drained, `run` flushes and syncs any open store files, so a
+//! clean shutdown never leaves buffered log records behind.
+//!
 //! **Trust model**: the server is meant for cooperating clients (it binds
 //! loopback by default and any client may shut it down).  Malformed and
 //! oversized input is handled defensively, but the shared hom-cache keys
@@ -106,9 +114,18 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        // Clean drain: every in-flight request has been answered; make the
+        // write-ahead logs durable before the process exits.
+        if let Err(e) = self.engine.sync_store() {
+            eprintln!("cqfit-serve: store sync on shutdown failed: {e}");
+        }
         Ok(())
     }
 }
+
+/// How long a connection keeps draining pending input after the shutdown
+/// flag is raised.
+const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
 
 /// Handles one connection; returns on EOF, I/O error, or shutdown.
 fn serve_connection(
@@ -131,16 +148,31 @@ fn serve_connection(
     // Reads go through a per-iteration `take` so a client streaming a
     // newline-less request cannot grow the buffer without bound.
     let mut buf: Vec<u8> = Vec::new();
+    // Set once the shutdown flag is observed: the connection drains
+    // already-received input (replying to it) until the socket goes quiet
+    // or the grace deadline passes, instead of dropping mid-request.
+    let mut drain_deadline: Option<std::time::Instant> = None;
     loop {
         if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| std::time::Instant::now() + DRAIN_GRACE);
+            if std::time::Instant::now() >= deadline {
+                return Ok(());
+            }
         }
         let remaining = (MAX_LINE_BYTES + 1).saturating_sub(buf.len()) as u64;
         match std::io::Read::take(&mut reader, remaining).read_until(b'\n', &mut buf) {
             Ok(0) if buf.is_empty() => return Ok(()), // EOF
             Ok(_) => {}
             // Timeout: partial bytes stay in `buf`; poll the flag again.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            // When shutting down with no partial request pending, the
+            // connection is fully drained — close it.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if drain_deadline.is_some() && buf.is_empty() {
+                    return Ok(());
+                }
+                continue;
+            }
             Err(e) => return Err(e),
         }
         // Size check counts the payload, not the `\n` terminator.
@@ -276,6 +308,69 @@ mod tests {
             Response::ShuttingDown
         ));
         handle.join().unwrap();
+    }
+
+    /// A durable server: a TCP session's mutations survive a server
+    /// restart over the same data directory, and shutdown syncs the logs.
+    #[test]
+    fn durable_server_recovers_after_restart() {
+        let dir = std::env::temp_dir().join(format!("cqfit_server_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let open = || {
+            cqfit_store::Store::open(cqfit_store::StoreConfig {
+                dir: dir.clone(),
+                compact_after: 1024,
+                fsync: false,
+            })
+            .unwrap()
+        };
+        let (engine, _) = Engine::with_store(EngineConfig::default(), open()).unwrap();
+        let server = Server::bind("127.0.0.1:0", Arc::new(engine)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        client
+            .call(&Request::CreateWorkspace {
+                workspace: "w".into(),
+                schema: Schema::new([("R", 2)]).unwrap(),
+                arity: 0,
+            })
+            .unwrap();
+        client
+            .call(&Request::AddExample {
+                workspace: "w".into(),
+                polarity: Polarity::Positive,
+                example: ExamplePayload::Text("R(a,b)\nR(b,c)\nR(c,a)".into()),
+            })
+            .unwrap();
+        assert!(matches!(
+            client.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        ));
+        handle.join().unwrap();
+
+        // Restart over the same directory: the workspace survives.
+        let (engine, report) = Engine::with_store(EngineConfig::default(), open()).unwrap();
+        assert_eq!(report.workspaces, 1);
+        let server = Server::bind("127.0.0.1:0", Arc::new(engine)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        match client
+            .call(&Request::WorkspaceInfo {
+                workspace: "w".into(),
+            })
+            .unwrap()
+        {
+            Response::Info { positives: 1, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            client.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        ));
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// A shutdown on one connection must terminate `run` even while other

@@ -27,9 +27,16 @@ pub struct Workspace {
 impl Workspace {
     /// A fresh workspace.
     pub fn new(name: String, schema: Arc<Schema>, arity: usize) -> Self {
+        Workspace::from_state(name, IncrementalFitting::new(schema, arity))
+    }
+
+    /// A workspace wrapping an already-built state — the restore path of
+    /// store recovery (see [`cqfit::incremental::IncrementalFitting::from_parts`]).
+    /// Memos start empty; they are derived caches, rebuilt on demand.
+    pub fn from_state(name: String, state: IncrementalFitting) -> Self {
         Workspace {
             name,
-            state: IncrementalFitting::new(schema, arity),
+            state,
             exists_memo: HashMap::new(),
             fit_memo: HashMap::new(),
         }

@@ -9,7 +9,9 @@
 //! * the Gallai–Hasse–Roy–Vitaver path/order duality of Example 2.14,
 //! * the EmpInfo Query-By-Example database of Figure 1 / Example 1.1,
 //! * random instances, examples and tree CQs for property tests and
-//!   benchmarks.
+//!   benchmarks,
+//! * fixed-seed churn workloads (long randomized add/remove sequences)
+//!   for the engine's write-ahead log and recovery paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,4 +24,7 @@ pub use families::{
     exact_colorability, ghrv_examples, linear_order, lra_family, prime_cycles_family, primes,
     symmetric_clique,
 };
-pub use random::{random_example, random_labeled_examples, random_tree_cq, RandomConfig};
+pub use random::{
+    churn_workload, random_example, random_labeled_examples, random_tree_cq, resolve_churn,
+    ChurnOp, RandomConfig, ResolvedChurnOp,
+};

@@ -90,6 +90,141 @@ pub fn random_example(schema: &Arc<Schema>, cfg: &RandomConfig, rng: &mut StdRng
     }
 }
 
+/// One step of a [`churn_workload`]: an add carrying its example, or a
+/// removal naming a *live index* — the position of the victim among the
+/// currently live examples of that polarity, in ascending-id order.
+/// Consumers resolve the index against their own live-id list at apply
+/// time, so the workload stays deterministic without the generator
+/// needing to know engine-assigned ids.
+#[derive(Debug, Clone)]
+pub enum ChurnOp {
+    /// Add a positive example.
+    AddPositive(Example),
+    /// Add a negative example.
+    AddNegative(Example),
+    /// Remove the live positive example at this index (ascending-id
+    /// order).  The generator only emits in-range indices.
+    RemovePositive(usize),
+    /// Remove the live negative example at this index (ascending-id
+    /// order).  The generator only emits in-range indices.
+    RemoveNegative(usize),
+}
+
+/// A long randomized add/remove sequence with a fixed seed — the natural
+/// stressor for write-ahead-log growth and snapshot compaction (the pr5
+/// bench stage and the recovery differential suite replay these).
+///
+/// [`RandomConfig::num_positive`] / [`RandomConfig::num_negative`] act as
+/// **caps on the live population**: at the cap the generator forces a
+/// removal, at zero it forces an add, in between it adds with probability
+/// 60%.  Keeping the live positive set small keeps the maintained product
+/// `Π E⁺` tractable while the *log* still grows one record per step.
+///
+/// Determinism: everything derives from [`RandomConfig::seed`], so the
+/// same config yields the same workload in every consumer.
+pub fn churn_workload(schema: &Arc<Schema>, cfg: &RandomConfig, steps: usize) -> Vec<ChurnOp> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pos_cap = cfg.num_positive.max(1);
+    let neg_cap = cfg.num_negative.max(1);
+    let (mut live_pos, mut live_neg) = (0usize, 0usize);
+    let mut ops = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        // Pick the polarity first so add/remove pressure spreads over both.
+        let positive = rng.gen_bool(0.5);
+        let (live, cap) = if positive {
+            (&mut live_pos, pos_cap)
+        } else {
+            (&mut live_neg, neg_cap)
+        };
+        let add = if *live == 0 {
+            true
+        } else if *live >= cap {
+            false
+        } else {
+            rng.gen_bool(0.6)
+        };
+        let op = if add {
+            let e = random_example(schema, cfg, &mut rng);
+            *live += 1;
+            if positive {
+                ChurnOp::AddPositive(e)
+            } else {
+                ChurnOp::AddNegative(e)
+            }
+        } else {
+            let victim = rng.gen_range(0..*live);
+            *live -= 1;
+            if positive {
+                ChurnOp::RemovePositive(victim)
+            } else {
+                ChurnOp::RemoveNegative(victim)
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// A [`ChurnOp`] with its removal index resolved to a concrete example
+/// id — see [`resolve_churn`].
+#[derive(Debug, Clone)]
+pub enum ResolvedChurnOp {
+    /// Add an example (`positive` selects `E⁺` vs `E⁻`).
+    Add {
+        /// `true` for `E⁺`, `false` for `E⁻`.
+        positive: bool,
+        /// The example to add (boxed: the variant is much larger than
+        /// `Remove` otherwise).
+        example: Box<Example>,
+    },
+    /// Remove the example with this id.
+    Remove {
+        /// `true` for `E⁺`, `false` for `E⁻`.
+        positive: bool,
+        /// The id assigned to the victim by its add.
+        id: u64,
+    },
+}
+
+/// Resolves a churn workload's live removal indices into concrete
+/// example ids, assuming ids are assigned sequentially from `first_id`
+/// in op order — the engine's behavior for a fresh workspace.  One
+/// resolver shared by every consumer (the pr5 bench stage, the recovery
+/// differential suite) keeps the index contract in a single place.
+pub fn resolve_churn(ops: &[ChurnOp], first_id: u64) -> Vec<ResolvedChurnOp> {
+    let mut live_pos: Vec<u64> = Vec::new();
+    let mut live_neg: Vec<u64> = Vec::new();
+    let mut next_id = first_id;
+    ops.iter()
+        .map(|op| match op {
+            ChurnOp::AddPositive(e) => {
+                live_pos.push(next_id);
+                next_id += 1;
+                ResolvedChurnOp::Add {
+                    positive: true,
+                    example: Box::new(e.clone()),
+                }
+            }
+            ChurnOp::AddNegative(e) => {
+                live_neg.push(next_id);
+                next_id += 1;
+                ResolvedChurnOp::Add {
+                    positive: false,
+                    example: Box::new(e.clone()),
+                }
+            }
+            ChurnOp::RemovePositive(i) => ResolvedChurnOp::Remove {
+                positive: true,
+                id: live_pos.remove(*i),
+            },
+            ChurnOp::RemoveNegative(i) => ResolvedChurnOp::Remove {
+                positive: false,
+                id: live_neg.remove(*i),
+            },
+        })
+        .collect()
+}
+
 /// Generates a random collection of labeled examples.
 pub fn random_labeled_examples(schema: &Arc<Schema>, cfg: &RandomConfig) -> LabeledExamples {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -193,6 +328,80 @@ mod tests {
         let a = random_labeled_examples(&schema, &cfg);
         let b = random_labeled_examples(&schema, &cfg);
         assert_eq!(a.total_size(), b.total_size());
+    }
+
+    #[test]
+    fn churn_workload_is_deterministic_and_respects_caps() {
+        let schema = Schema::digraph();
+        let cfg = RandomConfig {
+            arity: 0,
+            num_positive: 3,
+            num_negative: 2,
+            ..RandomConfig::default()
+        };
+        let a = churn_workload(&schema, &cfg, 200);
+        let b = churn_workload(&schema, &cfg, 200);
+        assert_eq!(a.len(), 200);
+        // Determinism: identical op kinds and removal indices per step.
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (ChurnOp::AddPositive(e1), ChurnOp::AddPositive(e2))
+                | (ChurnOp::AddNegative(e1), ChurnOp::AddNegative(e2)) => {
+                    assert!(e1.instance().same_facts(e2.instance()));
+                }
+                (ChurnOp::RemovePositive(i), ChurnOp::RemovePositive(j))
+                | (ChurnOp::RemoveNegative(i), ChurnOp::RemoveNegative(j)) => {
+                    assert_eq!(i, j);
+                }
+                other => panic!("ops diverge: {other:?}"),
+            }
+        }
+        // Replaying the op kinds respects the caps and never removes from
+        // an empty population, and removal indices are always in range.
+        let (mut pos, mut neg) = (0usize, 0usize);
+        let mut removals = 0;
+        for op in &a {
+            match op {
+                ChurnOp::AddPositive(_) => {
+                    pos += 1;
+                    assert!(pos <= 3);
+                }
+                ChurnOp::AddNegative(_) => {
+                    neg += 1;
+                    assert!(neg <= 2);
+                }
+                ChurnOp::RemovePositive(i) => {
+                    assert!(*i < pos);
+                    pos -= 1;
+                    removals += 1;
+                }
+                ChurnOp::RemoveNegative(i) => {
+                    assert!(*i < neg);
+                    neg -= 1;
+                    removals += 1;
+                }
+            }
+        }
+        assert!(removals > 20, "churn must actually churn ({removals})");
+        // A different seed yields a different sequence.
+        let c = churn_workload(
+            &schema,
+            &RandomConfig {
+                seed: 7,
+                ..cfg.clone()
+            },
+            200,
+        );
+        let same = a.iter().zip(&c).all(|(x, y)| {
+            matches!(
+                (x, y),
+                (ChurnOp::AddPositive(_), ChurnOp::AddPositive(_))
+                    | (ChurnOp::AddNegative(_), ChurnOp::AddNegative(_))
+                    | (ChurnOp::RemovePositive(_), ChurnOp::RemovePositive(_))
+                    | (ChurnOp::RemoveNegative(_), ChurnOp::RemoveNegative(_))
+            )
+        });
+        assert!(!same, "different seeds must diverge");
     }
 
     #[test]

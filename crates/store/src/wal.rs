@@ -1,0 +1,409 @@
+//! Append-only log files: framing, fsync discipline, torn-tail
+//! truncation, and atomic snapshot rewrites.
+//!
+//! One file per workspace, named by a percent-style encoding of the
+//! workspace name (so arbitrary names cannot escape the data directory or
+//! collide), extension `.wal`.  Appends go through a single handle opened
+//! in append mode; with `fsync` enabled every append is `sync_data`'d
+//! before it is acknowledged, which is what bounds the loss window of a
+//! `kill -9` to the single unacknowledged request.  Compaction rewrites
+//! the log as one snapshot record via the classic temp-file + rename +
+//! directory-sync sequence, so a crash mid-compaction leaves either the
+//! old log or the new one, never a mix.
+
+use crate::record::{decode_record, encode_record, LogRecord};
+use crate::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Extension of write-ahead log files.
+pub(crate) const WAL_EXT: &str = "wal";
+
+/// Encodes a workspace name as a filesystem-safe file stem: ASCII
+/// alphanumerics, `-` and `_` pass through, every other byte becomes
+/// `%XX`.  The encoding is injective, so distinct workspace names never
+/// share a log file.
+pub(crate) fn encode_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for &b in name.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' => out.push(b as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes a file stem produced by [`encode_name`]; `None` for stems this
+/// store did not write (stray files in the data directory are skipped, not
+/// destroyed).
+///
+/// Only the *canonical* encoding is accepted: a stem using lowercase hex
+/// or escaping a byte that did not need escaping decodes to a name whose
+/// re-encoding differs, and is rejected — otherwise two distinct on-disk
+/// stems (e.g. `a` and `%61`) would collapse onto one workspace name and
+/// recovery would silently pair one file's state with another's handle.
+pub(crate) fn decode_name(stem: &str) -> Option<String> {
+    let bytes = stem.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = stem.get(i + 1..i + 3)?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b @ (b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_') => {
+                out.push(b);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    let name = String::from_utf8(out).ok()?;
+    (encode_name(&name) == stem).then_some(name)
+}
+
+/// The open append handle of one workspace's log, with its record and byte
+/// counters.
+#[derive(Debug)]
+pub(crate) struct WalFile {
+    path: PathBuf,
+    file: File,
+    fsync: bool,
+    /// Records currently in the file.
+    pub(crate) records: u64,
+    /// Records appended since the most recent snapshot record (compaction
+    /// budget accounting; the snapshot itself does not count).
+    pub(crate) since_snapshot: u64,
+    /// Bytes currently in the file.
+    pub(crate) bytes: u64,
+    /// Set when a failed append could not be rolled back: the on-disk
+    /// tail no longer matches the counters, so further appends could land
+    /// *behind* torn bytes and be silently discarded at recovery.  A
+    /// poisoned log rejects every operation until a restart replays and
+    /// truncates it.
+    poisoned: bool,
+}
+
+/// Syncs the directory containing `path`, making a rename, create, or
+/// unlink durable.  Best-effort on platforms where directories cannot be
+/// opened.
+pub(crate) fn sync_dir(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            dir.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+impl WalFile {
+    /// Creates a fresh (truncated) log file.
+    pub(crate) fn create(path: PathBuf, fsync: bool) -> Result<Self, StoreError> {
+        // Truncate any stale file first, then take the real handle in
+        // O_APPEND mode — every write must land at EOF *by mode*, not by
+        // cursor position: the append-failure rollback truncates with
+        // `set_len`, which does not move a write-mode cursor, and a
+        // stale cursor past EOF would make the next acknowledged append
+        // write behind a NUL hole that recovery then truncates away.
+        drop(
+            OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&path)?,
+        );
+        let file = OpenOptions::new().append(true).open(&path)?;
+        if fsync {
+            sync_dir(&path)?;
+        }
+        Ok(WalFile {
+            path,
+            file,
+            fsync,
+            records: 0,
+            since_snapshot: 0,
+            bytes: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Opens an existing log for appending, with counters supplied by the
+    /// replay that just scanned it.
+    pub(crate) fn open_append(
+        path: PathBuf,
+        fsync: bool,
+        records: u64,
+        since_snapshot: u64,
+        bytes: u64,
+    ) -> Result<Self, StoreError> {
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(WalFile {
+            path,
+            file,
+            fsync,
+            records,
+            since_snapshot,
+            bytes,
+            poisoned: false,
+        })
+    }
+
+    fn check_poisoned(&self) -> Result<(), StoreError> {
+        if self.poisoned {
+            return Err(StoreError::Corrupt(format!(
+                "log {} is poisoned by an earlier unrecoverable I/O failure; \
+                 restart to replay and truncate it",
+                self.path.display()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Appends one record; with `fsync` enabled the record is on disk when
+    /// this returns.
+    ///
+    /// On failure the file is rolled back to the last acknowledged record,
+    /// so a half-written line (write error) or a written-but-unsynced
+    /// record (fsync error after the write landed) can never sit in front
+    /// of later acknowledged appends — either would be silently discarded
+    /// at recovery, losing acknowledged data (torn fragment) or
+    /// resurrecting a rejected mutation (unsynced record).  If the
+    /// rollback itself fails, the log is poisoned and rejects everything
+    /// until a restart replays and truncates it.
+    pub(crate) fn append(&mut self, record: &LogRecord) -> Result<(), StoreError> {
+        self.check_poisoned()?;
+        let line = encode_record(record);
+        let written = self
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .and_then(|()| {
+                if self.fsync {
+                    self.file.sync_data()
+                } else {
+                    Ok(())
+                }
+            });
+        if let Err(e) = written {
+            let rolled_back = self
+                .file
+                .set_len(self.bytes)
+                .and_then(|()| self.file.sync_data());
+            if rolled_back.is_err() {
+                self.poisoned = true;
+            }
+            return Err(e.into());
+        }
+        self.records += 1;
+        if matches!(record, LogRecord::Snapshot(_)) {
+            self.since_snapshot = 0;
+        } else {
+            self.since_snapshot += 1;
+        }
+        self.bytes += line.len() as u64;
+        Ok(())
+    }
+
+    /// Atomically replaces the log's contents with the given records
+    /// (compaction: a single snapshot record).  Returns `(bytes_before,
+    /// bytes_after)`.
+    pub(crate) fn rewrite(&mut self, records: &[LogRecord]) -> Result<(u64, u64), StoreError> {
+        self.check_poisoned()?;
+        let bytes_before = self.bytes;
+        let tmp_path = self.path.with_extension("wal.tmp");
+        let mut text = String::new();
+        for record in records {
+            text.push_str(&encode_record(record));
+        }
+        // Failures before the rename leave the old log and its handle
+        // fully intact — plain error returns are safe (the stray temp
+        // file is removed best-effort).
+        let tmp_written = (|| {
+            let mut tmp = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            tmp.write_all(text.as_bytes())?;
+            tmp.sync_all()?;
+            Ok::<(), std::io::Error>(())
+        })();
+        if let Err(e) = tmp_written {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e.into());
+        }
+        if let Err(e) = std::fs::rename(&tmp_path, &self.path) {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e.into());
+        }
+        // From here on the rename has happened: the open handle points at
+        // the unlinked pre-rewrite inode.  Any failure to re-establish a
+        // handle on the renamed file must POISON the log — otherwise
+        // later appends would be written (and fsync'd, and acknowledged)
+        // into the unlinked inode and silently vanish on restart.
+        let reopened = (|| {
+            if self.fsync {
+                sync_dir(&self.path)?;
+            }
+            OpenOptions::new().append(true).open(&self.path)
+        })();
+        match reopened {
+            Ok(file) => self.file = file,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e.into());
+            }
+        }
+        self.records = records.len() as u64;
+        self.since_snapshot = records
+            .iter()
+            .rev()
+            .take_while(|r| !matches!(r, LogRecord::Snapshot(_)))
+            .count() as u64;
+        self.bytes = text.len() as u64;
+        Ok((bytes_before, self.bytes))
+    }
+
+    /// Flushes and (when enabled) fsyncs the file.
+    pub(crate) fn sync(&mut self) -> Result<(), StoreError> {
+        self.check_poisoned()?;
+        self.file.flush()?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of scanning one log file on open.
+#[derive(Debug)]
+pub(crate) struct ReplayOutcome {
+    /// The decoded records, in log order (empty if the whole file was torn).
+    pub(crate) records: Vec<LogRecord>,
+    /// Bytes of intact records (the file is truncated to this length).
+    pub(crate) good_bytes: u64,
+    /// Bytes discarded as the torn tail.
+    pub(crate) torn_bytes: u64,
+    /// Records appended after the most recent snapshot record.
+    pub(crate) since_snapshot: u64,
+}
+
+/// Reads a log file, decoding records until the first torn or corrupt
+/// line, and **truncates the file** to the intact prefix so subsequent
+/// appends extend a clean log.
+///
+/// A record is intact when its line is newline-terminated, parses, and
+/// passes its checksum.  Everything from the first failure on is the torn
+/// tail — records after a corrupt line are unreplayable because log order
+/// is the mutation order.
+pub(crate) fn replay(path: &Path) -> Result<ReplayOutcome, StoreError> {
+    let data = std::fs::read(path)?;
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut since_snapshot = 0u64;
+    while offset < data.len() {
+        let Some(nl) = data[offset..].iter().position(|&b| b == b'\n') else {
+            break; // unterminated tail
+        };
+        let line_bytes = &data[offset..offset + nl];
+        let Ok(line) = std::str::from_utf8(line_bytes) else {
+            break;
+        };
+        let Ok(record) = decode_record(line) else {
+            break;
+        };
+        if matches!(record, LogRecord::Snapshot(_)) {
+            since_snapshot = 0;
+        } else {
+            since_snapshot += 1;
+        }
+        records.push(record);
+        offset += nl + 1;
+    }
+    let good_bytes = offset as u64;
+    let torn_bytes = (data.len() - offset) as u64;
+    if torn_bytes > 0 {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(good_bytes)?;
+        file.sync_all()?;
+    }
+    Ok(ReplayOutcome {
+        records,
+        good_bytes,
+        torn_bytes,
+        since_snapshot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The freshly-created handle must write at EOF *by mode*: after the
+    /// rollback path truncates with `set_len`, a write-mode cursor would
+    /// sit past EOF and the next acknowledged append would land behind a
+    /// NUL-filled hole that recovery truncates away — silent loss of
+    /// acknowledged records.
+    #[test]
+    fn create_handle_appends_at_eof_after_rollback_truncation() {
+        let dir = std::env::temp_dir().join(format!("cqfit_wal_cursor_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wal");
+        let record = LogRecord::Create {
+            schema: cqfit_data::Schema::digraph().as_ref().clone(),
+            arity: 0,
+        };
+        let mut wal = WalFile::create(path.clone(), false).unwrap();
+        wal.append(&record).unwrap();
+        let one_record = std::fs::metadata(&path).unwrap().len();
+        // Simulate the append-failure rollback: truncate everything and
+        // reset the counters, exactly as the error path does.
+        wal.file.set_len(0).unwrap();
+        wal.bytes = 0;
+        wal.records = 0;
+        wal.since_snapshot = 0;
+        // The next append must land at the new EOF (offset 0), not at the
+        // pre-truncation cursor position.
+        wal.append(&record).unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            one_record,
+            "append after truncation must not leave a hole"
+        );
+        let outcome = replay(&path).unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn name_encoding_round_trips_and_is_safe() {
+        for name in ["plain", "with space", "sl/ash", "..", "ünïcode", "a%b", ""] {
+            let encoded = encode_name(name);
+            assert!(
+                encoded
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'%'),
+                "unsafe byte in {encoded:?}"
+            );
+            assert_eq!(decode_name(&encoded).as_deref(), Some(name));
+        }
+        // Distinct names cannot collide (injective encoding).
+        assert_ne!(encode_name("a b"), encode_name("a_b"));
+        // Stems we did not write are rejected, not misdecoded.
+        assert_eq!(decode_name("has.dot"), None);
+        assert_eq!(decode_name("bad%zz"), None);
+        assert_eq!(decode_name("trunc%4"), None);
+        // Non-canonical encodings must not collapse onto canonical names:
+        // `%61` (an escaped safe byte) and lowercase hex decode to names
+        // whose canonical stems differ, so both are rejected.
+        assert_eq!(decode_name("%61"), None, "escape of a safe byte");
+        assert_eq!(decode_name("a%2fb"), None, "lowercase hex");
+        assert_eq!(decode_name("a%2Fb").as_deref(), Some("a/b"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Differential suite for the durable store (PR 5): after any fixed-seed
+//! churn sequence, an engine recovered from its write-ahead log must be
+//! **indistinguishable** from the engine that never crashed — identical
+//! workspace info, hom-equivalent (in fact byte-identical) fitting
+//! answers, identical CQ/UCQ existence answers — including recovery from
+//! a torn log (truncated mid-record) and reopening after snapshot
+//! compaction.
+//!
+//! The oracle is the storeless engine driven through the identical
+//! request sequence: both engines see the same `cqfit_gen::churn_workload`
+//! ops plus interleaved questions, and every comparison is on the
+//! serialized response text, so any divergence — ids, revisions, query
+//! shapes — fails loudly.
+
+use cqfit_engine::{
+    Engine, EngineConfig, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response,
+};
+use cqfit_gen::{churn_workload, resolve_churn, ChurnOp, RandomConfig, ResolvedChurnOp};
+use cqfit_store::{Store, StoreConfig};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WS: &str = "churn";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cqfit_recovery_{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_store(dir: &Path, compact_after: usize) -> Store {
+    Store::open(StoreConfig {
+        dir: dir.to_path_buf(),
+        compact_after,
+        // The tests simulate crashes by dropping the engine, not by
+        // killing the OS; skipping fsync keeps the suite fast without
+        // weakening what is being tested (log content, not disk caches).
+        fsync: false,
+    })
+    .expect("open store")
+}
+
+fn durable(dir: &Path, compact_after: usize) -> (Engine, cqfit_store::RecoveryReport) {
+    Engine::with_store(EngineConfig::default(), open_store(dir, compact_after))
+        .expect("durable engine")
+}
+
+fn create_request() -> Request {
+    Request::CreateWorkspace {
+        workspace: WS.into(),
+        schema: cqfit_data::Schema::digraph().as_ref().clone(),
+        arity: 0,
+    }
+}
+
+/// Turns churn ops into concrete requests via the shared
+/// [`resolve_churn`] id resolver (both engines assign ids identically).
+fn churn_requests(ops: &[ChurnOp]) -> Vec<Request> {
+    let polarity = |positive| {
+        if positive {
+            Polarity::Positive
+        } else {
+            Polarity::Negative
+        }
+    };
+    let mut requests = vec![create_request()];
+    requests.extend(resolve_churn(ops, 0).into_iter().map(|op| match op {
+        ResolvedChurnOp::Add { positive, example } => Request::AddExample {
+            workspace: WS.into(),
+            polarity: polarity(positive),
+            example: ExamplePayload::Structured(*example),
+        },
+        ResolvedChurnOp::Remove { positive, id } => Request::RemoveExample {
+            workspace: WS.into(),
+            polarity: polarity(positive),
+            id,
+        },
+    }));
+    requests
+}
+
+/// The question battery both engines must answer identically.
+///
+/// `WorkspaceInfo` comes *after* the fitting questions: recovery rebuilds
+/// the maintained product lazily (on the first question), so its
+/// `product_fresh` flag — cache introspection, not logical state — only
+/// converges with the oracle once a question has forced the rebuild on
+/// both sides.  Everything logical (counts, arity, revision, every
+/// fitting answer) must match from the first request on.
+fn questions() -> Vec<Request> {
+    vec![
+        Request::FittingExists {
+            workspace: WS.into(),
+            class: QueryClass::Cq,
+        },
+        Request::FittingExists {
+            workspace: WS.into(),
+            class: QueryClass::Ucq,
+        },
+        Request::Fit {
+            workspace: WS.into(),
+            class: QueryClass::Cq,
+            mode: FitMode::Plain,
+        },
+        Request::Fit {
+            workspace: WS.into(),
+            class: QueryClass::Cq,
+            mode: FitMode::Minimized,
+        },
+        Request::Fit {
+            workspace: WS.into(),
+            class: QueryClass::Ucq,
+            mode: FitMode::Minimized,
+        },
+        Request::WorkspaceInfo {
+            workspace: WS.into(),
+        },
+    ]
+}
+
+/// Asserts that both engines answer the question battery byte-identically.
+/// The `Plain` CQ fit serializes the canonical CQ of the maintained
+/// product, so byte equality there certifies product equivalence.
+fn assert_same_answers(oracle: &Engine, recovered: &Engine, context: &str) {
+    for question in questions() {
+        let expected = serde::to_string(&oracle.handle(&question));
+        let got = serde::to_string(&recovered.handle(&question));
+        assert_eq!(got, expected, "{context}: {question:?} diverged");
+    }
+}
+
+fn workload(seed: u64, steps: usize) -> Vec<Request> {
+    let cfg = RandomConfig {
+        num_values: 4,
+        density: 0.3,
+        arity: 0,
+        num_positive: 4,
+        num_negative: 3,
+        seed,
+    };
+    churn_requests(&churn_workload(&cqfit_data::Schema::digraph(), &cfg, steps))
+}
+
+fn drive(engine: &Engine, requests: &[Request]) {
+    for request in requests {
+        let response = engine.handle(request);
+        assert!(response.is_ok(), "{request:?} failed: {response:?}");
+    }
+}
+
+/// Crash (drop without shutdown) after a churn sequence: the recovered
+/// engine is byte-identical to the never-crashed oracle, across several
+/// seeds and with questions interleaved mid-stream on both sides.
+#[test]
+fn recovered_engine_matches_never_crashed_oracle() {
+    for (seed, steps) in [(11u64, 40usize), (12, 70), (13, 100)] {
+        let dir = tmp_dir("differential");
+        let requests = workload(seed, steps);
+        let (live, _) = durable(&dir, 1024);
+        let oracle = Engine::new(EngineConfig::default());
+        for (i, request) in requests.iter().enumerate() {
+            let live_resp = serde::to_string(&live.handle(request));
+            let oracle_resp = serde::to_string(&oracle.handle(request));
+            assert_eq!(live_resp, oracle_resp, "seed {seed}: mutation {i} diverged");
+            // Interleave questions so the oracle's product freshness
+            // follows the same rebuild schedule a real session would.
+            if i % 17 == 5 {
+                assert_same_answers(&oracle, &live, "mid-stream");
+            }
+        }
+        assert_same_answers(&oracle, &live, "pre-crash");
+        drop(live); // crash: no shutdown, no final sync
+
+        let (recovered, report) = durable(&dir, 1024);
+        assert_eq!(report.workspaces, 1, "seed {seed}");
+        assert_eq!(report.torn_bytes_dropped, 0, "seed {seed}: clean log");
+        assert_eq!(
+            report.records_replayed,
+            requests.len() as u64,
+            "seed {seed}: one record per mutation"
+        );
+        assert_same_answers(&oracle, &recovered, "post-crash");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A torn tail (log truncated mid-record) loses exactly the torn suffix:
+/// the recovered engine equals an oracle that only saw the surviving
+/// prefix of mutations, for every cut position within the last record.
+#[test]
+fn torn_tail_recovers_the_longest_intact_prefix() {
+    let dir = tmp_dir("torn");
+    let requests = workload(21, 30);
+    let (live, _) = durable(&dir, 1024);
+    drive(&live, &requests);
+    drop(live);
+    let wal = dir.join(format!("ws-{WS}.wal"));
+    let full = std::fs::read(&wal).unwrap();
+
+    for torn_bytes in [1usize, 7, 40] {
+        let cut_dir = tmp_dir(&format!("torn_cut_{torn_bytes}"));
+        std::fs::create_dir_all(&cut_dir).unwrap();
+        std::fs::write(
+            cut_dir.join(format!("ws-{WS}.wal")),
+            &full[..full.len() - torn_bytes],
+        )
+        .unwrap();
+        let (recovered, report) = durable(&cut_dir, 1024);
+        assert!(report.torn_bytes_dropped > 0, "cut {torn_bytes}");
+        let survived = report.records_replayed as usize;
+        assert!(survived < requests.len(), "cut {torn_bytes} lost the tail");
+        // Oracle: replay only the surviving prefix of mutations.
+        let oracle = Engine::new(EngineConfig::default());
+        drive(&oracle, &requests[..survived]);
+        assert_same_answers(&oracle, &recovered, "torn tail");
+        // The truncated log keeps accepting appends, and reopening again
+        // replays them.
+        let extra = Request::AddExample {
+            workspace: WS.into(),
+            polarity: Polarity::Negative,
+            example: ExamplePayload::Text("R(z,z)".into()),
+        };
+        let recovered_resp = serde::to_string(&recovered.handle(&extra));
+        assert_eq!(recovered_resp, serde::to_string(&oracle.handle(&extra)));
+        drop(recovered);
+        let (reopened, _) = durable(&cut_dir, 1024);
+        assert_same_answers(&oracle, &reopened, "torn tail + append + reopen");
+        std::fs::remove_dir_all(&cut_dir).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A small compaction budget forces snapshot compactions mid-churn; the
+/// compacted log reopens to the same engine, and a forced `Persist`
+/// followed by a kill keeps the post-snapshot tail.
+#[test]
+fn compaction_preserves_equivalence_across_reopen() {
+    let dir = tmp_dir("compaction");
+    let requests = workload(31, 80);
+    // Budget far below the record count: many auto-compactions.
+    let (live, _) = durable(&dir, 8);
+    let oracle = Engine::new(EngineConfig::default());
+    drive(&live, &requests);
+    drive(&oracle, &requests);
+    let store_stats = live.store().unwrap().stats();
+    assert!(
+        store_stats.compactions >= 5,
+        "budget 8 over 80 ops must compact repeatedly ({} compactions)",
+        store_stats.compactions
+    );
+    assert!(store_stats.bytes_compacted > 0);
+    drop(live);
+
+    let (recovered, report) = durable(&dir, 8);
+    assert!(
+        report.records_replayed < requests.len() as u64,
+        "replay is bounded by the compaction budget, not workspace lifetime"
+    );
+    assert_same_answers(&oracle, &recovered, "post-compaction reopen");
+
+    // Forced persist, two more mutations, crash, reopen: snapshot + tail.
+    assert!(recovered.handle(&Request::Persist).is_ok());
+    let tail = [
+        Request::AddExample {
+            workspace: WS.into(),
+            polarity: Polarity::Negative,
+            example: ExamplePayload::Text("R(t,t)".into()),
+        },
+        Request::FittingExists {
+            workspace: WS.into(),
+            class: QueryClass::Cq,
+        },
+    ];
+    for request in &tail {
+        let a = serde::to_string(&recovered.handle(request));
+        let b = serde::to_string(&oracle.handle(request));
+        assert_eq!(a, b, "post-persist tail");
+    }
+    drop(recovered);
+    let (reopened, report) = durable(&dir, 8);
+    assert!(
+        report.records_replayed >= 2,
+        "snapshot plus the post-persist tail replays"
+    );
+    assert_same_answers(&oracle, &reopened, "persist + tail + reopen");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Multi-workspace recovery: each workspace restores independently, drops
+/// stay dropped, and ids keep flowing from the pre-crash counters.
+#[test]
+fn multiple_workspaces_and_drops_survive_restart() {
+    let dir = tmp_dir("multi");
+    let (live, _) = durable(&dir, 1024);
+    for ws in ["alpha", "beta", "gamma"] {
+        assert!(live
+            .handle(&Request::CreateWorkspace {
+                workspace: ws.into(),
+                schema: cqfit_data::Schema::digraph().as_ref().clone(),
+                arity: 0,
+            })
+            .is_ok());
+        assert!(live
+            .handle(&Request::AddExample {
+                workspace: ws.into(),
+                polarity: Polarity::Positive,
+                example: ExamplePayload::Text("R(a,b)\nR(b,c)\nR(c,a)".into()),
+            })
+            .is_ok());
+    }
+    assert!(live
+        .handle(&Request::DropWorkspace {
+            workspace: "beta".into()
+        })
+        .is_ok());
+    drop(live);
+
+    let (recovered, report) = durable(&dir, 1024);
+    assert_eq!(report.workspaces, 2, "dropped workspace stays dropped");
+    match recovered.handle(&Request::ListWorkspaces) {
+        Response::Workspaces { names } => assert_eq!(names, vec!["alpha", "gamma"]),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Ids continue from the pre-crash counter in each workspace.
+    match recovered.handle(&Request::AddExample {
+        workspace: "alpha".into(),
+        polarity: Polarity::Negative,
+        example: ExamplePayload::Text("R(x,x)".into()),
+    }) {
+        Response::ExampleAdded { id, .. } => assert_eq!(id, 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
