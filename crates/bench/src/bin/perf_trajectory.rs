@@ -2,8 +2,15 @@
 //! their preserved pre-rewrite reference implementations **in the same
 //! run**, and writes the result to a `BENCH_pr*.json` capture file.
 //!
-//! Four stages exist:
+//! Five stages exist:
 //!
+//! * **pr6** (`--pr6`) — the environment abstraction
+//!   (`cqfit_env::Env` + `cqfit-sim`): coverage and throughput of a
+//!   deterministic-simulation sweep (seeded executions/s, crash points
+//!   explored), and the dispatch cost of routing the store's append and
+//!   replay hot paths through `RealEnv`'s `dyn Fs` instead of calling
+//!   `std::fs` directly (identical loops, same flush/fsync schedule; the
+//!   acceptance target is < 2% overhead).  Writes `BENCH_pr6.json`.
 //! * **pr5** (`--pr5`) — the durable-workspace store
 //!   (`cqfit_store::Store` behind `cqfit_engine::Engine::with_store`):
 //!   fixed-seed churn sessions (`cqfit_gen::churn_workload`) against a
@@ -36,7 +43,7 @@
 //!
 //! Usage:
 //! ```text
-//! perf_trajectory [--pr2|--pr3|--pr5] [--quick] [--out PATH]  # run and write the capture
+//! perf_trajectory [--pr2|--pr3|--pr5|--pr6] [--quick] [--out PATH]  # run and write the capture
 //! perf_trajectory --check PATH                                # validate a capture
 //! ```
 //! `--check` exits non-zero if the file is missing or malformed; CI uses it
@@ -1007,6 +1014,300 @@ fn run_pr5(quick: bool) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// pr6: the environment abstraction — simulator throughput and the
+// dispatch cost of routing the store's I/O through `dyn Fs`.
+// ---------------------------------------------------------------------
+
+mod pr6 {
+    use cqfit_env::{Env, OpenMode, RealEnv};
+    use cqfit_sim::{sweep, SimConfig};
+    use std::io::Write as _;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    fn scratch_dir() -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cqfit_bench_pr6_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("bench scratch dir");
+        dir
+    }
+
+    /// Coverage and throughput of one simulation sweep.
+    pub struct SimSummary {
+        pub seeds: u64,
+        pub executions: u64,
+        pub crash_points: u64,
+        pub boundary_cuts: u64,
+        pub mid_record_cuts: u64,
+        pub elapsed_ns: u128,
+    }
+
+    /// Runs the release-mode simulation sweep the capture records.
+    /// Panics on an invariant failure — a capture must never be written
+    /// over a failing simulator.
+    pub fn run_sim(seeds: u64, cfg: &SimConfig) -> SimSummary {
+        let started = Instant::now();
+        let outcome = sweep(1, seeds, cfg);
+        let elapsed_ns = started.elapsed().as_nanos();
+        for (seed, message) in &outcome.failures {
+            eprintln!("FAIL seed {seed}: {message}");
+        }
+        assert!(
+            outcome.failures.is_empty(),
+            "simulation sweep failed; not writing a capture"
+        );
+        SimSummary {
+            seeds,
+            executions: outcome.stats.executions,
+            crash_points: outcome.stats.crash_points,
+            boundary_cuts: outcome.stats.boundary_cuts,
+            mid_record_cuts: outcome.stats.mid_record_cuts,
+            elapsed_ns,
+        }
+    }
+
+    /// One dispatch-overhead measurement: the identical loop through
+    /// `RealEnv`'s `dyn Fs` (`env_ns`) and through `std::fs` directly
+    /// (`direct_ns`).
+    pub struct DispatchResult {
+        pub name: &'static str,
+        pub direct_ns: u128,
+        pub env_ns: u128,
+        pub records: usize,
+    }
+
+    impl DispatchResult {
+        /// Relative cost of trait dispatch, in percent (negative when
+        /// the env path happened to measure faster).
+        pub fn overhead_pct(&self) -> f64 {
+            (self.env_ns as f64 - self.direct_ns as f64) / self.direct_ns.max(1) as f64 * 100.0
+        }
+    }
+
+    // The two sides of each measurement are kept literally parallel:
+    // same open flags, same write/flush/sync sequence per record, same
+    // decode work per replay — the only difference is whether the calls
+    // go through the `dyn Fs`/`dyn FsFile` vtables or straight into
+    // `std::fs`.
+
+    /// One append through the `dyn FsFile` vtable: the store's per-record
+    /// sequence (write, flush, fsync).
+    fn append_one_env(file: &mut Box<dyn cqfit_env::FsFile>, record: &[u8]) -> u128 {
+        let started = Instant::now();
+        file.write_all(record).expect("env write");
+        file.flush().expect("env flush");
+        file.sync_data().expect("env sync");
+        started.elapsed().as_nanos()
+    }
+
+    /// The identical append straight into `std::fs::File`.
+    fn append_one_direct(file: &mut std::fs::File, record: &[u8]) -> u128 {
+        let started = Instant::now();
+        file.write_all(record).expect("direct write");
+        file.flush().expect("direct flush");
+        file.sync_data().expect("direct sync");
+        started.elapsed().as_nanos()
+    }
+
+    /// Appends `records` records on each side, alternating sides per
+    /// record (and alternating who goes first), so fsync-latency drift —
+    /// which wanders on a far coarser timescale than one record — hits
+    /// both sides equally.  Returns `(direct_ns, env_ns)` totals.
+    fn append_paired(env: &dyn Env, dir: &Path, record: &[u8], records: usize) -> (u128, u128) {
+        let direct_path = dir.join("direct.wal");
+        let env_path = dir.join("env.wal");
+        let mut direct_file = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&direct_path)
+            .expect("direct open");
+        let mut env_file = env
+            .fs()
+            .open(&env_path, OpenMode::CreateTruncate)
+            .expect("env open");
+        let (mut direct_ns, mut env_ns) = (0u128, 0u128);
+        for i in 0..records {
+            if i % 2 == 0 {
+                direct_ns += append_one_direct(&mut direct_file, record);
+                env_ns += append_one_env(&mut env_file, record);
+            } else {
+                env_ns += append_one_env(&mut env_file, record);
+                direct_ns += append_one_direct(&mut direct_file, record);
+            }
+        }
+        (direct_ns, env_ns)
+    }
+
+    // `inline(never)`: both replay loops must execute the *same* machine
+    // code for the decode — inlined copies can optimize differently per
+    // call site, which would fake a dispatch-overhead difference.
+    #[inline(never)]
+    fn decode(bytes: &[u8]) -> u64 {
+        // Line-framing plus a byte fold stands in for record decoding:
+        // identical work on both sides, cheap enough that the read call
+        // itself stays visible in the measurement.
+        bytes
+            .split(|&b| b == b'\n')
+            .map(|line| line.iter().map(|&b| b as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Reads and decodes the log `rounds` times on each side, alternating
+    /// per round like [`append_paired`].  Returns `(direct_ns, env_ns)`.
+    fn replay_paired(env: &dyn Env, path: &Path, rounds: usize) -> (u128, u128) {
+        let one_direct = |acc: &mut u64| {
+            let started = Instant::now();
+            *acc = acc.wrapping_add(decode(&std::fs::read(path).expect("direct read")));
+            started.elapsed().as_nanos()
+        };
+        let one_env = |acc: &mut u64| {
+            let started = Instant::now();
+            *acc = acc.wrapping_add(decode(&env.fs().read(path).expect("env read")));
+            started.elapsed().as_nanos()
+        };
+        let (mut direct_ns, mut env_ns) = (0u128, 0u128);
+        let mut acc = 0u64;
+        for i in 0..rounds {
+            if i % 2 == 0 {
+                direct_ns += one_direct(&mut acc);
+                env_ns += one_env(&mut acc);
+            } else {
+                env_ns += one_env(&mut acc);
+                direct_ns += one_direct(&mut acc);
+            }
+        }
+        std::hint::black_box(acc);
+        (direct_ns, env_ns)
+    }
+
+    /// Measures append and replay dispatch overhead.  Each repeat runs
+    /// both sides back to back; the per-side median is compared.
+    pub fn dispatch_overhead(records: usize, repeats: usize) -> Vec<DispatchResult> {
+        let env = RealEnv::arc();
+        let dir = scratch_dir();
+        let record = b"{\"crc\":123456789,\"rec\":{\"kind\":\"add\",\"id\":42,\"positive\":true,\"example\":\"R(a,b) R(b,c) R(c,a)\"}}\n";
+
+        // Per-chunk ratios of record-level-paired measurements; the
+        // reported pair is the chunk with the median ratio (fsync
+        // latency drifts over seconds — pairing cancels it, the median
+        // drops the chunks where it didn't).
+        let median_pair = |pairs: &mut Vec<(u128, u128)>| {
+            pairs.sort_by(|a, b| {
+                let ra = a.1 as f64 / a.0.max(1) as f64;
+                let rb = b.1 as f64 / b.0.max(1) as f64;
+                ra.partial_cmp(&rb).expect("finite ratios")
+            });
+            pairs[pairs.len() / 2]
+        };
+
+        let mut append_pairs: Vec<(u128, u128)> = (0..repeats)
+            .map(|_| append_paired(env.as_ref(), &dir, record, records))
+            .collect();
+
+        let replay_path = dir.join("replay.wal");
+        append_paired(env.as_ref(), &dir, record, records);
+        std::fs::copy(dir.join("direct.wal"), &replay_path).expect("seed replay log");
+        let rounds = 50;
+        // One untimed warm-up read so neither side pays the cold cache.
+        replay_paired(env.as_ref(), &replay_path, 1);
+        let mut replay_pairs: Vec<(u128, u128)> = (0..repeats)
+            .map(|_| replay_paired(env.as_ref(), &replay_path, rounds))
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (append_direct_med, append_env_med) = median_pair(&mut append_pairs);
+        let (replay_direct_med, replay_env_med) = median_pair(&mut replay_pairs);
+        vec![
+            DispatchResult {
+                name: "append_fsync",
+                direct_ns: append_direct_med,
+                env_ns: append_env_med,
+                records,
+            },
+            DispatchResult {
+                name: "replay_decode",
+                direct_ns: replay_direct_med,
+                env_ns: replay_env_med,
+                records: records * rounds,
+            },
+        ]
+    }
+}
+
+/// The pr6 stage: simulation-sweep throughput plus the `RealEnv`
+/// dispatch overhead on the store's hot paths.
+fn run_pr6(quick: bool) -> String {
+    // Many small paired chunks rather than a few large ones: fsync
+    // latency drifts over seconds, and the median of per-chunk ratios is
+    // what filters that drift out.
+    let (seeds, sim_cfg, records, repeats) = if quick {
+        (4u64, cqfit_sim::SimConfig::smoke(), 300usize, 5usize)
+    } else {
+        (16u64, cqfit_sim::SimConfig::default(), 800, 15)
+    };
+    eprintln!("simulation sweep ({seeds} seeds):");
+    let sim = pr6::run_sim(seeds, &sim_cfg);
+    let executions_per_sec = sim.executions as f64 / (sim.elapsed_ns.max(1) as f64 / 1e9);
+    eprintln!(
+        "  {} executions, {} crash/fault points, {:.0} executions/s",
+        sim.executions, sim.crash_points, executions_per_sec
+    );
+
+    eprintln!("env dispatch overhead ({records} records, {repeats} repeats):");
+    let dispatch = pr6::dispatch_overhead(records, repeats);
+    for r in &dispatch {
+        eprintln!(
+            "  {}: direct {} ns, via env {} ns ({:+.3}%)",
+            r.name,
+            r.direct_ns,
+            r.env_ns,
+            r.overhead_pct()
+        );
+    }
+
+    let case_jsons: Vec<String> = dispatch
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"case\": \"{}\", \"records\": {}, \"baseline_median_ns\": {}, \"new_median_ns\": {}, \"speedup\": {:.4}, \"overhead_pct\": {:.4}}}",
+                r.name,
+                r.records,
+                r.direct_ns,
+                r.env_ns,
+                r.direct_ns as f64 / r.env_ns.max(1) as f64,
+                r.overhead_pct()
+            )
+        })
+        .collect();
+    let mut speedups: Vec<f64> = dispatch
+        .iter()
+        .map(|r| r.direct_ns as f64 / r.env_ns.max(1) as f64)
+        .collect();
+    speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+    let median_speedup = speedups[speedups.len() / 2];
+
+    format!(
+        "{{\n  \"pr\": 6,\n  \"description\": \"environment abstraction: deterministic-simulation sweep coverage/throughput, and the cost of routing the store's append/replay hot paths through RealEnv's dyn Fs instead of std::fs directly (baseline_median_ns = direct std::fs, new_median_ns = via dyn Fs; speedup ~1.0 and overhead_pct < 2 are the acceptance targets)\",\n  \"mode\": \"{}\",\n  \"simulation\": {{\"seeds\": {}, \"executions\": {}, \"crash_points\": {}, \"boundary_cuts\": {}, \"mid_record_cuts\": {}, \"executions_per_sec\": {:.1}}},\n  \"benches\": [\n    {{\n      \"name\": \"env_dispatch\",\n      \"median_speedup\": {:.4},\n      \"cases\": [\n{}\n      ]\n    }}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        sim.seeds,
+        sim.executions,
+        sim.crash_points,
+        sim.boundary_cuts,
+        sim.mid_record_cuts,
+        executions_per_sec,
+        median_speedup,
+        case_jsons.join(",\n")
+    )
+}
+
 /// The pr3 stage: mask-based core engine vs preserved greedy core oracle.
 fn run_pr3(quick: bool, repeats: usize) -> String {
     eprintln!("core-of-product (Thm. 3.40) cases ({repeats} samples/case):");
@@ -1043,6 +1344,7 @@ fn main() {
     let pr2 = args.iter().any(|a| a == "--pr2");
     let pr3 = args.iter().any(|a| a == "--pr3");
     let pr5 = args.iter().any(|a| a == "--pr5");
+    let pr6 = args.iter().any(|a| a == "--pr6");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -1054,6 +1356,8 @@ fn main() {
             "BENCH_pr3.json"
         } else if pr5 {
             "BENCH_pr5.json"
+        } else if pr6 {
+            "BENCH_pr6.json"
         } else {
             "BENCH_pr4.json"
         })
@@ -1065,6 +1369,8 @@ fn main() {
         run_pr3(quick, repeats)
     } else if pr5 {
         run_pr5(quick)
+    } else if pr6 {
+        run_pr6(quick)
     } else {
         run_pr4(quick, repeats)
     };

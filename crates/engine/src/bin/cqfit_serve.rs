@@ -20,6 +20,7 @@
 //! (a process `kill -9` still loses nothing — see DESIGN.md).
 
 use cqfit_engine::{Engine, EngineConfig, Server};
+use cqfit_env::RealEnv;
 use cqfit_store::{Store, StoreConfig};
 use std::io::Write;
 use std::sync::Arc;
@@ -71,13 +72,19 @@ fn main() {
     }
 
     let config = EngineConfig { caching };
+    // One explicit production environment for the whole process: the
+    // store inherits it, and Engine::with_store inherits the store's.
+    let env = RealEnv::arc();
     let engine = match data_dir {
         Some(dir) => {
-            let store = match Store::open(StoreConfig {
-                dir: dir.clone().into(),
-                compact_after,
-                fsync,
-            }) {
+            let store = match Store::open_with(
+                StoreConfig {
+                    dir: dir.clone().into(),
+                    compact_after,
+                    fsync,
+                },
+                env,
+            ) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("cqfit-serve: cannot open data dir {dir}: {e}");
@@ -101,7 +108,7 @@ fn main() {
                 }
             }
         }
-        None => Arc::new(Engine::new(config)),
+        None => Arc::new(Engine::with_env(config, env)),
     };
     let server = match Server::bind(&addr, engine) {
         Ok(s) => s,

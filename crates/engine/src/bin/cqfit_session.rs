@@ -84,6 +84,7 @@ fn run_stats(addr: &str) -> ! {
 fn print_stats(stats: &EngineStats) {
     println!("requests handled : {}", stats.requests);
     println!("workspaces       : {}", stats.workspaces);
+    println!("uptime           : {:.3}s", stats.uptime_ms as f64 / 1000.0);
     match &stats.cache {
         Some(c) => println!(
             "cache hit rate   : {:.3} ({} hits, {} misses, {} hom + {} core entries)",

@@ -5,11 +5,13 @@ use crate::protocol::{EngineStats, ExamplePayload, Polarity, Request, Response};
 use crate::workspace::Workspace;
 use cqfit::incremental::IncrementalFitting;
 use cqfit_data::parse_example;
+use cqfit_env::{Env, RealEnv};
 use cqfit_hom::HomCache;
 use cqfit_store::{LogRecord, RecoveryReport, Store, StoreError, WorkspaceSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// Maximum accepted workspace/relation arity.  Far above anything the
 /// paper's workloads use; bounds the `vec![v; arity]` allocations that
@@ -61,6 +63,13 @@ pub struct Engine {
     requests: AtomicU64,
     store: Option<Arc<Store>>,
     recovery: RecoveryReport,
+    /// The environment all effects route through: time for stats and fit
+    /// accounting, yield points for the deterministic scheduler.  Durable
+    /// engines inherit the store's environment, so one [`Env`] covers the
+    /// whole stack.
+    env: Arc<dyn Env>,
+    /// Monotonic timestamp of construction ([`EngineStats::uptime_ms`]).
+    started: Duration,
 }
 
 /// A workspace plus a lock-free mirror of its revision counter, refreshed
@@ -96,14 +105,24 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// A fresh, non-durable engine.
+    /// A fresh, non-durable engine over the real environment.
     pub fn new(config: EngineConfig) -> Self {
+        Engine::with_env(config, RealEnv::arc())
+    }
+
+    /// A fresh, non-durable engine over an explicit [`Env`] — the
+    /// simulation harness injects its deterministic clock and scheduler
+    /// here.
+    pub fn with_env(config: EngineConfig, env: Arc<dyn Env>) -> Self {
+        let started = env.clock().monotonic();
         Engine {
             workspaces: RwLock::new(HashMap::new()),
             cache: config.caching.then(|| Arc::new(HomCache::new())),
             requests: AtomicU64::new(0),
             store: None,
             recovery: RecoveryReport::default(),
+            env,
+            started,
         }
     }
 
@@ -112,6 +131,10 @@ impl Engine {
     /// maintained product rebuilt lazily on the first question), then
     /// persists every subsequent mutation before acknowledging it.
     ///
+    /// The engine's environment is inherited from the store, so a store
+    /// opened with [`Store::open_with`] makes the entire stack — WAL I/O,
+    /// stats clock, yield points — run through one injected [`Env`].
+    ///
     /// # Errors
     /// Propagates store I/O failures and logs whose restored state fails
     /// validation.
@@ -119,6 +142,8 @@ impl Engine {
         config: EngineConfig,
         store: Store,
     ) -> Result<(Engine, RecoveryReport), StoreError> {
+        let env = store.env().clone();
+        let started = env.clock().monotonic();
         let (restored, report) = store.recover()?;
         let mut map = HashMap::new();
         for ws in restored {
@@ -153,8 +178,15 @@ impl Engine {
             requests: AtomicU64::new(0),
             store: Some(Arc::new(store)),
             recovery: report,
+            env,
+            started,
         };
         Ok((engine, report))
+    }
+
+    /// The environment this engine runs against.
+    pub fn env(&self) -> &Arc<dyn Env> {
+        &self.env
     }
 
     /// The shared hom/core cache, when caching is enabled.
@@ -209,6 +241,12 @@ impl Engine {
         EngineStats {
             requests: self.requests.load(Ordering::Relaxed),
             workspaces: map.len(),
+            uptime_ms: self
+                .env
+                .clock()
+                .monotonic()
+                .saturating_sub(self.started)
+                .as_millis() as u64,
             cache: self.cache.as_ref().map(|c| c.stats()),
             store: self.store.as_ref().map(|s| s.stats()),
             revisions,
@@ -241,6 +279,11 @@ impl Engine {
     /// Handles one request.  Never panics on malformed input — every
     /// failure becomes a [`Response::Error`].
     pub fn handle(&self, request: &Request) -> Response {
+        // Scheduling point: no engine lock is held here, so a simulated
+        // scheduler may interleave other tasks between whole requests —
+        // the granularity at which the engine's own locking must already
+        // make any interleaving equivalent to some sequential order.
+        self.env.yield_point("engine.handle");
         self.requests.fetch_add(1, Ordering::Relaxed);
         match request {
             Request::Ping => Response::Pong,
@@ -440,7 +483,7 @@ impl Engine {
                 }
             }),
             Request::FittingExists { workspace, class } => self.with_workspace(workspace, |ws| {
-                match ws.fitting_exists(*class, self.cache.as_deref()) {
+                match ws.fitting_exists(*class, self.cache.as_deref(), self.env.clock()) {
                     Ok(exists) => Response::Exists {
                         class: *class,
                         exists,
@@ -453,7 +496,7 @@ impl Engine {
                 class,
                 mode,
             } => self.with_workspace(workspace, |ws| {
-                match ws.fit(*class, *mode, self.cache.as_deref()) {
+                match ws.fit(*class, *mode, self.cache.as_deref(), self.env.clock()) {
                     Ok(query) => Response::Fitting {
                         class: *class,
                         mode: *mode,

@@ -27,12 +27,22 @@
 //! [`Request::Persist`] / [`Request::StoreInfo`] expose compaction and
 //! store introspection over the wire.
 //!
-//! See `DESIGN.md` ("Engine architecture", "Durability") for the
-//! workspace model, the incremental product maintenance rules, the cache
-//! keying and invalidation story, and the log format/recovery invariants;
+//! Since PR 6 every effect — filesystem I/O (via the store), clocks, and
+//! scheduler yield points — routes through the injectable
+//! [`cqfit_env::Env`]: [`Engine::new`] defaults to the real environment,
+//! [`Engine::with_env`] injects one, and [`Engine::with_store`] inherits
+//! the store's.  The `cqfit-sim` harness exploits this to run the whole
+//! stack on a simulated filesystem under a deterministic scheduler,
+//! crashing it at every record boundary.
+//!
+//! See `DESIGN.md` ("Engine architecture", "Durability", "Environment &
+//! Simulation") for the workspace model, the incremental product
+//! maintenance rules, the cache keying and invalidation story, the log
+//! format/recovery invariants, and the simulation crash model;
 //! `EXPERIMENTS.md` documents the throughput methodology behind
-//! `BENCH_pr4.json` and the replay/restore methodology behind
-//! `BENCH_pr5.json`.
+//! `BENCH_pr4.json`, the replay/restore methodology behind
+//! `BENCH_pr5.json`, and the simulation/overhead methodology behind
+//! `BENCH_pr6.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

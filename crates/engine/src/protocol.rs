@@ -398,6 +398,9 @@ pub struct EngineStats {
     pub requests: u64,
     /// Current number of workspaces.
     pub workspaces: usize,
+    /// Milliseconds since engine construction, per the engine's injected
+    /// clock (manual clocks in tests, simulated time under `cqfit-sim`).
+    pub uptime_ms: u64,
     /// Hom/core cache statistics, when caching is enabled.
     pub cache: Option<cqfit_hom::CacheStats>,
     /// Store statistics (records, bytes, compactions), when a store is
@@ -652,6 +655,7 @@ impl Serialize for Response {
                     ("kind", Json::str("stats")),
                     ("requests", stats.requests.to_json()),
                     ("workspaces", Json::Int(stats.workspaces as i64)),
+                    ("uptime_ms", stats.uptime_ms.to_json()),
                     ("caching", Json::Bool(stats.cache.is_some())),
                 ];
                 if let Some(c) = &stats.cache {
@@ -842,6 +846,11 @@ impl Deserialize for Response {
                 Ok(Response::Stats(EngineStats {
                     requests: u64::from_json(v.req("requests")?)?,
                     workspaces: usize::from_json(v.req("workspaces")?)?,
+                    // Absent in pre-PR6 captures: default to zero.
+                    uptime_ms: match v.get("uptime_ms") {
+                        Some(u) => u64::from_json(u)?,
+                        None => 0,
+                    },
                     cache,
                     store,
                     revisions,
@@ -992,6 +1001,7 @@ mod tests {
             Response::Stats(EngineStats {
                 requests: 9,
                 workspaces: 1,
+                uptime_ms: 1234,
                 cache: None,
                 store: Some(cqfit_store::StoreStats {
                     workspaces: 1,

@@ -25,6 +25,7 @@
 
 use crate::engine::Engine;
 use crate::protocol::{Request, Response};
+use cqfit_env::Clock;
 use serde::Deserialize;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -127,6 +128,43 @@ impl Server {
 /// flag is raised.
 const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
 
+/// The drain-grace deadline of one connection, measured against the
+/// injected [`Clock`] rather than `Instant::now()` — which is what makes
+/// the shutdown-timeout path unit-testable without real sleeps (see the
+/// `ManualClock` tests below).
+///
+/// The deadline is anchored lazily at the first [`DrainGrace::expired`]
+/// call after shutdown is observed: the grace window counts from when
+/// *this connection* noticed the shutdown, not from the shutdown itself.
+#[derive(Debug)]
+struct DrainGrace {
+    grace: std::time::Duration,
+    deadline: Option<std::time::Duration>,
+}
+
+impl DrainGrace {
+    fn new(grace: std::time::Duration) -> DrainGrace {
+        DrainGrace {
+            grace,
+            deadline: None,
+        }
+    }
+
+    /// Whether this connection has observed shutdown before (the deadline
+    /// is anchored).
+    fn draining(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Anchors the deadline on first call, then reports whether the grace
+    /// window has passed.
+    fn expired(&mut self, clock: &dyn Clock) -> bool {
+        let now = clock.monotonic();
+        let deadline = *self.deadline.get_or_insert(now + self.grace);
+        now >= deadline
+    }
+}
+
 /// Handles one connection; returns on EOF, I/O error, or shutdown.
 fn serve_connection(
     engine: &Engine,
@@ -148,17 +186,14 @@ fn serve_connection(
     // Reads go through a per-iteration `take` so a client streaming a
     // newline-less request cannot grow the buffer without bound.
     let mut buf: Vec<u8> = Vec::new();
-    // Set once the shutdown flag is observed: the connection drains
+    // Anchored once the shutdown flag is observed: the connection drains
     // already-received input (replying to it) until the socket goes quiet
     // or the grace deadline passes, instead of dropping mid-request.
-    let mut drain_deadline: Option<std::time::Instant> = None;
+    let mut drain = DrainGrace::new(DRAIN_GRACE);
+    let clock = engine.env().clock();
     loop {
-        if shutdown.load(Ordering::SeqCst) {
-            let deadline =
-                *drain_deadline.get_or_insert_with(|| std::time::Instant::now() + DRAIN_GRACE);
-            if std::time::Instant::now() >= deadline {
-                return Ok(());
-            }
+        if shutdown.load(Ordering::SeqCst) && drain.expired(clock) {
+            return Ok(());
         }
         let remaining = (MAX_LINE_BYTES + 1).saturating_sub(buf.len()) as u64;
         match std::io::Read::take(&mut reader, remaining).read_until(b'\n', &mut buf) {
@@ -168,7 +203,7 @@ fn serve_connection(
             // When shutting down with no partial request pending, the
             // connection is fully drained — close it.
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if drain_deadline.is_some() && buf.is_empty() {
+                if drain.draining() && buf.is_empty() {
                     return Ok(());
                 }
                 continue;
@@ -371,6 +406,58 @@ mod tests {
         ));
         handle.join().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The drain-grace window, exercised entirely on a manual clock — no
+    /// real sleeps: the deadline anchors on the first expiry check after
+    /// shutdown is observed and trips exactly when the grace elapses.
+    #[test]
+    fn drain_grace_expires_on_the_clock_not_on_wall_time() {
+        use cqfit_env::ManualClock;
+        use std::time::Duration;
+
+        let clock = ManualClock::new();
+        let mut drain = DrainGrace::new(Duration::from_millis(500));
+        assert!(!drain.draining(), "no shutdown observed yet");
+        // First observation anchors the deadline; the window is open.
+        assert!(!drain.expired(&clock));
+        assert!(drain.draining());
+        // Just before the deadline: still draining.
+        clock.advance(Duration::from_millis(499));
+        assert!(!drain.expired(&clock));
+        // At the deadline: expired.
+        clock.advance(Duration::from_millis(1));
+        assert!(drain.expired(&clock));
+        // Expiry is terminal — later checks stay expired.
+        clock.advance(Duration::from_secs(100));
+        assert!(drain.expired(&clock));
+    }
+
+    /// The anchor counts from the first check, not from clock zero: a
+    /// connection that observes shutdown late still gets the full grace.
+    #[test]
+    fn drain_grace_anchors_at_first_observation() {
+        use cqfit_env::ManualClock;
+        use std::time::Duration;
+
+        let clock = ManualClock::new();
+        clock.advance(Duration::from_secs(30)); // connection idles first
+        let mut drain = DrainGrace::new(Duration::from_millis(500));
+        assert!(!drain.expired(&clock), "full grace from late observation");
+        clock.advance(Duration::from_millis(250));
+        assert!(!drain.expired(&clock));
+        clock.advance(Duration::from_millis(250));
+        assert!(drain.expired(&clock));
+    }
+
+    /// A zero grace expires immediately — the configuration a simulated
+    /// environment can use to make shutdown instantaneous.
+    #[test]
+    fn zero_drain_grace_expires_immediately() {
+        use cqfit_env::ManualClock;
+        let clock = ManualClock::new();
+        let mut drain = DrainGrace::new(std::time::Duration::ZERO);
+        assert!(drain.expired(&clock));
     }
 
     /// A shutdown on one connection must terminate `run` even while other

@@ -1,0 +1,545 @@
+//! The simulated filesystem: per-inode buffered-vs-durable bytes,
+//! per-directory durable entry tables, fault injection, and seeded crash
+//! images.
+//!
+//! The model tracks exactly the distinctions the write-ahead log's
+//! correctness depends on:
+//!
+//! * **Content durability is per inode.**  Every inode carries its live
+//!   (`data`) and last-synced (`durable`) byte vectors; `sync_data` /
+//!   `sync_all` copy live over durable.  A crash keeps a *seeded prefix*
+//!   of the unsynced suffix — which is how torn mid-record tails arise.
+//! * **Entry durability is per directory.**  Creates, renames, and
+//!   unlinks change the live entry table immediately but the durable
+//!   table only at `sync_parent_dir`.  A crash applies a seeded subset of
+//!   the pending entry changes (per path: keep the live or the durable
+//!   version), so an un-dir-synced create may vanish, a pre-rename log
+//!   may reappear, and an unlinked file may survive — every state real
+//!   fsync semantics allow.
+//! * **Handles address inodes, not paths** (POSIX): a handle taken
+//!   before a rename keeps writing the original inode — the exact hazard
+//!   the store's compaction reopen path guards against.
+//!
+//! Faults ([`FaultPlan`]): a permanent crash at an operation count
+//! (every later operation fails, as if the disk disappeared — pair with
+//! [`SimFs::crash_image`]), a one-shot short write, and a one-shot
+//! failed sync that leaves durability unchanged.
+
+use crate::splitmix;
+use cqfit_env::{Fs, FsFile, OpenMode};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Scripted failures for one simulated run.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    /// Once the global operation counter reaches this value, that
+    /// operation and every later one fails — the process has, as far as
+    /// the store can tell, lost its disk.  Combine with
+    /// [`SimFs::crash_image`] to model the machine crash itself.
+    pub crash_at_op: Option<u64>,
+    /// Fail the nth `write_all` (0-based) after persisting only `keep`
+    /// bytes of the buffer — a short write.  One-shot.
+    pub fail_write: Option<(u64, usize)>,
+    /// Fail the nth sync (`sync_data`, `sync_all`, or `sync_parent_dir`,
+    /// 0-based) without making anything durable.  One-shot.
+    pub fail_sync: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Inode {
+    /// Live content (what reads through this filesystem observe).
+    data: Vec<u8>,
+    /// Content as of the last successful sync (what a crash preserves).
+    durable: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    plan: FaultPlan,
+    ops: u64,
+    writes: u64,
+    syncs: u64,
+    next_inode: u64,
+    dirs: BTreeSet<PathBuf>,
+    /// Live directory entries: path → inode.
+    live: BTreeMap<PathBuf, u64>,
+    /// Durable directory entries (as of the last `sync_parent_dir` of
+    /// each directory): path → inode.
+    durable: BTreeMap<PathBuf, u64>,
+    /// Inodes, kept alive even when unlinked (open handles and durable
+    /// entries may still address them).
+    inodes: HashMap<u64, Inode>,
+}
+
+impl State {
+    /// Counts one filesystem operation and fails it if the crash point
+    /// has been reached.
+    fn tick(&mut self) -> io::Result<()> {
+        let op = self.ops;
+        self.ops += 1;
+        match self.plan.crash_at_op {
+            Some(n) if op >= n => Err(io::Error::other(format!(
+                "simulated crash at fs op {n} (this is op {op})"
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// `Some(keep)` when this `write_all` must fail short.
+    fn write_fault(&mut self) -> Option<usize> {
+        let w = self.writes;
+        self.writes += 1;
+        match self.plan.fail_write {
+            Some((n, keep)) if w == n => {
+                self.plan.fail_write = None;
+                Some(keep)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this sync must fail (durability unchanged).
+    fn sync_fault(&mut self) -> bool {
+        let s = self.syncs;
+        self.syncs += 1;
+        match self.plan.fail_sync {
+            Some(n) if s == n => {
+                self.plan.fail_sync = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn not_found(path: &Path) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("simulated: no such file {}", path.display()),
+        )
+    }
+}
+
+/// The simulated filesystem.  Cheap to share: wrap in an `Arc` and hand
+/// clones to [`crate::SimEnv`] and the harness.
+#[derive(Debug, Default)]
+pub struct SimFs {
+    state: Arc<Mutex<State>>,
+}
+
+impl SimFs {
+    /// A fresh, empty, fault-free filesystem.
+    pub fn new() -> SimFs {
+        SimFs::default()
+    }
+
+    /// A fresh filesystem with scripted faults.
+    pub fn with_plan(plan: FaultPlan) -> SimFs {
+        let fs = SimFs::default();
+        fs.state.lock().expect("sim fs state").plan = plan;
+        fs
+    }
+
+    /// Total filesystem operations performed so far (the coordinate
+    /// space of [`FaultPlan::crash_at_op`]).
+    pub fn op_count(&self) -> u64 {
+        self.state.lock().expect("sim fs state").ops
+    }
+
+    /// Total `write_all` / sync calls so far (the coordinate spaces of
+    /// [`FaultPlan::fail_write`] and [`FaultPlan::fail_sync`]).
+    pub fn write_sync_counts(&self) -> (u64, u64) {
+        let st = self.state.lock().expect("sim fs state");
+        (st.writes, st.syncs)
+    }
+
+    /// Installs a file with the given bytes, fully durable, creating
+    /// parent directories — bypasses fault injection and the operation
+    /// counter.  This is how crash images are materialized onto a fresh
+    /// filesystem for recovery.
+    pub fn install(&self, path: &Path, bytes: &[u8]) {
+        let mut st = self.state.lock().expect("sim fs state");
+        let mut dir = path.parent();
+        while let Some(d) = dir {
+            st.dirs.insert(d.to_path_buf());
+            dir = d.parent();
+        }
+        let id = st.next_inode;
+        st.next_inode += 1;
+        st.inodes.insert(
+            id,
+            Inode {
+                data: bytes.to_vec(),
+                durable: bytes.to_vec(),
+            },
+        );
+        st.live.insert(path.to_path_buf(), id);
+        st.durable.insert(path.to_path_buf(), id);
+    }
+
+    /// The live content of every file — the image a clean shutdown (or a
+    /// mere process kill, which loses no page cache) leaves behind.
+    pub fn live_files(&self) -> Vec<(PathBuf, Vec<u8>)> {
+        let st = self.state.lock().expect("sim fs state");
+        st.live
+            .iter()
+            .map(|(p, id)| (p.clone(), st.inodes[id].data.clone()))
+            .collect()
+    }
+
+    /// One machine-crash image, seeded: per directory entry, the live or
+    /// the durable version survives (seeded choice where they differ);
+    /// per inode, the durable bytes plus a seeded prefix of any purely
+    /// appended unsynced suffix.  Different seeds explore different
+    /// members of the set of states real fsync semantics allow.
+    pub fn crash_image(&self, seed: u64) -> Vec<(PathBuf, Vec<u8>)> {
+        let st = self.state.lock().expect("sim fs state");
+        let mut rng = seed ^ 0x5112_71DE_AD11_FE57;
+        let mut contents: HashMap<u64, Vec<u8>> = HashMap::new();
+        let paths: BTreeSet<&PathBuf> = st.live.keys().chain(st.durable.keys()).collect();
+        let mut out = Vec::new();
+        for path in paths {
+            let live = st.live.get(path);
+            let durable = st.durable.get(path);
+            let chosen = if live == durable || splitmix(&mut rng) & 1 == 0 {
+                live
+            } else {
+                durable
+            };
+            let Some(&id) = chosen else { continue };
+            let content = contents
+                .entry(id)
+                .or_insert_with(|| crash_content(&st.inodes[&id], &mut rng))
+                .clone();
+            out.push((path.clone(), content));
+        }
+        out
+    }
+}
+
+/// What an inode's bytes look like after a crash: everything synced,
+/// plus — when the unsynced change is a pure append — a seeded prefix of
+/// the unsynced tail (partial page writeback).  A diverging unsynced
+/// rewrite survives as either the old or the new version.
+fn crash_content(inode: &Inode, rng: &mut u64) -> Vec<u8> {
+    let (durable, live) = (&inode.durable, &inode.data);
+    if live.len() >= durable.len() && live[..durable.len()] == durable[..] {
+        let extra = (splitmix(rng) as usize) % (live.len() - durable.len() + 1);
+        live[..durable.len() + extra].to_vec()
+    } else if splitmix(rng) & 1 == 0 {
+        live.clone()
+    } else {
+        durable.clone()
+    }
+}
+
+/// An open handle into a [`SimFs`] inode.
+#[derive(Debug)]
+pub struct SimFile {
+    state: Arc<Mutex<State>>,
+    inode: u64,
+    mode: OpenMode,
+    cursor: usize,
+}
+
+impl FsFile for SimFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut st = self.state.lock().expect("sim fs state");
+        st.tick()?;
+        let short = st.write_fault();
+        let inode = st.inodes.get_mut(&self.inode).expect("inode alive");
+        let pos = match self.mode {
+            OpenMode::Append => inode.data.len(),
+            OpenMode::CreateTruncate | OpenMode::Write => self.cursor,
+        };
+        let n = short.map_or(buf.len(), |keep| keep.min(buf.len()));
+        if inode.data.len() < pos {
+            inode.data.resize(pos, 0);
+        }
+        let overlap = (inode.data.len() - pos).min(n);
+        inode.data[pos..pos + overlap].copy_from_slice(&buf[..overlap]);
+        inode.data.extend_from_slice(&buf[overlap..n]);
+        self.cursor = pos + n;
+        match short {
+            Some(keep) => Err(io::Error::other(format!(
+                "simulated short write ({keep} of {} bytes)",
+                buf.len()
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.state.lock().expect("sim fs state").tick()
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.sync_all()
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        let mut st = self.state.lock().expect("sim fs state");
+        st.tick()?;
+        if st.sync_fault() {
+            return Err(io::Error::other("simulated sync failure"));
+        }
+        let inode = st.inodes.get_mut(&self.inode).expect("inode alive");
+        inode.durable = inode.data.clone();
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        let mut st = self.state.lock().expect("sim fs state");
+        st.tick()?;
+        let inode = st.inodes.get_mut(&self.inode).expect("inode alive");
+        inode.data.resize(len as usize, 0);
+        Ok(())
+    }
+}
+
+impl Fs for SimFs {
+    fn open(&self, path: &Path, mode: OpenMode) -> io::Result<Box<dyn FsFile>> {
+        let mut st = self.state.lock().expect("sim fs state");
+        st.tick()?;
+        let inode = match mode {
+            OpenMode::CreateTruncate => {
+                let parent = path.parent().map(Path::to_path_buf).unwrap_or_default();
+                if !st.dirs.contains(&parent) {
+                    return Err(State::not_found(&parent));
+                }
+                match st.live.get(path) {
+                    Some(&id) => {
+                        // O_TRUNC: same inode, live content emptied; the
+                        // truncation is not durable until a sync.
+                        st.inodes.get_mut(&id).expect("inode alive").data.clear();
+                        id
+                    }
+                    None => {
+                        let id = st.next_inode;
+                        st.next_inode += 1;
+                        st.inodes.insert(id, Inode::default());
+                        st.live.insert(path.to_path_buf(), id);
+                        id
+                    }
+                }
+            }
+            OpenMode::Append | OpenMode::Write => match st.live.get(path) {
+                Some(&id) => id,
+                None => return Err(State::not_found(path)),
+            },
+        };
+        Ok(Box::new(SimFile {
+            state: Arc::clone(&self.state),
+            inode,
+            mode,
+            cursor: 0,
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut st = self.state.lock().expect("sim fs state");
+        st.tick()?;
+        match st.live.get(path) {
+            Some(id) => Ok(st.inodes[id].data.clone()),
+            None => Err(State::not_found(path)),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().expect("sim fs state");
+        st.tick()?;
+        let Some(id) = st.live.remove(from) else {
+            return Err(State::not_found(from));
+        };
+        st.live.insert(to.to_path_buf(), id);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().expect("sim fs state");
+        st.tick()?;
+        match st.live.remove(path) {
+            Some(_) => Ok(()),
+            None => Err(State::not_found(path)),
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().expect("sim fs state");
+        st.tick()?;
+        let mut dir = Some(path);
+        while let Some(d) = dir {
+            st.dirs.insert(d.to_path_buf());
+            dir = d.parent();
+        }
+        Ok(())
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut st = self.state.lock().expect("sim fs state");
+        st.tick()?;
+        if !st.dirs.contains(path) {
+            return Err(State::not_found(path));
+        }
+        Ok(st
+            .live
+            .keys()
+            .filter(|p| p.parent() == Some(path))
+            .cloned()
+            .collect())
+    }
+
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().expect("sim fs state");
+        st.tick()?;
+        if st.sync_fault() {
+            return Err(io::Error::other("simulated directory sync failure"));
+        }
+        let Some(parent) = path.parent().map(Path::to_path_buf) else {
+            return Ok(());
+        };
+        st.durable.retain(|p, _| p.parent() != Some(&parent));
+        let entries: Vec<(PathBuf, u64)> = st
+            .live
+            .iter()
+            .filter(|(p, _)| p.parent() == Some(&parent))
+            .map(|(p, id)| (p.clone(), *id))
+            .collect();
+        st.durable.extend(entries);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(fs: &SimFs, path: &Path, mode: OpenMode) -> Box<dyn FsFile> {
+        fs.open(path, mode).unwrap()
+    }
+
+    #[test]
+    fn append_mode_writes_at_eof_regardless_of_truncation() {
+        let fs = SimFs::new();
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        let p = Path::new("/d/f");
+        drop(file(&fs, p, OpenMode::CreateTruncate));
+        let mut h = file(&fs, p, OpenMode::Append);
+        h.write_all(b"aaaa").unwrap();
+        h.set_len(2).unwrap();
+        h.write_all(b"bb").unwrap();
+        assert_eq!(fs.read(p).unwrap(), b"aabb");
+    }
+
+    #[test]
+    fn crash_keeps_synced_bytes_and_a_prefix_of_the_unsynced_tail() {
+        let fs = SimFs::new();
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        let p = Path::new("/d/f");
+        drop(file(&fs, p, OpenMode::CreateTruncate));
+        fs.sync_parent_dir(p).unwrap();
+        let mut h = file(&fs, p, OpenMode::Append);
+        h.write_all(b"synced").unwrap();
+        h.sync_data().unwrap();
+        h.write_all(b"unsynced").unwrap();
+        let mut lens = BTreeSet::new();
+        for seed in 0..64 {
+            let image = fs.crash_image(seed);
+            let (_, bytes) = image.iter().find(|(q, _)| q == p).expect("file survives");
+            assert!(bytes.starts_with(b"synced"), "synced bytes lost");
+            assert!(b"syncedunsynced".starts_with(&bytes[..]));
+            lens.insert(bytes.len());
+        }
+        assert!(lens.len() > 1, "seeds must explore different tear points");
+    }
+
+    #[test]
+    fn un_dir_synced_create_may_vanish_a_dir_synced_unlink_stays_gone() {
+        let fs = SimFs::new();
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        let kept = Path::new("/d/kept");
+        let dropped = Path::new("/d/dropped");
+        let pending = Path::new("/d/pending");
+        for p in [kept, dropped] {
+            let mut h = file(&fs, p, OpenMode::CreateTruncate);
+            h.write_all(b"x").unwrap();
+            h.sync_all().unwrap();
+        }
+        fs.sync_parent_dir(kept).unwrap();
+        fs.remove_file(dropped).unwrap();
+        fs.sync_parent_dir(dropped).unwrap(); // unlink durable
+        drop(file(&fs, pending, OpenMode::CreateTruncate)); // no dir sync
+        let (mut seen_pending, mut seen_missing) = (false, false);
+        for seed in 0..64 {
+            let image = fs.crash_image(seed);
+            assert!(image.iter().any(|(p, _)| p == kept), "kept must survive");
+            assert!(
+                !image.iter().any(|(p, _)| p == dropped),
+                "durable unlink resurrected"
+            );
+            match image.iter().any(|(p, _)| p == pending) {
+                true => seen_pending = true,
+                false => seen_missing = true,
+            }
+        }
+        assert!(
+            seen_pending && seen_missing,
+            "an un-dir-synced create must be able to go either way"
+        );
+    }
+
+    #[test]
+    fn crash_at_op_fails_everything_from_that_point_on() {
+        let fs = SimFs::with_plan(FaultPlan {
+            crash_at_op: Some(3),
+            ..FaultPlan::default()
+        });
+        fs.create_dir_all(Path::new("/d")).unwrap(); // op 0
+        let mut h = file(&fs, Path::new("/d/f"), OpenMode::CreateTruncate); // op 1
+        h.write_all(b"a").unwrap(); // op 2
+        assert!(h.write_all(b"b").is_err()); // op 3: crashed
+        assert!(h.sync_all().is_err());
+        assert!(fs.read(Path::new("/d/f")).is_err());
+    }
+
+    #[test]
+    fn short_write_and_failed_sync_are_one_shot() {
+        let fs = SimFs::with_plan(FaultPlan {
+            fail_write: Some((1, 2)),
+            fail_sync: Some(0),
+            ..FaultPlan::default()
+        });
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        let p = Path::new("/d/f");
+        file(&fs, p, OpenMode::CreateTruncate);
+        // Append mode, like the WAL: rollback via set_len keeps later
+        // writes landing at the (restored) end of file.
+        let mut h = file(&fs, p, OpenMode::Append);
+        h.write_all(b"aa").unwrap(); // write 0
+        assert!(h.sync_all().is_err(), "sync 0 fails");
+        assert!(h.write_all(b"bbbb").is_err(), "write 1 fails short");
+        assert_eq!(fs.read(p).unwrap(), b"aabb", "short write kept 2 bytes");
+        h.set_len(2).unwrap(); // rollback, as the WAL would
+        h.sync_all().unwrap();
+        h.write_all(b"cc").unwrap();
+        h.sync_all().unwrap();
+        assert_eq!(fs.read(p).unwrap(), b"aacc");
+    }
+
+    #[test]
+    fn handles_follow_inodes_across_rename() {
+        let fs = SimFs::new();
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        let old = Path::new("/d/old");
+        let new = Path::new("/d/new");
+        let mut h = file(&fs, old, OpenMode::CreateTruncate);
+        h.write_all(b"via-old-handle").unwrap();
+        fs.rename(old, new).unwrap();
+        h.write_all(b"!").unwrap();
+        assert_eq!(fs.read(new).unwrap(), b"via-old-handle!");
+        assert!(fs.read(old).is_err());
+        assert_eq!(fs.read_dir(Path::new("/d")).unwrap(), vec![new]);
+    }
+}

@@ -1,0 +1,843 @@
+//! The exploration harness: seeded churn workloads driven through the
+//! real store+engine stack on the simulated filesystem, crashed,
+//! recovered, and compared against storeless oracle engines.
+//!
+//! One [`explore`] call runs four phases for one seed:
+//!
+//! * **Phase 0 — interleaved live run.**  Several workspaces are mutated
+//!   by concurrent tasks under the deterministic scheduler (plus a
+//!   "ghost" workspace that is created and dropped), the run is repeated
+//!   to confirm seed-determinism, and a crash-free reopen of the final
+//!   image must match per-workspace oracles (fold(log) == state) with
+//!   the ghost absent (drops-stay-dropped).
+//! * **Phase A — exhaustive torn tails.**  `w0`'s log is cut at *every*
+//!   record boundary and at ≥1 interior byte of *every* record; each cut
+//!   recovers on a fresh simulated filesystem and must equal the oracle
+//!   driven with exactly the surviving mutation prefix, with the sibling
+//!   workspace intact and the ghost still gone.
+//! * **Phase B — mid-run machine crashes.**  The operation counter is
+//!   crashed at seeded points while a small compaction budget keeps
+//!   snapshot rewrites in flight; recovery from a seeded crash image
+//!   must satisfy acked ≤ revision ≤ issued (at-most-one-lost-ack) and
+//!   match the oracle over the surviving prefix, and an acknowledged
+//!   workspace drop must not resurrect.
+//! * **Phase C — write/sync fault injection.**  One-shot short writes
+//!   and failed syncs: the failed request stays unacknowledged, the
+//!   rollback keeps the log clean, and both the live engine and a
+//!   reopen-from-image equal the oracle over the acknowledged requests
+//!   (including identical no-op behavior on removing an absent id).
+//!
+//! Every divergence returns an `Err` whose message embeds the seed.
+
+use crate::fs::{FaultPlan, SimFs};
+use crate::sched::SimScheduler;
+use crate::{splitmix, SimEnv};
+use cqfit_engine::{
+    Engine, EngineConfig, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response,
+};
+use cqfit_env::Env;
+use cqfit_gen::{churn_workload, resolve_churn, RandomConfig, ResolvedChurnOp};
+use cqfit_store::{Store, StoreConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The simulated data directory (purely virtual: nothing touches disk).
+const DATA_DIR: &str = "/sim/data";
+
+/// Workload sizing for one seed's exploration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Churn steps per workspace.
+    pub steps: usize,
+    /// Concurrent workspaces in the interleaved phase (≥ 2: phase A cuts
+    /// `w0` and checks `w1` stayed intact).
+    pub workspaces: usize,
+    /// Seeded mid-run machine-crash executions (phase B).
+    pub crash_points: usize,
+    /// Seeded write/sync fault executions (phase C).
+    pub fault_points: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            steps: 18,
+            workspaces: 2,
+            crash_points: 5,
+            fault_points: 4,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A reduced configuration for tier-1 (debug-build) test runs.
+    pub fn smoke() -> SimConfig {
+        SimConfig {
+            steps: 10,
+            workspaces: 2,
+            crash_points: 2,
+            fault_points: 2,
+        }
+    }
+}
+
+/// What one seed's exploration covered.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExploreStats {
+    /// Crash→recover→compare loops executed.
+    pub executions: u64,
+    /// Distinct crash / fault injection points exercised.
+    pub crash_points: u64,
+    /// Phase-A cuts landing exactly on a record boundary.
+    pub boundary_cuts: u64,
+    /// Phase-A cuts landing inside a record (torn tails).
+    pub mid_record_cuts: u64,
+    /// Log records subjected to exhaustive cutting.
+    pub records: u64,
+}
+
+impl ExploreStats {
+    /// Accumulates another exploration's counters.
+    pub fn merge(&mut self, other: &ExploreStats) {
+        self.executions += other.executions;
+        self.crash_points += other.crash_points;
+        self.boundary_cuts += other.boundary_cuts;
+        self.mid_record_cuts += other.mid_record_cuts;
+        self.records += other.records;
+    }
+}
+
+/// Outcome of a multi-seed [`sweep`].
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// Aggregate coverage across all passing and failing seeds.
+    pub stats: ExploreStats,
+    /// `(seed, message)` for every seed whose invariants failed.
+    pub failures: Vec<(u64, String)>,
+}
+
+/// Explores one seed through all four phases.
+///
+/// # Errors
+/// The first invariant violation, with the seed embedded for
+/// reproduction (`CQFIT_SIM_SEED=<seed>`).
+pub fn explore(seed: u64, cfg: &SimConfig) -> Result<ExploreStats, String> {
+    let mut stats = ExploreStats::default();
+    let (image, per_ws) = phase0_interleaved(seed, cfg, &mut stats)?;
+    phase_a_exhaustive_cuts(seed, cfg, &image, &per_ws, &mut stats)?;
+    phase_b_midrun_crashes(seed, cfg, &mut stats)?;
+    phase_c_fault_injection(seed, cfg, &mut stats)?;
+    Ok(stats)
+}
+
+/// Runs [`explore`] for `count` seeds starting at `base_seed`,
+/// collecting failures instead of stopping at the first.
+pub fn sweep(base_seed: u64, count: u64, cfg: &SimConfig) -> SweepOutcome {
+    let mut outcome = SweepOutcome::default();
+    for seed in base_seed..base_seed.saturating_add(count) {
+        match explore(seed, cfg) {
+            Ok(stats) => outcome.stats.merge(&stats),
+            Err(message) => outcome.failures.push((seed, message)),
+        }
+    }
+    outcome
+}
+
+// ---------------------------------------------------------------------
+// Workload construction
+// ---------------------------------------------------------------------
+
+fn polarity(positive: bool) -> Polarity {
+    if positive {
+        Polarity::Positive
+    } else {
+        Polarity::Negative
+    }
+}
+
+fn create_request(ws: &str) -> Request {
+    Request::CreateWorkspace {
+        workspace: ws.into(),
+        schema: cqfit_data::Schema::digraph().as_ref().clone(),
+        arity: 0,
+    }
+}
+
+/// The churn mutations (adds/removes, *without* the leading create) for
+/// one workspace, fully determined by the seed.
+fn churn_mutations(ws: &str, seed: u64, steps: usize) -> Vec<Request> {
+    let schema = cqfit_data::Schema::digraph();
+    let cfg = RandomConfig {
+        num_values: 3,
+        density: 0.35,
+        arity: 0,
+        num_positive: 3,
+        num_negative: 3,
+        seed,
+    };
+    resolve_churn(&churn_workload(&schema, &cfg, steps), 0)
+        .into_iter()
+        .map(|op| match op {
+            ResolvedChurnOp::Add { positive, example } => Request::AddExample {
+                workspace: ws.into(),
+                polarity: polarity(positive),
+                example: ExamplePayload::Structured(*example),
+            },
+            ResolvedChurnOp::Remove { positive, id } => Request::RemoveExample {
+                workspace: ws.into(),
+                polarity: polarity(positive),
+                id,
+            },
+        })
+        .collect()
+}
+
+/// The question battery compared between engines.  `WorkspaceInfo` comes
+/// last: its `product_fresh` flag only converges once a fitting question
+/// has forced the lazy product rebuild on both sides.  The `Plain` CQ
+/// fit serializes the canonical CQ of the maintained product, so byte
+/// equality certifies product equivalence.
+fn questions(ws: &str) -> [Request; 4] {
+    [
+        Request::FittingExists {
+            workspace: ws.into(),
+            class: QueryClass::Cq,
+        },
+        Request::FittingExists {
+            workspace: ws.into(),
+            class: QueryClass::Ucq,
+        },
+        Request::Fit {
+            workspace: ws.into(),
+            class: QueryClass::Cq,
+            mode: FitMode::Plain,
+        },
+        Request::WorkspaceInfo {
+            workspace: ws.into(),
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Shared plumbing
+// ---------------------------------------------------------------------
+
+type Image = Vec<(PathBuf, Vec<u8>)>;
+
+fn store_config(compact_after: usize) -> StoreConfig {
+    StoreConfig {
+        dir: DATA_DIR.into(),
+        compact_after,
+        fsync: true,
+    }
+}
+
+/// A compaction budget large enough to never trigger: keeps the
+/// record-index ↔ request-index alignment phase A depends on.
+const NO_COMPACTION: usize = usize::MAX >> 1;
+
+/// Materializes an image onto a fresh simulated filesystem and recovers
+/// a durable engine from it.
+fn engine_from_image(image: &Image, compact_after: usize, seed: u64) -> Result<Engine, String> {
+    let fs = Arc::new(SimFs::new());
+    for (path, bytes) in image {
+        fs.install(path, bytes);
+    }
+    let env: Arc<dyn Env> = Arc::new(SimEnv::new(fs, seed));
+    let store = Store::open_with(store_config(compact_after), env)
+        .map_err(|e| format!("seed {seed}: store open on image failed: {e}"))?;
+    Engine::with_store(EngineConfig::default(), store)
+        .map(|(engine, _)| engine)
+        .map_err(|e| format!("seed {seed}: recovery on image failed: {e}"))
+}
+
+/// Byte-compares the question battery between an engine under test and
+/// its oracle.
+fn compare_answers(
+    got: &Engine,
+    oracle: &Engine,
+    ws: &str,
+    context: &str,
+    seed: u64,
+) -> Result<(), String> {
+    for question in questions(ws) {
+        let want = serde::to_string(&oracle.handle(&question));
+        let have = serde::to_string(&got.handle(&question));
+        if have != want {
+            return Err(format!(
+                "seed {seed}: {context}: {question:?} diverged\n  oracle: {want}\n  got:    {have}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn list_names(engine: &Engine) -> Vec<String> {
+    match engine.handle(&Request::ListWorkspaces) {
+        Response::Workspaces { names } => names,
+        other => panic!("list_workspaces answered {other:?}"),
+    }
+}
+
+/// Drives requests, requiring every response to be ok (fault-free
+/// phases and oracle replays).
+fn drive_ok(engine: &Engine, requests: &[Request], context: &str, seed: u64) -> Result<(), String> {
+    for request in requests {
+        let response = engine.handle(request);
+        if !response.is_ok() {
+            return Err(format!(
+                "seed {seed}: {context}: {request:?} unexpectedly failed: {response:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn workspace_revision(engine: &Engine, ws: &str) -> Option<u64> {
+    match engine.handle(&Request::WorkspaceInfo {
+        workspace: ws.into(),
+    }) {
+        Response::Info { revision, .. } => Some(revision),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 0: interleaved live run under the deterministic scheduler
+// ---------------------------------------------------------------------
+
+/// One interleaved run: per-workspace mutator tasks plus a ghost task,
+/// scheduled deterministically.  Returns the final (clean) filesystem
+/// image.
+fn interleaved_run(seed: u64, per_ws: &[Vec<Request>]) -> Result<Image, String> {
+    let fs = Arc::new(SimFs::new());
+    let sched = Arc::new(SimScheduler::new(seed));
+    let env: Arc<dyn Env> = Arc::new(SimEnv::with_scheduler(
+        Arc::clone(&fs),
+        Arc::clone(&sched),
+        seed,
+    ));
+    let store = Store::open_with(store_config(NO_COMPACTION), env)
+        .map_err(|e| format!("seed {seed}: phase 0: store open failed: {e}"))?;
+    let (engine, _) = Engine::with_store(EngineConfig::default(), store)
+        .map_err(|e| format!("seed {seed}: phase 0: startup recovery failed: {e}"))?;
+    let engine = Arc::new(engine);
+
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for requests in per_ws {
+        let engine = Arc::clone(&engine);
+        let requests = requests.clone();
+        tasks.push(Box::new(move || {
+            for request in &requests {
+                let response = engine.handle(request);
+                assert!(response.is_ok(), "{request:?} failed: {response:?}");
+            }
+        }));
+    }
+    // The ghost: created, mutated, dropped — all acknowledged, so no
+    // trace of it may survive any later recovery.
+    let ghost_engine = Arc::clone(&engine);
+    tasks.push(Box::new(move || {
+        let steps = [
+            create_request("ghost"),
+            Request::AddExample {
+                workspace: "ghost".into(),
+                polarity: Polarity::Positive,
+                example: ExamplePayload::Text("R(g,g)".into()),
+            },
+            Request::DropWorkspace {
+                workspace: "ghost".into(),
+            },
+        ];
+        for request in &steps {
+            let response = ghost_engine.handle(request);
+            assert!(response.is_ok(), "{request:?} failed: {response:?}");
+        }
+    }));
+
+    sched
+        .run(tasks)
+        .map_err(|panics| format!("seed {seed}: phase 0: task panics: {panics:?}"))?;
+    Ok(fs.live_files())
+}
+
+fn phase0_interleaved(
+    seed: u64,
+    cfg: &SimConfig,
+    stats: &mut ExploreStats,
+) -> Result<(Image, Vec<Vec<Request>>), String> {
+    let per_ws: Vec<Vec<Request>> = (0..cfg.workspaces.max(2))
+        .map(|i| {
+            let ws = format!("w{i}");
+            let mut requests = vec![create_request(&ws)];
+            requests.extend(churn_mutations(&ws, seed ^ (0x1000 + i as u64), cfg.steps));
+            requests
+        })
+        .collect();
+
+    let image = interleaved_run(seed, &per_ws)?;
+    let again = interleaved_run(seed, &per_ws)?;
+    if image != again {
+        return Err(format!(
+            "seed {seed}: phase 0: same seed produced different filesystem images \
+             (the scheduler or the stack is nondeterministic)"
+        ));
+    }
+
+    // Crash-free reopen: fold(log) == state for every workspace, ghost
+    // gone.
+    let recovered = engine_from_image(&image, NO_COMPACTION, seed)?;
+    let names = list_names(&recovered);
+    if names.iter().any(|n| n == "ghost") {
+        return Err(format!(
+            "seed {seed}: phase 0: dropped workspace `ghost` resurrected on reopen"
+        ));
+    }
+    for (i, requests) in per_ws.iter().enumerate() {
+        let ws = format!("w{i}");
+        let oracle = Engine::new(EngineConfig::default());
+        drive_ok(&oracle, requests, "phase 0 oracle", seed)?;
+        compare_answers(&recovered, &oracle, &ws, "phase 0: crash-free reopen", seed)?;
+    }
+    stats.executions += 1;
+    Ok((image, per_ws))
+}
+
+// ---------------------------------------------------------------------
+// Phase A: exhaustive cuts of w0's log
+// ---------------------------------------------------------------------
+
+fn phase_a_exhaustive_cuts(
+    seed: u64,
+    cfg: &SimConfig,
+    image: &Image,
+    per_ws: &[Vec<Request>],
+    stats: &mut ExploreStats,
+) -> Result<(), String> {
+    let wal_path = PathBuf::from(DATA_DIR).join("ws-w0.wal");
+    let full = image
+        .iter()
+        .find(|(p, _)| *p == wal_path)
+        .map(|(_, b)| b.clone())
+        .ok_or_else(|| format!("seed {seed}: phase A: w0 log missing from image"))?;
+
+    // Record spans: starts[k]..starts[k+1] is record k (newline framed).
+    let mut starts = vec![0usize];
+    starts.extend(
+        full.iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i + 1),
+    );
+    let record_count = starts.len() - 1;
+    let ends = &starts[1..];
+
+    // Cut positions: every record boundary, plus ≥1 interior byte of
+    // every record (its second byte, and its midpoint when long enough).
+    // Boundary classification wins on collision (inserted last).
+    let mut cuts: BTreeMap<usize, bool> = BTreeMap::new();
+    for k in 0..record_count {
+        let (start, end) = (starts[k], starts[k + 1]);
+        cuts.insert(start + 1, true);
+        if end - start >= 4 {
+            cuts.insert(start + (end - start) / 2, true);
+        }
+    }
+    for &boundary in &starts {
+        cuts.insert(boundary, false);
+    }
+
+    // The sibling workspace must stay intact under every cut of w0's
+    // log.  Its expected answers are computed once from its own oracle;
+    // the fitting question comes first so `product_fresh` converges
+    // before the info comparison (a recovered engine rebuilds lazily).
+    let w1_probe = [
+        Request::FittingExists {
+            workspace: "w1".into(),
+            class: QueryClass::Cq,
+        },
+        Request::WorkspaceInfo {
+            workspace: "w1".into(),
+        },
+    ];
+    let w1_expected: Option<Vec<String>> = if per_ws.len() > 1 {
+        let oracle = Engine::new(EngineConfig::default());
+        drive_ok(&oracle, &per_ws[1], "phase A w1 oracle", seed)?;
+        Some(
+            w1_probe
+                .iter()
+                .map(|q| serde::to_string(&oracle.handle(q)))
+                .collect(),
+        )
+    } else {
+        None
+    };
+
+    // The oracle is fed w0's requests progressively as cuts (ascending)
+    // let more records survive.
+    let oracle = Engine::new(EngineConfig::default());
+    let mut oracle_fed = 0usize;
+    for (&cut, &is_mid) in &cuts {
+        let survived = ends.partition_point(|&end| end <= cut);
+        let mut cut_image: Image = image
+            .iter()
+            .filter(|(p, _)| *p != wal_path)
+            .cloned()
+            .collect();
+        cut_image.push((wal_path.clone(), full[..cut].to_vec()));
+
+        let recovered = engine_from_image(&cut_image, NO_COMPACTION, seed)?;
+        while oracle_fed < survived {
+            let request = &per_ws[0][oracle_fed];
+            let response = oracle.handle(request);
+            if !response.is_ok() {
+                return Err(format!(
+                    "seed {seed}: phase A oracle: {request:?} failed: {response:?}"
+                ));
+            }
+            oracle_fed += 1;
+        }
+
+        let names = list_names(&recovered);
+        if names.iter().any(|n| n == "ghost") {
+            return Err(format!("seed {seed}: phase A cut {cut}: ghost resurrected"));
+        }
+        if survived == 0 {
+            if names.iter().any(|n| n == "w0") {
+                return Err(format!(
+                    "seed {seed}: phase A cut {cut}: w0 has no intact record but was restored"
+                ));
+            }
+        } else {
+            compare_answers(
+                &recovered,
+                &oracle,
+                "w0",
+                &format!("phase A cut {cut} ({survived} records survive)"),
+                seed,
+            )?;
+        }
+        if let Some(expected) = &w1_expected {
+            for (question, want) in w1_probe.iter().zip(expected) {
+                let got = serde::to_string(&recovered.handle(question));
+                if got != *want {
+                    return Err(format!(
+                        "seed {seed}: phase A cut {cut}: sibling w1 damaged on \
+                         {question:?}\n  want: {want}\n  got:  {got}"
+                    ));
+                }
+            }
+        }
+
+        stats.executions += 1;
+        stats.crash_points += 1;
+        if is_mid {
+            stats.mid_record_cuts += 1;
+        } else {
+            stats.boundary_cuts += 1;
+        }
+    }
+    stats.records += record_count as u64;
+    let _ = cfg;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Phase B: mid-run machine crashes (with compaction in flight)
+// ---------------------------------------------------------------------
+
+/// Phase B/C compaction budget: small enough that churn triggers
+/// snapshot rewrites, so crashes land inside the temp-file + rename +
+/// dir-sync sequence too.
+const SMALL_BUDGET: usize = 4;
+
+fn phase_b_workload(seed: u64, cfg: &SimConfig) -> (Vec<Request>, Vec<Vec<Request>>) {
+    let ws_names = ["wb0", "wb1"];
+    let streams: Vec<Vec<Request>> = ws_names
+        .iter()
+        .enumerate()
+        .map(|(i, ws)| churn_mutations(ws, seed ^ (0x2000 + i as u64), cfg.steps))
+        .collect();
+    let mut sequence = vec![
+        create_request("wb0"),
+        create_request("wb1"),
+        create_request("drop_me"),
+        Request::AddExample {
+            workspace: "drop_me".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("R(d,d)".into()),
+        },
+        Request::DropWorkspace {
+            workspace: "drop_me".into(),
+        },
+    ];
+    let longest = streams.iter().map(Vec::len).max().unwrap_or(0);
+    for step in 0..longest {
+        for stream in &streams {
+            if let Some(request) = stream.get(step) {
+                sequence.push(request.clone());
+            }
+        }
+    }
+    (sequence, streams)
+}
+
+/// Whether a response acknowledges a *revision-bumping* mutation.  A
+/// remove of an absent id is acknowledged but logs nothing and bumps
+/// nothing — after a crash has started failing appends, such no-op acks
+/// are common (the examples they target were never added) and must not
+/// count toward the at-most-one-lost-ack bound.
+fn bumps_revision(response: &Response) -> bool {
+    matches!(
+        response,
+        Response::ExampleAdded { .. } | Response::ExampleRemoved { removed: true, .. }
+    )
+}
+
+fn phase_b_midrun_crashes(
+    seed: u64,
+    cfg: &SimConfig,
+    stats: &mut ExploreStats,
+) -> Result<(), String> {
+    let (sequence, streams) = phase_b_workload(seed, cfg);
+
+    // Fault-free dry run sizes the crash-point space.
+    let dry_fs = Arc::new(SimFs::new());
+    {
+        let env: Arc<dyn Env> = Arc::new(SimEnv::new(Arc::clone(&dry_fs), seed));
+        let store = Store::open_with(store_config(SMALL_BUDGET), env)
+            .map_err(|e| format!("seed {seed}: phase B dry run: {e}"))?;
+        let (engine, _) = Engine::with_store(EngineConfig::default(), store)
+            .map_err(|e| format!("seed {seed}: phase B dry run: {e}"))?;
+        drive_ok(&engine, &sequence, "phase B dry run", seed)?;
+    }
+    let total_ops = dry_fs.op_count();
+
+    let mut rng = seed ^ 0xB00B_00B5;
+    for _ in 0..cfg.crash_points {
+        let crash_op = 1 + splitmix(&mut rng) % total_ops;
+        let fs = Arc::new(SimFs::with_plan(FaultPlan {
+            crash_at_op: Some(crash_op),
+            ..FaultPlan::default()
+        }));
+        let env: Arc<dyn Env> = Arc::new(SimEnv::new(Arc::clone(&fs), seed));
+        let mut acked_muts = [0usize; 2];
+        let mut drop_acked = false;
+        // The store (or even startup) may already be inside the crash
+        // window; every failure before or during driving just means
+        // fewer acknowledged requests.
+        if let Ok(store) = Store::open_with(store_config(SMALL_BUDGET), env) {
+            if let Ok((engine, _)) = Engine::with_store(EngineConfig::default(), store) {
+                for request in &sequence {
+                    let response = engine.handle(request);
+                    if !response.is_ok() {
+                        continue;
+                    }
+                    match request {
+                        Request::AddExample { workspace, .. }
+                        | Request::RemoveExample { workspace, .. } => {
+                            if let Some(i) = ["wb0", "wb1"].iter().position(|w| w == workspace) {
+                                if bumps_revision(&response) {
+                                    acked_muts[i] += 1;
+                                }
+                            }
+                        }
+                        Request::DropWorkspace { workspace } if workspace == "drop_me" => {
+                            drop_acked = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        let image = fs.crash_image(splitmix(&mut rng));
+        let recovered = engine_from_image(&image, SMALL_BUDGET, seed)?;
+        let names = list_names(&recovered);
+        if drop_acked && names.iter().any(|n| n == "drop_me") {
+            return Err(format!(
+                "seed {seed}: phase B crash@{crash_op}: acknowledged drop of `drop_me` resurrected"
+            ));
+        }
+        for (i, ws) in ["wb0", "wb1"].iter().enumerate() {
+            let Some(revision) = workspace_revision(&recovered, ws) else {
+                if acked_muts[i] > 0 {
+                    return Err(format!(
+                        "seed {seed}: phase B crash@{crash_op}: {ws} lost \
+                         {} acknowledged mutations entirely",
+                        acked_muts[i]
+                    ));
+                }
+                continue;
+            };
+            let r = revision as usize;
+            if r < acked_muts[i] {
+                return Err(format!(
+                    "seed {seed}: phase B crash@{crash_op}: {ws} recovered revision {r} \
+                     below {} acknowledged mutations",
+                    acked_muts[i]
+                ));
+            }
+            // Replay the stream on the oracle until r revision-bumping
+            // mutations have applied — the log records are exactly the
+            // effective mutations in stream order, so this reproduces the
+            // recovered state.  No-op removes along the way change
+            // nothing on either side.
+            let oracle = Engine::new(EngineConfig::default());
+            drive_ok(&oracle, &[create_request(ws)], "phase B oracle", seed)?;
+            let mut applied = 0usize;
+            let mut stream = streams[i].iter();
+            while applied < r {
+                let Some(request) = stream.next() else {
+                    return Err(format!(
+                        "seed {seed}: phase B crash@{crash_op}: {ws} recovered revision {r} \
+                         exceeds the effective mutations ever issued"
+                    ));
+                };
+                let response = oracle.handle(request);
+                if !response.is_ok() {
+                    return Err(format!(
+                        "seed {seed}: phase B oracle: {request:?} failed: {response:?}"
+                    ));
+                }
+                if bumps_revision(&response) {
+                    applied += 1;
+                }
+            }
+            compare_answers(
+                &recovered,
+                &oracle,
+                ws,
+                &format!("phase B crash@{crash_op}: {ws} revision {r}"),
+                seed,
+            )?;
+        }
+        stats.executions += 1;
+        stats.crash_points += 1;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Phase C: short writes and failed syncs
+// ---------------------------------------------------------------------
+
+fn phase_c_fault_injection(
+    seed: u64,
+    cfg: &SimConfig,
+    stats: &mut ExploreStats,
+) -> Result<(), String> {
+    let ws = "wc";
+    let mut sequence = vec![create_request(ws)];
+    sequence.extend(churn_mutations(ws, seed ^ 0x3000, cfg.steps));
+
+    let dry_fs = Arc::new(SimFs::new());
+    {
+        let env: Arc<dyn Env> = Arc::new(SimEnv::new(Arc::clone(&dry_fs), seed));
+        let store = Store::open_with(store_config(SMALL_BUDGET), env)
+            .map_err(|e| format!("seed {seed}: phase C dry run: {e}"))?;
+        let (engine, _) = Engine::with_store(EngineConfig::default(), store)
+            .map_err(|e| format!("seed {seed}: phase C dry run: {e}"))?;
+        drive_ok(&engine, &sequence, "phase C dry run", seed)?;
+    }
+    let (writes, syncs) = dry_fs.write_sync_counts();
+
+    let mut rng = seed ^ 0xFA17_FA17;
+    for point in 0..cfg.fault_points {
+        let plan = if point % 2 == 0 {
+            FaultPlan {
+                fail_write: Some((splitmix(&mut rng) % writes.max(1), {
+                    (splitmix(&mut rng) % 48) as usize
+                })),
+                ..FaultPlan::default()
+            }
+        } else {
+            FaultPlan {
+                fail_sync: Some(splitmix(&mut rng) % syncs.max(1)),
+                ..FaultPlan::default()
+            }
+        };
+        let fault_desc = format!("{plan:?}");
+        let fs = Arc::new(SimFs::with_plan(plan));
+        let env: Arc<dyn Env> = Arc::new(SimEnv::new(Arc::clone(&fs), seed));
+        let store = Store::open_with(store_config(SMALL_BUDGET), env)
+            .map_err(|e| format!("seed {seed}: phase C: store open failed: {e}"))?;
+        let (engine, _) = Engine::with_store(EngineConfig::default(), store)
+            .map_err(|e| format!("seed {seed}: phase C: startup failed: {e}"))?;
+
+        // Drive through the fault: exactly the acknowledged requests
+        // define the oracle's view.
+        let acked: Vec<Request> = sequence
+            .iter()
+            .filter(|request| engine.handle(request).is_ok())
+            .cloned()
+            .collect();
+        let oracle = Engine::new(EngineConfig::default());
+        drive_ok(&oracle, &acked, "phase C oracle", seed)?;
+        compare_answers(
+            &engine,
+            &oracle,
+            ws,
+            &format!("phase C live after fault {fault_desc}"),
+            seed,
+        )?;
+
+        // Removing an id that was never assigned must no-op identically
+        // on both sides (only successful removals are ever logged).
+        let absent = Request::RemoveExample {
+            workspace: ws.into(),
+            polarity: Polarity::Positive,
+            id: 999_999,
+        };
+        let want = serde::to_string(&oracle.handle(&absent));
+        let have = serde::to_string(&engine.handle(&absent));
+        if have != want {
+            return Err(format!(
+                "seed {seed}: phase C fault {fault_desc}: remove-of-absent diverged \
+                 (oracle {want}, got {have})"
+            ));
+        }
+
+        // Reopen from the surviving bytes: the log a faulted run leaves
+        // behind still folds to the acknowledged state.
+        let reopened = engine_from_image(&fs.live_files(), SMALL_BUDGET, seed)?;
+        compare_answers(
+            &reopened,
+            &oracle,
+            ws,
+            &format!("phase C reopen after fault {fault_desc}"),
+            seed,
+        )?;
+
+        stats.executions += 2;
+        stats.crash_points += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One small seed through all four phases: the harness's own smoke
+    /// test (the exhaustive sweep runs via the `cqfit-sim` binary and
+    /// the repo-level recovery suite).
+    #[test]
+    fn explore_smoke_seed_passes_all_phases() {
+        let cfg = SimConfig {
+            steps: 6,
+            workspaces: 2,
+            crash_points: 2,
+            fault_points: 2,
+        };
+        let stats = explore(0xC0FFEE, &cfg).expect("invariants hold");
+        assert!(stats.executions > 10, "stats: {stats:?}");
+        assert!(stats.boundary_cuts >= 7, "every boundary cut: {stats:?}");
+        assert!(
+            stats.mid_record_cuts >= stats.records,
+            "≥1 mid-record cut per record: {stats:?}"
+        );
+        assert_eq!(stats.records, 7, "create + 6 churn records: {stats:?}");
+    }
+}

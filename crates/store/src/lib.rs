@@ -20,6 +20,12 @@
 //! machine crash can lose the unsynced suffix — recovery then truncates
 //! the torn tail and restores the longest intact prefix.
 //!
+//! All filesystem traffic goes through the injectable [`cqfit_env::Env`]
+//! ([`Store::open`] defaults to the real one): the `cqfit-sim` harness
+//! substitutes a simulated filesystem to crash this exact code at every
+//! record boundary and verify that recovery restores precisely the
+//! acknowledged prefix.
+//!
 //! Log format: see [`record`].  Compaction: when a log accumulates more
 //! than [`StoreConfig::compact_after`] records since its last snapshot,
 //! the next append first rewrites the log as a single `snapshot` record of
@@ -36,6 +42,7 @@ mod wal;
 pub use record::{LogRecord, WorkspaceSnapshot};
 
 use cqfit_data::{Example, Schema};
+use cqfit_env::{Env, RealEnv};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::PathBuf;
@@ -245,6 +252,7 @@ impl Fold {
 #[derive(Debug)]
 pub struct Store {
     config: StoreConfig,
+    env: Arc<dyn Env>,
     logs: Mutex<HashMap<String, Arc<Mutex<WalFile>>>>,
     /// Names with a create in flight: reserved under the `logs` lock so
     /// the fsync'd file creation can run *outside* it without letting a
@@ -256,15 +264,28 @@ pub struct Store {
 }
 
 impl Store {
-    /// Opens (creating if needed) the data directory.  Existing logs are
-    /// not touched until [`Store::recover`] scans them.
+    /// Opens (creating if needed) the data directory against the real
+    /// filesystem.  Existing logs are not touched until [`Store::recover`]
+    /// scans them.
     ///
     /// # Errors
     /// Propagates directory-creation failures.
     pub fn open(config: StoreConfig) -> Result<Store, StoreError> {
-        std::fs::create_dir_all(&config.dir)?;
+        Store::open_with(config, RealEnv::arc())
+    }
+
+    /// Opens a store against an explicit [`Env`] — the real one in
+    /// production, `cqfit-sim`'s simulated one under the crash harness.
+    /// All filesystem traffic of this store (and of any engine built on
+    /// it) goes through `env`.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open_with(config: StoreConfig, env: Arc<dyn Env>) -> Result<Store, StoreError> {
+        env.fs().create_dir_all(&config.dir)?;
         Ok(Store {
             config,
+            env,
             logs: Mutex::new(HashMap::new()),
             creating: Mutex::new(std::collections::HashSet::new()),
             compactions: AtomicU64::new(0),
@@ -275,6 +296,11 @@ impl Store {
     /// The store's configuration.
     pub fn config(&self) -> &StoreConfig {
         &self.config
+    }
+
+    /// The environment this store performs I/O through.
+    pub fn env(&self) -> &Arc<dyn Env> {
+        &self.env
     }
 
     fn file_path(&self, name: &str) -> PathBuf {
@@ -314,8 +340,7 @@ impl Store {
         let mut report = RecoveryReport::default();
         let mut restored = Vec::new();
         let mut logs = self.logs.lock().expect("store log map");
-        for entry in std::fs::read_dir(&self.config.dir)? {
-            let path = entry?.path();
+        for path in self.env.fs().read_dir(&self.config.dir)? {
             let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
                 continue;
             };
@@ -328,7 +353,7 @@ impl Store {
             let Some(name) = wal::decode_name(stem) else {
                 continue;
             };
-            let outcome = wal::replay(&path)?;
+            let outcome = wal::replay(self.env.fs(), &path)?;
             report.records_replayed += outcome.records.len() as u64;
             report.torn_bytes_dropped += outcome.torn_bytes;
             let mut fold = Fold::default();
@@ -339,10 +364,11 @@ impl Store {
             let Some(ws) = fold.into_restored(name.clone()) else {
                 // Nothing intact (the create itself was torn): the
                 // workspace never existed as far as any client knows.
-                std::fs::remove_file(&path)?;
+                self.env.fs().remove_file(&path)?;
                 continue;
             };
             let mut wal = WalFile::open_append(
+                self.env.clone(),
                 path,
                 self.config.fsync,
                 record_count,
@@ -384,9 +410,14 @@ impl Store {
                 )));
             }
         }
-        // File create + durable create record, outside every store lock.
+        // File create + durable create record, outside every store lock —
+        // which also makes this a legal scheduling point: a simulated
+        // interleaving may run other tasks between the reservation and
+        // the file I/O below.
+        self.env.yield_point("store.create");
         let created = (|| {
-            let mut wal = WalFile::create(self.file_path(name), self.config.fsync)?;
+            let mut wal =
+                WalFile::create(self.env.clone(), self.file_path(name), self.config.fsync)?;
             wal.append(&LogRecord::Create {
                 schema: schema.clone(),
                 arity,
@@ -406,7 +437,7 @@ impl Store {
             Err(e) => {
                 // Best-effort cleanup of a half-created file; recovery
                 // would drop it anyway (its create was never acked).
-                let _ = std::fs::remove_file(self.file_path(name));
+                let _ = self.env.fs().remove_file(&self.file_path(name));
                 Err(e)
             }
         }
@@ -470,16 +501,19 @@ impl Store {
     /// # Errors
     /// Propagates deletion failures.
     pub fn drop_workspace(&self, name: &str) -> Result<bool, StoreError> {
+        // Scheduling point before any lock is taken (see yield-point
+        // call discipline in `cqfit-env`).
+        self.env.yield_point("store.drop");
         let mut logs = self.logs.lock().expect("store log map");
         if !logs.contains_key(name) {
             return Ok(false);
         }
         let path = self.file_path(name);
-        std::fs::remove_file(&path)?;
+        self.env.fs().remove_file(&path)?;
         // Make the unlink itself durable: without the directory sync an
         // acknowledged drop could resurrect after power loss.
         if self.config.fsync {
-            wal::sync_dir(&path)?;
+            self.env.fs().sync_parent_dir(&path)?;
         }
         logs.remove(name);
         Ok(true)

@@ -10,12 +10,16 @@
 //! the log as one snapshot record via the classic temp-file + rename +
 //! directory-sync sequence, so a crash mid-compaction leaves either the
 //! old log or the new one, never a mix.
+//!
+//! Every filesystem call goes through [`cqfit_env::Fs`], so the same code
+//! runs against the real filesystem in production and against
+//! `cqfit-sim`'s crash-injecting `SimFs` in the simulation harness.
 
 use crate::record::{decode_record, encode_record, LogRecord};
 use crate::StoreError;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
+use cqfit_env::{Env, Fs, FsFile, OpenMode};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Extension of write-ahead log files.
 pub(crate) const WAL_EXT: &str = "wal";
@@ -70,8 +74,9 @@ pub(crate) fn decode_name(stem: &str) -> Option<String> {
 /// counters.
 #[derive(Debug)]
 pub(crate) struct WalFile {
+    env: Arc<dyn Env>,
     path: PathBuf,
-    file: File,
+    file: Box<dyn FsFile>,
     fsync: bool,
     /// Records currently in the file.
     pub(crate) records: u64,
@@ -88,39 +93,26 @@ pub(crate) struct WalFile {
     poisoned: bool,
 }
 
-/// Syncs the directory containing `path`, making a rename, create, or
-/// unlink durable.  Best-effort on platforms where directories cannot be
-/// opened.
-pub(crate) fn sync_dir(path: &Path) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if let Ok(dir) = File::open(parent) {
-            dir.sync_all()?;
-        }
-    }
-    Ok(())
-}
-
 impl WalFile {
     /// Creates a fresh (truncated) log file.
-    pub(crate) fn create(path: PathBuf, fsync: bool) -> Result<Self, StoreError> {
+    pub(crate) fn create(
+        env: Arc<dyn Env>,
+        path: PathBuf,
+        fsync: bool,
+    ) -> Result<Self, StoreError> {
         // Truncate any stale file first, then take the real handle in
         // O_APPEND mode — every write must land at EOF *by mode*, not by
         // cursor position: the append-failure rollback truncates with
         // `set_len`, which does not move a write-mode cursor, and a
         // stale cursor past EOF would make the next acknowledged append
         // write behind a NUL hole that recovery then truncates away.
-        drop(
-            OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(&path)?,
-        );
-        let file = OpenOptions::new().append(true).open(&path)?;
+        drop(env.fs().open(&path, OpenMode::CreateTruncate)?);
+        let file = env.fs().open(&path, OpenMode::Append)?;
         if fsync {
-            sync_dir(&path)?;
+            env.fs().sync_parent_dir(&path)?;
         }
         Ok(WalFile {
+            env,
             path,
             file,
             fsync,
@@ -134,14 +126,16 @@ impl WalFile {
     /// Opens an existing log for appending, with counters supplied by the
     /// replay that just scanned it.
     pub(crate) fn open_append(
+        env: Arc<dyn Env>,
         path: PathBuf,
         fsync: bool,
         records: u64,
         since_snapshot: u64,
         bytes: u64,
     ) -> Result<Self, StoreError> {
-        let file = OpenOptions::new().append(true).open(&path)?;
+        let file = env.fs().open(&path, OpenMode::Append)?;
         Ok(WalFile {
+            env,
             path,
             file,
             fsync,
@@ -223,21 +217,17 @@ impl WalFile {
         // fully intact — plain error returns are safe (the stray temp
         // file is removed best-effort).
         let tmp_written = (|| {
-            let mut tmp = OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(&tmp_path)?;
+            let mut tmp = self.env.fs().open(&tmp_path, OpenMode::CreateTruncate)?;
             tmp.write_all(text.as_bytes())?;
             tmp.sync_all()?;
             Ok::<(), std::io::Error>(())
         })();
         if let Err(e) = tmp_written {
-            let _ = std::fs::remove_file(&tmp_path);
+            let _ = self.env.fs().remove_file(&tmp_path);
             return Err(e.into());
         }
-        if let Err(e) = std::fs::rename(&tmp_path, &self.path) {
-            let _ = std::fs::remove_file(&tmp_path);
+        if let Err(e) = self.env.fs().rename(&tmp_path, &self.path) {
+            let _ = self.env.fs().remove_file(&tmp_path);
             return Err(e.into());
         }
         // From here on the rename has happened: the open handle points at
@@ -247,9 +237,9 @@ impl WalFile {
         // into the unlinked inode and silently vanish on restart.
         let reopened = (|| {
             if self.fsync {
-                sync_dir(&self.path)?;
+                self.env.fs().sync_parent_dir(&self.path)?;
             }
-            OpenOptions::new().append(true).open(&self.path)
+            self.env.fs().open(&self.path, OpenMode::Append)
         })();
         match reopened {
             Ok(file) => self.file = file,
@@ -300,8 +290,8 @@ pub(crate) struct ReplayOutcome {
 /// passes its checksum.  Everything from the first failure on is the torn
 /// tail — records after a corrupt line are unreplayable because log order
 /// is the mutation order.
-pub(crate) fn replay(path: &Path) -> Result<ReplayOutcome, StoreError> {
-    let data = std::fs::read(path)?;
+pub(crate) fn replay(fs: &dyn Fs, path: &Path) -> Result<ReplayOutcome, StoreError> {
+    let data = fs.read(path)?;
     let mut records = Vec::new();
     let mut offset = 0usize;
     let mut since_snapshot = 0u64;
@@ -327,7 +317,7 @@ pub(crate) fn replay(path: &Path) -> Result<ReplayOutcome, StoreError> {
     let good_bytes = offset as u64;
     let torn_bytes = (data.len() - offset) as u64;
     if torn_bytes > 0 {
-        let file = OpenOptions::new().write(true).open(path)?;
+        let mut file = fs.open(path, OpenMode::Write)?;
         file.set_len(good_bytes)?;
         file.sync_all()?;
     }
@@ -342,6 +332,13 @@ pub(crate) fn replay(path: &Path) -> Result<ReplayOutcome, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cqfit_env::RealEnv;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn real_env() -> Arc<dyn Env> {
+        RealEnv::arc()
+    }
 
     /// The freshly-created handle must write at EOF *by mode*: after the
     /// rollback path truncates with `set_len`, a write-mode cursor would
@@ -353,12 +350,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("cqfit_wal_cursor_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
+        let env = real_env();
         let path = dir.join("t.wal");
         let record = LogRecord::Create {
             schema: cqfit_data::Schema::digraph().as_ref().clone(),
             arity: 0,
         };
-        let mut wal = WalFile::create(path.clone(), false).unwrap();
+        let mut wal = WalFile::create(env.clone(), path.clone(), false).unwrap();
         wal.append(&record).unwrap();
         let one_record = std::fs::metadata(&path).unwrap().len();
         // Simulate the append-failure rollback: truncate everything and
@@ -375,7 +373,7 @@ mod tests {
             one_record,
             "append after truncation must not leave a hole"
         );
-        let outcome = replay(&path).unwrap();
+        let outcome = replay(env.fs(), &path).unwrap();
         assert_eq!(outcome.records.len(), 1);
         assert_eq!(outcome.torn_bytes, 0);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -405,5 +403,72 @@ mod tests {
         assert_eq!(decode_name("%61"), None, "escape of a safe byte");
         assert_eq!(decode_name("a%2fb"), None, "lowercase hex");
         assert_eq!(decode_name("a%2Fb").as_deref(), Some("a/b"));
+    }
+
+    /// A random workspace name drawn to stress the encoder: adversarial
+    /// mixes of safe ASCII, percent signs, hex-looking pairs, multi-byte
+    /// unicode (including astral-plane), control bytes, and path
+    /// metacharacters.
+    fn adversarial_name(rng: &mut StdRng) -> String {
+        const POOL: &[char] = &[
+            'a', 'Z', '0', '-', '_', '%', '2', 'F', 'f', '.', '/', '\\', ' ', '\n', '\t', '\0',
+            'é', 'ü', 'ß', 'λ', '中', '🦀', '\u{7f}', '\u{80}', '\u{2028}', '\u{fffd}',
+        ];
+        let len = rng.gen_range(0usize..24);
+        (0..len)
+            .map(|_| POOL[rng.gen_range(0..POOL.len())])
+            .collect()
+    }
+
+    /// Property fuzz (satellite of PR 6): across seeded random adversarial
+    /// names, encoding round-trips, stays filesystem-safe, and is
+    /// injective; random *stems* either decode-then-re-encode canonically
+    /// or are rejected — no stem decodes to a name whose canonical file
+    /// would differ.
+    #[test]
+    fn fuzz_name_encoding_round_trip_and_injectivity() {
+        let seed = std::env::var("CQFIT_SIM_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xC0FFEE_u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stems: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+        for i in 0..2000 {
+            let name = adversarial_name(&mut rng);
+            let stem = encode_name(&name);
+            assert!(
+                stem.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'%'),
+                "seed {seed} iter {i}: unsafe stem {stem:?} for {name:?}"
+            );
+            assert_eq!(
+                decode_name(&stem).as_deref(),
+                Some(name.as_str()),
+                "seed {seed} iter {i}: round-trip failed for {name:?}"
+            );
+            // Injectivity: a stem seen before must come from the same name.
+            if let Some(prev) = stems.insert(stem.clone(), name.clone()) {
+                assert_eq!(
+                    prev, name,
+                    "seed {seed} iter {i}: names {prev:?} and {name:?} collide on stem {stem:?}"
+                );
+            }
+        }
+        // Canonicality: random stems built from the *stem* alphabet either
+        // reject or re-encode to themselves — never to a different stem.
+        const STEM_POOL: &[u8] = b"azAZ09-_%%%%0123456789abcdefABCDEF";
+        for i in 0..2000 {
+            let len = rng.gen_range(0usize..16);
+            let stem: String = (0..len)
+                .map(|_| STEM_POOL[rng.gen_range(0..STEM_POOL.len())] as char)
+                .collect();
+            if let Some(name) = decode_name(&stem) {
+                assert_eq!(
+                    encode_name(&name),
+                    stem,
+                    "seed {seed} iter {i}: stem {stem:?} decoded non-canonically to {name:?}"
+                );
+            }
+        }
     }
 }

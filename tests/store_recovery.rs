@@ -189,11 +189,40 @@ fn recovered_engine_matches_never_crashed_oracle() {
     }
 }
 
-/// A torn tail (log truncated mid-record) loses exactly the torn suffix:
-/// the recovered engine equals an oracle that only saw the surviving
-/// prefix of mutations, for every cut position within the last record.
+/// Exhaustive torn tails (PR 6): instead of a handful of fixed-offset
+/// cuts, drive the simulation harness, which cuts the log at **every**
+/// record boundary and at interior bytes of **every** record, recovers
+/// each cut on the simulated filesystem, and compares against an oracle
+/// that only saw the surviving mutation prefix — plus seeded mid-run
+/// crashes and write/sync fault injection (phases B and C).  A failure
+/// prints the seed; replay it with `CQFIT_SIM_SEED=<seed>`.
 #[test]
-fn torn_tail_recovers_the_longest_intact_prefix() {
+fn torn_tails_are_explored_exhaustively_by_the_simulator() {
+    let cfg = cqfit_sim::SimConfig::smoke();
+    let mut total = cqfit_sim::ExploreStats::default();
+    for seed in [21u64, 22] {
+        let stats = cqfit_sim::explore(seed, &cfg)
+            .unwrap_or_else(|message| panic!("CQFIT_SIM_SEED={seed} reproduces: {message}"));
+        assert!(
+            stats.boundary_cuts > stats.records,
+            "seed {seed}: every record boundary (plus the empty and full \
+             logs) must be cut: {stats:?}"
+        );
+        assert!(
+            stats.mid_record_cuts >= stats.records,
+            "seed {seed}: at least one interior byte of every record must \
+             be cut: {stats:?}"
+        );
+        total.merge(&stats);
+    }
+    assert!(total.executions > 50, "coverage collapsed: {total:?}");
+}
+
+/// One fast real-filesystem torn-tail cut stays in tier-1: the simulator
+/// models the filesystem, so keep a smoke check that the real
+/// `std::fs`-backed store truncates and recovers identically.
+#[test]
+fn torn_tail_smoke_on_the_real_filesystem() {
     let dir = tmp_dir("torn");
     let requests = workload(21, 30);
     let (live, _) = durable(&dir, 1024);
@@ -202,36 +231,35 @@ fn torn_tail_recovers_the_longest_intact_prefix() {
     let wal = dir.join(format!("ws-{WS}.wal"));
     let full = std::fs::read(&wal).unwrap();
 
-    for torn_bytes in [1usize, 7, 40] {
-        let cut_dir = tmp_dir(&format!("torn_cut_{torn_bytes}"));
-        std::fs::create_dir_all(&cut_dir).unwrap();
-        std::fs::write(
-            cut_dir.join(format!("ws-{WS}.wal")),
-            &full[..full.len() - torn_bytes],
-        )
-        .unwrap();
-        let (recovered, report) = durable(&cut_dir, 1024);
-        assert!(report.torn_bytes_dropped > 0, "cut {torn_bytes}");
-        let survived = report.records_replayed as usize;
-        assert!(survived < requests.len(), "cut {torn_bytes} lost the tail");
-        // Oracle: replay only the surviving prefix of mutations.
-        let oracle = Engine::new(EngineConfig::default());
-        drive(&oracle, &requests[..survived]);
-        assert_same_answers(&oracle, &recovered, "torn tail");
-        // The truncated log keeps accepting appends, and reopening again
-        // replays them.
-        let extra = Request::AddExample {
-            workspace: WS.into(),
-            polarity: Polarity::Negative,
-            example: ExamplePayload::Text("R(z,z)".into()),
-        };
-        let recovered_resp = serde::to_string(&recovered.handle(&extra));
-        assert_eq!(recovered_resp, serde::to_string(&oracle.handle(&extra)));
-        drop(recovered);
-        let (reopened, _) = durable(&cut_dir, 1024);
-        assert_same_answers(&oracle, &reopened, "torn tail + append + reopen");
-        std::fs::remove_dir_all(&cut_dir).unwrap();
-    }
+    let torn_bytes = 7usize;
+    let cut_dir = tmp_dir("torn_cut");
+    std::fs::create_dir_all(&cut_dir).unwrap();
+    std::fs::write(
+        cut_dir.join(format!("ws-{WS}.wal")),
+        &full[..full.len() - torn_bytes],
+    )
+    .unwrap();
+    let (recovered, report) = durable(&cut_dir, 1024);
+    assert!(report.torn_bytes_dropped > 0);
+    let survived = report.records_replayed as usize;
+    assert!(survived < requests.len(), "the torn record is lost");
+    // Oracle: replay only the surviving prefix of mutations.
+    let oracle = Engine::new(EngineConfig::default());
+    drive(&oracle, &requests[..survived]);
+    assert_same_answers(&oracle, &recovered, "torn tail");
+    // The truncated log keeps accepting appends, and reopening again
+    // replays them.
+    let extra = Request::AddExample {
+        workspace: WS.into(),
+        polarity: Polarity::Negative,
+        example: ExamplePayload::Text("R(z,z)".into()),
+    };
+    let recovered_resp = serde::to_string(&recovered.handle(&extra));
+    assert_eq!(recovered_resp, serde::to_string(&oracle.handle(&extra)));
+    drop(recovered);
+    let (reopened, _) = durable(&cut_dir, 1024);
+    assert_same_answers(&oracle, &reopened, "torn tail + append + reopen");
+    std::fs::remove_dir_all(&cut_dir).unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
