@@ -2,8 +2,16 @@
 //! their preserved pre-rewrite reference implementations **in the same
 //! run**, and writes the result to a `BENCH_pr*.json` capture file.
 //!
-//! Five stages exist:
+//! Six stages exist:
 //!
+//! * **pr7** (`--pr7`) — the network seam (`cqfit_env::Net` +
+//!   `cqfit-sim`'s phase N): coverage of the deterministic network-fault
+//!   sweep (sessions, frame-boundary and mid-frame wire cuts), and the
+//!   dispatch cost of routing the wire protocol's ping round-trip and
+//!   pipelined append loop through `RealNet`'s `dyn NetConn` instead of
+//!   `std::net::TcpStream` directly (identical loops against the same
+//!   loopback line server; the acceptance target is < 2% overhead).
+//!   Writes `BENCH_pr7.json`.
 //! * **pr6** (`--pr6`) — the environment abstraction
 //!   (`cqfit_env::Env` + `cqfit-sim`): coverage and throughput of a
 //!   deterministic-simulation sweep (seeded executions/s, crash points
@@ -43,7 +51,7 @@
 //!
 //! Usage:
 //! ```text
-//! perf_trajectory [--pr2|--pr3|--pr5|--pr6] [--quick] [--out PATH]  # run and write the capture
+//! perf_trajectory [--pr2|--pr3|--pr5|--pr6|--pr7] [--quick] [--out PATH]  # run and write the capture
 //! perf_trajectory --check PATH                                # validate a capture
 //! ```
 //! `--check` exits non-zero if the file is missing or malformed; CI uses it
@@ -1046,6 +1054,9 @@ mod pr6 {
         pub crash_points: u64,
         pub boundary_cuts: u64,
         pub mid_record_cuts: u64,
+        pub net_executions: u64,
+        pub net_boundary_cuts: u64,
+        pub net_mid_frame_cuts: u64,
         pub elapsed_ns: u128,
     }
 
@@ -1069,6 +1080,9 @@ mod pr6 {
             crash_points: outcome.stats.crash_points,
             boundary_cuts: outcome.stats.boundary_cuts,
             mid_record_cuts: outcome.stats.mid_record_cuts,
+            net_executions: outcome.stats.net_executions,
+            net_boundary_cuts: outcome.stats.net_boundary_cuts,
+            net_mid_frame_cuts: outcome.stats.net_mid_frame_cuts,
             elapsed_ns,
         }
     }
@@ -1308,6 +1322,305 @@ fn run_pr6(quick: bool) -> String {
     )
 }
 
+mod pr7 {
+    use cqfit_env::{NetConn, RealEnv};
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    // The two sides of each measurement are kept literally parallel: the
+    // same bytes, the same write/read sequence against the same line
+    // server — the only difference is whether the client calls go through
+    // the `dyn Net`/`dyn NetConn` vtables (`RealNet`) or straight into
+    // `std::net::TcpStream`.
+
+    /// A tiny loopback line server: `ping` → `pong`; any other line
+    /// increments a counter; `done` → the count (reset afterwards).
+    /// Serves exactly two connections — the direct and the env client.
+    fn spawn_server() -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bench server bind");
+        let addr = listener
+            .local_addr()
+            .expect("bench server addr")
+            .to_string();
+        let handle = std::thread::spawn(move || {
+            let mut conns = Vec::new();
+            for _ in 0..2 {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                conns.push(std::thread::spawn(move || serve(stream)));
+            }
+            for conn in conns {
+                let _ = conn.join();
+            }
+        });
+        (addr, handle)
+    }
+
+    fn serve(stream: TcpStream) {
+        let mut reader = BufReader::new(stream.try_clone().expect("bench server clone"));
+        let mut writer = stream;
+        let mut count: u64 = 0;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            match line.trim_end() {
+                "ping" => {
+                    if writer.write_all(b"pong\n").is_err() {
+                        return;
+                    }
+                }
+                "done" => {
+                    let reply = format!("{count}\n");
+                    count = 0;
+                    if writer.write_all(reply.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+                _ => count += 1,
+            }
+        }
+    }
+
+    fn read_reply_env(conn: &mut Box<dyn NetConn>, scratch: &mut [u8]) {
+        let mut seen = 0usize;
+        loop {
+            let n = conn.read(&mut scratch[seen..], None).expect("env read");
+            assert!(n > 0, "bench server closed the connection");
+            seen += n;
+            if scratch[..seen].contains(&b'\n') {
+                return;
+            }
+        }
+    }
+
+    fn read_reply_direct(stream: &mut TcpStream, scratch: &mut [u8]) {
+        let mut seen = 0usize;
+        loop {
+            let n = stream.read(&mut scratch[seen..]).expect("direct read");
+            assert!(n > 0, "bench server closed the connection");
+            seen += n;
+            if scratch[..seen].contains(&b'\n') {
+                return;
+            }
+        }
+    }
+
+    /// One request/response round trip through the `dyn NetConn` vtable.
+    fn ping_once_env(conn: &mut Box<dyn NetConn>, scratch: &mut [u8]) -> u128 {
+        let started = Instant::now();
+        conn.write_all(b"ping\n").expect("env ping write");
+        read_reply_env(conn, scratch);
+        started.elapsed().as_nanos()
+    }
+
+    /// The identical round trip straight on `std::net::TcpStream`.
+    fn ping_once_direct(stream: &mut TcpStream, scratch: &mut [u8]) -> u128 {
+        let started = Instant::now();
+        stream.write_all(b"ping\n").expect("direct ping write");
+        read_reply_direct(stream, scratch);
+        started.elapsed().as_nanos()
+    }
+
+    /// A pipelined append burst: `records` line frames written
+    /// back-to-back with no intervening reads (the wire shape of a bulk
+    /// `add_example` load), then one `done` round trip to bound the
+    /// measurement by full delivery.
+    fn burst_once_env(
+        conn: &mut Box<dyn NetConn>,
+        record: &[u8],
+        records: usize,
+        scratch: &mut [u8],
+    ) -> u128 {
+        let started = Instant::now();
+        for _ in 0..records {
+            conn.write_all(record).expect("env append write");
+        }
+        conn.write_all(b"done\n").expect("env done write");
+        read_reply_env(conn, scratch);
+        started.elapsed().as_nanos()
+    }
+
+    fn burst_once_direct(
+        stream: &mut TcpStream,
+        record: &[u8],
+        records: usize,
+        scratch: &mut [u8],
+    ) -> u128 {
+        let started = Instant::now();
+        for _ in 0..records {
+            stream.write_all(record).expect("direct append write");
+        }
+        stream.write_all(b"done\n").expect("direct done write");
+        read_reply_direct(stream, scratch);
+        started.elapsed().as_nanos()
+    }
+
+    /// Measures ping-round-trip and pipelined-append dispatch overhead.
+    /// Both sides alternate per iteration (and alternate who goes first)
+    /// inside each repeat chunk, and the reported pair is the chunk with
+    /// the median env/direct ratio — scheduler and loopback-stack drift
+    /// moves on a far coarser timescale than one round trip, so pairing
+    /// cancels it and the median drops the chunks where it didn't.
+    pub fn net_dispatch_overhead(
+        rounds: usize,
+        records: usize,
+        repeats: usize,
+    ) -> Vec<super::pr6::DispatchResult> {
+        let env = RealEnv::arc();
+        let (addr, server) = spawn_server();
+        let mut direct = TcpStream::connect(&addr).expect("direct connect");
+        let mut env_conn = env.net().connect(&addr).expect("env connect");
+        let mut scratch = [0u8; 4096];
+        let record: &[u8] =
+            b"{\"op\":\"add_example\",\"workspace\":\"w\",\"polarity\":\"positive\",\"example\":\"R(a,b) R(b,c) R(c,a)\",\"request_id\":123456789}\n";
+
+        // Warm-up: TCP slow start, the env side's read-timeout caching,
+        // and both code paths' icache.
+        for _ in 0..16 {
+            ping_once_direct(&mut direct, &mut scratch);
+            ping_once_env(&mut env_conn, &mut scratch);
+        }
+
+        let median_pair = |pairs: &mut Vec<(u128, u128)>| {
+            pairs.sort_by(|a, b| {
+                let ra = a.1 as f64 / a.0.max(1) as f64;
+                let rb = b.1 as f64 / b.0.max(1) as f64;
+                ra.partial_cmp(&rb).expect("finite ratios")
+            });
+            pairs[pairs.len() / 2]
+        };
+
+        let mut ping_pairs: Vec<(u128, u128)> = (0..repeats)
+            .map(|_| {
+                let (mut direct_ns, mut env_ns) = (0u128, 0u128);
+                for i in 0..rounds {
+                    if i % 2 == 0 {
+                        direct_ns += ping_once_direct(&mut direct, &mut scratch);
+                        env_ns += ping_once_env(&mut env_conn, &mut scratch);
+                    } else {
+                        env_ns += ping_once_env(&mut env_conn, &mut scratch);
+                        direct_ns += ping_once_direct(&mut direct, &mut scratch);
+                    }
+                }
+                (direct_ns, env_ns)
+            })
+            .collect();
+
+        let mut burst_pairs: Vec<(u128, u128)> = (0..repeats)
+            .map(|i| {
+                if i % 2 == 0 {
+                    let d = burst_once_direct(&mut direct, record, records, &mut scratch);
+                    let e = burst_once_env(&mut env_conn, record, records, &mut scratch);
+                    (d, e)
+                } else {
+                    let e = burst_once_env(&mut env_conn, record, records, &mut scratch);
+                    let d = burst_once_direct(&mut direct, record, records, &mut scratch);
+                    (d, e)
+                }
+            })
+            .collect();
+
+        drop(direct);
+        let _ = env_conn.shutdown();
+        drop(env_conn);
+        let _ = server.join();
+
+        let (ping_direct_med, ping_env_med) = median_pair(&mut ping_pairs);
+        let (burst_direct_med, burst_env_med) = median_pair(&mut burst_pairs);
+        vec![
+            super::pr6::DispatchResult {
+                name: "ping_round_trip",
+                direct_ns: ping_direct_med,
+                env_ns: ping_env_med,
+                records: rounds,
+            },
+            super::pr6::DispatchResult {
+                name: "pipelined_append",
+                direct_ns: burst_direct_med,
+                env_ns: burst_env_med,
+                records,
+            },
+        ]
+    }
+}
+
+/// The pr7 stage: network-phase simulation coverage plus the `RealNet`
+/// dispatch overhead on the wire protocol's hot paths.
+fn run_pr7(quick: bool) -> String {
+    let (seeds, sim_cfg, rounds, records, repeats) = if quick {
+        (
+            4u64,
+            cqfit_sim::SimConfig::smoke(),
+            200usize,
+            500usize,
+            5usize,
+        )
+    } else {
+        (16u64, cqfit_sim::SimConfig::default(), 1000, 4000, 15)
+    };
+    eprintln!("simulation sweep ({seeds} seeds), network phase:");
+    let sim = pr6::run_sim(seeds, &sim_cfg);
+    let sessions_per_sec = sim.net_executions as f64 / (sim.elapsed_ns.max(1) as f64 / 1e9);
+    eprintln!(
+        "  {} network sessions ({} boundary cuts, {} mid-frame cuts), {:.0} sessions/s \
+         (sweep wall clock, all phases)",
+        sim.net_executions, sim.net_boundary_cuts, sim.net_mid_frame_cuts, sessions_per_sec
+    );
+
+    eprintln!(
+        "net dispatch overhead ({rounds} ping rounds, {records}-record bursts, {repeats} repeats):"
+    );
+    let dispatch = pr7::net_dispatch_overhead(rounds, records, repeats);
+    for r in &dispatch {
+        eprintln!(
+            "  {}: direct {} ns, via env {} ns ({:+.3}%)",
+            r.name,
+            r.direct_ns,
+            r.env_ns,
+            r.overhead_pct()
+        );
+    }
+
+    let case_jsons: Vec<String> = dispatch
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"case\": \"{}\", \"records\": {}, \"baseline_median_ns\": {}, \"new_median_ns\": {}, \"speedup\": {:.4}, \"overhead_pct\": {:.4}}}",
+                r.name,
+                r.records,
+                r.direct_ns,
+                r.env_ns,
+                r.direct_ns as f64 / r.env_ns.max(1) as f64,
+                r.overhead_pct()
+            )
+        })
+        .collect();
+    let mut speedups: Vec<f64> = dispatch
+        .iter()
+        .map(|r| r.direct_ns as f64 / r.env_ns.max(1) as f64)
+        .collect();
+    speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+    let median_speedup = speedups[speedups.len() / 2];
+
+    format!(
+        "{{\n  \"pr\": 7,\n  \"description\": \"network seam: deterministic network-fault sweep coverage (frame-boundary and mid-frame wire cuts with an exactly-once resilient client), and the cost of routing the wire protocol's ping round-trip and pipelined append through RealNet's dyn NetConn instead of std::net directly (baseline_median_ns = direct TcpStream, new_median_ns = via dyn NetConn; speedup ~1.0 and overhead_pct < 2 are the acceptance targets)\",\n  \"mode\": \"{}\",\n  \"simulation\": {{\"seeds\": {}, \"net_executions\": {}, \"net_boundary_cuts\": {}, \"net_mid_frame_cuts\": {}, \"net_sessions_per_sec\": {:.1}}},\n  \"benches\": [\n    {{\n      \"name\": \"net_dispatch\",\n      \"median_speedup\": {:.4},\n      \"cases\": [\n{}\n      ]\n    }}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        sim.seeds,
+        sim.net_executions,
+        sim.net_boundary_cuts,
+        sim.net_mid_frame_cuts,
+        sessions_per_sec,
+        median_speedup,
+        case_jsons.join(",\n")
+    )
+}
+
 /// The pr3 stage: mask-based core engine vs preserved greedy core oracle.
 fn run_pr3(quick: bool, repeats: usize) -> String {
     eprintln!("core-of-product (Thm. 3.40) cases ({repeats} samples/case):");
@@ -1345,6 +1658,7 @@ fn main() {
     let pr3 = args.iter().any(|a| a == "--pr3");
     let pr5 = args.iter().any(|a| a == "--pr5");
     let pr6 = args.iter().any(|a| a == "--pr6");
+    let pr7 = args.iter().any(|a| a == "--pr7");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -1358,6 +1672,8 @@ fn main() {
             "BENCH_pr5.json"
         } else if pr6 {
             "BENCH_pr6.json"
+        } else if pr7 {
+            "BENCH_pr7.json"
         } else {
             "BENCH_pr4.json"
         })
@@ -1371,6 +1687,8 @@ fn main() {
         run_pr5(quick)
     } else if pr6 {
         run_pr6(quick)
+    } else if pr7 {
+        run_pr7(quick)
     } else {
         run_pr4(quick, repeats)
     };

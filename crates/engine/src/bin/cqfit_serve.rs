@@ -117,10 +117,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let bound = server
-        .local_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| addr.clone());
+    let bound = server.local_addr().unwrap_or_else(|_| addr.clone());
     println!("listening on {bound}");
     std::io::stdout().flush().expect("flush stdout");
     if let Err(e) = server.run() {

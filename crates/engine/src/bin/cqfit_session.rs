@@ -58,7 +58,12 @@ fn usage_error(message: &str) -> ! {
 
 fn connect(addr: &str) -> Client {
     match Client::connect_with_retry(addr, 50) {
-        Ok(c) => c,
+        Ok(mut c) => {
+            // The scripted fits legitimately run long on large examples;
+            // no fixed per-request deadline fits them all.
+            c.set_call_timeout(None);
+            c
+        }
         Err(e) => {
             eprintln!("cqfit-session: cannot connect to {addr}: {e}");
             std::process::exit(1);

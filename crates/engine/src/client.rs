@@ -1,79 +1,315 @@
-//! A small blocking JSONL-over-TCP client for the engine server.
+//! A small blocking JSONL client for the engine server, running entirely
+//! through the [`cqfit_env::Net`] seam.
+//!
+//! The client is *resilient*: every [`Client::call`] carries a
+//! per-request deadline (default [`DEFAULT_CALL_TIMEOUT`], overridable,
+//! `None` for long fits), and transport failures — refused or reset
+//! connections, broken pipes, timeouts, a server that closed mid-reply —
+//! trigger reconnect-and-retry under capped exponential backoff with
+//! jitter drawn from [`cqfit_env::Env::rng_u64`].  Retrying a *mutation*
+//! after an ambiguous drop (request possibly applied, ack lost) is safe
+//! because each call attaches a protocol-level idempotency key: the same
+//! `request_id` is resent on every retry of one logical request, and the
+//! engine answers an already-applied id from its memo instead of
+//! applying the mutation twice.
+//!
+//! All sleeps go through the injected [`Clock`](cqfit_env::Clock) and all
+//! sockets through the injected [`Net`](cqfit_env::Net), so the
+//! deterministic simulator can drive every retry path without real time
+//! or real sockets.
 
 use crate::protocol::{Request, Response};
+use cqfit_env::{Env, NetConn, RealEnv};
 use serde::Deserialize;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::TcpStream;
+use std::io::{self, ErrorKind};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Default per-request deadline of [`Client::call`].  Generous enough
+/// for every non-fit request; scripted sessions running long fits
+/// override it with [`Client::set_call_timeout`]`(None)`.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Retry schedule shared by [`Client::call`] and the connecting
+/// constructors: up to `attempts` tries, sleeping between consecutive
+/// tries (never after the last) for a jittered, capped exponential
+/// backoff — attempt `k` waits uniformly in `[d/2, d]` where
+/// `d = min(cap, base * 2^k)`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total tries (min 1).
+    pub attempts: u32,
+    /// First backoff ceiling.
+    pub base: Duration,
+    /// Upper bound every later backoff is clamped to.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(400),
+        }
+    }
+}
 
 /// A blocking client: one request line out, one response line in.
 pub struct Client {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    env: Arc<dyn Env>,
+    addr: String,
+    conn: Option<Box<dyn NetConn>>,
+    /// Bytes read past the last consumed newline on the *current*
+    /// connection.  Cleared on every (re)connect so a stale partial
+    /// reply can never be parsed as the answer to a newer request.
+    pending: Vec<u8>,
+    timeout: Option<Duration>,
+    retry: RetryPolicy,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.addr)
+            .field("connected", &self.conn.is_some())
+            .field("timeout", &self.timeout)
+            .field("retry", &self.retry)
+            .finish()
+    }
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    fn new(addr: &str, env: Arc<dyn Env>) -> Client {
+        Client {
+            env,
+            addr: addr.to_string(),
+            conn: None,
+            pending: Vec::new(),
+            timeout: Some(DEFAULT_CALL_TIMEOUT),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`) over the real network.
     ///
     /// # Errors
     /// Propagates the connection failure.
-    pub fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
-        Ok(Client {
-            writer,
-            reader: BufReader::new(stream),
-        })
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        Client::connect_with(addr, RealEnv::arc())
+    }
+
+    /// Connects through an explicit environment (the simulator passes a
+    /// [`SimEnv`](../../cqfit_sim/struct.SimEnv.html) whose `net()` is a
+    /// `SimNet`), single attempt.
+    ///
+    /// # Errors
+    /// Propagates the connection failure.
+    pub fn connect_with(addr: &str, env: Arc<dyn Env>) -> io::Result<Client> {
+        let mut client = Client::new(addr, env);
+        client.ensure_connected()?;
+        Ok(client)
     }
 
     /// Connects with retries (the server may still be binding), backing
-    /// off 100 ms between attempts.
+    /// off exponentially with jitter between attempts — and, unlike the
+    /// pre-PR 7 version, never sleeping *after* the final failure.
     ///
     /// # Errors
     /// Returns the last connection failure after `attempts` tries.
-    pub fn connect_with_retry(addr: &str, attempts: u32) -> std::io::Result<Client> {
+    pub fn connect_with_retry(addr: &str, attempts: u32) -> io::Result<Client> {
+        Client::connect_retrying(addr, RealEnv::arc(), attempts)
+    }
+
+    /// [`Client::connect_with_retry`] through an explicit environment:
+    /// backoff sleeps run on the injected clock, so simulated retries
+    /// cost no real time.
+    ///
+    /// # Errors
+    /// Returns the last connection failure after `attempts` tries.
+    pub fn connect_retrying(addr: &str, env: Arc<dyn Env>, attempts: u32) -> io::Result<Client> {
+        let mut client = Client::new(addr, env);
+        let attempts = attempts.max(1);
         let mut last = None;
-        for _ in 0..attempts.max(1) {
-            match Client::connect(addr) {
-                Ok(c) => return Ok(c),
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let delay = client.backoff_delay(attempt - 1);
+                client.env.clock().sleep(delay);
+            }
+            match client.ensure_connected() {
+                Ok(()) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Sets the per-request deadline of [`Client::call`] /
+    /// [`Client::call_raw`].  `None` disables it — the scripted
+    /// session's long fits legitimately exceed any fixed bound.
+    pub fn set_call_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
+    /// Replaces the retry schedule (attempt count, backoff base/cap).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The jittered, capped exponential delay before retry `attempt`
+    /// (0-based): uniform in `[d/2, d]`, `d = min(cap, base * 2^attempt)`.
+    fn backoff_delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .retry
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX));
+        let capped = exp.min(self.retry.cap).max(Duration::from_nanos(1));
+        let half = capped / 2;
+        let span = (capped - half).as_nanos() as u64;
+        half + Duration::from_nanos(self.env.rng_u64() % (span + 1))
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<()> {
+        if self.conn.is_none() {
+            self.pending.clear();
+            self.conn = Some(self.env.net().connect(&self.addr)?);
+        }
+        Ok(())
+    }
+
+    /// Drops the current connection (best-effort shutdown) and discards
+    /// buffered bytes; the next call reconnects.
+    fn disconnect(&mut self) {
+        if let Some(mut conn) = self.conn.take() {
+            let _ = conn.shutdown();
+        }
+        self.pending.clear();
+    }
+
+    /// Reads one `\n`-terminated line, honoring an absolute deadline on
+    /// the injected clock.  Bytes past the newline stay in `pending`.
+    fn read_line(&mut self, deadline: Option<Duration>) -> io::Result<String> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = self.pending.drain(..=pos).collect();
+                let line = String::from_utf8(raw).map_err(|e| {
+                    io::Error::new(ErrorKind::InvalidData, format!("non-UTF-8 response: {e}"))
+                })?;
+                return Ok(line.trim_end().to_string());
+            }
+            let remaining = match deadline {
+                Some(d) => {
+                    let now = self.env.clock().monotonic();
+                    if now >= d {
+                        return Err(io::Error::new(
+                            ErrorKind::TimedOut,
+                            "request deadline exceeded",
+                        ));
+                    }
+                    Some(d - now)
+                }
+                None => None,
+            };
+            let conn = self
+                .conn
+                .as_mut()
+                .ok_or_else(|| io::Error::new(ErrorKind::NotConnected, "not connected"))?;
+            let mut buf = [0u8; 64 * 1024];
+            let n = conn.read(&mut buf, remaining)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.pending.extend_from_slice(&buf[..n]);
+        }
+    }
+
+    /// One write-then-read exchange on the current connection, under the
+    /// per-request deadline.  No retries.
+    fn exchange(&mut self, line: &str) -> io::Result<String> {
+        let deadline = self.timeout.map(|t| self.env.clock().monotonic() + t);
+        self.ensure_connected()?;
+        let conn = self.conn.as_mut().expect("just connected");
+        // One buffered write per request: a single syscall on the real
+        // path, and a single frame (one write mark) under the simulator.
+        let mut frame = Vec::with_capacity(line.len() + 1);
+        frame.extend_from_slice(line.as_bytes());
+        frame.push(b'\n');
+        conn.write_all(&frame)?;
+        self.read_line(deadline)
+    }
+
+    /// Whether a failed exchange is worth a reconnect-and-retry: the
+    /// transport broke or stalled.  `InvalidData` (a reply that arrived
+    /// but does not parse) is *not* — retrying cannot fix it.
+    fn retryable(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            ErrorKind::ConnectionRefused
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::BrokenPipe
+                | ErrorKind::UnexpectedEof
+                | ErrorKind::TimedOut
+                | ErrorKind::WouldBlock
+                | ErrorKind::NotConnected
+        )
+    }
+
+    /// Sends a raw line and returns the raw response line (used to test
+    /// server-side error reporting on malformed input).  Single-shot: no
+    /// retries, but the per-request deadline applies.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; EOF is `UnexpectedEof`.
+    pub fn call_raw(&mut self, line: &str) -> io::Result<String> {
+        let result = self.exchange(line);
+        if result.is_err() {
+            self.disconnect();
+        }
+        result
+    }
+
+    /// Sends a request and reads the response, retrying over fresh
+    /// connections on transport failure per the [`RetryPolicy`].  Every
+    /// attempt of one call resends the same `request_id`, so a mutation
+    /// whose first ack was lost is answered from the engine's
+    /// idempotency memo rather than applied twice.
+    ///
+    /// # Errors
+    /// The last transport failure once retries are exhausted; an
+    /// unparsable response line becomes `InvalidData` immediately.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        // The wire integer type is i64: keep ids in 63 bits.
+        let id = self.env.rng_u64() >> 1;
+        let line = request.to_json_with_id(id).to_string();
+        let attempts = self.retry.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let delay = self.backoff_delay(attempt - 1);
+                self.env.clock().sleep(delay);
+            }
+            match self.exchange(&line) {
+                Ok(reply) => return Client::parse_response(&reply),
                 Err(e) => {
+                    self.disconnect();
+                    if !Client::retryable(&e) {
+                        return Err(e);
+                    }
                     last = Some(e);
-                    std::thread::sleep(Duration::from_millis(100));
                 }
             }
         }
         Err(last.expect("at least one attempt"))
     }
 
-    /// Sends a raw line and returns the raw response line (used to test
-    /// server-side error reporting on malformed input).
-    ///
-    /// # Errors
-    /// Propagates I/O failures; EOF is `UnexpectedEof`.
-    pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        Ok(response.trim_end().to_string())
-    }
-
-    /// Sends a request and reads the response.
-    ///
-    /// # Errors
-    /// Propagates I/O failures; an unparsable response line becomes
-    /// `InvalidData`.
-    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
-        let line = self.call_raw(&serde::to_string(request))?;
-        match serde::json::Value::parse(&line).and_then(|v| Response::from_json(&v)) {
+    fn parse_response(line: &str) -> io::Result<Response> {
+        match serde::json::Value::parse(line).and_then(|v| Response::from_json(&v)) {
             Ok(response) => Ok(response),
-            Err(e) => Err(std::io::Error::new(
+            Err(e) => Err(io::Error::new(
                 ErrorKind::InvalidData,
                 format!("unparsable response `{line}`: {e}"),
             )),

@@ -8,7 +8,7 @@ use cqfit_data::parse_example;
 use cqfit_env::{Env, RealEnv};
 use cqfit_hom::HomCache;
 use cqfit_store::{LogRecord, RecoveryReport, Store, StoreError, WorkspaceSnapshot};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
@@ -61,6 +61,9 @@ pub struct Engine {
     workspaces: RwLock<HashMap<String, Arc<WorkspaceSlot>>>,
     cache: Option<Arc<HomCache>>,
     requests: AtomicU64,
+    /// Exactly-once retry memo: the last applied `(request_id, response)`
+    /// per workspace (see [`Engine::handle_with_id`]).
+    memo: Mutex<IdempotencyMemo>,
     store: Option<Arc<Store>>,
     recovery: RecoveryReport,
     /// The environment all effects route through: time for stats and fit
@@ -87,6 +90,53 @@ impl WorkspaceSlot {
             ws: Mutex::new(ws),
             revision: AtomicU64::new(revision),
         })
+    }
+}
+
+/// The exactly-once retry memo behind [`Engine::handle_with_id`]: for
+/// each workspace, the id of the last successfully applied identified
+/// mutation and the response it produced.  A client that retries a
+/// mutation after an ambiguous connection drop (request possibly
+/// applied, ack lost) resends the same `request_id`; if the engine has
+/// already applied it, the memoed response is returned instead of the
+/// mutation running twice.
+///
+/// Only the *last* id per workspace is kept — the resilient client is
+/// strictly sequential per connection, so one slot suffices.  Entries
+/// are evicted FIFO past [`MEMO_CAP`] workspaces to bound memory on
+/// workspace churn.  The memo is in-memory only: exactly-once holds
+/// within one server lifetime, which matches the sim harness's model
+/// (network faults without process crashes).
+#[derive(Debug, Default)]
+struct IdempotencyMemo {
+    last: HashMap<String, (u64, Response)>,
+    order: VecDeque<String>,
+}
+
+/// Upper bound on workspaces tracked by the [`IdempotencyMemo`].
+const MEMO_CAP: usize = 1024;
+
+impl IdempotencyMemo {
+    fn lookup(&self, workspace: &str, id: u64) -> Option<Response> {
+        match self.last.get(workspace) {
+            Some((last_id, response)) if *last_id == id => Some(response.clone()),
+            _ => None,
+        }
+    }
+
+    fn record(&mut self, workspace: &str, id: u64, response: Response) {
+        if self
+            .last
+            .insert(workspace.to_string(), (id, response))
+            .is_none()
+        {
+            self.order.push_back(workspace.to_string());
+            while self.order.len() > MEMO_CAP {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.last.remove(&evicted);
+                }
+            }
+        }
     }
 }
 
@@ -119,6 +169,7 @@ impl Engine {
             workspaces: RwLock::new(HashMap::new()),
             cache: config.caching.then(|| Arc::new(HomCache::new())),
             requests: AtomicU64::new(0),
+            memo: Mutex::new(IdempotencyMemo::default()),
             store: None,
             recovery: RecoveryReport::default(),
             env,
@@ -176,6 +227,7 @@ impl Engine {
             workspaces: RwLock::new(map),
             cache: config.caching.then(|| Arc::new(HomCache::new())),
             requests: AtomicU64::new(0),
+            memo: Mutex::new(IdempotencyMemo::default()),
             store: Some(Arc::new(store)),
             recovery: report,
             env,
@@ -279,6 +331,52 @@ impl Engine {
     /// Handles one request.  Never panics on malformed input — every
     /// failure becomes a [`Response::Error`].
     pub fn handle(&self, request: &Request) -> Response {
+        self.handle_with_id(request, None)
+    }
+
+    /// Handles one request carrying an optional protocol-level
+    /// idempotency key (the wire `request_id`).
+    ///
+    /// For identified *mutations* (see [`Request::is_mutation`]) on a
+    /// named workspace, the engine consults its idempotency memo: if
+    /// the workspace's last applied identified mutation had the same id,
+    /// the memoed response is returned and the mutation does **not** run
+    /// again — this is what makes the client's reconnect-and-retry after
+    /// an ambiguous drop exactly-once.  Successful identified mutations
+    /// update the memo.
+    ///
+    /// The check-then-record pair is not atomic with respect to the
+    /// mutation itself, so two *concurrent* connections replaying the
+    /// same `(workspace, request_id)` could both apply it; the resilient
+    /// client never does that (one in-flight request per client), and
+    /// the deterministic sim drives the server sequentially.  Requests
+    /// without an id (or non-mutations) behave exactly as [`handle`].
+    ///
+    /// [`handle`]: Engine::handle
+    pub fn handle_with_id(&self, request: &Request, request_id: Option<u64>) -> Response {
+        let memo_key = match (request_id, request.workspace()) {
+            (Some(id), Some(ws)) if request.is_mutation() => Some((id, ws.to_string())),
+            _ => None,
+        };
+        if let Some((id, ws)) = &memo_key {
+            let memo = self.memo.lock().expect("idempotency memo");
+            if let Some(replay) = memo.lookup(ws, *id) {
+                return replay;
+            }
+        }
+        let response = self.handle_inner(request);
+        if let Some((id, ws)) = &memo_key {
+            if response.is_ok() {
+                self.memo
+                    .lock()
+                    .expect("idempotency memo")
+                    .record(ws, *id, response.clone());
+            }
+        }
+        response
+    }
+
+    fn handle_inner(&self, request: &Request) -> Response {
         // Scheduling point: no engine lock is held here, so a simulated
         // scheduler may interleave other tasks between whole requests —
         // the granularity at which the engine's own locking must already
@@ -781,6 +879,115 @@ mod tests {
         // A mutation invalidates the memo (revision changed).
         add_text(&engine, "w", Polarity::Negative, "R(a,b)\nR(b,a)");
         assert!(engine.handle(&fit).is_ok());
+    }
+
+    fn info_of(engine: &Engine, ws: &str) -> (usize, u64) {
+        match engine.handle(&Request::WorkspaceInfo {
+            workspace: ws.into(),
+        }) {
+            Response::Info {
+                positives,
+                revision,
+                ..
+            } => (positives, revision),
+            other => panic!("info failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retried_identified_mutation_applies_exactly_once() {
+        let engine = Engine::default();
+        create(&engine, "w");
+        let add = Request::AddExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("R(a,b)".into()),
+        };
+        let first = engine.handle_with_id(&add, Some(42));
+        let Response::ExampleAdded { id: first_id, .. } = first else {
+            panic!("add failed: {first:?}");
+        };
+        let (positives, revision) = info_of(&engine, "w");
+        // The client's ack was lost; it reconnects and resends the same
+        // request under the same id.  The memo answers — byte-identical
+        // response, no second application.
+        let retry = engine.handle_with_id(&add, Some(42));
+        match retry {
+            Response::ExampleAdded { id, .. } => assert_eq!(id, first_id, "memoed response"),
+            other => panic!("retry failed: {other:?}"),
+        }
+        assert_eq!(
+            info_of(&engine, "w"),
+            (positives, revision),
+            "revision bumps once, not twice"
+        );
+        // A fresh id is a genuinely new request and applies normally.
+        let next = engine.handle_with_id(&add, Some(43));
+        match next {
+            Response::ExampleAdded { id, .. } => assert_ne!(id, first_id),
+            other => panic!("new add failed: {other:?}"),
+        }
+        assert_eq!(info_of(&engine, "w").0, positives + 1);
+    }
+
+    #[test]
+    fn memo_ignores_failures_questions_and_unidentified_requests() {
+        let engine = Engine::default();
+        create(&engine, "w");
+        // A failed identified mutation is not memoed: the retry really
+        // retries (and succeeds once the cause is gone).
+        let bad = Request::AddExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("Q(a)".into()),
+        };
+        assert!(!engine.handle_with_id(&bad, Some(7)).is_ok());
+        let good = Request::AddExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("R(a,b)".into()),
+        };
+        assert!(engine.handle_with_id(&good, Some(7)).is_ok());
+        // Questions never consult the memo, even under a replayed id.
+        let (positives, _) = info_of(&engine, "w");
+        assert_eq!(positives, 1);
+        // Un-identified mutations are never deduplicated (pre-PR 7
+        // clients keep their semantics).
+        assert!(engine.handle_with_id(&good, None).is_ok());
+        assert!(engine.handle_with_id(&good, None).is_ok());
+        assert_eq!(info_of(&engine, "w").0, 3);
+    }
+
+    #[test]
+    fn memo_is_per_workspace_and_drop_retries_are_memoed() {
+        let engine = Engine::default();
+        create(&engine, "a");
+        create(&engine, "b");
+        let add = |ws: &str| Request::AddExample {
+            workspace: ws.into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("R(a,b)".into()),
+        };
+        // The same id on different workspaces is two distinct requests.
+        assert!(engine.handle_with_id(&add("a"), Some(5)).is_ok());
+        assert!(engine.handle_with_id(&add("b"), Some(5)).is_ok());
+        assert_eq!(info_of(&engine, "a").0, 1);
+        assert_eq!(info_of(&engine, "b").0, 1);
+        // A retried drop is answered from the memo with the original
+        // `existed: true`, not re-run against the now-absent workspace.
+        let drop = Request::DropWorkspace {
+            workspace: "b".into(),
+        };
+        match engine.handle_with_id(&drop, Some(6)) {
+            Response::WorkspaceDropped { existed, .. } => assert!(existed),
+            other => panic!("drop failed: {other:?}"),
+        }
+        match engine.handle_with_id(&drop, Some(6)) {
+            Response::WorkspaceDropped { existed, .. } => {
+                assert!(existed, "retry answered from the memo")
+            }
+            other => panic!("retried drop failed: {other:?}"),
+        }
     }
 
     fn tmp_dir(tag: &str) -> std::path::PathBuf {

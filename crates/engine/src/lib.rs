@@ -35,6 +35,16 @@
 //! stack on a simulated filesystem under a deterministic scheduler,
 //! crashing it at every record boundary.
 //!
+//! Since PR 7 the *network* routes through the same seam
+//! ([`cqfit_env::Net`]): [`Server`] and [`Client`] speak JSONL over
+//! whatever `Net` the engine's environment provides — real TCP in
+//! production, in-memory seeded connections under the simulator.  The
+//! client is resilient (per-request deadlines, capped exponential backoff
+//! with jitter, reconnect-and-retry; see [`RetryPolicy`]), and retried
+//! mutations apply **exactly once**: each call carries a `request_id`,
+//! and the engine answers an already-applied id from its idempotency memo
+//! ([`Engine::handle_with_id`]) instead of re-running the mutation.
+//!
 //! See `DESIGN.md` ("Engine architecture", "Durability", "Environment &
 //! Simulation") for the workspace model, the incremental product
 //! maintenance rules, the cache keying and invalidation story, the log
@@ -53,7 +63,7 @@ mod protocol;
 mod server;
 mod workspace;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy, DEFAULT_CALL_TIMEOUT};
 pub use engine::{Engine, EngineConfig};
 pub use protocol::{
     EngineStats, ExamplePayload, FitMode, FitQuery, Polarity, QueryClass, Request, Response,

@@ -199,6 +199,41 @@ pub enum Request {
 }
 
 impl Request {
+    /// Whether this request mutates engine state (and is therefore
+    /// subject to the exactly-once retry memo keyed by `request_id`).
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            Request::CreateWorkspace { .. }
+                | Request::DropWorkspace { .. }
+                | Request::AddExample { .. }
+                | Request::RemoveExample { .. }
+        )
+    }
+
+    /// Serializes this request with a protocol-level idempotency key
+    /// attached: the wire object gains a `"request_id"` field.  Retrying
+    /// a mutation with the *same* id after an ambiguous connection drop
+    /// is answered from the engine's memo instead of being re-applied.
+    ///
+    /// Ids must fit in 63 bits (the wire integer type is `i64`).
+    pub fn to_json_with_id(&self, request_id: u64) -> Json {
+        match self.to_json() {
+            Json::Obj(mut fields) => {
+                fields.push(("request_id".to_string(), request_id.to_json()));
+                Json::Obj(fields)
+            }
+            other => other,
+        }
+    }
+
+    /// Extracts the optional idempotency key from a parsed request
+    /// object.  Absent or malformed keys read as `None` (the request is
+    /// then handled without retry protection, exactly as before PR 7).
+    pub fn request_id_of(v: &Json) -> Option<u64> {
+        v.get("request_id").and_then(|id| u64::from_json(id).ok())
+    }
+
     /// The workspace this request targets, if any (used by
     /// [`crate::Engine::handle_batch`] to group independent requests).
     pub fn workspace(&self) -> Option<&str> {
@@ -934,6 +969,34 @@ mod tests {
                 "round trip of {req:?}"
             );
         }
+    }
+
+    #[test]
+    fn request_id_rides_along_and_round_trips() {
+        let req = Request::AddExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("R(a,b)".into()),
+        };
+        let wire = req.to_json_with_id((1u64 << 62) + 5).to_string();
+        let parsed = serde::json::Value::parse(&wire).unwrap();
+        // The id is recoverable and the request parses as if unadorned
+        // (unknown keys are ignored by `from_json`).
+        assert_eq!(Request::request_id_of(&parsed), Some((1u64 << 62) + 5));
+        let back = Request::from_json(&parsed).unwrap();
+        assert_eq!(serde::to_string(&back), serde::to_string(&req));
+        // Un-identified wire requests read as `None`.
+        let plain = serde::json::Value::parse(&serde::to_string(&req)).unwrap();
+        assert_eq!(Request::request_id_of(&plain), None);
+        // Mutation classification: exactly the four state-changing kinds.
+        assert!(req.is_mutation());
+        assert!(Request::DropWorkspace {
+            workspace: "w".into()
+        }
+        .is_mutation());
+        assert!(!Request::Ping.is_mutation());
+        assert!(!Request::Stats.is_mutation());
+        assert!(!Request::Shutdown.is_mutation());
     }
 
     #[test]

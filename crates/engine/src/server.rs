@@ -1,11 +1,16 @@
-//! A std-only JSONL-over-TCP front end for the engine.
+//! A std-only JSONL front end for the engine, running entirely through
+//! the [`cqfit_env::Net`] seam (real TCP in production, `SimNet` under
+//! the deterministic simulator).
 //!
 //! Wire protocol: one JSON request per line in, one JSON response per line
-//! out (see [`crate::protocol`]).  Malformed lines are answered with an
-//! error response carrying the line-internal column of the offending
-//! token; the connection stays open.  A `{"op":"shutdown"}` request is
-//! acknowledged, then the server stops accepting connections and `run`
-//! returns after the remaining connection threads drain.
+//! out (see [`crate::protocol`]).  Requests may carry an optional
+//! `request_id`; identified mutations are routed through the engine's
+//! idempotency memo ([`Engine::handle_with_id`]) so client retries after
+//! an ambiguous connection drop apply exactly once.  Malformed lines are
+//! answered with an error response carrying the line-internal column of
+//! the offending token; the connection stays open.  A `{"op":"shutdown"}`
+//! request is acknowledged, then the server stops accepting connections
+//! and `run` returns after the remaining connection threads drain.
 //!
 //! Shutdown is a **clean drain**: connections that observe the shutdown
 //! flag keep serving any requests already received (including a partial
@@ -25,34 +30,47 @@
 
 use crate::engine::Engine;
 use crate::protocol::{Request, Response};
-use cqfit_env::Clock;
+use cqfit_env::{Clock, Env, NetConn, NetListener};
 use serde::Deserialize;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, ErrorKind};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Maximum accepted request-line size (16 MiB) — a structured example of
 /// hundreds of thousands of facts fits comfortably; a newline-less byte
 /// stream cannot grow a connection buffer beyond it.
 const MAX_LINE_BYTES: usize = 16 << 20;
 
-/// A JSONL-over-TCP server wrapping an [`Engine`].
+/// Read-poll interval: the blocking line read wakes this often to check
+/// the shutdown flag (a deadline on the injected clock, not a raw socket
+/// option — the simulator advances it without real time passing).
+const POLL: Duration = Duration::from_millis(200);
+
+/// Per-read chunk size of the connection buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Bounded retry count for the shutdown wake-up self-connect.
+const WAKE_ATTEMPTS: u32 = 3;
+
+/// A JSONL server wrapping an [`Engine`].
 pub struct Server {
-    listener: TcpListener,
+    listener: Box<dyn NetListener>,
     engine: Arc<Engine>,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Server {
-    /// Binds to `addr` (e.g. `127.0.0.1:7878`, or port `0` for an
-    /// ephemeral port).
+    /// Binds to `addr` through the engine's environment — e.g.
+    /// `127.0.0.1:7878` (port `0` for an ephemeral port) on the real
+    /// network, or a `sim:` name under the simulator.
     ///
     /// # Errors
     /// Propagates the bind failure.
-    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> io::Result<Server> {
+        let listener = engine.env().net().bind(addr)?;
         Ok(Server {
-            listener: TcpListener::bind(addr)?,
+            listener,
             engine,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -62,7 +80,7 @@ impl Server {
     ///
     /// # Errors
     /// Propagates the lookup failure.
-    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+    pub fn local_addr(&self) -> io::Result<String> {
         self.listener.local_addr()
     }
 
@@ -73,50 +91,94 @@ impl Server {
     /// # Errors
     /// Propagates accept-loop I/O failures (per-connection I/O errors only
     /// end that connection).
-    pub fn run(self) -> std::io::Result<()> {
+    pub fn run(self) -> io::Result<()> {
         let addr = self.local_addr()?;
         let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        for stream in self.listener.incoming() {
+        loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = match stream {
-                Ok(s) => s,
-                // Transient per-connection failures (a queued client reset
-                // before accept, fd pressure) must not take down the
-                // service and orphan every live connection.
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        ErrorKind::ConnectionAborted
-                            | ErrorKind::ConnectionReset
-                            | ErrorKind::Interrupted
-                    ) =>
-                {
-                    continue;
-                }
+            let conn = match self.accept_transient() {
+                Ok(Some(c)) => c,
+                Ok(None) => continue,
                 Err(e) => return Err(e),
             };
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
             // Reap finished connection threads so a long-lived server does
             // not accumulate one JoinHandle per connection ever accepted.
             handles.retain(|h| !h.is_finished());
             let engine = Arc::clone(&self.engine);
             let shutdown = Arc::clone(&self.shutdown);
+            let addr = addr.clone();
             handles.push(std::thread::spawn(move || {
-                let peer = stream
-                    .peer_addr()
-                    .map(|a| a.to_string())
-                    .unwrap_or_else(|_| "<unknown>".into());
-                if let Err(e) = serve_connection(&engine, &shutdown, addr, stream) {
-                    eprintln!("cqfit-serve: connection {peer}: {e}");
+                let peer = conn.peer_addr();
+                if let Err(e) = serve_connection(&engine, &shutdown, &addr, conn) {
+                    if !is_disconnect(&e) {
+                        eprintln!("cqfit-serve: connection {peer}: {e}");
+                    }
                 }
             }));
         }
         for h in handles {
             let _ = h.join();
         }
-        // Clean drain: every in-flight request has been answered; make the
-        // write-ahead logs durable before the process exits.
+        self.finish()
+    }
+
+    /// Serves connections strictly one at a time on the calling thread —
+    /// no spawned threads, so a deterministic scheduler controls every
+    /// interleaving.  The simulation harness runs the server this way;
+    /// semantics otherwise match [`Server::run`].
+    ///
+    /// # Errors
+    /// Propagates accept-loop I/O failures (per-connection I/O errors only
+    /// end that connection).
+    pub fn run_sequential(self) -> io::Result<()> {
+        let addr = self.local_addr()?;
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let conn = match self.accept_transient() {
+                Ok(Some(c)) => c,
+                Ok(None) => continue,
+                Err(e) => return Err(e),
+            };
+            let peer = conn.peer_addr();
+            if let Err(e) = serve_connection(&self.engine, &self.shutdown, &addr, conn) {
+                if !is_disconnect(&e) {
+                    eprintln!("cqfit-serve: connection {peer}: {e}");
+                }
+            }
+        }
+        self.finish()
+    }
+
+    /// One accept, with transient per-connection failures (a queued
+    /// client reset before accept, fd pressure) skipped rather than
+    /// taking down the service and orphaning every live connection.
+    fn accept_transient(&self) -> io::Result<Option<Box<dyn NetConn>>> {
+        match self.listener.accept() {
+            Ok(c) => Ok(Some(c)),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionAborted
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Clean drain is complete: every in-flight request has been
+    /// answered; make the write-ahead logs durable before returning.
+    fn finish(&self) -> io::Result<()> {
         if let Err(e) = self.engine.sync_store() {
             eprintln!("cqfit-serve: store sync on shutdown failed: {e}");
         }
@@ -126,7 +188,7 @@ impl Server {
 
 /// How long a connection keeps draining pending input after the shutdown
 /// flag is raised.
-const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
+const DRAIN_GRACE: Duration = Duration::from_millis(500);
 
 /// The drain-grace deadline of one connection, measured against the
 /// injected [`Clock`] rather than `Instant::now()` — which is what makes
@@ -138,12 +200,12 @@ const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
 /// *this connection* noticed the shutdown, not from the shutdown itself.
 #[derive(Debug)]
 struct DrainGrace {
-    grace: std::time::Duration,
-    deadline: Option<std::time::Duration>,
+    grace: Duration,
+    deadline: Option<Duration>,
 }
 
 impl DrainGrace {
-    fn new(grace: std::time::Duration) -> DrainGrace {
+    fn new(grace: Duration) -> DrainGrace {
         DrainGrace {
             grace,
             deadline: None,
@@ -165,27 +227,61 @@ impl DrainGrace {
     }
 }
 
+/// Wakes the accept loop parked in [`NetListener::accept`] after the
+/// shutdown flag is raised, by making a no-op connection to our own
+/// address.  Bounded retries: a single failed connect (backlog full, fd
+/// pressure) must not leave `run` parked forever, and a total failure is
+/// surfaced as a warning rather than a silent hang.
+fn wake_accept_loop(env: &dyn Env, addr: &str) {
+    let mut last = None;
+    for attempt in 0..WAKE_ATTEMPTS {
+        match env.net().connect(addr) {
+            Ok(mut conn) => {
+                let _ = conn.shutdown();
+                return;
+            }
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < WAKE_ATTEMPTS {
+                    env.clock().sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+    let e = last.expect("at least one attempt");
+    eprintln!(
+        "cqfit-serve: shutdown wake-up connect to {addr} failed after \
+         {WAKE_ATTEMPTS} attempts ({e}); the accept loop drains on its \
+         next connection"
+    );
+}
+
+/// Whether a per-connection error is a routine peer-initiated disconnect
+/// (the client vanished mid-request) rather than a server fault worth
+/// logging.
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::UnexpectedEof
+    )
+}
+
 /// Handles one connection; returns on EOF, I/O error, or shutdown.
 fn serve_connection(
     engine: &Engine,
     shutdown: &AtomicBool,
-    server_addr: SocketAddr,
-    stream: TcpStream,
-) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    // A read timeout turns the blocking line read into a periodic poll of
-    // the shutdown flag: without it, connections parked in a read would
-    // outlive a shutdown request on another connection and keep `run`
-    // blocked in join() until the client went away on its own.
-    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
-    let mut reader = BufReader::new(stream);
-    // Accumulate raw bytes via read_until, not read_line: read_until keeps
-    // already-read bytes in the buffer when a timeout fires mid-line
-    // (read_line would discard the call's bytes if they end mid UTF-8
-    // character), so partial lines survive the shutdown-poll timeouts.
-    // Reads go through a per-iteration `take` so a client streaming a
-    // newline-less request cannot grow the buffer without bound.
+    server_addr: &str,
+    mut conn: Box<dyn NetConn>,
+) -> io::Result<()> {
+    // Accumulated raw bytes not yet consumed as request lines.  Reads are
+    // capped per iteration so a client streaming a newline-less request
+    // cannot grow the buffer beyond `MAX_LINE_BYTES` + one chunk.
     let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let mut eof = false;
     // Anchored once the shutdown flag is observed: the connection drains
     // already-received input (replying to it) until the socket goes quiet
     // or the grace deadline passes, instead of dropping mid-request.
@@ -195,46 +291,66 @@ fn serve_connection(
         if shutdown.load(Ordering::SeqCst) && drain.expired(clock) {
             return Ok(());
         }
-        let remaining = (MAX_LINE_BYTES + 1).saturating_sub(buf.len()) as u64;
-        match std::io::Read::take(&mut reader, remaining).read_until(b'\n', &mut buf) {
-            Ok(0) if buf.is_empty() => return Ok(()), // EOF
-            Ok(_) => {}
-            // Timeout: partial bytes stay in `buf`; poll the flag again.
-            // When shutting down with no partial request pending, the
-            // connection is fully drained — close it.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if drain.draining() && buf.is_empty() {
-                    return Ok(());
+        let newline = buf.iter().position(|&b| b == b'\n');
+        if newline.is_none() && !eof && buf.len() <= MAX_LINE_BYTES {
+            // No complete line buffered: read more, with the poll timeout
+            // turning the blocking read into a periodic check of the
+            // shutdown flag (without it, connections parked in a read
+            // would outlive a shutdown request on another connection).
+            let cap = (MAX_LINE_BYTES + 1 - buf.len()).min(READ_CHUNK);
+            match conn.read(&mut chunk[..cap], Some(POLL)) {
+                Ok(0) => {
+                    if buf.is_empty() {
+                        return Ok(()); // EOF, fully consumed
+                    }
+                    // EOF mid-line: flush the partial line as a request.
+                    eof = true;
                 }
-                continue;
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                // Timeout: partial bytes stay in `buf`; poll the flag
+                // again.  When shutting down with no partial request
+                // pending, the connection is fully drained — close it.
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if drain.draining() && buf.is_empty() {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
+            continue;
         }
-        // Size check counts the payload, not the `\n` terminator.
-        let terminated = buf.last() == Some(&b'\n');
-        if buf.len() - usize::from(terminated) > MAX_LINE_BYTES {
+        if newline.is_none() && eof && buf.is_empty() {
+            return Ok(());
+        }
+        // A complete line (or, unterminated, the final pre-EOF bytes /
+        // an over-long stream).  Size checks count the payload, not the
+        // `\n` terminator.
+        let (payload_len, consumed, terminated) = match newline {
+            Some(pos) => (pos, pos + 1, true),
+            None => (buf.len(), buf.len(), false),
+        };
+        if payload_len > MAX_LINE_BYTES {
             write_response(
-                &mut writer,
+                conn.as_mut(),
                 &Response::error(format!("request line exceeds {MAX_LINE_BYTES} bytes")),
             )?;
             if terminated {
                 // Framing intact: skip this line, keep the connection.
-                buf.clear();
+                buf.drain(..consumed);
                 continue;
             }
             // Unterminated: framing is lost, drop the connection.
             return Ok(());
         }
-        let Ok(line) = std::str::from_utf8(&buf) else {
+        let line_bytes: Vec<u8> = buf.drain(..consumed).collect();
+        let Ok(line) = std::str::from_utf8(&line_bytes[..payload_len]) else {
             write_response(
-                &mut writer,
+                conn.as_mut(),
                 &Response::error("request line is not valid UTF-8"),
             )?;
-            buf.clear();
             continue;
         };
         if line.trim().is_empty() {
-            buf.clear();
             continue;
         }
         let response = match serde::json::Value::parse(line) {
@@ -242,28 +358,26 @@ fn serve_connection(
             Ok(v) => match Request::from_json(&v) {
                 Err(e) => Response::from_json_error(&e),
                 Ok(request) => {
-                    let response = engine.handle(&request);
+                    let request_id = Request::request_id_of(&v);
+                    let response = engine.handle_with_id(&request, request_id);
                     if matches!(request, Request::Shutdown) {
-                        write_response(&mut writer, &response)?;
+                        write_response(conn.as_mut(), &response)?;
                         shutdown.store(true, Ordering::SeqCst);
-                        // Wake the blocked accept loop with a no-op
-                        // connection so `run` can observe the flag.
-                        let _ = TcpStream::connect(server_addr);
+                        wake_accept_loop(engine.env().as_ref(), server_addr);
                         return Ok(());
                     }
                     response
                 }
             },
         };
-        write_response(&mut writer, &response)?;
-        buf.clear();
+        write_response(conn.as_mut(), &response)?;
     }
 }
 
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+fn write_response(conn: &mut dyn NetConn, response: &Response) -> io::Result<()> {
     let mut text = serde::to_string(response);
     text.push('\n');
-    writer.write_all(text.as_bytes())
+    conn.write_all(text.as_bytes())
 }
 
 #[cfg(test)]
@@ -283,7 +397,7 @@ mod tests {
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run().unwrap());
 
-        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let mut client = Client::connect(&addr).unwrap();
         assert!(matches!(
             client.call(&Request::Ping).unwrap(),
             Response::Pong
@@ -363,7 +477,7 @@ mod tests {
         let server = Server::bind("127.0.0.1:0", Arc::new(engine)).unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run().unwrap());
-        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let mut client = Client::connect(&addr).unwrap();
         client
             .call(&Request::CreateWorkspace {
                 workspace: "w".into(),
@@ -390,7 +504,7 @@ mod tests {
         let server = Server::bind("127.0.0.1:0", Arc::new(engine)).unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run().unwrap());
-        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let mut client = Client::connect(&addr).unwrap();
         match client
             .call(&Request::WorkspaceInfo {
                 workspace: "w".into(),
@@ -414,7 +528,6 @@ mod tests {
     #[test]
     fn drain_grace_expires_on_the_clock_not_on_wall_time() {
         use cqfit_env::ManualClock;
-        use std::time::Duration;
 
         let clock = ManualClock::new();
         let mut drain = DrainGrace::new(Duration::from_millis(500));
@@ -438,7 +551,6 @@ mod tests {
     #[test]
     fn drain_grace_anchors_at_first_observation() {
         use cqfit_env::ManualClock;
-        use std::time::Duration;
 
         let clock = ManualClock::new();
         clock.advance(Duration::from_secs(30)); // connection idles first
@@ -456,7 +568,7 @@ mod tests {
     fn zero_drain_grace_expires_immediately() {
         use cqfit_env::ManualClock;
         let clock = ManualClock::new();
-        let mut drain = DrainGrace::new(std::time::Duration::ZERO);
+        let mut drain = DrainGrace::new(Duration::ZERO);
         assert!(drain.expired(&clock));
     }
 
@@ -469,8 +581,8 @@ mod tests {
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run().unwrap());
         // An idle connection that never sends anything.
-        let _idle = Client::connect(&addr.to_string()).unwrap();
-        let mut active = Client::connect(&addr.to_string()).unwrap();
+        let _idle = Client::connect(&addr).unwrap();
+        let mut active = Client::connect(&addr).unwrap();
         assert!(matches!(
             active.call(&Request::Shutdown).unwrap(),
             Response::ShuttingDown

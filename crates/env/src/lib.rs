@@ -1,17 +1,22 @@
 //! # cqfit-env
 //!
 //! The injectable **environment** behind every effectful operation in the
-//! cqfit stack: filesystem access, time, randomness, and scheduler yield
-//! points.  Production code holds an [`Env`] trait object and never calls
-//! `std::fs` / `Instant::now` directly; the default [`RealEnv`] forwards
-//! straight to the OS, while `cqfit-sim` substitutes a simulated
-//! filesystem and a deterministic scheduler to explore crash and
-//! interleaving state spaces (madsim / FoundationDB style).
+//! cqfit stack: filesystem access, networking, time, randomness, and
+//! scheduler yield points.  Production code holds an [`Env`] trait object
+//! and never calls `std::fs` / `std::net` / `Instant::now` directly; the
+//! default [`RealEnv`] forwards straight to the OS, while `cqfit-sim`
+//! substitutes a simulated filesystem, a simulated network, and a
+//! deterministic scheduler to explore crash, fault, and interleaving
+//! state spaces (madsim / FoundationDB style).
 //!
-//! The trait surface is deliberately the *store's* footprint, not a
+//! The filesystem surface is deliberately the *store's* footprint, not a
 //! general VFS: append-mode opens, `sync_data`/`sync_all`, `set_len`
 //! truncation, rename, unlink, and directory sync — exactly the
 //! operations whose durability semantics the write-ahead log depends on.
+//! The network surface ([`Net`], [`NetListener`], [`NetConn`]) is likewise
+//! the *server's* footprint: bind/accept/connect plus byte-stream reads
+//! with an optional timeout (the shutdown-poll and per-request-deadline
+//! primitives), not a general sockets API.
 //!
 //! ## Yield points
 //!
@@ -86,7 +91,7 @@ pub trait Fs: Send + Sync + fmt::Debug {
     fn sync_parent_dir(&self, path: &Path) -> io::Result<()>;
 }
 
-/// Time sources.  Both are [`Duration`]s rather than `Instant`/
+/// Time sources.  Both readings are [`Duration`]s rather than `Instant`/
 /// `SystemTime` so simulated clocks can fabricate values freely.
 pub trait Clock: Send + Sync + fmt::Debug {
     /// Monotonic time since an arbitrary fixed origin (process start for
@@ -94,14 +99,65 @@ pub trait Clock: Send + Sync + fmt::Debug {
     fn monotonic(&self) -> Duration;
     /// Wall-clock time since the UNIX epoch.
     fn wall_unix(&self) -> Duration;
+    /// Blocks the caller for `d` of this clock's time.  The real clock
+    /// parks the thread; [`ManualClock`] just advances itself, which is
+    /// what lets retry backoff run instantly (and deterministically)
+    /// under simulation.
+    fn sleep(&self, d: Duration);
 }
 
-/// The full environment: filesystem + clock + rng + yield points.
+/// One endpoint of an established byte-stream connection.
+///
+/// Reads take an optional *timeout* instead of relying on socket-level
+/// configuration: both the server's shutdown-flag poll and the client's
+/// per-request deadline are expressed as bounded reads, measured against
+/// the environment's [`Clock`] by simulated implementations.
+pub trait NetConn: Send + fmt::Debug {
+    /// Reads into `buf`, blocking until at least one byte is available
+    /// (returning how many were read), the peer closes (`Ok(0)`), or
+    /// `timeout` passes (`ErrorKind::TimedOut` / `WouldBlock`).
+    /// `timeout: None` blocks indefinitely.
+    fn read(&mut self, buf: &mut [u8], timeout: Option<Duration>) -> io::Result<usize>;
+    /// Writes the whole buffer.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Closes the connection; the peer observes EOF after draining any
+    /// bytes already in flight.
+    fn shutdown(&mut self) -> io::Result<()>;
+    /// The peer's address, for diagnostics.
+    fn peer_addr(&self) -> String;
+}
+
+/// A bound, listening endpoint.
+pub trait NetListener: Send + Sync + fmt::Debug {
+    /// Blocks until the next incoming connection.
+    fn accept(&self) -> io::Result<Box<dyn NetConn>>;
+    /// The bound address (resolves ephemeral ports).
+    fn local_addr(&self) -> io::Result<String>;
+}
+
+/// The network operations the serving layer is built from.
+///
+/// Addresses are plain strings: `HOST:PORT` for the real network,
+/// arbitrary names (e.g. `sim:engine`) for simulated ones.
+pub trait Net: Send + Sync + fmt::Debug {
+    /// Binds a listener on `addr` (port `0` picks an ephemeral port on
+    /// the real network).
+    fn bind(&self, addr: &str) -> io::Result<Box<dyn NetListener>>;
+    /// Connects to a listener at `addr`.
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn NetConn>>;
+}
+
+/// The full environment: filesystem + network + clock + rng + yields.
 pub trait Env: Send + Sync + fmt::Debug {
     /// The filesystem.
     fn fs(&self) -> &dyn Fs;
     /// The clock.
     fn clock(&self) -> &dyn Clock;
+    /// The network.  Defaults to the real one so environments assembled
+    /// for filesystem or clock injection need not mention it.
+    fn net(&self) -> &dyn Net {
+        real_net()
+    }
     /// A scheduler yield point (no-op outside simulation).  `label`
     /// identifies the call site for trace output.  See the crate docs for
     /// the no-held-locks call discipline.
@@ -237,6 +293,10 @@ impl Clock for RealEnv {
             .duration_since(SystemTime::UNIX_EPOCH)
             .unwrap_or_default()
     }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
 }
 
 impl Env for RealEnv {
@@ -248,6 +308,95 @@ impl Env for RealEnv {
     }
     fn rng_u64(&self) -> u64 {
         splitmix64(&self.rng)
+    }
+}
+
+/// The production network: straight pass-through to `std::net`.  Read
+/// timeouts map onto `set_read_timeout`, cached so repeated reads with
+/// the same timeout cost no extra syscall.
+#[derive(Debug, Default)]
+pub struct RealNet;
+
+/// The shared production network instance — what [`Env::net`] returns by
+/// default.
+pub fn real_net() -> &'static dyn Net {
+    static NET: RealNet = RealNet;
+    &NET
+}
+
+#[derive(Debug)]
+struct RealConn {
+    stream: std::net::TcpStream,
+    /// The read timeout currently applied to the socket.
+    applied: Option<Duration>,
+    applied_set: bool,
+}
+
+impl RealConn {
+    fn new(stream: std::net::TcpStream) -> RealConn {
+        RealConn {
+            stream,
+            applied: None,
+            applied_set: false,
+        }
+    }
+}
+
+impl NetConn for RealConn {
+    fn read(&mut self, buf: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+        // A zero timeout is invalid at the socket level; it means the
+        // deadline already passed.
+        if timeout == Some(Duration::ZERO) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "read deadline passed",
+            ));
+        }
+        if !self.applied_set || self.applied != timeout {
+            self.stream.set_read_timeout(timeout)?;
+            self.applied = timeout;
+            self.applied_set = true;
+        }
+        io::Read::read(&mut self.stream, buf)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(&mut self.stream, buf)
+    }
+
+    fn shutdown(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Both)
+    }
+
+    fn peer_addr(&self) -> String {
+        self.stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into())
+    }
+}
+
+#[derive(Debug)]
+struct RealListener(std::net::TcpListener);
+
+impl NetListener for RealListener {
+    fn accept(&self) -> io::Result<Box<dyn NetConn>> {
+        let (stream, _) = self.0.accept()?;
+        Ok(Box::new(RealConn::new(stream)))
+    }
+
+    fn local_addr(&self) -> io::Result<String> {
+        self.0.local_addr().map(|a| a.to_string())
+    }
+}
+
+impl Net for RealNet {
+    fn bind(&self, addr: &str) -> io::Result<Box<dyn NetListener>> {
+        Ok(Box::new(RealListener(std::net::TcpListener::bind(addr)?)))
+    }
+
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn NetConn>> {
+        Ok(Box::new(RealConn::new(std::net::TcpStream::connect(addr)?)))
     }
 }
 
@@ -304,6 +453,12 @@ impl Clock for ManualClock {
 
     fn wall_unix(&self) -> Duration {
         self.epoch_offset + self.monotonic()
+    }
+
+    fn sleep(&self, d: Duration) {
+        // Sleeping *is* advancing: backoff and retry delays complete
+        // instantly in simulated time.
+        self.advance(d);
     }
 }
 
@@ -409,6 +564,50 @@ mod tests {
         let ticking = ManualClock::with_auto_tick(Duration::from_millis(10));
         assert_eq!(ticking.monotonic(), Duration::from_millis(10));
         assert_eq!(ticking.monotonic(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn real_net_round_trips_bytes_with_timeouts() {
+        let net = real_net();
+        let listener = net.bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let mut buf = [0u8; 16];
+            let n = conn.read(&mut buf, None).unwrap();
+            conn.write_all(&buf[..n]).unwrap();
+        });
+        let mut client = net.connect(&addr).unwrap();
+        // Nothing sent yet: a bounded read must time out, not hang.
+        let mut buf = [0u8; 16];
+        let err = client
+            .read(&mut buf, Some(Duration::from_millis(20)))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ),
+            "got {err:?}"
+        );
+        // A zero timeout reports expiry without a syscall.
+        let err = client.read(&mut buf, Some(Duration::ZERO)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        client.write_all(b"echo").unwrap();
+        let n = client.read(&mut buf, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(&buf[..n], b"echo");
+        assert!(!client.peer_addr().is_empty());
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn manual_clock_sleep_advances_instantly() {
+        let clock = ManualClock::new();
+        let before = std::time::Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        assert!(before.elapsed() < Duration::from_secs(1), "no real sleep");
+        assert_eq!(clock.monotonic(), Duration::from_secs(3600));
     }
 
     #[test]

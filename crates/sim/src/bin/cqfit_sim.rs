@@ -7,7 +7,8 @@
 //!
 //! Runs `N` seeds (default 16) through the full exploration (interleaved
 //! live run, exhaustive torn-tail cuts, seeded mid-run crashes, one-shot
-//! write/sync faults) and prints coverage.  Any invariant violation
+//! write/sync faults, and network cut sweeps over the simulated wire)
+//! and prints coverage.  Any invariant violation
 //! prints the failing seed plus a one-line reproduction command and
 //! exits non-zero.
 //!
@@ -59,8 +60,8 @@ fn main() -> ExitCode {
 
     println!(
         "cqfit-sim: sweeping {seeds} seed(s) from {base_seed} \
-         (steps {}, workspaces {}, crash points {}, fault points {})",
-        config.steps, config.workspaces, config.crash_points, config.fault_points
+         (steps {}, workspaces {}, crash points {}, fault points {}, net steps {})",
+        config.steps, config.workspaces, config.crash_points, config.fault_points, config.net_steps
     );
     let started = Instant::now();
     let outcome = sweep(base_seed, seeds, &config);
@@ -77,6 +78,10 @@ fn main() -> ExitCode {
     println!(
         "torn-tail coverage: {} records cut at {} boundaries and {} mid-record bytes",
         stats.records, stats.boundary_cuts, stats.mid_record_cuts
+    );
+    println!(
+        "network coverage: {} sessions; wire cut at {} frame boundaries and {} mid-frame bytes",
+        stats.net_executions, stats.net_boundary_cuts, stats.net_mid_frame_cuts
     );
 
     if outcome.failures.is_empty() {

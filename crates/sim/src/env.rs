@@ -7,21 +7,23 @@
 //! every effect through the simulation.
 
 use crate::fs::SimFs;
+use crate::net::SimNet;
 use crate::sched::SimScheduler;
 use crate::splitmix;
-use cqfit_env::{Clock, Env, Fs, ManualClock};
+use cqfit_env::{Clock, Env, Fs, ManualClock, Net};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A fully simulated [`Env`]: everything a run observes — file contents,
-/// clock readings, random draws, scheduling decisions — derives from the
-/// filesystem state, the seed, and nothing else.
+/// clock readings, random draws, network transfers, scheduling decisions
+/// — derives from the filesystem state, the seed, and nothing else.
 #[derive(Debug)]
 pub struct SimEnv {
     fs: Arc<SimFs>,
     clock: Arc<ManualClock>,
     sched: Option<Arc<SimScheduler>>,
+    net: Option<Arc<SimNet>>,
     rng: AtomicU64,
 }
 
@@ -36,6 +38,7 @@ impl SimEnv {
             // strictly increasing, fully deterministic time.
             clock: Arc::new(ManualClock::with_auto_tick(Duration::from_micros(1))),
             sched: None,
+            net: None,
             rng: AtomicU64::new(seed),
         }
     }
@@ -49,10 +52,31 @@ impl SimEnv {
         }
     }
 
+    /// Attaches a simulated network: [`Env::net`] then resolves to it
+    /// instead of the real one.  The caller builds the [`SimNet`] over
+    /// this environment's clock ([`SimEnv::clock_handle`]) and scheduler
+    /// so blocked reads, deadlines, and delivery yields all run on the
+    /// same simulated time and task interleaving.
+    pub fn with_net(mut self, net: Arc<SimNet>) -> SimEnv {
+        self.net = Some(net);
+        self
+    }
+
     /// The underlying simulated filesystem (for crash images and fault
     /// counters; the `Env` trait only exposes it as a `&dyn Fs`).
     pub fn sim_fs(&self) -> &Arc<SimFs> {
         &self.fs
+    }
+
+    /// The simulated clock as a shareable handle (for building a
+    /// [`SimNet`] over it, or advancing time from a test).
+    pub fn clock_handle(&self) -> Arc<ManualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// The scheduler attached via [`SimEnv::with_scheduler`], if any.
+    pub fn scheduler(&self) -> Option<Arc<SimScheduler>> {
+        self.sched.clone()
     }
 }
 
@@ -68,6 +92,13 @@ impl Env for SimEnv {
     fn yield_point(&self, _label: &str) {
         if let Some(sched) = &self.sched {
             sched.maybe_yield();
+        }
+    }
+
+    fn net(&self) -> &dyn Net {
+        match &self.net {
+            Some(net) => net.as_ref(),
+            None => cqfit_env::real_net(),
         }
     }
 

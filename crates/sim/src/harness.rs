@@ -2,7 +2,7 @@
 //! real store+engine stack on the simulated filesystem, crashed,
 //! recovered, and compared against storeless oracle engines.
 //!
-//! One [`explore`] call runs four phases for one seed:
+//! One [`explore`] call runs five phases for one seed:
 //!
 //! * **Phase 0 — interleaved live run.**  Several workspaces are mutated
 //!   by concurrent tasks under the deterministic scheduler (plus a
@@ -26,21 +26,35 @@
 //!   rollback keeps the log clean, and both the live engine and a
 //!   reopen-from-image equal the oracle over the acknowledged requests
 //!   (including identical no-op behavior on removing an absent id).
+//! * **Phase N — network fault injection.**  A scripted session speaks
+//!   the real wire protocol (`Server::run_sequential` + resilient
+//!   [`Client`]) over a seeded [`SimNet`] under the deterministic
+//!   scheduler.  A fault-free baseline must equal the in-process oracle
+//!   byte-for-byte and records every frame boundary; the wire is then
+//!   cut once per execution — before the first byte, at every frame
+//!   boundary, and inside every frame — and the client's transcript must
+//!   *still* equal the never-dropped oracle's: acknowledged mutations
+//!   survive the reconnect, retried mutations apply exactly once
+//!   (revisions never double-bump), and a drain always answers
+//!   fully-received requests.
 //!
 //! Every divergence returns an `Err` whose message embeds the seed.
 
 use crate::fs::{FaultPlan, SimFs};
+use crate::net::{NetFaultPlan, SimNet};
 use crate::sched::SimScheduler;
 use crate::{splitmix, SimEnv};
 use cqfit_engine::{
-    Engine, EngineConfig, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response,
+    Client, Engine, EngineConfig, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response,
+    RetryPolicy, Server,
 };
 use cqfit_env::Env;
 use cqfit_gen::{churn_workload, resolve_churn, RandomConfig, ResolvedChurnOp};
 use cqfit_store::{Store, StoreConfig};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// The simulated data directory (purely virtual: nothing touches disk).
 const DATA_DIR: &str = "/sim/data";
@@ -57,6 +71,10 @@ pub struct SimConfig {
     pub crash_points: usize,
     /// Seeded write/sync fault executions (phase C).
     pub fault_points: usize,
+    /// Churn steps in the scripted network session (phase N).  The wire
+    /// is cut at every frame boundary and inside every frame, so the
+    /// execution count grows roughly linearly with this.
+    pub net_steps: usize,
 }
 
 impl Default for SimConfig {
@@ -66,6 +84,7 @@ impl Default for SimConfig {
             workspaces: 2,
             crash_points: 5,
             fault_points: 4,
+            net_steps: 10,
         }
     }
 }
@@ -78,6 +97,7 @@ impl SimConfig {
             workspaces: 2,
             crash_points: 2,
             fault_points: 2,
+            net_steps: 4,
         }
     }
 }
@@ -95,6 +115,12 @@ pub struct ExploreStats {
     pub mid_record_cuts: u64,
     /// Log records subjected to exhaustive cutting.
     pub records: u64,
+    /// Phase-N network sessions executed (baselines + one per cut).
+    pub net_executions: u64,
+    /// Phase-N wire cuts landing exactly on a frame boundary.
+    pub net_boundary_cuts: u64,
+    /// Phase-N wire cuts landing inside a frame (partial delivery).
+    pub net_mid_frame_cuts: u64,
 }
 
 impl ExploreStats {
@@ -105,6 +131,9 @@ impl ExploreStats {
         self.boundary_cuts += other.boundary_cuts;
         self.mid_record_cuts += other.mid_record_cuts;
         self.records += other.records;
+        self.net_executions += other.net_executions;
+        self.net_boundary_cuts += other.net_boundary_cuts;
+        self.net_mid_frame_cuts += other.net_mid_frame_cuts;
     }
 }
 
@@ -117,7 +146,7 @@ pub struct SweepOutcome {
     pub failures: Vec<(u64, String)>,
 }
 
-/// Explores one seed through all four phases.
+/// Explores one seed through all five phases.
 ///
 /// # Errors
 /// The first invariant violation, with the seed embedded for
@@ -128,6 +157,7 @@ pub fn explore(seed: u64, cfg: &SimConfig) -> Result<ExploreStats, String> {
     phase_a_exhaustive_cuts(seed, cfg, &image, &per_ws, &mut stats)?;
     phase_b_midrun_crashes(seed, cfg, &mut stats)?;
     phase_c_fault_injection(seed, cfg, &mut stats)?;
+    phase_n_network(seed, cfg, &mut stats)?;
     Ok(stats)
 }
 
@@ -816,11 +846,166 @@ fn phase_c_fault_injection(
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Phase N: network fault injection over a simulated wire
+// ---------------------------------------------------------------------
+
+/// The scripted session for one seed: one workspace of churn plus the
+/// question battery, all spoken over the wire.  (The trailing `Shutdown`
+/// is issued by the client task itself, with its own lost-ack handling.)
+fn phase_n_script(seed: u64, cfg: &SimConfig) -> Vec<Request> {
+    let ws = "wn";
+    let mut requests = vec![create_request(ws)];
+    requests.extend(churn_mutations(ws, seed ^ 0x4000, cfg.net_steps));
+    requests.extend(questions(ws));
+    requests
+}
+
+/// Runs the script through a real `Server`/`Client` pair over a
+/// [`SimNet`] under the deterministic scheduler, optionally cutting the
+/// wire after `cut_at` delivered payload bytes.  Returns the response
+/// transcript and the frame marks (cumulative delivered bytes after each
+/// completed write — the frame boundaries later cut sweeps target).
+fn phase_n_session(
+    seed: u64,
+    script: &[Request],
+    cut_at: Option<u64>,
+) -> Result<(Vec<String>, Vec<u64>), String> {
+    let sched = Arc::new(SimScheduler::new(seed));
+    let sim_env = SimEnv::with_scheduler(Arc::new(SimFs::new()), Arc::clone(&sched), seed);
+    let net = SimNet::new(
+        sim_env.clock_handle(),
+        Some(Arc::clone(&sched)),
+        seed,
+        NetFaultPlan {
+            refuse_connects: 0,
+            cut_at,
+        },
+    );
+    let env: Arc<dyn Env> = Arc::new(sim_env.with_net(Arc::clone(&net)));
+    let engine = Arc::new(Engine::with_env(EngineConfig::default(), Arc::clone(&env)));
+    let server = Server::bind("sim:harness", engine)
+        .map_err(|e| format!("seed {seed}: phase N: bind failed: {e}"))?;
+
+    let transcript = Arc::new(Mutex::new(Vec::new()));
+    let script_owned = script.to_vec();
+    let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+        Box::new(move || {
+            server.run_sequential().expect("phase N server run");
+        }),
+        {
+            let env = Arc::clone(&env);
+            let transcript = Arc::clone(&transcript);
+            Box::new(move || {
+                let mut client =
+                    Client::connect_retrying("sim:harness", Arc::clone(&env), 8).expect("connect");
+                client.set_call_timeout(Some(Duration::from_secs(2)));
+                client.set_retry(RetryPolicy {
+                    attempts: 8,
+                    base: Duration::from_millis(10),
+                    cap: Duration::from_millis(160),
+                });
+                for request in &script_owned {
+                    let response = client.call(request).expect("scripted call");
+                    transcript
+                        .lock()
+                        .expect("transcript")
+                        .push(serde::to_string(&response));
+                }
+                // Drive shutdown to completion.  A refused reconnect means
+                // the server already processed the shutdown but the wire
+                // died before the acknowledgment — success, not failure.
+                match client.call(&Request::Shutdown) {
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {}
+                    Err(e) => panic!("shutdown never acknowledged: {e}"),
+                }
+            })
+        },
+    ];
+    sched.run(tasks).map_err(|panics| {
+        format!("seed {seed}: phase N (cut {cut_at:?}): task panics: {panics:?}")
+    })?;
+
+    let transcript = transcript.lock().expect("transcript").clone();
+    Ok((transcript, net.write_marks()))
+}
+
+/// Phase N: the scripted session must be wire-transparent (byte-equal to
+/// the in-process oracle) when fault-free, deterministic per seed, and —
+/// under a cut at any byte of the conversation — the resilient client's
+/// reconnect-and-retry must reproduce the *identical* transcript:
+/// acknowledged mutations survive, retried mutations apply exactly once
+/// (the final `WorkspaceInfo` revision would expose a double-apply), and
+/// drains answer fully-received requests.
+fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Result<(), String> {
+    let script = phase_n_script(seed, cfg);
+
+    // The never-dropped oracle: same requests, no network at all.
+    let oracle = Engine::new(EngineConfig::default());
+    let mut expected = Vec::with_capacity(script.len());
+    for request in &script {
+        let response = oracle.handle(request);
+        if !response.is_ok() {
+            return Err(format!(
+                "seed {seed}: phase N oracle: {request:?} failed: {response:?}"
+            ));
+        }
+        expected.push(serde::to_string(&response));
+    }
+
+    // Fault-free baseline, twice: deterministic and wire-transparent.
+    let (baseline, marks) = phase_n_session(seed, &script, None)?;
+    let again = phase_n_session(seed, &script, None)?;
+    if again != (baseline.clone(), marks.clone()) {
+        return Err(format!(
+            "seed {seed}: phase N: same seed produced different sessions \
+             (the network simulation is nondeterministic)"
+        ));
+    }
+    if baseline != expected {
+        return Err(format!(
+            "seed {seed}: phase N: fault-free session diverged from the in-process \
+             oracle\n  oracle: {expected:?}\n  wire:   {baseline:?}"
+        ));
+    }
+    stats.net_executions += 2;
+
+    // Cut the wire before the first byte, at every frame boundary, and
+    // inside every frame of the baseline conversation.
+    let mut cut_points: Vec<(u64, bool)> = vec![(0, false)];
+    let mut prev = 0u64;
+    for &mark in &marks {
+        if mark - prev >= 2 {
+            cut_points.push((prev + (mark - prev) / 2, true));
+        }
+        cut_points.push((mark, false));
+        prev = mark;
+    }
+    for &(cut, is_mid) in &cut_points {
+        let (transcript, _) = phase_n_session(seed, &script, Some(cut))?;
+        if transcript != expected {
+            return Err(format!(
+                "seed {seed}: phase N cut@{cut}: transcript diverged from the \
+                 never-dropped oracle (a lost acknowledged mutation or a \
+                 double-applied retry)\n  oracle: {expected:?}\n  got:    {transcript:?}"
+            ));
+        }
+        stats.net_executions += 1;
+        if is_mid {
+            stats.net_mid_frame_cuts += 1;
+        } else {
+            stats.net_boundary_cuts += 1;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// One small seed through all four phases: the harness's own smoke
+    /// One small seed through all five phases: the harness's own smoke
     /// test (the exhaustive sweep runs via the `cqfit-sim` binary and
     /// the repo-level recovery suite).
     #[test]
@@ -830,6 +1015,7 @@ mod tests {
             workspaces: 2,
             crash_points: 2,
             fault_points: 2,
+            net_steps: 3,
         };
         let stats = explore(0xC0FFEE, &cfg).expect("invariants hold");
         assert!(stats.executions > 10, "stats: {stats:?}");
@@ -839,5 +1025,15 @@ mod tests {
             "≥1 mid-record cut per record: {stats:?}"
         );
         assert_eq!(stats.records, 7, "create + 6 churn records: {stats:?}");
+        // Phase N: create + 3 churn + 4 questions + shutdown = 9 calls =
+        // 18 frames → 18 boundary cuts + the cut-before-the-first-byte,
+        // ≥1 mid-frame cut per frame, plus the two baselines.
+        assert_eq!(stats.net_boundary_cuts, 19, "stats: {stats:?}");
+        assert!(stats.net_mid_frame_cuts >= 18, "stats: {stats:?}");
+        assert_eq!(
+            stats.net_executions,
+            2 + stats.net_boundary_cuts + stats.net_mid_frame_cuts,
+            "stats: {stats:?}"
+        );
     }
 }

@@ -26,6 +26,21 @@
 //! seeded mid-run crashes with compaction in flight (phase B) and
 //! short-write / failed-sync fault injection (phase C).
 //!
+//! Since PR 7 the simulator also covers the **network**: phase N runs a
+//! real [`cqfit_engine::Server`] and resilient [`cqfit_engine::Client`]
+//! over an in-memory [`SimNet`] (seeded partial frames, refused
+//! connects, and connection cuts at every frame boundary and mid-frame),
+//! checking three more invariants on every execution:
+//!
+//! 4. **acked-mutations-survive** — a mutation whose response reached the
+//!    client is present in the final state, across any number of
+//!    reconnects;
+//! 5. **exactly-once retries** — a mutation retried after an ambiguous
+//!    drop is applied once (revisions never double-bump): the final
+//!    state is byte-identical to a never-dropped oracle's;
+//! 6. **drain-replies** — shutdown drain answers every fully-received
+//!    request instead of dropping the socket.
+//!
 //! Every failure message embeds the seed; reproduce with
 //! `CQFIT_SIM_SEED=<seed> cargo run --release -p cqfit-sim`.
 
@@ -35,11 +50,13 @@
 pub mod env;
 pub mod fs;
 pub mod harness;
+pub mod net;
 pub mod sched;
 
 pub use env::SimEnv;
 pub use fs::{FaultPlan, SimFs};
 pub use harness::{explore, sweep, ExploreStats, SimConfig, SweepOutcome};
+pub use net::{NetFaultPlan, SimNet};
 pub use sched::SimScheduler;
 
 /// One step of the splitmix64 sequence (the crate's only random source —
