@@ -2,8 +2,15 @@
 //! their preserved pre-rewrite reference implementations **in the same
 //! run**, and writes the result to a `BENCH_pr*.json` capture file.
 //!
-//! Six stages exist:
+//! Seven stages exist:
 //!
+//! * **pr8** (`--pr8`) — group commit + pipelined server: durable
+//!   append throughput (records/s, fsync'd) at increasing concurrent
+//!   writer counts against an in-run single-writer fsync-per-record
+//!   baseline (the pre-group-commit cost of the same records), and the
+//!   per-request latency distribution (p50/p99) of the pipelined
+//!   client at increasing pipeline depths against a live durable
+//!   server, depth 1 as the in-run baseline.  Writes `BENCH_pr8.json`.
 //! * **pr7** (`--pr7`) — the network seam (`cqfit_env::Net` +
 //!   `cqfit-sim`'s phase N): coverage of the deterministic network-fault
 //!   sweep (sessions, frame-boundary and mid-frame wire cuts), and the
@@ -51,7 +58,7 @@
 //!
 //! Usage:
 //! ```text
-//! perf_trajectory [--pr2|--pr3|--pr5|--pr6|--pr7] [--quick] [--out PATH]  # run and write the capture
+//! perf_trajectory [--pr2|--pr3|--pr5|--pr6|--pr7|--pr8] [--quick] [--out PATH]  # run and write the capture
 //! perf_trajectory --check PATH                                # validate a capture
 //! ```
 //! `--check` exits non-zero if the file is missing or malformed; CI uses it
@@ -1621,6 +1628,310 @@ fn run_pr7(quick: bool) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// pr8: group-committed durable appends and the pipelined server.
+// ---------------------------------------------------------------------
+
+mod pr8 {
+    use cqfit_data::Schema;
+    use cqfit_engine::{
+        Client, Engine, EngineConfig, ExamplePayload, Polarity, Request, Response, Server,
+    };
+    use cqfit_store::{LogRecord, Store, StoreConfig};
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier};
+    use std::time::Instant;
+
+    fn scratch_dir() -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cqfit_bench_pr8_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_at(dir: &Path) -> Store {
+        Store::open(StoreConfig {
+            dir: dir.to_path_buf(),
+            // No auto-compaction: every measured append must hit the log.
+            compact_after: usize::MAX >> 1,
+            fsync: true,
+        })
+        .expect("open bench store")
+    }
+
+    fn record_for(id: u64, example: &cqfit_data::Example) -> LogRecord {
+        LogRecord::AddExample {
+            id,
+            positive: !id.is_multiple_of(3),
+            example: example.clone(),
+            request_id: Some(id),
+        }
+    }
+
+    /// Result of one writer-count case.
+    pub struct GroupResult {
+        pub writers: usize,
+        pub records: u64,
+        pub baseline_median_ns: u128,
+        pub new_median_ns: u128,
+        pub speedup: f64,
+    }
+
+    /// Measures one writer count: per repeat, a single-writer fsync-per-
+    /// record pass (the pre-group-commit cost of the same records) and a
+    /// `writers`-way concurrent pass, back to back; medians compared.
+    pub fn run_group_case(writers: usize, total: usize, repeats: usize) -> GroupResult {
+        let schema = Schema::digraph();
+        let example = cqfit_gen::directed_cycle(&schema, 3);
+        let mut baseline = Vec::with_capacity(repeats);
+        let mut new = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            baseline.push(timed_pass(1, total, &example));
+            new.push(timed_pass(writers, total, &example));
+        }
+        let baseline_median_ns = super::median(baseline);
+        let new_median_ns = super::median(new);
+        let result = GroupResult {
+            writers,
+            records: total as u64,
+            baseline_median_ns,
+            new_median_ns,
+            speedup: baseline_median_ns as f64 / new_median_ns.max(1) as f64,
+        };
+        eprintln!(
+            "  writers {:>2}   {:>4} records   1-writer {:>11} ns ({:>8.0} rec/s)   group {:>11} ns ({:>8.0} rec/s)   speedup {:.2}x",
+            result.writers,
+            result.records,
+            result.baseline_median_ns,
+            super::pr5::rate(result.records, result.baseline_median_ns),
+            result.new_median_ns,
+            super::pr5::rate(result.records, result.new_median_ns),
+            result.speedup
+        );
+        result
+    }
+
+    /// One durable-append pass: `writers` threads split `total` records
+    /// over one workspace log, every append acked (durability covered by
+    /// a group-commit sync).  Returns wall-clock ns from barrier release
+    /// to the last ack, joins included.
+    fn timed_pass(writers: usize, total: usize, example: &cqfit_data::Example) -> u128 {
+        let dir = scratch_dir();
+        let store = Arc::new(store_at(&dir));
+        let schema = Schema::digraph();
+        store
+            .create_workspace("w", &schema, 0)
+            .expect("bench workspace");
+        let per_writer = total / writers;
+        // Records are built outside the timed region: the measurement is
+        // the durable append path, not example cloning/formatting.
+        let streams: Vec<Vec<LogRecord>> = (0..writers)
+            .map(|w| {
+                (0..per_writer)
+                    .map(|i| record_for((w * per_writer + i) as u64, example))
+                    .collect()
+            })
+            .collect();
+        let barrier = Arc::new(Barrier::new(writers + 1));
+        let mut started = None;
+        std::thread::scope(|scope| {
+            for records in &streams {
+                let store = Arc::clone(&store);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for record in records {
+                        store
+                            .append("w", record, || unreachable!("no compaction in bench"))
+                            .expect("bench append acked");
+                    }
+                });
+            }
+            started = Some(Instant::now());
+            barrier.wait();
+        });
+        let t = started.expect("set before release").elapsed().as_nanos();
+        store.sync_all().expect("bench shutdown sync");
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+        t
+    }
+
+    /// Result of one pipeline-depth case against the live server.
+    pub struct DepthResult {
+        pub depth: usize,
+        pub requests: usize,
+        pub p50_ns: u128,
+        pub p99_ns: u128,
+        pub mean_ns: u128,
+    }
+
+    fn percentile(sorted: &[u128], p: f64) -> u128 {
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    }
+
+    /// Measures per-request latency at each pipeline depth against one
+    /// live durable server: `batches` bursts of `depth` `add_example`
+    /// requests through `Client::call_pipelined`, per-request latency
+    /// taken as burst wall clock over depth.
+    pub fn run_depth_cases(depths: &[usize], batches: usize) -> Vec<DepthResult> {
+        let dir = scratch_dir();
+        let (engine, _) = Engine::with_store(EngineConfig::default(), store_at(&dir))
+            .expect("fresh durable engine");
+        let engine = Arc::new(engine);
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bench server bind");
+        let addr = server.local_addr().expect("bench server addr");
+        let server = std::thread::spawn(move || server.run().expect("bench server run"));
+        let mut client = Client::connect(&addr).expect("bench client connect");
+        let schema = Schema::digraph();
+        let example = cqfit_gen::directed_cycle(&schema, 3);
+
+        let mut results = Vec::new();
+        for &depth in depths {
+            let ws = format!("lat{depth}");
+            let created = client
+                .call(&Request::CreateWorkspace {
+                    workspace: ws.clone(),
+                    schema: schema.as_ref().clone(),
+                    arity: 0,
+                })
+                .expect("bench create");
+            assert!(created.is_ok(), "bench create failed: {created:?}");
+            // Negative examples: a durable WAL append per request, but no
+            // product extension — adding the same positive repeatedly
+            // would grow the maintained product `Π E⁺` exponentially and
+            // measure the hom engine instead of the pipeline.
+            let burst: Vec<Request> = (0..depth)
+                .map(|_| Request::AddExample {
+                    workspace: ws.clone(),
+                    polarity: Polarity::Negative,
+                    example: ExamplePayload::Structured(example.clone()),
+                })
+                .collect();
+            // Warm-up burst (connection, caches) — not measured.
+            for r in client.call_pipelined(&burst).expect("warm-up burst") {
+                assert!(r.is_ok(), "warm-up burst failed: {r:?}");
+            }
+            let mut lat = Vec::with_capacity(batches);
+            for _ in 0..batches {
+                let t = Instant::now();
+                let replies = client.call_pipelined(&burst).expect("bench burst");
+                let ns = t.elapsed().as_nanos();
+                for r in &replies {
+                    assert!(
+                        matches!(r, Response::ExampleAdded { .. }),
+                        "bench burst failed: {r:?}"
+                    );
+                }
+                lat.push(ns / depth as u128);
+            }
+            lat.sort_unstable();
+            let mean_ns = lat.iter().sum::<u128>() / lat.len() as u128;
+            let result = DepthResult {
+                depth,
+                requests: depth * batches,
+                p50_ns: percentile(&lat, 0.50),
+                p99_ns: percentile(&lat, 0.99),
+                mean_ns,
+            };
+            eprintln!(
+                "  depth {:>2}   {:>5} requests   p50 {:>10} ns/req   p99 {:>10} ns/req   mean {:>10} ns/req",
+                result.depth, result.requests, result.p50_ns, result.p99_ns, result.mean_ns
+            );
+            results.push(result);
+        }
+        let stopped = client.call(&Request::Shutdown).expect("bench shutdown");
+        assert!(stopped.is_ok(), "bench shutdown failed: {stopped:?}");
+        drop(client);
+        server.join().expect("bench server thread");
+        let _ = std::fs::remove_dir_all(&dir);
+        results
+    }
+}
+
+/// The pr8 stage: group-committed durable appends vs concurrent writers,
+/// and the pipelined client's latency curve against a live server.
+fn run_pr8(quick: bool, repeats: usize) -> String {
+    let (writer_counts, total, depths, batches): (&[usize], usize, &[usize], usize) = if quick {
+        (&[1, 8, 32], 256, &[1, 8, 32], 40)
+    } else {
+        (&[1, 2, 4, 8, 16, 32], 768, &[1, 4, 8, 16, 32], 150)
+    };
+    eprintln!(
+        "group-committed durable appends ({total} records/pass, fsync on, {repeats} repeats/case):"
+    );
+    let group: Vec<pr8::GroupResult> = writer_counts
+        .iter()
+        .map(|&w| pr8::run_group_case(w, total, repeats))
+        .collect();
+    eprintln!("pipelined client latency vs depth ({batches} bursts/depth, durable server):");
+    let depth_results = pr8::run_depth_cases(depths, batches);
+
+    let group_jsons: Vec<String> = group
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"case\": \"writers_{}\", \"writers\": {}, \"records\": {}, \"baseline_median_ns\": {}, \"new_median_ns\": {}, \"speedup\": {:.3}, \"append_records_per_sec\": {:.1}, \"baseline_records_per_sec\": {:.1}}}",
+                r.writers,
+                r.writers,
+                r.records,
+                r.baseline_median_ns,
+                r.new_median_ns,
+                r.speedup,
+                pr5::rate(r.records, r.new_median_ns),
+                pr5::rate(r.records, r.baseline_median_ns)
+            )
+        })
+        .collect();
+    let mut group_speedups: Vec<f64> = group.iter().map(|r| r.speedup).collect();
+    group_speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+    let group_median = group_speedups[group_speedups.len() / 2];
+    eprintln!("median concurrent-vs-single-writer speedup: {group_median:.2}x");
+
+    let depth1_mean = depth_results
+        .first()
+        .map(|r| r.mean_ns)
+        .expect("at least one depth");
+    let depth_jsons: Vec<String> = depth_results
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"case\": \"depth_{}\", \"depth\": {}, \"requests\": {}, \"baseline_median_ns\": {}, \"new_median_ns\": {}, \"speedup\": {:.3}, \"p50_ns\": {}, \"p99_ns\": {}, \"requests_per_sec\": {:.1}}}",
+                r.depth,
+                r.depth,
+                r.requests,
+                depth1_mean,
+                r.mean_ns,
+                depth1_mean as f64 / r.mean_ns.max(1) as f64,
+                r.p50_ns,
+                r.p99_ns,
+                1e9 / r.mean_ns.max(1) as f64
+            )
+        })
+        .collect();
+    let mut depth_speedups: Vec<f64> = depth_results
+        .iter()
+        .map(|r| depth1_mean as f64 / r.mean_ns.max(1) as f64)
+        .collect();
+    depth_speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+    let depth_median = depth_speedups[depth_speedups.len() / 2];
+
+    format!(
+        "{{\n  \"pr\": 8,\n  \"description\": \"group commit + pipelined server: durable (fsync'd) append throughput at increasing concurrent writer counts, single-writer fsync-per-record pass over the same records as in-run baseline (baseline_median_ns = 1 writer, new_median_ns = N writers); and the pipelined client's per-request latency (p50/p99) at increasing pipeline depths against a live durable server, depth 1 as in-run baseline\",\n  \"mode\": \"{}\",\n  \"benches\": [\n    {{\n      \"name\": \"group_commit_appends\",\n      \"median_speedup\": {:.3},\n      \"cases\": [\n{}\n      ]\n    }},\n    {{\n      \"name\": \"pipeline_latency\",\n      \"median_speedup\": {:.3},\n      \"cases\": [\n{}\n      ]\n    }}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        group_median,
+        group_jsons.join(",\n"),
+        depth_median,
+        depth_jsons.join(",\n")
+    )
+}
+
 /// The pr3 stage: mask-based core engine vs preserved greedy core oracle.
 fn run_pr3(quick: bool, repeats: usize) -> String {
     eprintln!("core-of-product (Thm. 3.40) cases ({repeats} samples/case):");
@@ -1659,6 +1970,7 @@ fn main() {
     let pr5 = args.iter().any(|a| a == "--pr5");
     let pr6 = args.iter().any(|a| a == "--pr6");
     let pr7 = args.iter().any(|a| a == "--pr7");
+    let pr8 = args.iter().any(|a| a == "--pr8");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -1674,6 +1986,8 @@ fn main() {
             "BENCH_pr6.json"
         } else if pr7 {
             "BENCH_pr7.json"
+        } else if pr8 {
+            "BENCH_pr8.json"
         } else {
             "BENCH_pr4.json"
         })
@@ -1689,6 +2003,8 @@ fn main() {
         run_pr6(quick)
     } else if pr7 {
         run_pr7(quick)
+    } else if pr8 {
+        run_pr8(quick, repeats)
     } else {
         run_pr4(quick, repeats)
     };

@@ -306,6 +306,88 @@ impl Client {
         Err(last.expect("at least one attempt"))
     }
 
+    /// Sends a batch of requests as one pipelined burst — every frame
+    /// written back-to-back in a single buffered write — then reads the
+    /// responses back in request order.  One connection bursting
+    /// `requests.len()` lines is what keeps the server's pipeline
+    /// window, and through it the store's group-commit queue, full.
+    ///
+    /// Each request gets its own `request_id`, fixed up front; a
+    /// transport failure retries the in-flight chunk over a fresh
+    /// connection with the same ids, so mutations that applied before
+    /// the failure are answered from the engine's idempotency memo
+    /// rather than re-applied.  Bursts larger than the server's
+    /// pipeline window are split into window-sized chunks (each fully
+    /// acknowledged before the next goes out) — the memo remembers one
+    /// window's worth of ids per workspace, so a replayed chunk is
+    /// always answerable, while an unbounded burst would not be.  The
+    /// per-request deadline (when set) covers one chunk's exchange.
+    ///
+    /// # Errors
+    /// The last transport failure once retries are exhausted; an
+    /// unparsable response line becomes `InvalidData` immediately.
+    pub fn call_pipelined(&mut self, requests: &[Request]) -> io::Result<Vec<Response>> {
+        let mut out = Vec::with_capacity(requests.len());
+        for chunk in requests.chunks(crate::server::PIPELINE_WINDOW) {
+            out.extend(self.call_pipelined_chunk(chunk)?);
+        }
+        Ok(out)
+    }
+
+    /// One window-sized pipelined burst, retried whole on transport
+    /// failure with stable request ids.
+    fn call_pipelined_chunk(&mut self, requests: &[Request]) -> io::Result<Vec<Response>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        // The wire integer type is i64: keep ids in 63 bits.
+        let ids: Vec<u64> = requests.iter().map(|_| self.env.rng_u64() >> 1).collect();
+        let mut frame = String::new();
+        for (request, id) in requests.iter().zip(&ids) {
+            frame.push_str(&request.to_json_with_id(*id).to_string());
+            frame.push('\n');
+        }
+        let attempts = self.retry.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let delay = self.backoff_delay(attempt - 1);
+                self.env.clock().sleep(delay);
+            }
+            match self.exchange_batch(&frame, requests.len()) {
+                Ok(replies) => {
+                    let mut out = Vec::with_capacity(replies.len());
+                    for reply in &replies {
+                        out.push(Client::parse_response(reply)?);
+                    }
+                    return Ok(out);
+                }
+                Err(e) => {
+                    self.disconnect();
+                    if !Client::retryable(&e) {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// One burst-write-then-read-`n`-lines exchange on the current
+    /// connection, under a single deadline.  No retries.
+    fn exchange_batch(&mut self, frame: &str, n: usize) -> io::Result<Vec<String>> {
+        let deadline = self.timeout.map(|t| self.env.clock().monotonic() + t);
+        self.ensure_connected()?;
+        let conn = self.conn.as_mut().expect("just connected");
+        conn.write_all(frame.as_bytes())?;
+        let mut replies = Vec::with_capacity(n);
+        for _ in 0..n {
+            replies.push(self.read_line(deadline)?);
+        }
+        Ok(replies)
+    }
+
     fn parse_response(line: &str) -> io::Result<Response> {
         match serde::json::Value::parse(line).and_then(|v| Response::from_json(&v)) {
             Ok(response) => Ok(response),

@@ -2,6 +2,7 @@
 //! one hom/core result cache, optionally backed by a durable store.
 
 use crate::protocol::{EngineStats, ExamplePayload, Polarity, Request, Response};
+use crate::server::PIPELINE_WINDOW;
 use crate::workspace::Workspace;
 use cqfit::incremental::IncrementalFitting;
 use cqfit_data::parse_example;
@@ -94,48 +95,74 @@ impl WorkspaceSlot {
 }
 
 /// The exactly-once retry memo behind [`Engine::handle_with_id`]: for
-/// each workspace, the id of the last successfully applied identified
-/// mutation and the response it produced.  A client that retries a
+/// each workspace, the ids of the most recently applied identified
+/// mutations and the responses they produced.  A client that retries a
 /// mutation after an ambiguous connection drop (request possibly
 /// applied, ack lost) resends the same `request_id`; if the engine has
 /// already applied it, the memoed response is returned instead of the
 /// mutation running twice.
 ///
-/// Only the *last* id per workspace is kept — the resilient client is
-/// strictly sequential per connection, so one slot suffices.  Entries
-/// are evicted FIFO past [`MEMO_CAP`] workspaces to bound memory on
-/// workspace churn.  The memo is in-memory only: exactly-once holds
-/// within one server lifetime, which matches the sim harness's model
-/// (network faults without process crashes).
+/// The per-workspace ring keeps the last [`PIPELINE_WINDOW`] entries: a
+/// pipelined client that loses its connection mid-burst replays the
+/// *whole* batch under the same ids, so every mutation the batch may
+/// already have applied — not just the newest — must still be
+/// answerable (PR 8 closed the one-slot hole here).  Workspaces are
+/// evicted FIFO past [`MEMO_CAP`] to bound memory on workspace churn.
+/// The memo survives restarts: every identified mutation logs its
+/// `request_id` in its WAL record, and recovery reseeds the memo from
+/// the last replayed identified mutations per workspace (the responses
+/// are deterministic from the records), so a retry that races a crash
+/// cannot re-apply after recovery.
 #[derive(Debug, Default)]
 struct IdempotencyMemo {
-    last: HashMap<String, (u64, Response)>,
+    recent: HashMap<String, VecDeque<(u64, Response)>>,
     order: VecDeque<String>,
 }
 
 /// Upper bound on workspaces tracked by the [`IdempotencyMemo`].
 const MEMO_CAP: usize = 1024;
 
+/// The store must hand recovery at least a pipeline window's worth of
+/// replayed request ids, or a batch retry across a crash could re-apply
+/// its prefix.
+const _: () = assert!(cqfit_store::REPLAY_MEMO_DEPTH >= PIPELINE_WINDOW);
+
 impl IdempotencyMemo {
     fn lookup(&self, workspace: &str, id: u64) -> Option<Response> {
-        match self.last.get(workspace) {
-            Some((last_id, response)) if *last_id == id => Some(response.clone()),
-            _ => None,
-        }
+        let ring = self.recent.get(workspace)?;
+        ring.iter()
+            .find(|(applied, _)| *applied == id)
+            .map(|(_, response)| response.clone())
     }
 
     fn record(&mut self, workspace: &str, id: u64, response: Response) {
-        if self
-            .last
-            .insert(workspace.to_string(), (id, response))
-            .is_none()
-        {
-            self.order.push_back(workspace.to_string());
-            while self.order.len() > MEMO_CAP {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.last.remove(&evicted);
+        match self.recent.get_mut(workspace) {
+            Some(ring) => {
+                if ring.len() == PIPELINE_WINDOW {
+                    ring.pop_front();
+                }
+                ring.push_back((id, response));
+            }
+            None => {
+                self.recent
+                    .insert(workspace.to_string(), VecDeque::from([(id, response)]));
+                self.order.push_back(workspace.to_string());
+                while self.order.len() > MEMO_CAP {
+                    if let Some(evicted) = self.order.pop_front() {
+                        self.recent.remove(&evicted);
+                    }
                 }
             }
+        }
+    }
+
+    /// Drops a workspace's memo entry.  Called when the workspace itself
+    /// is created or dropped: the memo is keyed by *name*, so without
+    /// this a drop-and-recreate under the same name could replay a
+    /// memoed response from the dead workspace to a stale request id.
+    fn forget(&mut self, workspace: &str) {
+        if self.recent.remove(workspace).is_some() {
+            self.order.retain(|n| n != workspace);
         }
     }
 }
@@ -197,6 +224,7 @@ impl Engine {
         let started = env.clock().monotonic();
         let (restored, report) = store.recover()?;
         let mut map = HashMap::new();
+        let mut memo = IdempotencyMemo::default();
         for ws in restored {
             let cqfit_store::RestoredWorkspace {
                 name,
@@ -206,7 +234,35 @@ impl Engine {
                 revision,
                 positives,
                 negatives,
+                recent_requests,
             } = ws;
+            // Reseed the exactly-once memo from the log: the response a
+            // replayed mutation produced is deterministic from its
+            // record, so a client retrying any (possibly unacked)
+            // identified mutation of its in-flight batch after the
+            // crash gets the original answer instead of a second
+            // application.
+            for m in recent_requests {
+                let polarity = if m.positive {
+                    Polarity::Positive
+                } else {
+                    Polarity::Negative
+                };
+                let response = if m.added {
+                    Response::ExampleAdded {
+                        polarity,
+                        id: m.example_id,
+                    }
+                } else {
+                    // Only successful removals are logged.
+                    Response::ExampleRemoved {
+                        polarity,
+                        id: m.example_id,
+                        removed: true,
+                    }
+                };
+                memo.record(&name, m.request_id, response);
+            }
             let state = IncrementalFitting::from_parts(
                 Arc::new(schema),
                 arity,
@@ -227,7 +283,7 @@ impl Engine {
             workspaces: RwLock::new(map),
             cache: config.caching.then(|| Arc::new(HomCache::new())),
             requests: AtomicU64::new(0),
-            memo: Mutex::new(IdempotencyMemo::default()),
+            memo: Mutex::new(memo),
             store: Some(Arc::new(store)),
             recovery: report,
             env,
@@ -364,7 +420,7 @@ impl Engine {
                 return replay;
             }
         }
-        let response = self.handle_inner(request);
+        let response = self.handle_inner(request, request_id);
         if let Some((id, ws)) = &memo_key {
             if response.is_ok() {
                 self.memo
@@ -376,7 +432,7 @@ impl Engine {
         response
     }
 
-    fn handle_inner(&self, request: &Request) -> Response {
+    fn handle_inner(&self, request: &Request, request_id: Option<u64>) -> Response {
         // Scheduling point: no engine lock is held here, so a simulated
         // scheduler may interleave other tasks between whole requests —
         // the granularity at which the engine's own locking must already
@@ -443,6 +499,13 @@ impl Engine {
                     return Response::error(format!("workspace `{workspace}` already exists"));
                 }
                 map.insert(workspace.clone(), slot);
+                drop(map);
+                // A fresh workspace must not inherit memoed responses
+                // recorded against a dead namesake.
+                self.memo
+                    .lock()
+                    .expect("idempotency memo")
+                    .forget(workspace);
                 Response::WorkspaceCreated {
                     workspace: workspace.clone(),
                 }
@@ -478,6 +541,16 @@ impl Engine {
                         ));
                     }
                 }
+                // The workspace is gone: its memo entry must go with it,
+                // or a later recreate under the same name could answer a
+                // stale retry with the dead workspace's response.  (The
+                // *drop's own* response is still memoed afterwards by
+                // `handle_with_id`, so an identified drop retry stays
+                // exactly-once.)
+                self.memo
+                    .lock()
+                    .expect("idempotency memo")
+                    .forget(workspace);
                 Response::WorkspaceDropped {
                     workspace: workspace.clone(),
                     existed: true,
@@ -524,10 +597,15 @@ impl Engine {
                 }
                 let id = ws.state().next_id();
                 if let Some(store) = &self.store {
+                    // The wire request id rides in the record so recovery
+                    // can reseed the exactly-once memo: a crash between
+                    // this append and the client's ack must not let the
+                    // retry apply twice after restart.
                     let record = LogRecord::AddExample {
                         id,
                         positive: matches!(polarity, Polarity::Positive),
                         example: example.clone(),
+                        request_id,
                     };
                     if let Err(e) =
                         store.append(ws.name(), &record, || Self::snapshot_of(ws.state()))
@@ -562,7 +640,11 @@ impl Engine {
                 // no-op and must not grow the log.
                 if present {
                     if let Some(store) = &self.store {
-                        let record = LogRecord::RemoveExample { id: *id, positive };
+                        let record = LogRecord::RemoveExample {
+                            id: *id,
+                            positive,
+                            request_id,
+                        };
                         if let Err(e) =
                             store.append(ws.name(), &record, || Self::snapshot_of(ws.state()))
                         {
@@ -681,16 +763,36 @@ impl Engine {
     /// *after* all groups finish.  Responses are returned in request
     /// order.
     pub fn handle_batch(&self, requests: &[Request]) -> Vec<Response> {
+        self.batch_impl(requests.len(), |i| (&requests[i], None))
+    }
+
+    /// [`handle_batch`] with a per-request idempotency id, as carried by a
+    /// pipelined connection: each request is routed through
+    /// [`handle_with_id`], so identified mutations inside a pipelined
+    /// window get the same exactly-once retry semantics as sequential
+    /// ones.
+    ///
+    /// [`handle_batch`]: Engine::handle_batch
+    /// [`handle_with_id`]: Engine::handle_with_id
+    pub fn handle_batch_with_ids(&self, requests: &[(Request, Option<u64>)]) -> Vec<Response> {
+        self.batch_impl(requests.len(), |i| (&requests[i].0, requests[i].1))
+    }
+
+    fn batch_impl<'a>(
+        &self,
+        len: usize,
+        get: impl Fn(usize) -> (&'a Request, Option<u64>) + Sync,
+    ) -> Vec<Response> {
         let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
         let mut global = Vec::new();
-        for (i, req) in requests.iter().enumerate() {
-            match req.workspace() {
+        for i in 0..len {
+            match get(i).0.workspace() {
                 Some(ws) => groups.entry(ws).or_default().push(i),
                 None => global.push(i),
             }
         }
         let mut out: Vec<Option<Response>> = Vec::new();
-        out.resize_with(requests.len(), || None);
+        out.resize_with(len, || None);
         let group_list: Vec<Vec<usize>> = groups.into_values().collect();
         // Bounded worker pool over the groups (a batch may touch thousands
         // of workspaces; one OS thread per workspace would oversubscribe):
@@ -712,7 +814,10 @@ impl Engine {
                             let Some(indices) = group_list.get(g) else {
                                 break;
                             };
-                            local.extend(indices.iter().map(|&i| (i, self.handle(&requests[i]))));
+                            local.extend(indices.iter().map(|&i| {
+                                let (req, id) = get(i);
+                                (i, self.handle_with_id(req, id))
+                            }));
                         }
                         local
                     })
@@ -727,7 +832,8 @@ impl Engine {
             out[i] = Some(resp);
         }
         for i in global {
-            out[i] = Some(self.handle(&requests[i]));
+            let (req, id) = get(i);
+            out[i] = Some(self.handle_with_id(req, id));
         }
         out.into_iter().map(|r| r.expect("all filled")).collect()
     }
@@ -988,6 +1094,102 @@ mod tests {
             }
             other => panic!("retried drop failed: {other:?}"),
         }
+    }
+
+    /// Regression (PR 8): the memo is keyed by workspace *name*, so
+    /// without clearing on drop/create, a drop-and-recreate under the
+    /// same name would replay a memoed response from the dead workspace
+    /// to a stale request id — the retried add below would be answered
+    /// `ExampleAdded` without ever touching the fresh workspace.
+    #[test]
+    fn drop_and_recreate_does_not_replay_the_dead_workspaces_memo() {
+        let engine = Engine::default();
+        create(&engine, "w");
+        let add = Request::AddExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("R(a,b)".into()),
+        };
+        assert!(engine.handle_with_id(&add, Some(9)).is_ok());
+        assert_eq!(info_of(&engine, "w").0, 1);
+        // Drop and recreate the namesake workspace (unidentified, as a
+        // pre-PR 7 admin client would).
+        assert!(engine
+            .handle(&Request::DropWorkspace {
+                workspace: "w".into(),
+            })
+            .is_ok());
+        create(&engine, "w");
+        assert_eq!(info_of(&engine, "w").0, 0, "fresh workspace is empty");
+        // A stale retry of the old id must genuinely apply to the new
+        // workspace, not be swallowed by the dead workspace's memo.
+        match engine.handle_with_id(&add, Some(9)) {
+            Response::ExampleAdded { .. } => {}
+            other => panic!("stale-id add failed: {other:?}"),
+        }
+        assert_eq!(
+            info_of(&engine, "w").0,
+            1,
+            "the add really ran against the recreated workspace"
+        );
+        // Same protection when the drop+create themselves are identified.
+        let drop = Request::DropWorkspace {
+            workspace: "w".into(),
+        };
+        assert!(engine.handle_with_id(&drop, Some(10)).is_ok());
+        let create_req = Request::CreateWorkspace {
+            workspace: "w".into(),
+            schema: Schema::digraph().as_ref().clone(),
+            arity: 0,
+        };
+        assert!(engine.handle_with_id(&create_req, Some(11)).is_ok());
+        match engine.handle_with_id(&add, Some(9)) {
+            Response::ExampleAdded { .. } => {}
+            other => panic!("stale-id add failed: {other:?}"),
+        }
+        assert_eq!(info_of(&engine, "w").0, 1);
+    }
+
+    /// Regression (PR 8): a pipelined client that loses its connection
+    /// mid-burst replays the *whole* batch under the same ids — create
+    /// included.  A one-slot memo only remembered the newest mutation,
+    /// so the replayed create re-ran into `already exists` and every
+    /// replayed add re-applied.  The window-deep memo must answer each
+    /// replayed request byte-identically without touching the workspace.
+    #[test]
+    fn replayed_pipelined_batch_is_answered_entirely_from_the_memo() {
+        let engine = Engine::default();
+        let mut batch = vec![Request::CreateWorkspace {
+            workspace: "w".into(),
+            schema: cqfit_data::Schema::digraph().as_ref().clone(),
+            arity: 0,
+        }];
+        for i in 0..(PIPELINE_WINDOW - 1) {
+            batch.push(Request::AddExample {
+                workspace: "w".into(),
+                polarity: Polarity::Positive,
+                example: ExamplePayload::Text(format!("R(a{i},b{i})")),
+            });
+        }
+        let ids: Vec<u64> = (100..100 + batch.len() as u64).collect();
+        let first: Vec<String> = batch
+            .iter()
+            .zip(&ids)
+            .map(|(request, id)| serde::to_string(&engine.handle_with_id(request, Some(*id))))
+            .collect();
+        let (positives, revision) = info_of(&engine, "w");
+        assert_eq!(positives, PIPELINE_WINDOW - 1);
+        let replay: Vec<String> = batch
+            .iter()
+            .zip(&ids)
+            .map(|(request, id)| serde::to_string(&engine.handle_with_id(request, Some(*id))))
+            .collect();
+        assert_eq!(first, replay, "every response replayed from the memo");
+        assert_eq!(
+            info_of(&engine, "w"),
+            (positives, revision),
+            "no mutation ran twice"
+        );
     }
 
     fn tmp_dir(tag: &str) -> std::path::PathBuf {

@@ -6,7 +6,11 @@
 //! out (see [`crate::protocol`]).  Requests may carry an optional
 //! `request_id`; identified mutations are routed through the engine's
 //! idempotency memo ([`Engine::handle_with_id`]) so client retries after
-//! an ambiguous connection drop apply exactly once.  Malformed lines are
+//! an ambiguous connection drop apply exactly once.  Connections are
+//! pipelined: up to [`PIPELINE_WINDOW`] already-buffered request lines
+//! are dispatched as one in-flight batch (responses written in request
+//! order), which is what lets a single bursting client keep the store's
+//! group-commit queue full.  Malformed lines are
 //! answered with an error response carrying the line-internal column of
 //! the offending token; the connection stays open.  A `{"op":"shutdown"}`
 //! request is acknowledged, then the server stops accepting connections
@@ -52,6 +56,20 @@ const READ_CHUNK: usize = 64 * 1024;
 
 /// Bounded retry count for the shutdown wake-up self-connect.
 const WAKE_ATTEMPTS: u32 = 3;
+
+/// Per-connection pipeline window: at most this many already-buffered
+/// request lines are decoded and dispatched as one in-flight batch.
+/// Responses are still written in request order, and the window never
+/// *waits* for more input — a client that writes one request and blocks
+/// on the reply sees batches of one with the exact sequential
+/// semantics, while a pipelining client that bursts N requests gets
+/// them dispatched concurrently (and their durable appends group-
+/// committed under a shared fsync by the store's commit queue).
+///
+/// The engine's exactly-once memo keeps this many entries per
+/// workspace, and the client chunks pipelined bursts to this size, so a
+/// replayed batch is always answerable from the memo.
+pub(crate) const PIPELINE_WINDOW: usize = 32;
 
 /// A JSONL server wrapping an [`Engine`].
 pub struct Server {
@@ -114,7 +132,7 @@ impl Server {
             let addr = addr.clone();
             handles.push(std::thread::spawn(move || {
                 let peer = conn.peer_addr();
-                if let Err(e) = serve_connection(&engine, &shutdown, &addr, conn) {
+                if let Err(e) = serve_connection(&engine, &shutdown, &addr, conn, PIPELINE_WINDOW) {
                     if !is_disconnect(&e) {
                         eprintln!("cqfit-serve: connection {peer}: {e}");
                     }
@@ -147,7 +165,10 @@ impl Server {
                 Err(e) => return Err(e),
             };
             let peer = conn.peer_addr();
-            if let Err(e) = serve_connection(&self.engine, &self.shutdown, &addr, conn) {
+            // Window of 1: every request is decoded, handled, and answered
+            // before the next is looked at, so the deterministic scheduler
+            // sees the same single-step interleaving as before pipelining.
+            if let Err(e) = serve_connection(&self.engine, &self.shutdown, &addr, conn, 1) {
                 if !is_disconnect(&e) {
                     eprintln!("cqfit-serve: connection {peer}: {e}");
                 }
@@ -270,12 +291,21 @@ fn is_disconnect(e: &io::Error) -> bool {
 }
 
 /// Handles one connection; returns on EOF, I/O error, or shutdown.
+///
+/// `window` bounds how many already-buffered request lines may be
+/// in flight at once (see [`PIPELINE_WINDOW`]).  Dispatch never waits
+/// for the window to fill: whatever complete lines the read buffer
+/// holds — up to the window — form one batch, so an unpipelined client
+/// keeps strict request-by-request semantics.  Responses are written in
+/// request order after the batch completes.
 fn serve_connection(
     engine: &Engine,
     shutdown: &AtomicBool,
     server_addr: &str,
     mut conn: Box<dyn NetConn>,
+    window: usize,
 ) -> io::Result<()> {
+    let window = window.max(1);
     // Accumulated raw bytes not yet consumed as request lines.  Reads are
     // capped per iteration so a client streaming a newline-less request
     // cannot grow the buffer beyond `MAX_LINE_BYTES` + one chunk.
@@ -322,55 +352,122 @@ fn serve_connection(
         if newline.is_none() && eof && buf.is_empty() {
             return Ok(());
         }
-        // A complete line (or, unterminated, the final pre-EOF bytes /
-        // an over-long stream).  Size checks count the payload, not the
-        // `\n` terminator.
-        let (payload_len, consumed, terminated) = match newline {
-            Some(pos) => (pos, pos + 1, true),
-            None => (buf.len(), buf.len(), false),
-        };
-        if payload_len > MAX_LINE_BYTES {
-            write_response(
-                conn.as_mut(),
-                &Response::error(format!("request line exceeds {MAX_LINE_BYTES} bytes")),
-            )?;
-            if terminated {
-                // Framing intact: skip this line, keep the connection.
-                buf.drain(..consumed);
+        // At least one framed request is available: a terminated line,
+        // the final pre-EOF bytes, or an over-long unterminated stream.
+        // Take up to `window` of them for one pipelined dispatch.  Each
+        // entry is (payload without the `\n` terminator, terminated?);
+        // an unterminated tail is only consumed when no more bytes can
+        // arrive for it (EOF) or it already exceeds the line cap.
+        let mut lines: Vec<(Vec<u8>, bool)> = Vec::new();
+        while lines.len() < window {
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let mut line: Vec<u8> = buf.drain(..=pos).collect();
+                    line.pop();
+                    lines.push((line, true));
+                }
+                None if !buf.is_empty() && (eof || buf.len() > MAX_LINE_BYTES) => {
+                    lines.push((std::mem::take(&mut buf), false));
+                    break;
+                }
+                None => break,
+            }
+        }
+        // Decode every taken line in order.  Lines with framing or parse
+        // problems get their error response pre-computed; well-formed
+        // requests join the dispatch batch.  `slots` remembers the
+        // request order so responses are written exactly in it.
+        enum Slot {
+            Done(Response),
+            Pending(usize),
+        }
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut batch: Vec<(Request, Option<u64>)> = Vec::new();
+        let mut shutdown_req: Option<(Request, Option<u64>)> = None;
+        let mut framing_lost = false;
+        for (payload, terminated) in &lines {
+            // Size checks count the payload, not the `\n` terminator.
+            if payload.len() > MAX_LINE_BYTES {
+                slots.push(Slot::Done(Response::error(format!(
+                    "request line exceeds {MAX_LINE_BYTES} bytes"
+                ))));
+                if !*terminated {
+                    // Unterminated: framing is lost — answer everything
+                    // decoded so far, then drop the connection.  (An
+                    // unterminated tail is always the last line taken.)
+                    framing_lost = true;
+                }
+                // Terminated: skip this line, keep the connection.
                 continue;
             }
-            // Unterminated: framing is lost, drop the connection.
+            let Ok(line) = std::str::from_utf8(payload) else {
+                slots.push(Slot::Done(Response::error(
+                    "request line is not valid UTF-8",
+                )));
+                continue;
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde::json::Value::parse(line) {
+                Err(e) => slots.push(Slot::Done(Response::from_json_error(&e))),
+                Ok(v) => match Request::from_json(&v) {
+                    Err(e) => slots.push(Slot::Done(Response::from_json_error(&e))),
+                    Ok(request) => {
+                        let request_id = Request::request_id_of(&v);
+                        if matches!(request, Request::Shutdown) {
+                            // Shutdown ends the connection once answered;
+                            // anything pipelined behind it is discarded,
+                            // exactly as it was before batching (the
+                            // connection closed before reading it).
+                            shutdown_req = Some((request, request_id));
+                            break;
+                        }
+                        slots.push(Slot::Pending(batch.len()));
+                        batch.push((request, request_id));
+                    }
+                },
+            }
+        }
+        // Dispatch: a batch of one takes the plain sequential path (the
+        // deterministic-scheduler path used by `run_sequential`); larger
+        // batches fan out through the engine's grouped batch executor,
+        // whose concurrent durable appends the store group-commits.
+        let responses = match batch.len() {
+            0 => Vec::new(),
+            1 => {
+                let (request, request_id) = &batch[0];
+                vec![engine.handle_with_id(request, *request_id)]
+            }
+            _ => engine.handle_batch_with_ids(&batch),
+        };
+        // Every response of the batch goes out in one buffered write: a
+        // single frame in request order.  One write per batch matters on
+        // real TCP — a train of tiny per-response writes provokes the
+        // Nagle + delayed-ACK stall (~40ms per pipelined burst).
+        let mut reply_frame = Vec::new();
+        for slot in &slots {
+            let response = match slot {
+                Slot::Done(response) => response,
+                Slot::Pending(i) => &responses[*i],
+            };
+            let mut text = serde::to_string(response);
+            text.push('\n');
+            reply_frame.extend_from_slice(text.as_bytes());
+        }
+        if !reply_frame.is_empty() {
+            conn.write_all(&reply_frame)?;
+        }
+        if let Some((request, request_id)) = shutdown_req {
+            let response = engine.handle_with_id(&request, request_id);
+            write_response(conn.as_mut(), &response)?;
+            shutdown.store(true, Ordering::SeqCst);
+            wake_accept_loop(engine.env().as_ref(), server_addr);
             return Ok(());
         }
-        let line_bytes: Vec<u8> = buf.drain(..consumed).collect();
-        let Ok(line) = std::str::from_utf8(&line_bytes[..payload_len]) else {
-            write_response(
-                conn.as_mut(),
-                &Response::error("request line is not valid UTF-8"),
-            )?;
-            continue;
-        };
-        if line.trim().is_empty() {
-            continue;
+        if framing_lost {
+            return Ok(());
         }
-        let response = match serde::json::Value::parse(line) {
-            Err(e) => Response::from_json_error(&e),
-            Ok(v) => match Request::from_json(&v) {
-                Err(e) => Response::from_json_error(&e),
-                Ok(request) => {
-                    let request_id = Request::request_id_of(&v);
-                    let response = engine.handle_with_id(&request, request_id);
-                    if matches!(request, Request::Shutdown) {
-                        write_response(conn.as_mut(), &response)?;
-                        shutdown.store(true, Ordering::SeqCst);
-                        wake_accept_loop(engine.env().as_ref(), server_addr);
-                        return Ok(());
-                    }
-                    response
-                }
-            },
-        };
-        write_response(conn.as_mut(), &response)?;
     }
 }
 
@@ -450,6 +547,55 @@ mod tests {
             .unwrap()
         {
             Response::Error { line, .. } => assert_eq!(line, Some(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            client.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        ));
+        handle.join().unwrap();
+    }
+
+    /// A pipelined burst on one connection: the client writes the whole
+    /// batch before reading, the server dispatches a bounded window of
+    /// it in flight, and the responses come back in request order.
+    #[test]
+    fn pipelined_burst_answers_in_request_order() {
+        let engine = Arc::new(Engine::new(EngineConfig::default()));
+        let server = Server::bind("127.0.0.1:0", engine).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let mut client = Client::connect(&addr).unwrap();
+        let mut requests = vec![Request::CreateWorkspace {
+            workspace: "p".into(),
+            schema: Schema::new([("R", 2)]).unwrap(),
+            arity: 0,
+        }];
+        for i in 0..16 {
+            requests.push(Request::AddExample {
+                workspace: "p".into(),
+                polarity: Polarity::Positive,
+                example: ExamplePayload::Text(format!("R(a{i},b{i})")),
+            });
+        }
+        requests.push(Request::WorkspaceInfo {
+            workspace: "p".into(),
+        });
+        let responses = client.call_pipelined(&requests).unwrap();
+        assert_eq!(responses.len(), requests.len());
+        assert!(matches!(responses[0], Response::WorkspaceCreated { .. }));
+        for (i, response) in responses[1..17].iter().enumerate() {
+            // Ids are assigned in insertion order, so in-order responses
+            // carry in-order ids — the pipelined window must not reorder
+            // same-workspace mutations.
+            match response {
+                Response::ExampleAdded { id, .. } => assert_eq!(*id, i as u64),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match responses.last().unwrap() {
+            Response::Info { positives: 16, .. } => {}
             other => panic!("unexpected {other:?}"),
         }
         assert!(matches!(

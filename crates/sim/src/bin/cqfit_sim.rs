@@ -83,6 +83,14 @@ fn main() -> ExitCode {
         "network coverage: {} sessions; wire cut at {} frame boundaries and {} mid-frame bytes",
         stats.net_executions, stats.net_boundary_cuts, stats.net_mid_frame_cuts
     );
+    println!(
+        "pipelined coverage: {} group-committed batches cut {} times; \
+         {} burst sessions over {} wire cuts (whole-batch replay each)",
+        stats.group_batches,
+        stats.group_boundary_cuts + stats.group_mid_cuts,
+        stats.net_pipelined_executions,
+        stats.net_pipelined_cuts
+    );
 
     if outcome.failures.is_empty() {
         println!("all {seeds} seed(s) passed");

@@ -30,6 +30,7 @@ use cqfit_env::{Fs, FsFile, OpenMode};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Scripted failures for one simulated run.
@@ -46,6 +47,14 @@ pub struct FaultPlan {
     /// Fail the nth sync (`sync_data`, `sync_all`, or `sync_parent_dir`,
     /// 0-based) without making anything durable.  One-shot.
     pub fail_sync: Option<u64>,
+    /// Block the nth `write_all` (0-based, the [`FaultPlan::fail_write`]
+    /// coordinate space) until the gate flips true — a slow disk held
+    /// mid-write.  The harness stalls a group-commit leader this way so
+    /// concurrent appenders stage behind it, forcing a deterministic
+    /// multi-record batch even on a single-CPU machine where natural
+    /// contention never forms one.  The write succeeds once released.
+    /// One-shot.
+    pub stall_write: Option<(u64, Arc<AtomicBool>)>,
 }
 
 #[derive(Debug, Default)]
@@ -62,6 +71,11 @@ struct State {
     ops: u64,
     writes: u64,
     syncs: u64,
+    /// Every append-mode `write_all`, as `(inode, offset, bytes kept)` in
+    /// execution order — the byte coordinates of each WAL write.  A span
+    /// covering several records is a group-committed batch; the harness
+    /// cuts inside those.
+    write_log: Vec<(u64, usize, usize)>,
     next_inode: u64,
     dirs: BTreeSet<PathBuf>,
     /// Live directory entries: path → inode.
@@ -153,6 +167,23 @@ impl SimFs {
     pub fn write_sync_counts(&self) -> (u64, u64) {
         let st = self.state.lock().expect("sim fs state");
         (st.writes, st.syncs)
+    }
+
+    /// The `(offset, len)` span of every append-mode `write_all` landing
+    /// in `path`'s current inode, in execution order.  Under group
+    /// commit one span may cover several newline-framed records — those
+    /// are the intra-batch byte coordinates the harness seeds crash
+    /// points at.
+    pub fn append_write_spans(&self, path: &Path) -> Vec<(usize, usize)> {
+        let st = self.state.lock().expect("sim fs state");
+        let Some(&id) = st.live.get(path) else {
+            return Vec::new();
+        };
+        st.write_log
+            .iter()
+            .filter(|(inode, _, _)| *inode == id)
+            .map(|&(_, offset, len)| (offset, len))
+            .collect()
     }
 
     /// Installs a file with the given bytes, fully durable, creating
@@ -248,6 +279,18 @@ impl FsFile for SimFile {
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
         let mut st = self.state.lock().expect("sim fs state");
         st.tick()?;
+        if let Some((n, gate)) = &st.plan.stall_write {
+            if st.writes == *n {
+                // Spin with the filesystem lock held: the disk is busy.
+                // Threads that only touch in-memory state (e.g. staging
+                // into a WAL commit queue) keep running.
+                let gate = Arc::clone(gate);
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                st.plan.stall_write = None;
+            }
+        }
         let short = st.write_fault();
         let inode = st.inodes.get_mut(&self.inode).expect("inode alive");
         let pos = match self.mode {
@@ -262,6 +305,9 @@ impl FsFile for SimFile {
         inode.data[pos..pos + overlap].copy_from_slice(&buf[..overlap]);
         inode.data.extend_from_slice(&buf[overlap..n]);
         self.cursor = pos + n;
+        if matches!(self.mode, OpenMode::Append) {
+            st.write_log.push((self.inode, pos, n));
+        }
         match short {
             Some(keep) => Err(io::Error::other(format!(
                 "simulated short write ({keep} of {} bytes)",

@@ -2,7 +2,7 @@
 //! real store+engine stack on the simulated filesystem, crashed,
 //! recovered, and compared against storeless oracle engines.
 //!
-//! One [`explore`] call runs five phases for one seed:
+//! One [`explore`] call runs six phases for one seed:
 //!
 //! * **Phase 0 — interleaved live run.**  Several workspaces are mutated
 //!   by concurrent tasks under the deterministic scheduler (plus a
@@ -26,6 +26,18 @@
 //!   rollback keeps the log clean, and both the live engine and a
 //!   reopen-from-image equal the oracle over the acknowledged requests
 //!   (including identical no-op behavior on removing an absent id).
+//! * **Phase G — group-committed intra-batch torn tails.**  Concurrent
+//!   appenders drive one workspace's log through the store's commit
+//!   queue (real threads: the commit queue only batches under true
+//!   concurrency, and every invariant checked is schedule-independent),
+//!   until at least one `write_all` carries several records — a group
+//!   commit.  The log is then cut at seeded intra-batch byte offsets —
+//!   every record boundary inside the batched write plus interior bytes
+//!   of every batched record — and each cut must recover to a record
+//!   boundary of the *acked* prefix only: replayed records = complete
+//!   lines before the cut, the torn tail is dropped, the on-disk log is
+//!   truncated exactly to the boundary, and the folded state matches
+//!   the surviving records.
 //! * **Phase N — network fault injection.**  A scripted session speaks
 //!   the real wire protocol (`Server::run_sequential` + resilient
 //!   [`Client`]) over a seeded [`SimNet`] under the deterministic
@@ -36,7 +48,10 @@
 //!   *still* equal the never-dropped oracle's: acknowledged mutations
 //!   survive the reconnect, retried mutations apply exactly once
 //!   (revisions never double-bump), and a drain always answers
-//!   fully-received requests.
+//!   fully-received requests.  The same script is then re-swept through
+//!   the *pipelined* client — the whole session as one burst, every cut
+//!   forcing a whole-batch replay under the same request ids — so the
+//!   window-deep idempotency memo is exercised end-to-end too.
 //!
 //! Every divergence returns an `Err` whose message embeds the seed.
 
@@ -48,9 +63,9 @@ use cqfit_engine::{
     Client, Engine, EngineConfig, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response,
     RetryPolicy, Server,
 };
-use cqfit_env::Env;
+use cqfit_env::{Env, Fs};
 use cqfit_gen::{churn_workload, resolve_churn, RandomConfig, ResolvedChurnOp};
-use cqfit_store::{Store, StoreConfig};
+use cqfit_store::{LogRecord, Store, StoreConfig};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -115,12 +130,24 @@ pub struct ExploreStats {
     pub mid_record_cuts: u64,
     /// Log records subjected to exhaustive cutting.
     pub records: u64,
+    /// Phase-G multi-record group-committed writes observed.
+    pub group_batches: u64,
+    /// Phase-G cuts landing on a record boundary inside a batched write.
+    pub group_boundary_cuts: u64,
+    /// Phase-G cuts landing inside a record of a batched write.
+    pub group_mid_cuts: u64,
     /// Phase-N network sessions executed (baselines + one per cut).
     pub net_executions: u64,
     /// Phase-N wire cuts landing exactly on a frame boundary.
     pub net_boundary_cuts: u64,
     /// Phase-N wire cuts landing inside a frame (partial delivery).
     pub net_mid_frame_cuts: u64,
+    /// Phase-N sessions driven through the pipelined client (one burst
+    /// frame for the whole script), baselines + one per cut.
+    pub net_pipelined_executions: u64,
+    /// Wire cuts swept over the pipelined conversation (boundary and
+    /// mid-frame combined — the burst makes frames coarse).
+    pub net_pipelined_cuts: u64,
 }
 
 impl ExploreStats {
@@ -131,9 +158,14 @@ impl ExploreStats {
         self.boundary_cuts += other.boundary_cuts;
         self.mid_record_cuts += other.mid_record_cuts;
         self.records += other.records;
+        self.group_batches += other.group_batches;
+        self.group_boundary_cuts += other.group_boundary_cuts;
+        self.group_mid_cuts += other.group_mid_cuts;
         self.net_executions += other.net_executions;
         self.net_boundary_cuts += other.net_boundary_cuts;
         self.net_mid_frame_cuts += other.net_mid_frame_cuts;
+        self.net_pipelined_executions += other.net_pipelined_executions;
+        self.net_pipelined_cuts += other.net_pipelined_cuts;
     }
 }
 
@@ -146,7 +178,7 @@ pub struct SweepOutcome {
     pub failures: Vec<(u64, String)>,
 }
 
-/// Explores one seed through all five phases.
+/// Explores one seed through all six phases.
 ///
 /// # Errors
 /// The first invariant violation, with the seed embedded for
@@ -157,6 +189,7 @@ pub fn explore(seed: u64, cfg: &SimConfig) -> Result<ExploreStats, String> {
     phase_a_exhaustive_cuts(seed, cfg, &image, &per_ws, &mut stats)?;
     phase_b_midrun_crashes(seed, cfg, &mut stats)?;
     phase_c_fault_injection(seed, cfg, &mut stats)?;
+    phase_g_group_commit(seed, cfg, &mut stats)?;
     phase_n_network(seed, cfg, &mut stats)?;
     Ok(stats)
 }
@@ -847,6 +880,261 @@ fn phase_c_fault_injection(
 }
 
 // ---------------------------------------------------------------------
+// Phase G: group-committed intra-batch torn tails
+// ---------------------------------------------------------------------
+
+/// Concurrent appender threads in phase G.  Real threads, not the
+/// cooperative scheduler: the commit queue only forms multi-record
+/// batches when one append stages while another holds the leader role,
+/// which a run-to-yield scheduler never produces.  Every invariant the
+/// phase checks is a property of the final log bytes, independent of
+/// which interleaving happened to occur.
+const GROUP_THREADS: usize = 6;
+
+/// Builds the per-thread append streams for phase G: adds only (every
+/// record is acked and revision-bumping), globally unique example ids.
+fn phase_g_streams(seed: u64, cfg: &SimConfig) -> Vec<Vec<LogRecord>> {
+    let schema = cqfit_data::Schema::digraph();
+    let rc = RandomConfig {
+        num_values: 3,
+        density: 0.35,
+        arity: 0,
+        num_positive: 3,
+        num_negative: 3,
+        seed: seed ^ 0x6000,
+    };
+    let pool: Vec<LogRecord> =
+        resolve_churn(&churn_workload(&schema, &rc, cfg.steps.max(8) * 8), 0)
+            .into_iter()
+            .filter_map(|op| match op {
+                ResolvedChurnOp::Add { positive, example } => Some((positive, example)),
+                ResolvedChurnOp::Remove { .. } => None,
+            })
+            .enumerate()
+            .map(|(i, (positive, example))| LogRecord::AddExample {
+                id: i as u64,
+                positive,
+                example: *example,
+                request_id: None,
+            })
+            .collect();
+    let mut streams: Vec<Vec<LogRecord>> = (0..GROUP_THREADS).map(|_| Vec::new()).collect();
+    for (i, record) in pool.into_iter().enumerate() {
+        streams[i % GROUP_THREADS].push(record);
+    }
+    streams
+}
+
+fn phase_g_group_commit(
+    seed: u64,
+    cfg: &SimConfig,
+    stats: &mut ExploreStats,
+) -> Result<(), String> {
+    let ws = "wg";
+    let wal_path = PathBuf::from(DATA_DIR).join(format!("ws-{ws}.wal"));
+    let schema = cqfit_data::Schema::digraph();
+    let streams = phase_g_streams(seed, cfg);
+    let total_records: usize = streams.iter().map(Vec::len).sum();
+    if total_records < GROUP_THREADS {
+        return Err(format!(
+            "seed {seed}: phase G: churn pool degenerated to {total_records} adds"
+        ));
+    }
+
+    // Run concurrent appenders until some write carried ≥ 2 records (a
+    // group commit).  Natural contention cannot be trusted to produce
+    // one — on a single-CPU machine the instant sim-disk lets each
+    // appender finish inside its scheduler quantum, so the fault plan
+    // stalls the first post-create write (the first leader's batch,
+    // write #1; write #0 is the Create record) until the gate opens.
+    // Every other appender stages behind the held leader and the next
+    // flush carries a multi-record batch deterministically.
+    let mut committed: Option<(Image, Vec<(usize, usize)>)> = None;
+    for attempt in 0..8u64 {
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let fs = Arc::new(SimFs::with_plan(FaultPlan {
+            stall_write: Some((1, Arc::clone(&gate))),
+            ..FaultPlan::default()
+        }));
+        let env: Arc<dyn Env> = Arc::new(SimEnv::new(Arc::clone(&fs), seed));
+        let store = Store::open_with(store_config(NO_COMPACTION), env)
+            .map_err(|e| format!("seed {seed}: phase G: store open failed: {e}"))?;
+        store
+            .create_workspace(ws, &schema, 0)
+            .map_err(|e| format!("seed {seed}: phase G: create failed: {e}"))?;
+        let store = Arc::new(store);
+        // All appenders release together: without the barrier, thread
+        // spawn latency dwarfs an append and the streams run back to
+        // back instead of contending (no batches would ever form).
+        let barrier = Arc::new(std::sync::Barrier::new(streams.len()));
+        std::thread::scope(|scope| {
+            for records in &streams {
+                let store = Arc::clone(&store);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for record in records {
+                        // Every append is acked: the durability claim
+                        // below covers exactly these records.
+                        store
+                            .append(ws, record, || unreachable!("no compaction in phase G"))
+                            .expect("phase G append acked");
+                    }
+                });
+            }
+            // Give every appender time to reach the commit queue behind
+            // the stalled leader (the leader's spin loop yields, so the
+            // stagers run even on one CPU), then release the disk.
+            std::thread::sleep(Duration::from_millis(10 * (attempt + 1)));
+            gate.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        store
+            .sync_all()
+            .map_err(|e| format!("seed {seed}: phase G: shutdown sync failed: {e}"))?;
+        let image = fs.live_files();
+        let full = image
+            .iter()
+            .find(|(p, _)| *p == wal_path)
+            .map(|(_, b)| b.clone())
+            .ok_or_else(|| format!("seed {seed}: phase G: log missing"))?;
+        let newline_count = |span: &(usize, usize)| {
+            full[span.0..span.0 + span.1]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
+        };
+        let batched: Vec<(usize, usize)> = fs
+            .append_write_spans(&wal_path)
+            .into_iter()
+            .filter(|span| newline_count(span) >= 2)
+            .collect();
+        if !batched.is_empty() {
+            stats.group_batches += batched.len() as u64;
+            committed = Some((image, batched));
+            break;
+        }
+    }
+    let Some((image, batched)) = committed else {
+        return Err(format!(
+            "seed {seed}: phase G: no multi-record group commit materialized in 8 attempts"
+        ));
+    };
+    let full = image
+        .iter()
+        .find(|(p, _)| *p == wal_path)
+        .map(|(_, b)| b.clone())
+        .expect("checked above");
+    let total_lines = full.iter().filter(|&&b| b == b'\n').count();
+    if total_lines != total_records + 1 {
+        return Err(format!(
+            "seed {seed}: phase G: {total_lines} records on disk, expected \
+             create + {total_records} acked appends"
+        ));
+    }
+
+    // Cut inside the largest batched write: every record boundary within
+    // the span, plus interior bytes of every record it covers.
+    let &(span_off, span_len) = batched
+        .iter()
+        .max_by_key(|&&(_, len)| len)
+        .expect("non-empty");
+    let mut cuts: BTreeMap<usize, bool> = BTreeMap::new();
+    let mut record_start = span_off;
+    for (i, &byte) in full.iter().enumerate().skip(span_off).take(span_len) {
+        if byte == b'\n' {
+            cuts.insert(record_start + 1, true);
+            if i - record_start >= 4 {
+                cuts.insert(record_start + (i - record_start) / 2, true);
+            }
+            cuts.insert(i + 1, false);
+            record_start = i + 1;
+        }
+    }
+    for (&cut, &is_mid) in &cuts {
+        // The acked prefix surviving this cut, straight from the bytes:
+        // everything up to the last record boundary before the cut.
+        let kept = full[..cut]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .expect("the create record precedes every batch");
+        let survived_lines = full[..cut].iter().filter(|&&b| b == b'\n').count();
+
+        let fs = Arc::new(SimFs::new());
+        for (path, bytes) in &image {
+            if *path == wal_path {
+                fs.install(path, &bytes[..cut]);
+            } else {
+                fs.install(path, bytes);
+            }
+        }
+        let env: Arc<dyn Env> = Arc::new(SimEnv::new(Arc::clone(&fs), seed));
+        let store = Store::open_with(store_config(NO_COMPACTION), env)
+            .map_err(|e| format!("seed {seed}: phase G cut {cut}: open failed: {e}"))?;
+        let (restored, report) = store
+            .recover()
+            .map_err(|e| format!("seed {seed}: phase G cut {cut}: recovery failed: {e}"))?;
+        if report.records_replayed != survived_lines as u64
+            || report.torn_bytes_dropped != (cut - kept) as u64
+        {
+            return Err(format!(
+                "seed {seed}: phase G cut {cut}: replayed {} records / dropped {} \
+                 torn bytes, expected {survived_lines} / {}",
+                report.records_replayed,
+                report.torn_bytes_dropped,
+                cut - kept
+            ));
+        }
+        // Truncation must land on a record boundary of the acked prefix
+        // only — never mid-record, never past the cut.
+        let on_disk = fs
+            .read(&wal_path)
+            .map_err(|e| format!("seed {seed}: phase G cut {cut}: read-back failed: {e}"))?;
+        if on_disk != full[..kept] {
+            return Err(format!(
+                "seed {seed}: phase G cut {cut}: log truncated to {} bytes, \
+                 expected the {kept}-byte acked record boundary",
+                on_disk.len()
+            ));
+        }
+        // fold(log) == state over the surviving records: counts derived
+        // from the surviving lines themselves (commit order is
+        // schedule-dependent; the invariant is not).
+        let prefix = std::str::from_utf8(&full[..kept]).expect("JSONL log is UTF-8");
+        let expected_pos = prefix.matches("\"polarity\":\"positive\"").count();
+        let [workspace] = &restored[..] else {
+            return Err(format!(
+                "seed {seed}: phase G cut {cut}: {} workspaces restored",
+                restored.len()
+            ));
+        };
+        let snapshot = workspace.to_snapshot();
+        let expected_revision = (survived_lines - 1) as u64;
+        if snapshot.revision != expected_revision
+            || snapshot.positives.len() != expected_pos
+            || snapshot.negatives.len() != survived_lines - 1 - expected_pos
+        {
+            return Err(format!(
+                "seed {seed}: phase G cut {cut}: folded state (revision {}, \
+                 {}+{} examples) diverged from the {survived_lines}-record \
+                 acked prefix ({expected_pos} positive)",
+                snapshot.revision,
+                snapshot.positives.len(),
+                snapshot.negatives.len()
+            ));
+        }
+        stats.executions += 1;
+        stats.crash_points += 1;
+        if is_mid {
+            stats.group_mid_cuts += 1;
+        } else {
+            stats.group_boundary_cuts += 1;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Phase N: network fault injection over a simulated wire
 // ---------------------------------------------------------------------
 
@@ -866,10 +1154,17 @@ fn phase_n_script(seed: u64, cfg: &SimConfig) -> Vec<Request> {
 /// wire after `cut_at` delivered payload bytes.  Returns the response
 /// transcript and the frame marks (cumulative delivered bytes after each
 /// completed write — the frame boundaries later cut sweeps target).
+///
+/// With `pipelined`, the whole script goes out as one
+/// [`Client::call_pipelined`] burst instead of call-by-call: a cut then
+/// forces the client to replay the *entire* batch with the same request
+/// ids over a fresh connection, so the already-applied prefix must be
+/// answered from the idempotency memo for the transcript to match.
 fn phase_n_session(
     seed: u64,
     script: &[Request],
     cut_at: Option<u64>,
+    pipelined: bool,
 ) -> Result<(Vec<String>, Vec<u64>), String> {
     let sched = Arc::new(SimScheduler::new(seed));
     let sim_env = SimEnv::with_scheduler(Arc::new(SimFs::new()), Arc::clone(&sched), seed);
@@ -905,12 +1200,22 @@ fn phase_n_session(
                     base: Duration::from_millis(10),
                     cap: Duration::from_millis(160),
                 });
-                for request in &script_owned {
-                    let response = client.call(request).expect("scripted call");
-                    transcript
-                        .lock()
-                        .expect("transcript")
-                        .push(serde::to_string(&response));
+                if pipelined {
+                    let responses = client
+                        .call_pipelined(&script_owned)
+                        .expect("pipelined script");
+                    let mut transcript = transcript.lock().expect("transcript");
+                    for response in &responses {
+                        transcript.push(serde::to_string(response));
+                    }
+                } else {
+                    for request in &script_owned {
+                        let response = client.call(request).expect("scripted call");
+                        transcript
+                            .lock()
+                            .expect("transcript")
+                            .push(serde::to_string(&response));
+                    }
                 }
                 // Drive shutdown to completion.  A refused reconnect means
                 // the server already processed the shutdown but the wire
@@ -955,8 +1260,8 @@ fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Resu
     }
 
     // Fault-free baseline, twice: deterministic and wire-transparent.
-    let (baseline, marks) = phase_n_session(seed, &script, None)?;
-    let again = phase_n_session(seed, &script, None)?;
+    let (baseline, marks) = phase_n_session(seed, &script, None, false)?;
+    let again = phase_n_session(seed, &script, None, false)?;
     if again != (baseline.clone(), marks.clone()) {
         return Err(format!(
             "seed {seed}: phase N: same seed produced different sessions \
@@ -983,7 +1288,7 @@ fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Resu
         prev = mark;
     }
     for &(cut, is_mid) in &cut_points {
-        let (transcript, _) = phase_n_session(seed, &script, Some(cut))?;
+        let (transcript, _) = phase_n_session(seed, &script, Some(cut), false)?;
         if transcript != expected {
             return Err(format!(
                 "seed {seed}: phase N cut@{cut}: transcript diverged from the \
@@ -998,6 +1303,44 @@ fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Resu
             stats.net_boundary_cuts += 1;
         }
     }
+
+    // The same script again, but sent as ONE pipelined burst (plus the
+    // trailing Shutdown call).  The wire now carries a handful of coarse
+    // frames, so a cut usually lands mid-burst: the server has applied a
+    // prefix of the batch, and `call_pipelined` replays the whole batch
+    // with the same request ids over a fresh connection.  Exactly-once
+    // demands the applied prefix answers from the idempotency memo, so
+    // the transcript must still byte-match the never-dropped oracle.
+    let (pipelined, pipe_marks) = phase_n_session(seed, &script, None, true)?;
+    if pipelined != expected {
+        return Err(format!(
+            "seed {seed}: phase N pipelined: fault-free burst diverged from the \
+             in-process oracle\n  oracle: {expected:?}\n  wire:   {pipelined:?}"
+        ));
+    }
+    stats.net_pipelined_executions += 1;
+    let mut pipe_cuts: Vec<u64> = vec![0];
+    let mut prev = 0u64;
+    for &mark in &pipe_marks {
+        if mark - prev >= 2 {
+            pipe_cuts.push(prev + (mark - prev) / 2);
+        }
+        pipe_cuts.push(mark);
+        prev = mark;
+    }
+    for &cut in &pipe_cuts {
+        let (transcript, _) = phase_n_session(seed, &script, Some(cut), true)?;
+        if transcript != expected {
+            return Err(format!(
+                "seed {seed}: phase N pipelined cut@{cut}: transcript diverged \
+                 from the never-dropped oracle (a lost acknowledged mutation or \
+                 a double-applied batch retry)\n  oracle: {expected:?}\n  \
+                 got:    {transcript:?}"
+            ));
+        }
+        stats.net_pipelined_executions += 1;
+        stats.net_pipelined_cuts += 1;
+    }
     Ok(())
 }
 
@@ -1005,7 +1348,7 @@ fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Resu
 mod tests {
     use super::*;
 
-    /// One small seed through all five phases: the harness's own smoke
+    /// One small seed through all six phases: the harness's own smoke
     /// test (the exhaustive sweep runs via the `cqfit-sim` binary and
     /// the repo-level recovery suite).
     #[test]
@@ -1025,6 +1368,11 @@ mod tests {
             "≥1 mid-record cut per record: {stats:?}"
         );
         assert_eq!(stats.records, 7, "create + 6 churn records: {stats:?}");
+        // Phase G: at least one multi-record group commit formed, and its
+        // batch was cut both on record boundaries and mid-record.
+        assert!(stats.group_batches >= 1, "stats: {stats:?}");
+        assert!(stats.group_boundary_cuts >= 2, "stats: {stats:?}");
+        assert!(stats.group_mid_cuts >= 1, "stats: {stats:?}");
         // Phase N: create + 3 churn + 4 questions + shutdown = 9 calls =
         // 18 frames → 18 boundary cuts + the cut-before-the-first-byte,
         // ≥1 mid-frame cut per frame, plus the two baselines.
@@ -1035,5 +1383,81 @@ mod tests {
             2 + stats.net_boundary_cuts + stats.net_mid_frame_cuts,
             "stats: {stats:?}"
         );
+        // Phase N pipelined sub-sweep: the burst collapses the client
+        // side to two frames (batch + shutdown) but the server still
+        // answers frame-by-frame, so there are ≥ 11 marks to cut at
+        // (plus mid-frame cuts and the cut-before-the-first-byte).
+        assert!(stats.net_pipelined_cuts >= 12, "stats: {stats:?}");
+        assert_eq!(
+            stats.net_pipelined_executions,
+            1 + stats.net_pipelined_cuts,
+            "stats: {stats:?}"
+        );
+    }
+
+    /// Clean shutdown flushes the commit queue: `sync_all` racing
+    /// concurrent group-committed appends must quiesce each log's staged
+    /// batches before syncing, so a crash image taken *at shutdown* (on
+    /// the simulated filesystem, with time on the manual clock — no real
+    /// sleeps) contains every acknowledged record, for every crash seed.
+    #[test]
+    fn shutdown_sync_flushes_the_commit_queue() {
+        let ws = "wsync";
+        let wal_path = PathBuf::from(DATA_DIR).join(format!("ws-{ws}.wal"));
+        let fs = Arc::new(SimFs::new());
+        let sim_env = SimEnv::new(Arc::clone(&fs), 7);
+        let _clock = sim_env.clock_handle(); // ManualClock: nothing sleeps for real
+        let env: Arc<dyn Env> = Arc::new(sim_env);
+        let store = Arc::new(Store::open_with(store_config(NO_COMPACTION), env).unwrap());
+        store
+            .create_workspace(ws, &cqfit_data::Schema::digraph(), 0)
+            .unwrap();
+        let streams = phase_g_streams(7, &SimConfig::smoke());
+        let total: usize = streams.iter().map(Vec::len).sum();
+        std::thread::scope(|scope| {
+            for records in &streams {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    for record in records {
+                        store
+                            .append(ws, record, || unreachable!("no compaction"))
+                            .expect("acked append");
+                    }
+                });
+            }
+            // Shutdown-style syncs racing the appenders: each must wait
+            // out staged batches and in-flight leaders, never sync past
+            // them or deadlock.
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    store.sync_all().expect("mid-run sync");
+                }
+            });
+        });
+        store.sync_all().expect("shutdown sync");
+        let live = fs
+            .live_files()
+            .into_iter()
+            .find(|(p, _)| *p == wal_path)
+            .map(|(_, b)| b)
+            .expect("log exists");
+        assert_eq!(
+            live.iter().filter(|&&b| b == b'\n').count(),
+            total + 1,
+            "create + every acked append is on the log"
+        );
+        for crash_seed in 0..16 {
+            let image = fs.crash_image(crash_seed);
+            let (_, bytes) = image
+                .iter()
+                .find(|(p, _)| *p == wal_path)
+                .expect("log survives shutdown");
+            assert_eq!(
+                *bytes, live,
+                "crash seed {crash_seed}: a staged-but-unsynced batch was \
+                 dropped on clean shutdown"
+            );
+        }
     }
 }

@@ -135,6 +135,33 @@ pub struct RecoveryReport {
     pub bytes_compacted: u64,
 }
 
+/// How many identified mutations recovery remembers per workspace (the
+/// newest ones, in log order).  A pipelined client that loses its
+/// connection replays its whole in-flight batch under the same request
+/// ids, so the engine's exactly-once memo must recognize every mutation
+/// the batch may already have applied — up to the server's pipeline
+/// window — not just the newest.  The engine const-asserts its window
+/// fits under this depth.
+pub const REPLAY_MEMO_DEPTH: usize = 32;
+
+/// One identified mutation replayed from a workspace's log: what the
+/// engine needs to repopulate its exactly-once memo on recovery, so a
+/// client retry of an acknowledged-or-in-flight mutation cannot
+/// re-apply after a restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayedMutation {
+    /// The idempotency id the request carried on the wire.
+    pub request_id: u64,
+    /// The example id the mutation touched.
+    pub example_id: u64,
+    /// Polarity of the touched example.
+    pub positive: bool,
+    /// The workspace revision after this mutation applied.
+    pub revision: u64,
+    /// `true` for an add, `false` for a remove.
+    pub added: bool,
+}
+
 /// One workspace's logical state as reconstructed from its log: the fold
 /// of the most recent snapshot (if any) and every record after it.
 #[derive(Debug, Clone)]
@@ -153,6 +180,11 @@ pub struct RestoredWorkspace {
     pub positives: Vec<(u64, Example)>,
     /// Negative examples with their ids, in id order.
     pub negatives: Vec<(u64, Example)>,
+    /// The newest replayed mutations that carried request ids, oldest
+    /// first, at most [`REPLAY_MEMO_DEPTH`] of them — compaction folds
+    /// identified records into an anonymous snapshot, so after a
+    /// snapshot this restarts from the records behind it.
+    pub recent_requests: Vec<ReplayedMutation>,
 }
 
 impl RestoredWorkspace {
@@ -179,9 +211,19 @@ struct Fold {
     revision: u64,
     positives: BTreeMap<u64, Example>,
     negatives: BTreeMap<u64, Example>,
+    recent_requests: Vec<ReplayedMutation>,
 }
 
 impl Fold {
+    /// Remembers an identified mutation for the engine's memo reseed,
+    /// keeping only the newest [`REPLAY_MEMO_DEPTH`].
+    fn remember(&mut self, m: ReplayedMutation) {
+        if self.recent_requests.len() == REPLAY_MEMO_DEPTH {
+            self.recent_requests.remove(0);
+        }
+        self.recent_requests.push(m);
+    }
+
     fn apply(&mut self, record: LogRecord) {
         match record {
             LogRecord::Create { schema, arity } => {
@@ -192,6 +234,9 @@ impl Fold {
                 };
             }
             LogRecord::Snapshot(s) => {
+                // A snapshot is anonymous: identified records folded into
+                // it lose their request ids, so the memo seed restarts
+                // from the records behind the snapshot.
                 *self = Fold {
                     schema: Some(s.schema),
                     arity: s.arity,
@@ -199,12 +244,14 @@ impl Fold {
                     revision: s.revision,
                     positives: s.positives.into_iter().collect(),
                     negatives: s.negatives.into_iter().collect(),
+                    recent_requests: Vec::new(),
                 };
             }
             LogRecord::AddExample {
                 id,
                 positive,
                 example,
+                request_id,
             } => {
                 let map = if positive {
                     &mut self.positives
@@ -214,8 +261,21 @@ impl Fold {
                 map.insert(id, example);
                 self.next_id = self.next_id.max(id + 1);
                 self.revision += 1;
+                if let Some(rid) = request_id {
+                    self.remember(ReplayedMutation {
+                        request_id: rid,
+                        example_id: id,
+                        positive,
+                        revision: self.revision,
+                        added: true,
+                    });
+                }
             }
-            LogRecord::RemoveExample { id, positive } => {
+            LogRecord::RemoveExample {
+                id,
+                positive,
+                request_id,
+            } => {
                 let map = if positive {
                     &mut self.positives
                 } else {
@@ -225,6 +285,15 @@ impl Fold {
                 // in any intact log; tolerate its absence anyway.
                 if map.remove(&id).is_some() {
                     self.revision += 1;
+                }
+                if let Some(rid) = request_id {
+                    self.remember(ReplayedMutation {
+                        request_id: rid,
+                        example_id: id,
+                        positive,
+                        revision: self.revision,
+                        added: false,
+                    });
                 }
             }
         }
@@ -239,6 +308,7 @@ impl Fold {
             revision: self.revision,
             positives: self.positives.into_iter().collect(),
             negatives: self.negatives.into_iter().collect(),
+            recent_requests: self.recent_requests,
         })
     }
 }
@@ -246,14 +316,17 @@ impl Fold {
 /// The durability layer: a directory of per-workspace write-ahead logs.
 ///
 /// Thread safety: the name→log map sits behind one mutex (held only for
-/// map operations), each log behind its own mutex, so appends against
-/// different workspaces proceed in parallel while appends against one
-/// workspace serialize — matching the engine's per-workspace locking.
+/// map operations); each log carries its own lock plus a **group-commit
+/// queue** (see `wal`), so appends against different workspaces proceed
+/// in parallel while concurrent appends against one workspace stage
+/// under the log lock and are committed together by a single batch
+/// leader — one `write_all` + one `sync_data` per batch, durability
+/// acknowledged only after the covering sync.
 #[derive(Debug)]
 pub struct Store {
     config: StoreConfig,
     env: Arc<dyn Env>,
-    logs: Mutex<HashMap<String, Arc<Mutex<WalFile>>>>,
+    logs: Mutex<HashMap<String, Arc<WalFile>>>,
     /// Names with a create in flight: reserved under the `logs` lock so
     /// the fsync'd file creation can run *outside* it without letting a
     /// racing duplicate create through.  Lock order: `logs` before
@@ -311,7 +384,7 @@ impl Store {
         ))
     }
 
-    fn resolve(&self, name: &str) -> Result<Arc<Mutex<WalFile>>, StoreError> {
+    fn resolve(&self, name: &str) -> Result<Arc<WalFile>, StoreError> {
         self.logs
             .lock()
             .expect("store log map")
@@ -367,7 +440,7 @@ impl Store {
                 self.env.fs().remove_file(&path)?;
                 continue;
             };
-            let mut wal = WalFile::open_append(
+            let wal = WalFile::open_append(
                 self.env.clone(),
                 path,
                 self.config.fsync,
@@ -380,7 +453,7 @@ impl Store {
                 self.note_compaction(before, after);
                 report.bytes_compacted += before.saturating_sub(after);
             }
-            logs.insert(ws.name.clone(), Arc::new(Mutex::new(wal)));
+            logs.insert(ws.name.clone(), Arc::new(wal));
             restored.push(ws);
         }
         restored.sort_by(|a, b| a.name.cmp(&b.name));
@@ -416,8 +489,7 @@ impl Store {
         // the file I/O below.
         self.env.yield_point("store.create");
         let created = (|| {
-            let mut wal =
-                WalFile::create(self.env.clone(), self.file_path(name), self.config.fsync)?;
+            let wal = WalFile::create(self.env.clone(), self.file_path(name), self.config.fsync)?;
             wal.append(&LogRecord::Create {
                 schema: schema.clone(),
                 arity,
@@ -431,7 +503,7 @@ impl Store {
             .remove(name);
         match created {
             Ok(wal) => {
-                logs.insert(name.to_string(), Arc::new(Mutex::new(wal)));
+                logs.insert(name.to_string(), Arc::new(wal));
                 Ok(())
             }
             Err(e) => {
@@ -450,6 +522,10 @@ impl Store {
     /// invariant that folding the log always yields the post-mutation
     /// state.
     ///
+    /// Concurrent appends to one log are group-committed (staged under
+    /// the log lock, synced together by a batch leader); this call
+    /// returns only after the sync covering this record.
+    ///
     /// # Errors
     /// Fails on unknown workspaces and I/O failures; on failure nothing
     /// must be applied or acknowledged by the caller.
@@ -460,8 +536,7 @@ impl Store {
         pre_state: impl FnOnce() -> WorkspaceSnapshot,
     ) -> Result<(), StoreError> {
         let log = self.resolve(name)?;
-        let mut log = log.lock().expect("workspace log");
-        if log.since_snapshot as usize >= self.config.compact_after {
+        if log.since_snapshot() as usize >= self.config.compact_after {
             let (before, after) = log.rewrite(&[LogRecord::Snapshot(pre_state())])?;
             self.note_compaction(before, after);
         }
@@ -483,7 +558,6 @@ impl Store {
         let Some(log) = self.logs.lock().expect("store log map").get(name).cloned() else {
             return Ok(None);
         };
-        let mut log = log.lock().expect("workspace log");
         let (before, after) = log.rewrite(&[LogRecord::Snapshot(state)])?;
         self.note_compaction(before, after);
         Ok(Some((before, after)))
@@ -520,12 +594,14 @@ impl Store {
     }
 
     /// Flushes and (when enabled) fsyncs every open log — the clean
-    /// shutdown path.
+    /// shutdown path.  Each log's commit queue is drained first: a batch
+    /// that is staged (or mid-write under a leader) when shutdown begins
+    /// is committed, never dropped.
     ///
     /// # Errors
     /// Propagates the first sync failure.
     pub fn sync_all(&self) -> Result<(), StoreError> {
-        let logs: Vec<Arc<Mutex<WalFile>>> = self
+        let logs: Vec<Arc<WalFile>> = self
             .logs
             .lock()
             .expect("store log map")
@@ -533,7 +609,7 @@ impl Store {
             .cloned()
             .collect();
         for log in logs {
-            log.lock().expect("workspace log").sync()?;
+            log.sync()?;
         }
         Ok(())
     }
@@ -548,9 +624,8 @@ impl Store {
             ..StoreStats::default()
         };
         for log in logs.values() {
-            let log = log.lock().expect("workspace log");
-            stats.records += log.records;
-            stats.bytes += log.bytes;
+            stats.records += log.records();
+            stats.bytes += log.bytes();
         }
         stats
     }
@@ -591,6 +666,7 @@ mod tests {
             id,
             positive,
             example: ex(text),
+            request_id: None,
         }
     }
 
@@ -631,6 +707,7 @@ mod tests {
                 &LogRecord::RemoveExample {
                     id: 1,
                     positive: false,
+                    request_id: None,
                 },
                 snapshot_of_nothing,
             )
@@ -773,6 +850,7 @@ mod tests {
                         id: i,
                         positive: true,
                         example: e.clone(),
+                        request_id: Some(i),
                     },
                     move || pre,
                 )
@@ -787,6 +865,19 @@ mod tests {
         assert_eq!(restored[0].positives.len(), 10);
         assert_eq!(restored[0].next_id, 10);
         assert_eq!(restored[0].revision, 10);
+        // Snapshot-then-append keeps the latest identified mutation
+        // *behind* no snapshot, so its request id survives recovery even
+        // though compaction ran.
+        assert_eq!(
+            restored[0].recent_requests.last(),
+            Some(&ReplayedMutation {
+                request_id: 9,
+                example_id: 9,
+                positive: true,
+                revision: 10,
+                added: true,
+            })
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -806,6 +897,7 @@ mod tests {
                         id: i,
                         positive: true,
                         example: e.clone(),
+                        request_id: None,
                     },
                     snapshot_of_nothing,
                 )
@@ -820,6 +912,7 @@ mod tests {
                     &LogRecord::RemoveExample {
                         id: i,
                         positive: true,
+                        request_id: None,
                     },
                     snapshot_of_nothing,
                 )

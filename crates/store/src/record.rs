@@ -65,6 +65,11 @@ pub enum LogRecord {
         positive: bool,
         /// The example itself.
         example: Example,
+        /// The client-supplied idempotency id of the request that caused
+        /// this mutation, when it carried one.  Recovery feeds these back
+        /// into the engine's exactly-once memo so a retry that races a
+        /// crash cannot re-apply after restart.
+        request_id: Option<u64>,
     },
     /// An example was removed.
     RemoveExample {
@@ -72,6 +77,9 @@ pub enum LogRecord {
         id: u64,
         /// `true` for `E⁺`, `false` for `E⁻`.
         positive: bool,
+        /// The idempotency id of the causing request (see
+        /// [`LogRecord::AddExample::request_id`]).
+        request_id: Option<u64>,
     },
     /// A full state snapshot, written by log compaction.  Replay restarts
     /// from the most recent snapshot and folds the records after it.
@@ -156,17 +164,37 @@ impl Serialize for LogRecord {
                 id,
                 positive,
                 example,
-            } => Json::obj([
-                ("op", Json::str("add")),
-                ("id", id.to_json()),
-                ("polarity", Json::str(polarity_str(*positive))),
-                ("example", example.to_json()),
-            ]),
-            LogRecord::RemoveExample { id, positive } => Json::obj([
-                ("op", Json::str("remove")),
-                ("id", id.to_json()),
-                ("polarity", Json::str(polarity_str(*positive))),
-            ]),
+                request_id,
+            } => {
+                // The request id is emitted only when present, so logs
+                // written before the field existed re-encode byte for
+                // byte (the CRC check re-serializes the parsed body).
+                let mut pairs = vec![
+                    ("op".to_string(), Json::str("add")),
+                    ("id".to_string(), id.to_json()),
+                    ("polarity".to_string(), Json::str(polarity_str(*positive))),
+                    ("example".to_string(), example.to_json()),
+                ];
+                if let Some(rid) = request_id {
+                    pairs.push(("request_id".to_string(), rid.to_json()));
+                }
+                Json::Obj(pairs)
+            }
+            LogRecord::RemoveExample {
+                id,
+                positive,
+                request_id,
+            } => {
+                let mut pairs = vec![
+                    ("op".to_string(), Json::str("remove")),
+                    ("id".to_string(), id.to_json()),
+                    ("polarity".to_string(), Json::str(polarity_str(*positive))),
+                ];
+                if let Some(rid) = request_id {
+                    pairs.push(("request_id".to_string(), rid.to_json()));
+                }
+                Json::Obj(pairs)
+            }
             LogRecord::Snapshot(s) => {
                 // One source of truth for the snapshot shape: prepend the
                 // op tag to WorkspaceSnapshot's own serialization (the
@@ -195,10 +223,12 @@ impl Deserialize for LogRecord {
                 id: u64::from_json(v.req("id")?)?,
                 positive: parse_polarity(&String::from_json(v.req("polarity")?)?)?,
                 example: Example::from_json(v.req("example")?)?,
+                request_id: v.get("request_id").map(u64::from_json).transpose()?,
             }),
             "remove" => Ok(LogRecord::RemoveExample {
                 id: u64::from_json(v.req("id")?)?,
                 positive: parse_polarity(&String::from_json(v.req("polarity")?)?)?,
+                request_id: v.get("request_id").map(u64::from_json).transpose()?,
             }),
             "snapshot" => Ok(LogRecord::Snapshot(WorkspaceSnapshot::from_json(v)?)),
             other => Err(JsonError::semantic(format!(
@@ -287,10 +317,23 @@ mod tests {
                 id: 0,
                 positive: true,
                 example: e.clone(),
+                request_id: None,
+            },
+            LogRecord::AddExample {
+                id: 1,
+                positive: false,
+                example: e.clone(),
+                request_id: Some(0x1234_5678_9ABC),
             },
             LogRecord::RemoveExample {
                 id: 0,
                 positive: false,
+                request_id: None,
+            },
+            LogRecord::RemoveExample {
+                id: 1,
+                positive: false,
+                request_id: Some(7),
             },
             LogRecord::Snapshot(WorkspaceSnapshot {
                 schema: schema.as_ref().clone(),
@@ -330,6 +373,37 @@ mod tests {
         // Garbage is rejected.
         assert!(decode_record("not json at all").is_err());
         assert!(decode_record("{\"crc\":1}").is_err());
+    }
+
+    #[test]
+    fn request_ids_round_trip_and_old_lines_still_decode() {
+        let schema = Schema::digraph();
+        let e = parse_example(&schema, "R(a,b)").unwrap();
+        let with_id = LogRecord::AddExample {
+            id: 4,
+            positive: true,
+            example: e,
+            request_id: Some(0xDEAD_BEEF),
+        };
+        let line = encode_record(&with_id);
+        assert!(line.contains("\"request_id\":3735928559"));
+        match decode_record(line.trim_end()).unwrap() {
+            LogRecord::AddExample { request_id, .. } => {
+                assert_eq!(request_id, Some(0xDEAD_BEEF));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A pre-PR8 line (no request_id field) still decodes, still
+        // passes its CRC, and re-encodes byte-identically.
+        let old = LogRecord::RemoveExample {
+            id: 2,
+            positive: false,
+            request_id: None,
+        };
+        let old_line = encode_record(&old);
+        assert!(!old_line.contains("request_id"));
+        let back = decode_record(old_line.trim_end()).unwrap();
+        assert_eq!(encode_record(&back), old_line);
     }
 
     #[test]

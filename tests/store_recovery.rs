@@ -319,6 +319,64 @@ fn compaction_preserves_equivalence_across_reopen() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Kill-and-retry differential (PR 8): a crash *between* applying an
+/// identified mutation and acking it is the ambiguous window a client
+/// retry must survive.  The `request_id` travels in the WAL record, so
+/// recovery repopulates the idempotency memo and the retried mutation is
+/// answered from it — applied exactly once — instead of applied twice.
+/// The oracle saw each logical mutation exactly once and never crashed.
+#[test]
+fn retried_mutation_after_kill_applies_exactly_once() {
+    let dir = tmp_dir("kill_retry");
+    let requests = workload(41, 30);
+    let (live, _) = durable(&dir, 1024);
+    let oracle = Engine::new(EngineConfig::default());
+    // Drive both engines through identified mutations, like a real
+    // client session would (each request carries a fresh request_id).
+    for (i, request) in requests.iter().enumerate() {
+        let id = Some(1_000 + i as u64);
+        let a = serde::to_string(&live.handle_with_id(request, id));
+        let b = serde::to_string(&oracle.handle_with_id(request, id));
+        assert_eq!(a, b, "mutation {i} diverged");
+    }
+    // The ambiguous mutation: applied and logged, but the "ack" (the
+    // response reaching the client) is lost in the crash below.
+    let ambiguous = Request::AddExample {
+        workspace: WS.into(),
+        polarity: Polarity::Negative,
+        example: ExamplePayload::Text("R(q,q)".into()),
+    };
+    let ambiguous_id = Some(77_777);
+    let original = serde::to_string(&live.handle_with_id(&ambiguous, ambiguous_id));
+    let oracle_resp = serde::to_string(&oracle.handle_with_id(&ambiguous, ambiguous_id));
+    assert_eq!(original, oracle_resp);
+    drop(live); // kill -9: no shutdown, no ack delivered
+
+    // The client cannot know whether the mutation applied; it retries
+    // the same request_id against the recovered server.
+    let (recovered, report) = durable(&dir, 1024);
+    assert_eq!(report.workspaces, 1);
+    let retried = serde::to_string(&recovered.handle_with_id(&ambiguous, ambiguous_id));
+    assert_eq!(
+        retried, original,
+        "the retry must be answered from the recovered memo with the \
+         original response"
+    );
+    // Differential: the recovered-and-retried engine matches the oracle
+    // that saw the mutation exactly once.  Without memo repopulation the
+    // retry double-applies and the counts/ids below diverge.
+    assert_same_answers(&oracle, &recovered, "kill + retry");
+
+    // A *fresh* id for the same payload is a new logical mutation and
+    // must really apply on both sides.
+    let fresh = serde::to_string(&recovered.handle_with_id(&ambiguous, Some(88_888)));
+    let oracle_fresh = serde::to_string(&oracle.handle_with_id(&ambiguous, Some(88_888)));
+    assert_eq!(fresh, oracle_fresh, "fresh ids still apply");
+    assert_ne!(fresh, retried, "a fresh id is not a memo hit");
+    assert_same_answers(&oracle, &recovered, "kill + retry + fresh");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Multi-workspace recovery: each workspace restores independently, drops
 /// stay dropped, and ids keep flowing from the pre-crash counters.
 #[test]
