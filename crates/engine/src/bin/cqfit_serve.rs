@@ -1,7 +1,7 @@
 //! `cqfit-serve` — the JSONL-over-TCP fitting server.
 //!
 //! ```text
-//! cqfit-serve [--addr HOST:PORT] [--no-cache]
+//! cqfit-serve [--addr HOST:PORT] [--no-cache] [--metrics HOST:PORT]
 //!             [--data-dir PATH] [--compact-after N] [--no-fsync]
 //! ```
 //!
@@ -18,6 +18,14 @@
 //! sets the per-log record budget before snapshot compaction (default
 //! 1024); `--no-fsync` trades the power-loss guarantee for faster appends
 //! (a process `kill -9` still loses nothing — see DESIGN.md).
+//!
+//! `--metrics HOST:PORT` additionally serves the engine's metrics
+//! registry in Prometheus text exposition format: every HTTP GET of the
+//! endpoint returns a fresh snapshot (counters, gauges, and latency
+//! summaries prefixed `cqfit_`).  The listener runs through the same
+//! [`cqfit_env::Net`] seam as the JSONL server and answers any request
+//! with the exposition — a scrape endpoint, not a general HTTP server.
+//! A `metrics on <addr>` line is printed once ready.
 
 use cqfit_engine::{Engine, EngineConfig, Server};
 use cqfit_env::RealEnv;
@@ -28,14 +36,40 @@ use std::sync::Arc;
 fn usage_error(message: &str) -> ! {
     eprintln!("cqfit-serve: {message}");
     eprintln!(
-        "usage: cqfit-serve [--addr HOST:PORT] [--no-cache] [--data-dir PATH] [--compact-after N] [--no-fsync]"
+        "usage: cqfit-serve [--addr HOST:PORT] [--no-cache] [--metrics HOST:PORT] [--data-dir PATH] [--compact-after N] [--no-fsync]"
     );
     std::process::exit(2);
+}
+
+/// Serves Prometheus text exposition on `listener`, one snapshot per
+/// connection.  Minimal HTTP/1.0: the request is read (best-effort, one
+/// chunk — scrapers send tiny GETs), the response carries
+/// `Content-Length` and closes the connection.  Runs on its own thread
+/// for the life of the process; errors only end the current scrape.
+fn serve_metrics(listener: Box<dyn cqfit_env::NetListener>, engine: Arc<Engine>) {
+    loop {
+        let mut conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        // Drain the request line(s); the reply does not depend on them.
+        let mut buf = [0u8; 4096];
+        let _ = conn.read(&mut buf, Some(std::time::Duration::from_millis(500)));
+        let body = cqfit_obs::render_prometheus(&engine.registry().snapshot());
+        let response = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = conn.write_all(response.as_bytes());
+        let _ = conn.shutdown();
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7878".to_string();
+    let mut metrics_addr: Option<String> = None;
     let mut caching = true;
     let mut data_dir: Option<String> = None;
     let mut compact_after = 1024usize;
@@ -51,6 +85,13 @@ fn main() {
                 None => usage_error("`--addr` requires a HOST:PORT value"),
             },
             "--no-cache" => caching = false,
+            "--metrics" => match args.get(i + 1) {
+                Some(value) => {
+                    metrics_addr = Some(value.clone());
+                    i += 1;
+                }
+                None => usage_error("`--metrics` requires a HOST:PORT value"),
+            },
             "--data-dir" => match args.get(i + 1) {
                 Some(value) => {
                     data_dir = Some(value.clone());
@@ -110,6 +151,21 @@ fn main() {
         }
         None => Arc::new(Engine::with_env(config, env)),
     };
+    // The Prometheus endpoint shares the engine (and so its registry and
+    // Net seam); its thread dies with the process on shutdown.
+    if let Some(maddr) = metrics_addr {
+        let listener = match engine.env().net().bind(&maddr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cqfit-serve: cannot bind metrics endpoint {maddr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let bound = listener.local_addr().unwrap_or_else(|_| maddr.clone());
+        println!("metrics on {bound}");
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || serve_metrics(listener, engine));
+    }
     let server = match Server::bind(&addr, engine) {
         Ok(s) => s,
         Err(e) => {

@@ -4,6 +4,8 @@
 //! cqfit-session [--addr HOST:PORT] [--store] [--shutdown]
 //! cqfit-session [--addr HOST:PORT] --verify-recovery [--shutdown]
 //! cqfit-session [--addr HOST:PORT] stats
+//! cqfit-session [--addr HOST:PORT] metrics
+//! cqfit-session [--addr HOST:PORT] watch [--interval-ms N] [--count N]
 //! ```
 //!
 //! Connects (with retries, so it can be started right after the server),
@@ -25,9 +27,16 @@
 //! fitting — and that the server reports a non-trivial recovery.  CI runs
 //! it after `kill -9`-ing and restarting a durable server.
 //!
-//! `stats` prints an operator summary (requests, cache hit rate, store
-//! records/bytes, per-workspace revisions) — the warm-up view after a
-//! recovery.
+//! `stats` prints an operator summary (requests, cache hit rate,
+//! pipeline window, exactly-once memo occupancy, store records/bytes,
+//! per-workspace revisions) — the warm-up view after a recovery.
+//!
+//! `metrics` dumps the engine's full metrics registry — every counter
+//! and gauge, latency-histogram summaries (p50/p90/p99/max), and the
+//! most recent structured events and request spans.  `watch` polls the
+//! same registry every `--interval-ms` (default 1000) and prints one
+//! delta line per tick — request/append/retry throughput at a glance —
+//! until interrupted or `--count` ticks have been printed.
 
 use cqfit_engine::{
     Client, EngineStats, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response,
@@ -52,7 +61,7 @@ fn call(client: &mut Client, step: &str, request: &Request) -> Response {
 
 fn usage_error(message: &str) -> ! {
     eprintln!("cqfit-session: {message}");
-    eprintln!("usage: cqfit-session [--addr HOST:PORT] [--store] [--verify-recovery] [--shutdown] [stats]");
+    eprintln!("usage: cqfit-session [--addr HOST:PORT] [--store] [--verify-recovery] [--shutdown] [stats | metrics | watch [--interval-ms N] [--count N]]");
     std::process::exit(2);
 }
 
@@ -90,6 +99,14 @@ fn print_stats(stats: &EngineStats) {
     println!("requests handled : {}", stats.requests);
     println!("workspaces       : {}", stats.workspaces);
     println!("uptime           : {:.3}s", stats.uptime_ms as f64 / 1000.0);
+    println!(
+        "pipeline window  : {} requests in flight max",
+        stats.pipeline_window
+    );
+    println!(
+        "memo occupancy   : {} ids across {} workspace rings",
+        stats.memo_entries, stats.memo_workspaces
+    );
     match &stats.cache {
         Some(c) => println!(
             "cache hit rate   : {:.3} ({} hits, {} misses, {} hom + {} core entries)",
@@ -111,6 +128,93 @@ fn print_stats(stats: &EngineStats) {
     for (name, revision) in &stats.revisions {
         println!("workspace {name:<12} revision {revision}");
     }
+}
+
+/// One wire fetch of the engine's metrics registry snapshot.
+fn fetch_metrics(client: &mut Client) -> cqfit_obs::Snapshot {
+    match client.call(&Request::Metrics) {
+        Ok(Response::Metrics(snapshot)) => snapshot,
+        Ok(other) => fail("metrics", &other),
+        Err(e) => {
+            eprintln!("cqfit-session: metrics failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `metrics` command: the full registry, human-readable.
+fn run_metrics(addr: &str) -> ! {
+    let mut client = connect(addr);
+    let snapshot = fetch_metrics(&mut client);
+    println!("counters:");
+    for (name, value) in &snapshot.counters {
+        println!("  {name:<24} {value}");
+    }
+    println!("gauges:");
+    for (name, value) in &snapshot.gauges {
+        println!("  {name:<24} {value}");
+    }
+    println!("histograms (ns unless noted):");
+    for (name, h) in &snapshot.histograms {
+        println!(
+            "  {name:<24} count {} p50 {} p90 {} p99 {} max {} sum {}",
+            h.count, h.p50, h.p90, h.p99, h.max, h.sum
+        );
+    }
+    if !snapshot.events.is_empty() {
+        println!("recent events:");
+        for e in &snapshot.events {
+            println!("  [{}ns] {}: {}", e.at_ns, e.kind, e.detail);
+        }
+    }
+    if !snapshot.spans.is_empty() {
+        println!("recent spans:");
+        for s in &snapshot.spans {
+            let workspace = s.workspace.as_deref().unwrap_or("-");
+            let request_id = s
+                .request_id
+                .map_or_else(|| "-".to_string(), |id| id.to_string());
+            println!(
+                "  {} ws {} id {} decode {}ns dispatch {}ns reply {}ns total {}ns",
+                s.op,
+                workspace,
+                request_id,
+                s.decoded_ns.saturating_sub(s.start_ns),
+                s.dispatched_ns.saturating_sub(s.decoded_ns),
+                s.replied_ns.saturating_sub(s.dispatched_ns),
+                s.replied_ns.saturating_sub(s.start_ns),
+            );
+        }
+    }
+    std::process::exit(0);
+}
+
+/// The `watch` command: one delta summary line per polling tick.
+fn run_watch(addr: &str, interval: std::time::Duration, count: Option<u64>) -> ! {
+    let mut client = connect(addr);
+    let mut previous = fetch_metrics(&mut client);
+    let mut ticks = 0u64;
+    while count.is_none_or(|c| ticks < c) {
+        std::thread::sleep(interval);
+        let current = fetch_metrics(&mut client);
+        let delta = |name: &str| current.counter(name).saturating_sub(previous.counter(name));
+        let fit_count =
+            |snap: &cqfit_obs::Snapshot| snap.histogram("engine_fit_ns").map_or(0, |h| h.count);
+        let request_p99 = current.histogram("server_request_ns").map_or(0, |h| h.p99);
+        println!(
+            "+{} req  +{} acked appends  +{} fits  +{} memo replays  +{} retries  {} conns  req p99 {}ns",
+            delta("engine_requests"),
+            delta("store_appends_acked"),
+            fit_count(&current).saturating_sub(fit_count(&previous)),
+            delta("engine_memo_replays"),
+            delta("client_retries"),
+            current.gauge("server_connections"),
+            request_p99,
+        );
+        previous = current;
+        ticks += 1;
+    }
+    std::process::exit(0);
 }
 
 /// The durability tail of the scripted session (`--store`).
@@ -243,6 +347,10 @@ fn main() {
     let mut store = false;
     let mut verify = false;
     let mut stats_mode = false;
+    let mut metrics_mode = false;
+    let mut watch_mode = false;
+    let mut interval = std::time::Duration::from_millis(1000);
+    let mut count: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -256,13 +364,35 @@ fn main() {
             "--shutdown" => shutdown = true,
             "--store" => store = true,
             "--verify-recovery" => verify = true,
+            "--interval-ms" => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+                Some(value) if value > 0 => {
+                    interval = std::time::Duration::from_millis(value);
+                    i += 1;
+                }
+                _ => usage_error("`--interval-ms` requires a positive millisecond count"),
+            },
+            "--count" => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+                Some(value) => {
+                    count = Some(value);
+                    i += 1;
+                }
+                _ => usage_error("`--count` requires a tick count"),
+            },
             "stats" => stats_mode = true,
+            "metrics" => metrics_mode = true,
+            "watch" => watch_mode = true,
             other => usage_error(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
     if stats_mode {
         run_stats(&addr);
+    }
+    if metrics_mode {
+        run_metrics(&addr);
+    }
+    if watch_mode {
+        run_watch(&addr, interval, count);
     }
 
     let mut client = connect(&addr);

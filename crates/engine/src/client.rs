@@ -20,6 +20,7 @@
 
 use crate::protocol::{Request, Response};
 use cqfit_env::{Env, NetConn, RealEnv};
+use cqfit_obs::Registry;
 use serde::Deserialize;
 use std::io::{self, ErrorKind};
 use std::sync::Arc;
@@ -66,6 +67,14 @@ pub struct Client {
     pending: Vec<u8>,
     timeout: Option<Duration>,
     retry: RetryPolicy,
+    /// The client-side metrics registry: retry/reconnect/backoff
+    /// counters only — instrumentation draws nothing from the clock or
+    /// rng, so an instrumented client produces byte-identical wire
+    /// traffic to a pre-PR9 one.
+    registry: Arc<Registry>,
+    /// Whether a connection was ever established — distinguishes the
+    /// initial connect from the *re*connects the registry counts.
+    was_connected: bool,
 }
 
 impl std::fmt::Debug for Client {
@@ -88,7 +97,17 @@ impl Client {
             pending: Vec::new(),
             timeout: Some(DEFAULT_CALL_TIMEOUT),
             retry: RetryPolicy::default(),
+            registry: Arc::new(Registry::new()),
+            was_connected: false,
         }
+    }
+
+    /// The client's metrics registry ([`Registry::client_retries`],
+    /// `client_reconnects`, `client_backoff_sleeps`) — the sim's
+    /// metric-invariant phase cross-checks these against the injected
+    /// fault schedule.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Connects to `addr` (e.g. `127.0.0.1:7878`) over the real network.
@@ -134,6 +153,7 @@ impl Client {
         for attempt in 0..attempts {
             if attempt > 0 {
                 let delay = client.backoff_delay(attempt - 1);
+                client.registry.client_backoff_sleeps.inc();
                 client.env.clock().sleep(delay);
             }
             match client.ensure_connected() {
@@ -173,6 +193,10 @@ impl Client {
         if self.conn.is_none() {
             self.pending.clear();
             self.conn = Some(self.env.net().connect(&self.addr)?);
+            if self.was_connected {
+                self.registry.client_reconnects.inc();
+            }
+            self.was_connected = true;
         }
         Ok(())
     }
@@ -289,7 +313,9 @@ impl Client {
         let mut last = None;
         for attempt in 0..attempts {
             if attempt > 0 {
+                self.registry.client_retries.inc();
                 let delay = self.backoff_delay(attempt - 1);
+                self.registry.client_backoff_sleeps.inc();
                 self.env.clock().sleep(delay);
             }
             match self.exchange(&line) {
@@ -351,7 +377,9 @@ impl Client {
         let mut last = None;
         for attempt in 0..attempts {
             if attempt > 0 {
+                self.registry.client_retries.inc();
                 let delay = self.backoff_delay(attempt - 1);
+                self.registry.client_backoff_sleeps.inc();
                 self.env.clock().sleep(delay);
             }
             match self.exchange_batch(&frame, requests.len()) {

@@ -8,6 +8,7 @@ use cqfit::incremental::IncrementalFitting;
 use cqfit_data::parse_example;
 use cqfit_env::{Env, RealEnv};
 use cqfit_hom::HomCache;
+use cqfit_obs::Registry;
 use cqfit_store::{LogRecord, RecoveryReport, Store, StoreError, WorkspaceSnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,7 +62,12 @@ impl Default for EngineConfig {
 pub struct Engine {
     workspaces: RwLock<HashMap<String, Arc<WorkspaceSlot>>>,
     cache: Option<Arc<HomCache>>,
-    requests: AtomicU64,
+    /// The unified metrics registry (PR 9).  Durable engines adopt the
+    /// store's registry — mirroring the [`Env`] inheritance — so the
+    /// whole stack's counters and histograms land in one place; the
+    /// hom-cache shares it too.  All timestamps the engine feeds it come
+    /// from `env.clock()`, so the numbers are deterministic under sim.
+    registry: Arc<Registry>,
     /// Exactly-once retry memo: the last applied `(request_id, response)`
     /// per workspace (see [`Engine::handle_with_id`]).
     memo: Mutex<IdempotencyMemo>,
@@ -192,10 +198,13 @@ impl Engine {
     /// here.
     pub fn with_env(config: EngineConfig, env: Arc<dyn Env>) -> Self {
         let started = env.clock().monotonic();
+        let registry = Arc::new(Registry::new());
         Engine {
             workspaces: RwLock::new(HashMap::new()),
-            cache: config.caching.then(|| Arc::new(HomCache::new())),
-            requests: AtomicU64::new(0),
+            cache: config
+                .caching
+                .then(|| Arc::new(HomCache::with_registry(registry.clone()))),
+            registry,
             memo: Mutex::new(IdempotencyMemo::default()),
             store: None,
             recovery: RecoveryReport::default(),
@@ -279,10 +288,16 @@ impl Engine {
                 WorkspaceSlot::new(Workspace::from_state(name, state)),
             );
         }
+        // Adopt the store's registry — like the store's [`Env`], one
+        // registry covers the whole durable stack, so WAL latencies and
+        // engine/cache counters come out of a single snapshot.
+        let registry = store.registry().clone();
         let engine = Engine {
             workspaces: RwLock::new(map),
-            cache: config.caching.then(|| Arc::new(HomCache::new())),
-            requests: AtomicU64::new(0),
+            cache: config
+                .caching
+                .then(|| Arc::new(HomCache::with_registry(registry.clone()))),
+            registry,
             memo: Mutex::new(memo),
             store: Some(Arc::new(store)),
             recovery: report,
@@ -300,6 +315,13 @@ impl Engine {
     /// The shared hom/core cache, when caching is enabled.
     pub fn cache(&self) -> Option<&Arc<HomCache>> {
         self.cache.as_ref()
+    }
+
+    /// The unified metrics registry: shared with the store (durable
+    /// engines) and the hom-cache, snapshotted by [`Request::Metrics`]
+    /// and the Prometheus endpoint of `cqfit-serve --metrics`.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The attached store, when the engine is durable.
@@ -346,8 +368,15 @@ impl Engine {
             .map(|(name, slot)| (name.clone(), slot.revision.load(Ordering::Acquire)))
             .collect();
         revisions.sort();
+        let (memo_workspaces, memo_entries) = {
+            let memo = self.memo.lock().expect("idempotency memo");
+            (
+                memo.recent.len(),
+                memo.recent.values().map(|ring| ring.len() as u64).sum(),
+            )
+        };
         EngineStats {
-            requests: self.requests.load(Ordering::Relaxed),
+            requests: self.registry.engine_requests.get(),
             workspaces: map.len(),
             uptime_ms: self
                 .env
@@ -355,6 +384,9 @@ impl Engine {
                 .monotonic()
                 .saturating_sub(self.started)
                 .as_millis() as u64,
+            pipeline_window: PIPELINE_WINDOW,
+            memo_workspaces,
+            memo_entries,
             cache: self.cache.as_ref().map(|c| c.stats()),
             store: self.store.as_ref().map(|s| s.stats()),
             revisions,
@@ -417,6 +449,7 @@ impl Engine {
         if let Some((id, ws)) = &memo_key {
             let memo = self.memo.lock().expect("idempotency memo");
             if let Some(replay) = memo.lookup(ws, *id) {
+                self.registry.engine_memo_replays.inc();
                 return replay;
             }
         }
@@ -438,7 +471,7 @@ impl Engine {
         // the granularity at which the engine's own locking must already
         // make any interleaving equivalent to some sequential order.
         self.env.yield_point("engine.handle");
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.registry.engine_requests.inc();
         match request {
             Request::Ping => Response::Pong,
             Request::CreateWorkspace {
@@ -663,29 +696,48 @@ impl Engine {
                 }
             }),
             Request::FittingExists { workspace, class } => self.with_workspace(workspace, |ws| {
-                match ws.fitting_exists(*class, self.cache.as_deref(), self.env.clock()) {
-                    Ok(exists) => Response::Exists {
-                        class: *class,
-                        exists,
-                    },
-                    Err(e) => Response::error(e.to_string()),
+                // The fit-latency histogram is fed from the workspace's
+                // own `fit_nanos` accumulator rather than fresh clock
+                // reads, so instrumenting the path draws no extra clock
+                // ticks (memo hits record nothing — delta stays zero).
+                let before = ws.fit_nanos();
+                let response =
+                    match ws.fitting_exists(*class, self.cache.as_deref(), self.env.clock()) {
+                        Ok(exists) => Response::Exists {
+                            class: *class,
+                            exists,
+                        },
+                        Err(e) => Response::error(e.to_string()),
+                    };
+                let spent = ws.fit_nanos().saturating_sub(before);
+                if spent > 0 {
+                    self.registry.engine_fit_ns.record(spent);
                 }
+                response
             }),
             Request::Fit {
                 workspace,
                 class,
                 mode,
             } => self.with_workspace(workspace, |ws| {
-                match ws.fit(*class, *mode, self.cache.as_deref(), self.env.clock()) {
+                let before = ws.fit_nanos();
+                let response = match ws.fit(*class, *mode, self.cache.as_deref(), self.env.clock())
+                {
                     Ok(query) => Response::Fitting {
                         class: *class,
                         mode: *mode,
                         query,
                     },
                     Err(e) => Response::error(e.to_string()),
+                };
+                let spent = ws.fit_nanos().saturating_sub(before);
+                if spent > 0 {
+                    self.registry.engine_fit_ns.record(spent);
                 }
+                response
             }),
             Request::Stats => Response::Stats(self.stats()),
+            Request::Metrics => Response::Metrics(self.registry.snapshot()),
             Request::Persist => match &self.store {
                 None => Response::error("no store configured (start cqfit-serve with --data-dir)"),
                 Some(store) => {

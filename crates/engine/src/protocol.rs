@@ -183,6 +183,10 @@ pub enum Request {
     /// Engine-wide statistics (requests, workspaces, cache hit rates,
     /// per-workspace revisions, store bytes/records).
     Stats,
+    /// A full metrics snapshot from the engine's `cqfit-obs` registry:
+    /// counters, gauges, latency-histogram summaries, and the bounded
+    /// event/span rings.
+    Metrics,
     /// Forces snapshot + log-compaction of every workspace and syncs the
     /// store.  Errors when the engine has no store.
     Persist,
@@ -234,6 +238,28 @@ impl Request {
         v.get("request_id").and_then(|id| u64::from_json(id).ok())
     }
 
+    /// The wire name of this request's operation (the `"op"` field of
+    /// its JSON form) — the span label used by request tracing.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::CreateWorkspace { .. } => "create_workspace",
+            Request::DropWorkspace { .. } => "drop_workspace",
+            Request::ListWorkspaces => "list_workspaces",
+            Request::WorkspaceInfo { .. } => "workspace_info",
+            Request::AddExample { .. } => "add_example",
+            Request::RemoveExample { .. } => "remove_example",
+            Request::FittingExists { .. } => "fitting_exists",
+            Request::Fit { .. } => "fit",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Persist => "persist",
+            Request::Recover => "recover",
+            Request::StoreInfo => "store_info",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
     /// The workspace this request targets, if any (used by
     /// [`crate::Engine::handle_batch`] to group independent requests).
     pub fn workspace(&self) -> Option<&str> {
@@ -248,6 +274,7 @@ impl Request {
             Request::Ping
             | Request::ListWorkspaces
             | Request::Stats
+            | Request::Metrics
             | Request::Persist
             | Request::Recover
             | Request::StoreInfo
@@ -321,6 +348,7 @@ impl Serialize for Request {
                 ("mode", Json::str(mode.as_str())),
             ]),
             Request::Stats => Json::obj([("op", Json::str("stats"))]),
+            Request::Metrics => Json::obj([("op", Json::str("metrics"))]),
             Request::Persist => Json::obj([("op", Json::str("persist"))]),
             Request::Recover => Json::obj([("op", Json::str("recover"))]),
             Request::StoreInfo => Json::obj([("op", Json::str("store_info"))]),
@@ -390,6 +418,7 @@ impl Deserialize for Request {
                 mode: FitMode::parse(&req_str(v, "mode")?)?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "persist" => Ok(Request::Persist),
             "recover" => Ok(Request::Recover),
             "store_info" => Ok(Request::StoreInfo),
@@ -436,6 +465,14 @@ pub struct EngineStats {
     /// Milliseconds since engine construction, per the engine's injected
     /// clock (manual clocks in tests, simulated time under `cqfit-sim`).
     pub uptime_ms: u64,
+    /// The server's pipeline window: how many in-flight requests one
+    /// connection may have before the server stops reading more.
+    pub pipeline_window: usize,
+    /// Workspaces currently holding an exactly-once idempotency memo ring.
+    pub memo_workspaces: usize,
+    /// Total remembered identified mutations across all memo rings
+    /// (each ring is capped at the pipeline window).
+    pub memo_entries: u64,
     /// Hom/core cache statistics, when caching is enabled.
     pub cache: Option<cqfit_hom::CacheStats>,
     /// Store statistics (records, bytes, compactions), when a store is
@@ -517,6 +554,9 @@ pub enum Response {
     },
     /// Reply to [`Request::Stats`].
     Stats(EngineStats),
+    /// Reply to [`Request::Metrics`]: the full `cqfit-obs` registry
+    /// snapshot (counters, gauges, histogram summaries, event/span rings).
+    Metrics(cqfit_obs::Snapshot),
     /// Reply to [`Request::Persist`].
     Persisted {
         /// Workspaces whose logs were compacted.
@@ -691,6 +731,9 @@ impl Serialize for Response {
                     ("requests", stats.requests.to_json()),
                     ("workspaces", Json::Int(stats.workspaces as i64)),
                     ("uptime_ms", stats.uptime_ms.to_json()),
+                    ("pipeline_window", Json::Int(stats.pipeline_window as i64)),
+                    ("memo_workspaces", Json::Int(stats.memo_workspaces as i64)),
+                    ("memo_entries", stats.memo_entries.to_json()),
                     ("caching", Json::Bool(stats.cache.is_some())),
                 ];
                 if let Some(c) = &stats.cache {
@@ -730,6 +773,77 @@ impl Serialize for Response {
                     ),
                 ));
                 ok(fields)
+            }
+            Response::Metrics(snap) => {
+                let counters = Json::Obj(
+                    snap.counters
+                        .iter()
+                        .map(|(name, value)| (name.clone(), value.to_json()))
+                        .collect(),
+                );
+                let gauges = Json::Obj(
+                    snap.gauges
+                        .iter()
+                        .map(|(name, value)| (name.clone(), Json::Int(*value)))
+                        .collect(),
+                );
+                let histograms = Json::Obj(
+                    snap.histograms
+                        .iter()
+                        .map(|(name, h)| {
+                            (
+                                name.clone(),
+                                Json::obj([
+                                    ("count", h.count.to_json()),
+                                    ("sum", h.sum.to_json()),
+                                    ("max", h.max.to_json()),
+                                    ("p50", h.p50.to_json()),
+                                    ("p90", h.p90.to_json()),
+                                    ("p99", h.p99.to_json()),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                );
+                let events = Json::Arr(
+                    snap.events
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("at_ns", e.at_ns.to_json()),
+                                ("kind", Json::str(&e.kind)),
+                                ("detail", Json::str(&e.detail)),
+                            ])
+                        })
+                        .collect(),
+                );
+                let spans = Json::Arr(
+                    snap.spans
+                        .iter()
+                        .map(|s| {
+                            let mut fields = vec![("op", Json::str(&s.op))];
+                            if let Some(ws) = &s.workspace {
+                                fields.push(("workspace", Json::str(ws)));
+                            }
+                            if let Some(id) = s.request_id {
+                                fields.push(("request_id", id.to_json()));
+                            }
+                            fields.push(("start_ns", s.start_ns.to_json()));
+                            fields.push(("decoded_ns", s.decoded_ns.to_json()));
+                            fields.push(("dispatched_ns", s.dispatched_ns.to_json()));
+                            fields.push(("replied_ns", s.replied_ns.to_json()));
+                            Json::obj(fields)
+                        })
+                        .collect(),
+                );
+                ok(vec![
+                    ("kind", Json::str("metrics")),
+                    ("counters", counters),
+                    ("gauges", gauges),
+                    ("histograms", histograms),
+                    ("events", events),
+                    ("spans", spans),
+                ])
             }
             Response::Persisted {
                 workspaces,
@@ -886,9 +1000,97 @@ impl Deserialize for Response {
                         Some(u) => u64::from_json(u)?,
                         None => 0,
                     },
+                    // Absent in pre-PR9 captures: default to zero.
+                    pipeline_window: match v.get("pipeline_window") {
+                        Some(w) => usize::from_json(w)?,
+                        None => 0,
+                    },
+                    memo_workspaces: match v.get("memo_workspaces") {
+                        Some(w) => usize::from_json(w)?,
+                        None => 0,
+                    },
+                    memo_entries: match v.get("memo_entries") {
+                        Some(e) => u64::from_json(e)?,
+                        None => 0,
+                    },
                     cache,
                     store,
                     revisions,
+                }))
+            }
+            "metrics" => {
+                let obj_of = |key: &str| -> Result<&[(String, Json)], JsonError> {
+                    let field = v.req(key)?;
+                    field
+                        .as_obj()
+                        .ok_or_else(|| JsonError::mismatch("object", field))
+                };
+                let arr_of = |key: &str| -> Result<&[Json], JsonError> {
+                    let field = v.req(key)?;
+                    field
+                        .as_arr()
+                        .ok_or_else(|| JsonError::mismatch("array", field))
+                };
+                let counters = obj_of("counters")?
+                    .iter()
+                    .map(|(name, value)| Ok((name.clone(), u64::from_json(value)?)))
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                let gauges = obj_of("gauges")?
+                    .iter()
+                    .map(|(name, value)| Ok((name.clone(), i64::from_json(value)?)))
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                let histograms = obj_of("histograms")?
+                    .iter()
+                    .map(|(name, h)| {
+                        Ok((
+                            name.clone(),
+                            cqfit_obs::HistogramSummary {
+                                count: u64::from_json(h.req("count")?)?,
+                                sum: u64::from_json(h.req("sum")?)?,
+                                max: u64::from_json(h.req("max")?)?,
+                                p50: u64::from_json(h.req("p50")?)?,
+                                p90: u64::from_json(h.req("p90")?)?,
+                                p99: u64::from_json(h.req("p99")?)?,
+                            },
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                let events = arr_of("events")?
+                    .iter()
+                    .map(|e| {
+                        Ok(cqfit_obs::EventRecord {
+                            at_ns: u64::from_json(e.req("at_ns")?)?,
+                            kind: req_str(e, "kind")?,
+                            detail: req_str(e, "detail")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                let spans = arr_of("spans")?
+                    .iter()
+                    .map(|s| {
+                        Ok(cqfit_obs::SpanRecord {
+                            op: req_str(s, "op")?,
+                            workspace: match s.get("workspace") {
+                                Some(ws) => Some(String::from_json(ws)?),
+                                None => None,
+                            },
+                            request_id: match s.get("request_id") {
+                                Some(id) => Some(u64::from_json(id)?),
+                                None => None,
+                            },
+                            start_ns: u64::from_json(s.req("start_ns")?)?,
+                            decoded_ns: u64::from_json(s.req("decoded_ns")?)?,
+                            dispatched_ns: u64::from_json(s.req("dispatched_ns")?)?,
+                            replied_ns: u64::from_json(s.req("replied_ns")?)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                Ok(Response::Metrics(cqfit_obs::Snapshot {
+                    counters,
+                    gauges,
+                    histograms,
+                    events,
+                    spans,
                 }))
             }
             "persisted" => Ok(Response::Persisted {
@@ -956,6 +1158,7 @@ mod tests {
                 class: QueryClass::Cq,
             },
             Request::Stats,
+            Request::Metrics,
             Request::Persist,
             Request::Recover,
             Request::StoreInfo,
@@ -996,6 +1199,7 @@ mod tests {
         .is_mutation());
         assert!(!Request::Ping.is_mutation());
         assert!(!Request::Stats.is_mutation());
+        assert!(!Request::Metrics.is_mutation());
         assert!(!Request::Shutdown.is_mutation());
     }
 
@@ -1065,6 +1269,9 @@ mod tests {
                 requests: 9,
                 workspaces: 1,
                 uptime_ms: 1234,
+                pipeline_window: 32,
+                memo_workspaces: 1,
+                memo_entries: 7,
                 cache: None,
                 store: Some(cqfit_store::StoreStats {
                     workspaces: 1,
@@ -1080,6 +1287,61 @@ mod tests {
             let text = serde::to_string(&resp);
             let back: Response = serde::from_str(&text).unwrap();
             assert_eq!(serde::to_string(&back), text, "round trip of {resp:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        let registry = cqfit_obs::Registry::new();
+        registry.engine_requests.add(12);
+        registry.store_appends_acked.add(4);
+        registry.server_connections.set(2);
+        registry.store_append_ns.record(1_800);
+        registry.store_append_ns.record(150_000);
+        registry.event(99, "wal.rollback", "w: rolled back");
+        registry.span(cqfit_obs::SpanRecord {
+            op: "add_example".into(),
+            workspace: Some("w".into()),
+            request_id: Some(77),
+            start_ns: 10,
+            decoded_ns: 11,
+            dispatched_ns: 15,
+            replied_ns: 16,
+        });
+        registry.span(cqfit_obs::SpanRecord {
+            op: "ping".into(),
+            workspace: None,
+            request_id: None,
+            start_ns: 20,
+            decoded_ns: 21,
+            dispatched_ns: 22,
+            replied_ns: 23,
+        });
+        let resp = Response::Metrics(registry.snapshot());
+        let text = serde::to_string(&resp);
+        let back: Response = serde::from_str(&text).unwrap();
+        assert_eq!(serde::to_string(&back), text);
+        match back {
+            Response::Metrics(snap) => {
+                assert_eq!(snap, registry.snapshot());
+                assert_eq!(snap.counter("engine_requests"), 12);
+                assert_eq!(snap.histogram("store_append_ns").unwrap().count, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The stats round-trip tolerates pre-PR9 captures: absent fields
+        // default to zero instead of failing.
+        let legacy: Response = serde::from_str(
+            r#"{"ok":true,"kind":"stats","requests":1,"workspaces":0,"caching":false}"#,
+        )
+        .unwrap();
+        match legacy {
+            Response::Stats(stats) => {
+                assert_eq!(stats.pipeline_window, 0);
+                assert_eq!(stats.memo_workspaces, 0);
+                assert_eq!(stats.memo_entries, 0);
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 

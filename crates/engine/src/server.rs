@@ -277,6 +277,23 @@ fn wake_accept_loop(env: &dyn Env, addr: &str) {
     );
 }
 
+/// Drop guard keeping the live-connection gauge honest on every exit
+/// path of [`serve_connection`] — EOF, I/O error, or shutdown drain.
+struct ConnectionGauge<'a>(&'a cqfit_obs::Gauge);
+
+impl<'a> ConnectionGauge<'a> {
+    fn enter(gauge: &'a cqfit_obs::Gauge) -> Self {
+        gauge.inc();
+        ConnectionGauge(gauge)
+    }
+}
+
+impl Drop for ConnectionGauge<'_> {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
 /// Whether a per-connection error is a routine peer-initiated disconnect
 /// (the client vanished mid-request) rather than a server fault worth
 /// logging.
@@ -317,6 +334,8 @@ fn serve_connection(
     // or the grace deadline passes, instead of dropping mid-request.
     let mut drain = DrainGrace::new(DRAIN_GRACE);
     let clock = engine.env().clock();
+    let registry = engine.registry();
+    let _live = ConnectionGauge::enter(&registry.server_connections);
     loop {
         if shutdown.load(Ordering::SeqCst) && drain.expired(clock) {
             return Ok(());
@@ -373,6 +392,11 @@ fn serve_connection(
                 None => break,
             }
         }
+        // Span anchor: one clock read per taken frame (`lines` is never
+        // empty here), marking when the raw bytes left the read buffer.
+        // Drawn from the injected clock, so tracing stays deterministic
+        // under the simulator's manual clock.
+        let trace_begun_ns = clock.monotonic().as_nanos() as u64;
         // Decode every taken line in order.  Lines with framing or parse
         // problems get their error response pre-computed; well-formed
         // requests join the dispatch batch.  `slots` remembers the
@@ -429,10 +453,18 @@ fn serve_connection(
                 },
             }
         }
+        // Phase timestamps are shared across the members of one batch
+        // (decode/dispatch/reply happen batch-at-a-time); three more
+        // clock reads per dispatched batch, none for error-only frames.
+        let trace_decoded_ns = (!batch.is_empty()).then(|| clock.monotonic().as_nanos() as u64);
         // Dispatch: a batch of one takes the plain sequential path (the
         // deterministic-scheduler path used by `run_sequential`); larger
         // batches fan out through the engine's grouped batch executor,
         // whose concurrent durable appends the store group-commits.
+        if !batch.is_empty() {
+            registry.server_batch_depth.record(batch.len() as u64);
+            registry.server_pipeline_depth.set(batch.len() as i64);
+        }
         let responses = match batch.len() {
             0 => Vec::new(),
             1 => {
@@ -441,6 +473,10 @@ fn serve_connection(
             }
             _ => engine.handle_batch_with_ids(&batch),
         };
+        let trace_dispatched_ns = trace_decoded_ns.map(|_| {
+            registry.server_pipeline_depth.set(0);
+            clock.monotonic().as_nanos() as u64
+        });
         // Every response of the batch goes out in one buffered write: a
         // single frame in request order.  One write per batch matters on
         // real TCP — a train of tiny per-response writes provokes the
@@ -457,6 +493,26 @@ fn serve_connection(
         }
         if !reply_frame.is_empty() {
             conn.write_all(&reply_frame)?;
+        }
+        // Close out the batch's spans: one span per dispatched request
+        // (decode/dispatch/reply timestamps shared batch-wide), plus the
+        // end-to-end latency sample each contributes to the histogram.
+        if let (Some(decoded_ns), Some(dispatched_ns)) = (trace_decoded_ns, trace_dispatched_ns) {
+            let replied_ns = clock.monotonic().as_nanos() as u64;
+            for (request, request_id) in &batch {
+                registry
+                    .server_request_ns
+                    .record(replied_ns.saturating_sub(trace_begun_ns));
+                registry.span(cqfit_obs::SpanRecord {
+                    op: request.op().to_string(),
+                    workspace: request.workspace().map(str::to_string),
+                    request_id: *request_id,
+                    start_ns: trace_begun_ns,
+                    decoded_ns,
+                    dispatched_ns,
+                    replied_ns,
+                });
+            }
         }
         if let Some((request, request_id)) = shutdown_req {
             let response = engine.handle_with_id(&request, request_id);
@@ -562,7 +618,7 @@ mod tests {
     #[test]
     fn pipelined_burst_answers_in_request_order() {
         let engine = Arc::new(Engine::new(EngineConfig::default()));
-        let server = Server::bind("127.0.0.1:0", engine).unwrap();
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run().unwrap());
 
@@ -603,6 +659,30 @@ mod tests {
             Response::ShuttingDown
         ));
         handle.join().unwrap();
+        // The batch left its marks on the registry: latency samples and
+        // spans for every dispatched request, depth samples per batch,
+        // and a live-connection gauge back at zero after the drain.
+        let snap = engine.registry().snapshot();
+        assert_eq!(snap.gauge("server_connections"), 0, "connections drained");
+        assert_eq!(snap.gauge("server_pipeline_depth"), 0);
+        let depth = snap.histogram("server_batch_depth").unwrap();
+        assert!(depth.count >= 1 && depth.max >= 1, "{depth:?}");
+        assert_eq!(
+            snap.histogram("server_request_ns").unwrap().count,
+            requests.len() as u64,
+            "one latency sample per dispatched request"
+        );
+        assert!(
+            snap.spans
+                .iter()
+                .any(|s| s.op == "add_example" && s.workspace.as_deref() == Some("p")),
+            "spans carry op and workspace"
+        );
+        for span in &snap.spans {
+            assert!(span.start_ns <= span.decoded_ns);
+            assert!(span.decoded_ns <= span.dispatched_ns);
+            assert!(span.dispatched_ns <= span.replied_ns);
+        }
     }
 
     /// A durable server: a TCP session's mutations survive a server

@@ -36,8 +36,9 @@
 use crate::batch::run_batch;
 use crate::search::hom_exists;
 use cqfit_data::{CanonicalHash, CanonicalHasher, Example};
+use cqfit_obs::Registry;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Number of shards of the hom-existence map (power of two).
@@ -82,10 +83,10 @@ impl CacheStats {
 pub struct HomCache {
     hom_shards: Vec<Mutex<HashMap<(CanonicalHash, CanonicalHash), bool>>>,
     cores: Mutex<HashMap<CanonicalHash, Arc<Example>>>,
-    hom_hits: AtomicU64,
-    hom_misses: AtomicU64,
-    core_hits: AtomicU64,
-    core_misses: AtomicU64,
+    // Hit/miss counters live on the shared `cqfit-obs` registry (the
+    // engine passes its own so cache traffic lands in the process-wide
+    // snapshot); a standalone cache gets a fresh private registry.
+    registry: Arc<Registry>,
     max_hom_entries: usize,
     max_core_entries: usize,
 }
@@ -112,19 +113,29 @@ impl HomCache {
         HomCache::with_limits(1 << 20, 4096)
     }
 
+    /// A cache with the default caps whose hit/miss counters land on the
+    /// given shared metrics registry instead of a private one.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        let mut cache = HomCache::new();
+        cache.registry = registry;
+        cache
+    }
+
     /// A cache with explicit entry caps; inserts beyond a cap are dropped
     /// (the cache keeps serving hits for the entries it holds).
     pub fn with_limits(max_hom_entries: usize, max_core_entries: usize) -> Self {
         HomCache {
             hom_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             cores: Mutex::new(HashMap::new()),
-            hom_hits: AtomicU64::new(0),
-            hom_misses: AtomicU64::new(0),
-            core_hits: AtomicU64::new(0),
-            core_misses: AtomicU64::new(0),
+            registry: Arc::new(Registry::new()),
             max_hom_entries,
             max_core_entries,
         }
+    }
+
+    /// The metrics registry receiving this cache's hit/miss counters.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     fn shard(
@@ -145,11 +156,11 @@ impl HomCache {
     }
 
     fn note_hit(&self) {
-        self.hom_hits.fetch_add(1, Ordering::Relaxed);
+        self.registry.hom_hits.inc();
     }
 
     fn note_miss(&self) {
-        self.hom_misses.fetch_add(1, Ordering::Relaxed);
+        self.registry.hom_misses.inc();
     }
 
     fn insert_hom(&self, key: (CanonicalHash, CanonicalHash), answer: bool) {
@@ -300,10 +311,10 @@ impl HomCache {
         // the lock only for a map operation plus a refcount bump — never
         // for a deep clone of a potentially large instance.
         if let Some(core) = self.cores.lock().expect("core cache").get(&key) {
-            self.core_hits.fetch_add(1, Ordering::Relaxed);
+            self.registry.core_hits.inc();
             return Arc::clone(core);
         }
-        self.core_misses.fetch_add(1, Ordering::Relaxed);
+        self.registry.core_misses.inc();
         let core = Arc::new(crate::core_of(e));
         let mut cores = self.cores.lock().expect("core cache");
         if cores.len() < self.max_core_entries {
@@ -312,13 +323,14 @@ impl HomCache {
         core
     }
 
-    /// Current statistics.
+    /// Current statistics, assembled as a view over the registry counters
+    /// plus the live map sizes.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hom_hits: self.hom_hits.load(Ordering::Relaxed),
-            hom_misses: self.hom_misses.load(Ordering::Relaxed),
-            core_hits: self.core_hits.load(Ordering::Relaxed),
-            core_misses: self.core_misses.load(Ordering::Relaxed),
+            hom_hits: self.registry.hom_hits.get(),
+            hom_misses: self.registry.hom_misses.get(),
+            core_hits: self.registry.core_hits.get(),
+            core_misses: self.registry.core_misses.get(),
             hom_entries: self
                 .hom_shards
                 .iter()

@@ -91,6 +91,11 @@ fn main() -> ExitCode {
         stats.net_pipelined_executions,
         stats.net_pipelined_cuts
     );
+    println!(
+        "metric invariants: {} store runs and {} wire sessions cross-checked \
+         ({} retries accounted one-for-one to injected cuts)",
+        stats.metric_store_checks, stats.metric_net_checks, stats.metric_retries_accounted
+    );
 
     if outcome.failures.is_empty() {
         println!("all {seeds} seed(s) passed");

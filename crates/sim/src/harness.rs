@@ -2,7 +2,7 @@
 //! real store+engine stack on the simulated filesystem, crashed,
 //! recovered, and compared against storeless oracle engines.
 //!
-//! One [`explore`] call runs six phases for one seed:
+//! One [`explore`] call runs seven phases for one seed:
 //!
 //! * **Phase 0 — interleaved live run.**  Several workspaces are mutated
 //!   by concurrent tasks under the deterministic scheduler (plus a
@@ -52,6 +52,17 @@
 //!   the *pipelined* client — the whole session as one burst, every cut
 //!   forcing a whole-batch replay under the same request ids — so the
 //!   window-deep idempotency memo is exercised end-to-end too.
+//! * **Phase M — metric cross-checks.**  The observability registry
+//!   (`cqfit-obs`, threaded through store, engine, server, and client)
+//!   must *count reality*: a fault-free durable churn run's acked-append
+//!   counter must equal the oracle's acknowledged logged mutations, its
+//!   engine-level counters (computed fits, hom/core cache hits) must
+//!   byte-match a storeless oracle's, compaction events must agree with
+//!   the compaction counter, and — over the simulated wire — a fault-free
+//!   session must report zero retries while every injected cut that
+//!   consumed a request must surface as *exactly one* client retry (with
+//!   reconnects and backoff sleeps in lock-step) and batch replays must
+//!   show up in the server's memo-replay counter.
 //!
 //! Every divergence returns an `Err` whose message embeds the seed.
 
@@ -148,6 +159,16 @@ pub struct ExploreStats {
     /// Wire cuts swept over the pipelined conversation (boundary and
     /// mid-frame combined — the burst makes frames coarse).
     pub net_pipelined_cuts: u64,
+    /// Phase-M store-side runs whose metric registry was cross-checked
+    /// against the oracle (exact append accounting, cache-counter
+    /// equality, compaction-event consistency).
+    pub metric_store_checks: u64,
+    /// Phase-M wire sessions whose client/server counters were
+    /// cross-checked (fault-free baselines and cut runs combined).
+    pub metric_net_checks: u64,
+    /// Client retries accounted one-for-one to injected wire cuts in
+    /// phase M (every cut that consumed a request produced exactly one).
+    pub metric_retries_accounted: u64,
 }
 
 impl ExploreStats {
@@ -166,6 +187,9 @@ impl ExploreStats {
         self.net_mid_frame_cuts += other.net_mid_frame_cuts;
         self.net_pipelined_executions += other.net_pipelined_executions;
         self.net_pipelined_cuts += other.net_pipelined_cuts;
+        self.metric_store_checks += other.metric_store_checks;
+        self.metric_net_checks += other.metric_net_checks;
+        self.metric_retries_accounted += other.metric_retries_accounted;
     }
 }
 
@@ -178,7 +202,7 @@ pub struct SweepOutcome {
     pub failures: Vec<(u64, String)>,
 }
 
-/// Explores one seed through all six phases.
+/// Explores one seed through all seven phases.
 ///
 /// # Errors
 /// The first invariant violation, with the seed embedded for
@@ -191,6 +215,7 @@ pub fn explore(seed: u64, cfg: &SimConfig) -> Result<ExploreStats, String> {
     phase_c_fault_injection(seed, cfg, &mut stats)?;
     phase_g_group_commit(seed, cfg, &mut stats)?;
     phase_n_network(seed, cfg, &mut stats)?;
+    phase_m_metric_invariants(seed, cfg, &mut stats)?;
     Ok(stats)
 }
 
@@ -1149,11 +1174,26 @@ fn phase_n_script(seed: u64, cfg: &SimConfig) -> Vec<Request> {
     requests
 }
 
+/// One wire session's observable outcome (phases N and M).
+struct NetSession {
+    /// Serialized responses in request order.
+    transcript: Vec<String>,
+    /// Cumulative delivered bytes after each completed write — the frame
+    /// boundaries later cut sweeps target.
+    marks: Vec<u64>,
+    /// `(retries, reconnects, backoff_sleeps)` from the client's metric
+    /// registry, sampled after the script but *before* the shutdown
+    /// exchange (whose tolerated refused-reconnects would otherwise
+    /// pollute the counts).
+    client_counters: (u64, u64, u64),
+    /// The server-side engine, kept alive so phase M can cross-check its
+    /// registry after the session.
+    engine: Arc<Engine>,
+}
+
 /// Runs the script through a real `Server`/`Client` pair over a
 /// [`SimNet`] under the deterministic scheduler, optionally cutting the
-/// wire after `cut_at` delivered payload bytes.  Returns the response
-/// transcript and the frame marks (cumulative delivered bytes after each
-/// completed write — the frame boundaries later cut sweeps target).
+/// wire after `cut_at` delivered payload bytes.
 ///
 /// With `pipelined`, the whole script goes out as one
 /// [`Client::call_pipelined`] burst instead of call-by-call: a cut then
@@ -1165,7 +1205,7 @@ fn phase_n_session(
     script: &[Request],
     cut_at: Option<u64>,
     pipelined: bool,
-) -> Result<(Vec<String>, Vec<u64>), String> {
+) -> Result<NetSession, String> {
     let sched = Arc::new(SimScheduler::new(seed));
     let sim_env = SimEnv::with_scheduler(Arc::new(SimFs::new()), Arc::clone(&sched), seed);
     let net = SimNet::new(
@@ -1179,10 +1219,12 @@ fn phase_n_session(
     );
     let env: Arc<dyn Env> = Arc::new(sim_env.with_net(Arc::clone(&net)));
     let engine = Arc::new(Engine::with_env(EngineConfig::default(), Arc::clone(&env)));
+    let engine_probe = Arc::clone(&engine);
     let server = Server::bind("sim:harness", engine)
         .map_err(|e| format!("seed {seed}: phase N: bind failed: {e}"))?;
 
     let transcript = Arc::new(Mutex::new(Vec::new()));
+    let counters = Arc::new(Mutex::new((0u64, 0u64, 0u64)));
     let script_owned = script.to_vec();
     let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
         Box::new(move || {
@@ -1191,6 +1233,7 @@ fn phase_n_session(
         {
             let env = Arc::clone(&env);
             let transcript = Arc::clone(&transcript);
+            let counters = Arc::clone(&counters);
             Box::new(move || {
                 let mut client =
                     Client::connect_retrying("sim:harness", Arc::clone(&env), 8).expect("connect");
@@ -1217,6 +1260,15 @@ fn phase_n_session(
                             .push(serde::to_string(&response));
                     }
                 }
+                // Sample the resilience counters while they still reflect
+                // the script alone: the shutdown below tolerates refused
+                // reconnects, which would inflate them.
+                let registry = client.registry();
+                *counters.lock().expect("counters") = (
+                    registry.client_retries.get(),
+                    registry.client_reconnects.get(),
+                    registry.client_backoff_sleeps.get(),
+                );
                 // Drive shutdown to completion.  A refused reconnect means
                 // the server already processed the shutdown but the wire
                 // died before the acknowledgment — success, not failure.
@@ -1233,7 +1285,13 @@ fn phase_n_session(
     })?;
 
     let transcript = transcript.lock().expect("transcript").clone();
-    Ok((transcript, net.write_marks()))
+    let client_counters = *counters.lock().expect("counters");
+    Ok(NetSession {
+        transcript,
+        marks: net.write_marks(),
+        client_counters,
+        engine: engine_probe,
+    })
 }
 
 /// Phase N: the scripted session must be wire-transparent (byte-equal to
@@ -1260,18 +1318,19 @@ fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Resu
     }
 
     // Fault-free baseline, twice: deterministic and wire-transparent.
-    let (baseline, marks) = phase_n_session(seed, &script, None, false)?;
+    let baseline = phase_n_session(seed, &script, None, false)?;
     let again = phase_n_session(seed, &script, None, false)?;
-    if again != (baseline.clone(), marks.clone()) {
+    if again.transcript != baseline.transcript || again.marks != baseline.marks {
         return Err(format!(
             "seed {seed}: phase N: same seed produced different sessions \
              (the network simulation is nondeterministic)"
         ));
     }
-    if baseline != expected {
+    if baseline.transcript != expected {
         return Err(format!(
             "seed {seed}: phase N: fault-free session diverged from the in-process \
-             oracle\n  oracle: {expected:?}\n  wire:   {baseline:?}"
+             oracle\n  oracle: {expected:?}\n  wire:   {:?}",
+            baseline.transcript
         ));
     }
     stats.net_executions += 2;
@@ -1280,7 +1339,7 @@ fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Resu
     // inside every frame of the baseline conversation.
     let mut cut_points: Vec<(u64, bool)> = vec![(0, false)];
     let mut prev = 0u64;
-    for &mark in &marks {
+    for &mark in &baseline.marks {
         if mark - prev >= 2 {
             cut_points.push((prev + (mark - prev) / 2, true));
         }
@@ -1288,7 +1347,7 @@ fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Resu
         prev = mark;
     }
     for &(cut, is_mid) in &cut_points {
-        let (transcript, _) = phase_n_session(seed, &script, Some(cut), false)?;
+        let transcript = phase_n_session(seed, &script, Some(cut), false)?.transcript;
         if transcript != expected {
             return Err(format!(
                 "seed {seed}: phase N cut@{cut}: transcript diverged from the \
@@ -1311,17 +1370,18 @@ fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Resu
     // with the same request ids over a fresh connection.  Exactly-once
     // demands the applied prefix answers from the idempotency memo, so
     // the transcript must still byte-match the never-dropped oracle.
-    let (pipelined, pipe_marks) = phase_n_session(seed, &script, None, true)?;
-    if pipelined != expected {
+    let pipelined = phase_n_session(seed, &script, None, true)?;
+    if pipelined.transcript != expected {
         return Err(format!(
             "seed {seed}: phase N pipelined: fault-free burst diverged from the \
-             in-process oracle\n  oracle: {expected:?}\n  wire:   {pipelined:?}"
+             in-process oracle\n  oracle: {expected:?}\n  wire:   {:?}",
+            pipelined.transcript
         ));
     }
     stats.net_pipelined_executions += 1;
     let mut pipe_cuts: Vec<u64> = vec![0];
     let mut prev = 0u64;
-    for &mark in &pipe_marks {
+    for &mark in &pipelined.marks {
         if mark - prev >= 2 {
             pipe_cuts.push(prev + (mark - prev) / 2);
         }
@@ -1329,7 +1389,7 @@ fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Resu
         prev = mark;
     }
     for &cut in &pipe_cuts {
-        let (transcript, _) = phase_n_session(seed, &script, Some(cut), true)?;
+        let transcript = phase_n_session(seed, &script, Some(cut), true)?.transcript;
         if transcript != expected {
             return Err(format!(
                 "seed {seed}: phase N pipelined cut@{cut}: transcript diverged \
@@ -1344,11 +1404,363 @@ fn phase_n_network(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Resu
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Phase M: metric cross-checks against the oracle
+// ---------------------------------------------------------------------
+
+fn metric_check(seed: u64, context: &str, name: &str, got: u64, want: u64) -> Result<(), String> {
+    if got != want {
+        return Err(format!(
+            "seed {seed}: phase M {context}: metric `{name}` diverged from reality: \
+             counted {got}, oracle says {want}"
+        ));
+    }
+    Ok(())
+}
+
+/// Phase M: the observability registry must count reality.  Store side:
+/// a fault-free durable churn run's append/batch/commit-wait accounting
+/// must equal the acknowledged logged mutations (create + every
+/// revision-bumping ack), its engine-level counters must byte-match a
+/// storeless oracle driven with the same requests, and compaction events
+/// must agree with the compaction counter.  Wire side: a fault-free
+/// session reports zero retries, every injected cut that consumed a
+/// request surfaces as exactly one client retry (reconnects and backoff
+/// sleeps in lock-step), and a mid-burst pipelined cut shows the whole
+/// applied batch replaying through the server's idempotency-memo
+/// counter.
+fn phase_m_metric_invariants(
+    seed: u64,
+    cfg: &SimConfig,
+    stats: &mut ExploreStats,
+) -> Result<(), String> {
+    phase_m_store_metrics(seed, cfg, stats)?;
+    phase_m_net_metrics(seed, cfg, stats)
+}
+
+fn phase_m_store_metrics(
+    seed: u64,
+    cfg: &SimConfig,
+    stats: &mut ExploreStats,
+) -> Result<(), String> {
+    let ws = "wm";
+    let mut sequence = vec![create_request(ws)];
+    sequence.extend(churn_mutations(ws, seed ^ 0x5000, cfg.steps));
+    sequence.extend(questions(ws));
+
+    // Run 1: exact append accounting (compaction disabled so every acked
+    // logged mutation is exactly one append through the commit queue).
+    let env: Arc<dyn Env> = Arc::new(SimEnv::new(Arc::new(SimFs::new()), seed));
+    let store = Store::open_with(store_config(NO_COMPACTION), env)
+        .map_err(|e| format!("seed {seed}: phase M store open: {e}"))?;
+    let (engine, _) = Engine::with_store(EngineConfig::default(), store)
+        .map_err(|e| format!("seed {seed}: phase M recovery: {e}"))?;
+    let oracle_env: Arc<dyn Env> = Arc::new(SimEnv::new(Arc::new(SimFs::new()), seed));
+    let oracle = Engine::with_env(EngineConfig::default(), oracle_env);
+
+    // The oracle ack count: the create record plus every acknowledged
+    // revision-bumping mutation (no-op removes are acked but log
+    // nothing).
+    let mut logged = 0u64;
+    for request in &sequence {
+        let response = engine.handle(request);
+        let want = serde::to_string(&oracle.handle(request));
+        let have = serde::to_string(&response);
+        if have != want {
+            return Err(format!(
+                "seed {seed}: phase M: durable engine diverged from the oracle on \
+                 {request:?}\n  oracle: {want}\n  got:    {have}"
+            ));
+        }
+        if matches!(request, Request::CreateWorkspace { .. }) && response.is_ok() {
+            logged += 1;
+        }
+        if bumps_revision(&response) {
+            logged += 1;
+        }
+    }
+    let registry = engine.registry();
+    let context = "store run";
+    metric_check(
+        seed,
+        context,
+        "store_appends_acked",
+        registry.store_appends_acked.get(),
+        logged,
+    )?;
+    metric_check(
+        seed,
+        context,
+        "store_batch_records (sum)",
+        registry.store_batch_records.snapshot().sum,
+        logged,
+    )?;
+    metric_check(
+        seed,
+        context,
+        "store_append_ns (count)",
+        registry.store_append_ns.count(),
+        logged,
+    )?;
+    metric_check(
+        seed,
+        context,
+        "store_commit_wait_ns (count)",
+        registry.store_commit_wait_ns.count(),
+        logged,
+    )?;
+    for (name, counter) in [
+        ("store_append_errors", &registry.store_append_errors),
+        ("store_rollbacks", &registry.store_rollbacks),
+        ("store_poisons", &registry.store_poisons),
+        ("store_compactions", &registry.store_compactions),
+    ] {
+        metric_check(seed, context, name, counter.get(), 0)?;
+    }
+    metric_check(
+        seed,
+        context,
+        "engine_requests",
+        registry.engine_requests.get(),
+        sequence.len() as u64,
+    )?;
+    // Engine-level counters must match the storeless oracle exactly:
+    // same requests, same cache configuration, same counting.
+    let oracle_registry = oracle.registry();
+    for (name, got, want) in [
+        (
+            "engine_fit_ns (count)",
+            registry.engine_fit_ns.count(),
+            oracle_registry.engine_fit_ns.count(),
+        ),
+        (
+            "engine_memo_replays",
+            registry.engine_memo_replays.get(),
+            oracle_registry.engine_memo_replays.get(),
+        ),
+        (
+            "hom_hits",
+            registry.hom_hits.get(),
+            oracle_registry.hom_hits.get(),
+        ),
+        (
+            "hom_misses",
+            registry.hom_misses.get(),
+            oracle_registry.hom_misses.get(),
+        ),
+        (
+            "core_hits",
+            registry.core_hits.get(),
+            oracle_registry.core_hits.get(),
+        ),
+        (
+            "core_misses",
+            registry.core_misses.get(),
+            oracle_registry.core_misses.get(),
+        ),
+    ] {
+        metric_check(seed, context, name, got, want)?;
+    }
+    if registry.engine_fit_ns.count() == 0 {
+        return Err(format!(
+            "seed {seed}: phase M {context}: the question battery computed no fits \
+             (engine_fit_ns never recorded)"
+        ));
+    }
+    stats.metric_store_checks += 1;
+
+    // Run 2: with a small compaction budget the compaction counter, the
+    // reclaimed-bytes counter, and the structured event ring must tell
+    // the same story.
+    let env: Arc<dyn Env> = Arc::new(SimEnv::new(Arc::new(SimFs::new()), seed));
+    let store = Store::open_with(store_config(SMALL_BUDGET), env)
+        .map_err(|e| format!("seed {seed}: phase M compaction open: {e}"))?;
+    let (engine, _) = Engine::with_store(EngineConfig::default(), store)
+        .map_err(|e| format!("seed {seed}: phase M compaction recovery: {e}"))?;
+    drive_ok(&engine, &sequence, "phase M compaction run", seed)?;
+    let registry = engine.registry();
+    let compactions = registry.store_compactions.get();
+    if cfg.steps > SMALL_BUDGET && compactions == 0 {
+        return Err(format!(
+            "seed {seed}: phase M compaction run: {} churn steps over a budget of \
+             {SMALL_BUDGET} records never compacted",
+            cfg.steps
+        ));
+    }
+    if compactions > 0 && registry.store_bytes_compacted.get() == 0 {
+        return Err(format!(
+            "seed {seed}: phase M compaction run: {compactions} compactions \
+             reclaimed zero bytes"
+        ));
+    }
+    let snap = registry.snapshot();
+    let compaction_events = snap
+        .events
+        .iter()
+        .filter(|event| event.kind == "store.compaction")
+        .count() as u64;
+    metric_check(
+        seed,
+        "compaction run",
+        "store.compaction events vs store_compactions",
+        compaction_events,
+        compactions.min(128),
+    )?;
+    stats.metric_store_checks += 1;
+    Ok(())
+}
+
+fn phase_m_net_metrics(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Result<(), String> {
+    let script = phase_n_script(seed, cfg);
+
+    // Fault-free baseline: zero retries, every request executed exactly
+    // once, the connection gauge drained, one request-latency sample and
+    // one span per scripted request (the shutdown frame records neither).
+    let baseline = phase_n_session(seed, &script, None, false)?;
+    let context = "net baseline";
+    let (retries, reconnects, sleeps) = baseline.client_counters;
+    metric_check(seed, context, "client_retries", retries, 0)?;
+    metric_check(seed, context, "client_reconnects", reconnects, 0)?;
+    metric_check(seed, context, "client_backoff_sleeps", sleeps, 0)?;
+    let registry = baseline.engine.registry();
+    metric_check(
+        seed,
+        context,
+        "engine_requests",
+        registry.engine_requests.get(),
+        script.len() as u64 + 1, // + the shutdown
+    )?;
+    metric_check(
+        seed,
+        context,
+        "engine_memo_replays",
+        registry.engine_memo_replays.get(),
+        0,
+    )?;
+    let snap = registry.snapshot();
+    if snap.gauge("server_connections") != 0 {
+        return Err(format!(
+            "seed {seed}: phase M {context}: connection gauge never drained: {}",
+            snap.gauge("server_connections")
+        ));
+    }
+    metric_check(
+        seed,
+        context,
+        "server_request_ns (count)",
+        snap.histogram("server_request_ns").map_or(0, |h| h.count),
+        script.len() as u64,
+    )?;
+    metric_check(
+        seed,
+        context,
+        "server spans",
+        snap.spans.len() as u64,
+        (script.len() as u64).min(128),
+    )?;
+    stats.metric_net_checks += 1;
+
+    // Injected cuts that consume a request must surface as *exactly one*
+    // client retry each, with reconnects and backoff sleeps in
+    // lock-step, and every retried request either re-executes or replays
+    // from the idempotency memo — never both, never neither.  Cuts stay
+    // strictly inside the script portion: the last two frames are the
+    // shutdown exchange, sampled after the counters.
+    let script_marks = &baseline.marks[..baseline.marks.len().saturating_sub(2)];
+    let mut cuts: Vec<u64> = vec![0];
+    if let Some(&first) = script_marks.first() {
+        if first >= 2 {
+            cuts.push(first / 2); // inside the first frame
+        }
+    }
+    if let Some(&mid) = script_marks.get(script_marks.len() / 2) {
+        cuts.push(mid); // a mid-script frame boundary
+    }
+    for &cut in &cuts {
+        let session = phase_n_session(seed, &script, Some(cut), false)?;
+        let context = format!("net cut@{cut}");
+        let (retries, reconnects, sleeps) = session.client_counters;
+        metric_check(seed, &context, "client_retries", retries, 1)?;
+        metric_check(seed, &context, "client_reconnects", reconnects, retries)?;
+        metric_check(seed, &context, "client_backoff_sleeps", sleeps, retries)?;
+        let registry = session.engine.registry();
+        let executed = registry.engine_requests.get();
+        let replayed = registry.engine_memo_replays.get();
+        let floor = script.len() as u64 + 1;
+        if executed + replayed < floor || executed + replayed > floor + retries {
+            return Err(format!(
+                "seed {seed}: phase M {context}: {executed} executions + {replayed} \
+                 memo replays cannot account for {} requests and {retries} retries",
+                script.len() + 1
+            ));
+        }
+        stats.metric_net_checks += 1;
+        stats.metric_retries_accounted += retries;
+    }
+
+    // Pipelined: cut at the first completed write of the burst
+    // conversation.  Chunked delivery interleaves the server's early
+    // replies with the client's still-in-flight burst, so the cut is
+    // guaranteed to land with a *prefix* of the batch applied and its
+    // replies lost — the replay of that prefix must come from the
+    // idempotency memo (never re-execute), and the retry must be exactly
+    // one.
+    let pipelined = phase_n_session(seed, &script, None, true)?;
+    let (retries, reconnects, sleeps) = pipelined.client_counters;
+    metric_check(seed, "pipelined baseline", "client_retries", retries, 0)?;
+    metric_check(
+        seed,
+        "pipelined baseline",
+        "client_reconnects",
+        reconnects,
+        0,
+    )?;
+    metric_check(
+        seed,
+        "pipelined baseline",
+        "client_backoff_sleeps",
+        sleeps,
+        0,
+    )?;
+    stats.metric_net_checks += 1;
+    if let Some(&burst_mark) = pipelined.marks.first() {
+        let session = phase_n_session(seed, &script, Some(burst_mark), true)?;
+        let context = format!("pipelined cut@{burst_mark}");
+        let (retries, reconnects, sleeps) = session.client_counters;
+        metric_check(seed, &context, "client_retries", retries, 1)?;
+        metric_check(seed, &context, "client_reconnects", reconnects, retries)?;
+        metric_check(seed, &context, "client_backoff_sleeps", sleeps, retries)?;
+        let registry = session.engine.registry();
+        let executed = registry.engine_requests.get();
+        let replayed = registry.engine_memo_replays.get();
+        if replayed == 0 {
+            return Err(format!(
+                "seed {seed}: phase M {context}: the batch replay never touched the \
+                 idempotency memo — an applied mutation was re-executed"
+            ));
+        }
+        // Every script request once, the shutdown, plus re-executions of
+        // requests delivered twice by the whole-batch replay; the sum
+        // cannot exceed two full deliveries of the script.
+        let floor = script.len() as u64 + 1;
+        if executed + replayed <= floor || executed + replayed > floor + script.len() as u64 {
+            return Err(format!(
+                "seed {seed}: phase M {context}: {executed} executions + {replayed} \
+                 memo replays cannot account for a whole-batch replay of {} requests",
+                script.len()
+            ));
+        }
+        stats.metric_net_checks += 1;
+        stats.metric_retries_accounted += retries;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// One small seed through all six phases: the harness's own smoke
+    /// One small seed through all seven phases: the harness's own smoke
     /// test (the exhaustive sweep runs via the `cqfit-sim` binary and
     /// the repo-level recovery suite).
     #[test]
@@ -1392,6 +1804,80 @@ mod tests {
             stats.net_pipelined_executions,
             1 + stats.net_pipelined_cuts,
             "stats: {stats:?}"
+        );
+        // Phase M: two store-side registry cross-checks (exact append
+        // accounting + compaction events), six wire sessions (two
+        // fault-free baselines, three sequential cuts, one pipelined
+        // burst cut), and each of the four request-consuming cuts
+        // accounted as exactly one client retry.
+        assert_eq!(stats.metric_store_checks, 2, "stats: {stats:?}");
+        assert_eq!(stats.metric_net_checks, 6, "stats: {stats:?}");
+        assert_eq!(stats.metric_retries_accounted, 4, "stats: {stats:?}");
+    }
+
+    /// A seeded wire cut must report *exactly* the expected resilience
+    /// counters — the metrics layer is deterministic under sim, so the
+    /// numbers are pinned, not bounded.  Cutting the wire right after
+    /// the third request frame loses only that reply: the client retries
+    /// once (one reconnect, one backoff sleep) and the server answers
+    /// the replayed mutation from the idempotency memo instead of
+    /// re-executing it.  Cutting the pipelined conversation at its first
+    /// completed write catches the burst with a one-request prefix
+    /// applied: the whole-batch replay answers that create from the memo
+    /// and re-executes the seven requests the cut discarded.
+    #[test]
+    fn seeded_wire_cut_reports_exact_retry_and_replay_counters() {
+        let cfg = SimConfig {
+            steps: 6,
+            workspaces: 2,
+            crash_points: 2,
+            fault_points: 2,
+            net_steps: 3,
+        };
+        let seed = 0xC0FFEE;
+        let script = phase_n_script(seed, &cfg);
+        assert_eq!(script.len(), 8, "create + 3 churn + 4 questions");
+
+        let baseline = phase_n_session(seed, &script, None, false).expect("baseline");
+        assert_eq!(baseline.client_counters, (0, 0, 0));
+        let registry = baseline.engine.registry();
+        assert_eq!(registry.engine_requests.get(), 9, "script + shutdown");
+        assert_eq!(registry.engine_memo_replays.get(), 0);
+
+        // marks[4] is the end of the 5th frame — the third request
+        // (writes alternate request/reply), a churn mutation.
+        let cut = baseline.marks[4];
+        let session = phase_n_session(seed, &script, Some(cut), false).expect("cut run");
+        assert_eq!(session.transcript, baseline.transcript, "exactly-once held");
+        assert_eq!(
+            session.client_counters,
+            (1, 1, 1),
+            "one cut, one retry, one reconnect, one backoff sleep"
+        );
+        let registry = session.engine.registry();
+        assert_eq!(
+            registry.engine_memo_replays.get(),
+            1,
+            "the lost reply replayed"
+        );
+        assert_eq!(registry.engine_requests.get(), 9, "nothing re-executed");
+
+        let pipelined = phase_n_session(seed, &script, None, true).expect("pipelined");
+        assert_eq!(pipelined.client_counters, (0, 0, 0));
+        let burst = pipelined.marks[0];
+        let session = phase_n_session(seed, &script, Some(burst), true).expect("burst cut");
+        assert_eq!(session.transcript, baseline.transcript, "exactly-once held");
+        assert_eq!(session.client_counters, (1, 1, 1));
+        let registry = session.engine.registry();
+        assert_eq!(
+            registry.engine_memo_replays.get(),
+            1,
+            "the applied create answers from the memo, never re-executes"
+        );
+        assert_eq!(
+            registry.engine_requests.get(),
+            9,
+            "1 applied + 7 replayed-and-executed + the shutdown"
         );
     }
 

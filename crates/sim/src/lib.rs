@@ -41,6 +41,18 @@
 //! 6. **drain-replies** — shutdown drain answers every fully-received
 //!    request instead of dropping the socket.
 //!
+//! Since PR 9 the harness also cross-checks the **observability layer**
+//! (`cqfit-obs`, threaded through store, engine, server, and client) in
+//! a dedicated phase M:
+//!
+//! 7. **metrics-count-reality** — the acked-append counter equals the
+//!    oracle's acknowledged logged mutations, engine-level counters
+//!    byte-match a storeless oracle's, compaction events agree with the
+//!    compaction counter, a fault-free wire session reports zero
+//!    retries, and every injected cut that consumed a request surfaces
+//!    as exactly one client retry (batch replays appearing one-for-one
+//!    in the server's memo-replay counter).
+//!
 //! Every failure message embeds the seed; reproduce with
 //! `CQFIT_SIM_SEED=<seed> cargo run --release -p cqfit-sim`.
 

@@ -43,10 +43,10 @@ pub use record::{LogRecord, WorkspaceSnapshot};
 
 use cqfit_data::{Example, Schema};
 use cqfit_env::{Env, RealEnv};
+use cqfit_obs::Registry;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use wal::WalFile;
 
@@ -332,8 +332,12 @@ pub struct Store {
     /// racing duplicate create through.  Lock order: `logs` before
     /// `creating`.
     creating: Mutex<std::collections::HashSet<String>>,
-    compactions: AtomicU64,
-    bytes_compacted: AtomicU64,
+    /// The process-side metrics registry.  The store creates it and every
+    /// WAL handle shares it; an engine built on this store adopts it too
+    /// (mirroring how the engine inherits the store's `Env`), so one
+    /// snapshot covers store, cache, engine, and server counters.
+    /// Lifetime compaction totals live here as registry counters.
+    registry: Arc<Registry>,
 }
 
 impl Store {
@@ -361,8 +365,7 @@ impl Store {
             env,
             logs: Mutex::new(HashMap::new()),
             creating: Mutex::new(std::collections::HashSet::new()),
-            compactions: AtomicU64::new(0),
-            bytes_compacted: AtomicU64::new(0),
+            registry: Arc::new(Registry::new()),
         })
     }
 
@@ -374,6 +377,12 @@ impl Store {
     /// The environment this store performs I/O through.
     pub fn env(&self) -> &Arc<dyn Env> {
         &self.env
+    }
+
+    /// The metrics registry shared by this store, its WAL handles, and
+    /// any engine built on top of it.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     fn file_path(&self, name: &str) -> PathBuf {
@@ -393,10 +402,15 @@ impl Store {
             .ok_or_else(|| StoreError::Corrupt(format!("no log for workspace `{name}`")))
     }
 
-    fn note_compaction(&self, bytes_before: u64, bytes_after: u64) {
-        self.compactions.fetch_add(1, Ordering::Relaxed);
-        self.bytes_compacted
-            .fetch_add(bytes_before.saturating_sub(bytes_after), Ordering::Relaxed);
+    fn note_compaction(&self, name: &str, bytes_before: u64, bytes_after: u64) {
+        let reclaimed = bytes_before.saturating_sub(bytes_after);
+        self.registry.store_compactions.inc();
+        self.registry.store_bytes_compacted.add(reclaimed);
+        self.registry.event(
+            self.env.clock().monotonic().as_nanos() as u64,
+            "store.compaction",
+            format!("workspace `{name}`: {bytes_before} -> {bytes_after} bytes"),
+        );
     }
 
     /// Scans the data directory, replays every workspace log (truncating
@@ -444,13 +458,14 @@ impl Store {
                 self.env.clone(),
                 path,
                 self.config.fsync,
+                self.registry.clone(),
                 record_count,
                 outcome.since_snapshot,
                 outcome.good_bytes,
             )?;
             if outcome.since_snapshot as usize > self.config.compact_after {
                 let (before, after) = wal.rewrite(&[LogRecord::Snapshot(ws.to_snapshot())])?;
-                self.note_compaction(before, after);
+                self.note_compaction(&ws.name, before, after);
                 report.bytes_compacted += before.saturating_sub(after);
             }
             logs.insert(ws.name.clone(), Arc::new(wal));
@@ -489,7 +504,12 @@ impl Store {
         // the file I/O below.
         self.env.yield_point("store.create");
         let created = (|| {
-            let wal = WalFile::create(self.env.clone(), self.file_path(name), self.config.fsync)?;
+            let wal = WalFile::create(
+                self.env.clone(),
+                self.file_path(name),
+                self.config.fsync,
+                self.registry.clone(),
+            )?;
             wal.append(&LogRecord::Create {
                 schema: schema.clone(),
                 arity,
@@ -538,7 +558,7 @@ impl Store {
         let log = self.resolve(name)?;
         if log.since_snapshot() as usize >= self.config.compact_after {
             let (before, after) = log.rewrite(&[LogRecord::Snapshot(pre_state())])?;
-            self.note_compaction(before, after);
+            self.note_compaction(name, before, after);
         }
         log.append(record)
     }
@@ -559,7 +579,7 @@ impl Store {
             return Ok(None);
         };
         let (before, after) = log.rewrite(&[LogRecord::Snapshot(state)])?;
-        self.note_compaction(before, after);
+        self.note_compaction(name, before, after);
         Ok(Some((before, after)))
     }
 
@@ -614,13 +634,14 @@ impl Store {
         Ok(())
     }
 
-    /// Aggregate statistics over all open logs.
+    /// Aggregate statistics over all open logs, assembled as a view over
+    /// the registry's lifetime counters plus the live log sizes.
     pub fn stats(&self) -> StoreStats {
         let logs = self.logs.lock().expect("store log map");
         let mut stats = StoreStats {
             workspaces: logs.len(),
-            compactions: self.compactions.load(Ordering::Relaxed),
-            bytes_compacted: self.bytes_compacted.load(Ordering::Relaxed),
+            compactions: self.registry.store_compactions.get(),
+            bytes_compacted: self.registry.store_bytes_compacted.get(),
             ..StoreStats::default()
         };
         for log in logs.values() {
@@ -636,7 +657,7 @@ mod tests {
     use super::*;
     use cqfit_data::parse_example;
     use std::path::Path;
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn tmp_dir(tag: &str) -> PathBuf {
         static COUNTER: AtomicU32 = AtomicU32::new(0);
