@@ -3,6 +3,7 @@
 //! ```text
 //! cqfit-serve [--addr HOST:PORT] [--no-cache] [--metrics HOST:PORT]
 //!             [--data-dir PATH] [--compact-after N] [--no-fsync]
+//!             [--flight-recorder DIR] [--fr-slots N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7878`), prints `listening on <addr>` to
@@ -18,6 +19,14 @@
 //! sets the per-log record budget before snapshot compaction (default
 //! 1024); `--no-fsync` trades the power-loss guarantee for faster appends
 //! (a process `kill -9` still loses nothing — see DESIGN.md).
+//!
+//! With `--flight-recorder DIR` every closed trace span is additionally
+//! persisted to a bounded binary ring journal (`trace.fr`) under the
+//! directory — the durable flight recorder of PR 10.  On restart the
+//! journal's surviving spans are decoded and dumped as per-trace
+//! waterfalls before the ring starts a fresh generation.  `--fr-slots N`
+//! sets the ring capacity in slots (default 1024); the journal honours
+//! the `--no-fsync` discipline of the store.
 //!
 //! `--metrics HOST:PORT` additionally serves the engine's metrics
 //! registry in Prometheus text exposition format: every HTTP GET of the
@@ -36,7 +45,7 @@ use std::sync::Arc;
 fn usage_error(message: &str) -> ! {
     eprintln!("cqfit-serve: {message}");
     eprintln!(
-        "usage: cqfit-serve [--addr HOST:PORT] [--no-cache] [--metrics HOST:PORT] [--data-dir PATH] [--compact-after N] [--no-fsync]"
+        "usage: cqfit-serve [--addr HOST:PORT] [--no-cache] [--metrics HOST:PORT] [--data-dir PATH] [--compact-after N] [--no-fsync] [--flight-recorder DIR] [--fr-slots N]"
     );
     std::process::exit(2);
 }
@@ -55,7 +64,7 @@ fn serve_metrics(listener: Box<dyn cqfit_env::NetListener>, engine: Arc<Engine>)
         // Drain the request line(s); the reply does not depend on them.
         let mut buf = [0u8; 4096];
         let _ = conn.read(&mut buf, Some(std::time::Duration::from_millis(500)));
-        let body = cqfit_obs::render_prometheus(&engine.registry().snapshot());
+        let body = cqfit_obs::render_prometheus(engine.registry());
         let response = format!(
             "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
             body.len(),
@@ -74,6 +83,8 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut compact_after = 1024usize;
     let mut fsync = true;
+    let mut flight_dir: Option<String> = None;
+    let mut fr_slots = cqfit_obs::FR_DEFAULT_SLOTS;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -107,6 +118,20 @@ fn main() {
                 _ => usage_error("`--compact-after` requires a positive record count"),
             },
             "--no-fsync" => fsync = false,
+            "--flight-recorder" => match args.get(i + 1) {
+                Some(value) => {
+                    flight_dir = Some(value.clone());
+                    i += 1;
+                }
+                None => usage_error("`--flight-recorder` requires a directory path"),
+            },
+            "--fr-slots" => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) if value > 0 => {
+                    fr_slots = value;
+                    i += 1;
+                }
+                _ => usage_error("`--fr-slots` requires a positive slot count"),
+            },
             other => usage_error(&format!("unknown argument `{other}`")),
         }
         i += 1;
@@ -151,6 +176,29 @@ fn main() {
         }
         None => Arc::new(Engine::with_env(config, env)),
     };
+    // The flight recorder journals every closed span through the engine's
+    // own filesystem seam; spans surviving from the previous run are
+    // dumped before the ring truncates to a fresh generation.
+    if let Some(dir) = flight_dir {
+        let path = std::path::PathBuf::from(&dir);
+        match cqfit_obs::FlightRecorder::open(engine.env().clone(), &path, fr_slots, fsync) {
+            Ok((recorder, recovered)) => {
+                println!(
+                    "flight recorder on {} ({fr_slots} slots, {} spans recovered)",
+                    recorder.path().display(),
+                    recovered.len()
+                );
+                if !recovered.is_empty() {
+                    print!("{}", cqfit_obs::render_waterfall(&recovered));
+                }
+                engine.tracer().attach_flight_recorder(Arc::new(recorder));
+            }
+            Err(e) => {
+                eprintln!("cqfit-serve: cannot open flight recorder in {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     // The Prometheus endpoint shares the engine (and so its registry and
     // Net seam); its thread dies with the process on shutdown.
     if let Some(maddr) = metrics_addr {

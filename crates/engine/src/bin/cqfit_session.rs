@@ -6,6 +6,8 @@
 //! cqfit-session [--addr HOST:PORT] stats
 //! cqfit-session [--addr HOST:PORT] metrics
 //! cqfit-session [--addr HOST:PORT] watch [--interval-ms N] [--count N]
+//! cqfit-session [--addr HOST:PORT] trace TRACE_ID
+//! cqfit-session [--addr HOST:PORT] slow [--over-us N]
 //! ```
 //!
 //! Connects (with retries, so it can be started right after the server),
@@ -37,6 +39,16 @@
 //! same registry every `--interval-ms` (default 1000) and prints one
 //! delta line per tick — request/append/retry throughput at a glance —
 //! until interrupted or `--count` ticks have been printed.
+//!
+//! `trace TRACE_ID` fetches the server's causal trace ring and prints
+//! the waterfall of one trace (ids as printed by `cqfit-trace` or the
+//! waterfall itself); `slow [--over-us N]` lists the server's slowest
+//! requests — the threshold-gated top-K table — optionally restricted
+//! to those over `N` microseconds.
+//!
+//! Scripted runs end with a `client-stats:` line summing the retries,
+//! reconnects, and backoff sleeps the resilient client burned through —
+//! zero on a healthy wire, non-zero when the transport flapped.
 
 use cqfit_engine::{
     Client, EngineStats, ExamplePayload, FitMode, Polarity, QueryClass, Request, Response,
@@ -61,7 +73,7 @@ fn call(client: &mut Client, step: &str, request: &Request) -> Response {
 
 fn usage_error(message: &str) -> ! {
     eprintln!("cqfit-session: {message}");
-    eprintln!("usage: cqfit-session [--addr HOST:PORT] [--store] [--verify-recovery] [--shutdown] [stats | metrics | watch [--interval-ms N] [--count N]]");
+    eprintln!("usage: cqfit-session [--addr HOST:PORT] [--store] [--verify-recovery] [--shutdown] [stats | metrics | watch [--interval-ms N] [--count N] | trace TRACE_ID | slow [--over-us N]]");
     std::process::exit(2);
 }
 
@@ -217,6 +229,70 @@ fn run_watch(addr: &str, interval: std::time::Duration, count: Option<u64>) -> !
     std::process::exit(0);
 }
 
+/// The `trace` command: the waterfall of one trace from the server's
+/// in-memory causal ring.
+fn run_trace(addr: &str, trace_id: u128) -> ! {
+    let mut client = connect(addr);
+    let spans = match client.call(&Request::TraceDump) {
+        Ok(Response::Traces { spans }) => spans,
+        Ok(other) => fail("trace_dump", &other),
+        Err(e) => {
+            eprintln!("cqfit-session: trace_dump failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let matching: Vec<_> = spans
+        .into_iter()
+        .filter(|s| s.trace_id == trace_id)
+        .collect();
+    if matching.is_empty() {
+        eprintln!("cqfit-session: no spans for trace {trace_id:032x}");
+        std::process::exit(1);
+    }
+    print!("{}", cqfit_obs::render_waterfall(&matching));
+    std::process::exit(0);
+}
+
+/// The `slow` command: the server's top-K slow-request table, slowest
+/// first, optionally re-filtered to spans over `--over-us`.
+fn run_slow(addr: &str, over_us: Option<u64>) -> ! {
+    let mut client = connect(addr);
+    let spans = match client.call(&Request::SlowRequests { over_us }) {
+        Ok(Response::Slow { spans }) => spans,
+        Ok(other) => fail("slow_requests", &other),
+        Err(e) => {
+            eprintln!("cqfit-session: slow_requests failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("slow requests: {}", spans.len());
+    for s in &spans {
+        let mut line = format!(
+            "  {:>9}us {} trace {:032x}",
+            s.duration_ns() / 1_000,
+            s.name,
+            s.trace_id
+        );
+        for (key, value) in &s.annotations {
+            line.push_str(&format!(" {key}={value}"));
+        }
+        println!("{line}");
+    }
+    std::process::exit(0);
+}
+
+/// The `client-stats:` closing line of a scripted run: how hard the
+/// resilient client had to work for the session to look seamless.
+fn print_client_stats(client: &Client) {
+    let registry = client.registry();
+    println!(
+        "client-stats: retries {} reconnects {} backoff-sleeps {}",
+        registry.client_retries.get(),
+        registry.client_reconnects.get(),
+        registry.client_backoff_sleeps.get()
+    );
+}
+
 /// The durability tail of the scripted session (`--store`).
 fn store_ops(client: &mut Client) {
     let r = call(client, "store_info", &Request::StoreInfo);
@@ -349,6 +425,9 @@ fn main() {
     let mut stats_mode = false;
     let mut metrics_mode = false;
     let mut watch_mode = false;
+    let mut trace_arg: Option<u128> = None;
+    let mut slow_mode = false;
+    let mut over_us: Option<u64> = None;
     let mut interval = std::time::Duration::from_millis(1000);
     let mut count: Option<u64> = None;
     let mut i = 0;
@@ -381,6 +460,24 @@ fn main() {
             "stats" => stats_mode = true,
             "metrics" => metrics_mode = true,
             "watch" => watch_mode = true,
+            "trace" => match args
+                .get(i + 1)
+                .and_then(|v| cqfit_obs::TraceContext::parse_trace_id(v))
+            {
+                Some(id) => {
+                    trace_arg = Some(id);
+                    i += 1;
+                }
+                _ => usage_error("`trace` requires a hex trace id"),
+            },
+            "slow" => slow_mode = true,
+            "--over-us" => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+                Some(value) => {
+                    over_us = Some(value);
+                    i += 1;
+                }
+                _ => usage_error("`--over-us` requires a microsecond count"),
+            },
             other => usage_error(&format!("unknown argument `{other}`")),
         }
         i += 1;
@@ -393,6 +490,12 @@ fn main() {
     }
     if watch_mode {
         run_watch(&addr, interval, count);
+    }
+    if let Some(trace_id) = trace_arg {
+        run_trace(&addr, trace_id);
+    }
+    if slow_mode {
+        run_slow(&addr, over_us);
     }
 
     let mut client = connect(&addr);
@@ -410,6 +513,7 @@ fn main() {
                 fail("shutdown", &r);
             }
         }
+        print_client_stats(&client);
         println!("cqfit-session: recovery ok");
         return;
     }
@@ -546,5 +650,6 @@ fn main() {
             fail("shutdown", &r);
         }
     }
+    print_client_stats(&client);
     println!("cqfit-session: ok");
 }

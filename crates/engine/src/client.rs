@@ -20,7 +20,7 @@
 
 use crate::protocol::{Request, Response};
 use cqfit_env::{Env, NetConn, RealEnv};
-use cqfit_obs::Registry;
+use cqfit_obs::{OpenSpan, Registry, TraceContext, Tracer};
 use serde::Deserialize;
 use std::io::{self, ErrorKind};
 use std::sync::Arc;
@@ -68,10 +68,12 @@ pub struct Client {
     timeout: Option<Duration>,
     retry: RetryPolicy,
     /// The client-side metrics registry: retry/reconnect/backoff
-    /// counters only — instrumentation draws nothing from the clock or
-    /// rng, so an instrumented client produces byte-identical wire
-    /// traffic to a pre-PR9 one.
+    /// counters, plus the trace-span ring the tracer feeds.
     registry: Arc<Registry>,
+    /// Client-side causal tracer (PR 10): every logical call roots a
+    /// trace, every attempt is a sibling span under it, and the attempt's
+    /// context rides the wire so the server's spans join the same tree.
+    tracer: Tracer,
     /// Whether a connection was ever established — distinguishes the
     /// initial connect from the *re*connects the registry counts.
     was_connected: bool,
@@ -90,6 +92,8 @@ impl std::fmt::Debug for Client {
 
 impl Client {
     fn new(addr: &str, env: Arc<dyn Env>) -> Client {
+        let registry = Arc::new(Registry::new());
+        let tracer = Tracer::new(Arc::clone(&env), Arc::clone(&registry));
         Client {
             env,
             addr: addr.to_string(),
@@ -97,9 +101,17 @@ impl Client {
             pending: Vec::new(),
             timeout: Some(DEFAULT_CALL_TIMEOUT),
             retry: RetryPolicy::default(),
-            registry: Arc::new(Registry::new()),
+            registry,
+            tracer,
             was_connected: false,
         }
+    }
+
+    /// The client-side tracer — its span ring (via [`Client::registry`])
+    /// holds the `client.request` / `client.attempt` spans of recent
+    /// calls.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The client's metrics registry ([`Registry::client_retries`],
@@ -308,9 +320,18 @@ impl Client {
     pub fn call(&mut self, request: &Request) -> io::Result<Response> {
         // The wire integer type is i64: keep ids in 63 bits.
         let id = self.env.rng_u64() >> 1;
-        let line = request.to_json_with_id(id).to_string();
+        let mut root = self
+            .tracer
+            .start(self.tracer.root_context(), "client.request");
+        root.annotate("op", request.op());
+        if let Some(ws) = request.workspace() {
+            root.annotate("workspace", ws);
+        }
+        root.annotate("request_id", id.to_string());
+        let root_ctx = root.context();
         let attempts = self.retry.attempts.max(1);
         let mut last = None;
+        let mut prev_attempt: Option<TraceContext> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
                 self.registry.client_retries.inc();
@@ -318,17 +339,42 @@ impl Client {
                 self.registry.client_backoff_sleeps.inc();
                 self.env.clock().sleep(delay);
             }
+            // Each attempt is a sibling span under the logical request,
+            // and a retry names its predecessor — a wire-cut retry is a
+            // visible sibling in the same trace, not a fresh anonymous
+            // one.  The attempt's context rides the wire (the line is
+            // re-serialized per attempt with the *same* request id).
+            let mut span = self
+                .tracer
+                .start(self.tracer.child_context(&root_ctx), "client.attempt");
+            span.annotate("retry", attempt.to_string());
+            if let Some(prev) = prev_attempt {
+                span.annotate("retry_of", prev.span_id_hex());
+            }
+            let attempt_ctx = span.context();
+            prev_attempt = Some(attempt_ctx);
+            let line = request
+                .to_json_with_meta(id, Some(&attempt_ctx))
+                .to_string();
             match self.exchange(&line) {
-                Ok(reply) => return Client::parse_response(&reply),
+                Ok(reply) => {
+                    span.finish(&self.tracer);
+                    root.finish(&self.tracer);
+                    return Client::parse_response(&reply);
+                }
                 Err(e) => {
+                    span.annotate("error", e.kind().to_string());
+                    span.finish(&self.tracer);
                     self.disconnect();
                     if !Client::retryable(&e) {
+                        root.finish(&self.tracer);
                         return Err(e);
                     }
                     last = Some(e);
                 }
             }
         }
+        root.finish(&self.tracer);
         Err(last.expect("at least one attempt"))
     }
 
@@ -368,13 +414,45 @@ impl Client {
         }
         // The wire integer type is i64: keep ids in 63 bits.
         let ids: Vec<u64> = requests.iter().map(|_| self.env.rng_u64() >> 1).collect();
+        // One "client.pipeline" root per chunk, one "client.request"
+        // child per member.  Their contexts are fixed up front, like the
+        // ids: the frame is built once and resent verbatim on retry, so a
+        // replayed chunk keeps the same wire contexts and the server's
+        // spans land in the same trace either way.  Retries themselves
+        // are captured as "client.attempt" spans under the chunk root.
+        let mut root = self
+            .tracer
+            .start(self.tracer.root_context(), "client.pipeline");
+        root.annotate("requests", requests.len().to_string());
+        let root_ctx = root.context();
+        let mut request_spans: Vec<OpenSpan> = Vec::with_capacity(requests.len());
         let mut frame = String::new();
         for (request, id) in requests.iter().zip(&ids) {
-            frame.push_str(&request.to_json_with_id(*id).to_string());
+            let mut span = self
+                .tracer
+                .start(self.tracer.child_context(&root_ctx), "client.request");
+            span.annotate("op", request.op());
+            if let Some(ws) = request.workspace() {
+                span.annotate("workspace", ws);
+            }
+            span.annotate("request_id", id.to_string());
+            frame.push_str(
+                &request
+                    .to_json_with_meta(*id, Some(&span.context()))
+                    .to_string(),
+            );
             frame.push('\n');
+            request_spans.push(span);
         }
+        let finish_all = |spans: Vec<OpenSpan>, root: OpenSpan, tracer: &Tracer| {
+            for span in spans {
+                span.finish(tracer);
+            }
+            root.finish(tracer);
+        };
         let attempts = self.retry.attempts.max(1);
         let mut last = None;
+        let mut prev_attempt: Option<TraceContext> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
                 self.registry.client_retries.inc();
@@ -382,8 +460,18 @@ impl Client {
                 self.registry.client_backoff_sleeps.inc();
                 self.env.clock().sleep(delay);
             }
+            let mut span = self
+                .tracer
+                .start(self.tracer.child_context(&root_ctx), "client.attempt");
+            span.annotate("retry", attempt.to_string());
+            if let Some(prev) = prev_attempt {
+                span.annotate("retry_of", prev.span_id_hex());
+            }
+            prev_attempt = Some(span.context());
             match self.exchange_batch(&frame, requests.len()) {
                 Ok(replies) => {
+                    span.finish(&self.tracer);
+                    finish_all(request_spans, root, &self.tracer);
                     let mut out = Vec::with_capacity(replies.len());
                     for reply in &replies {
                         out.push(Client::parse_response(reply)?);
@@ -391,14 +479,18 @@ impl Client {
                     return Ok(out);
                 }
                 Err(e) => {
+                    span.annotate("error", e.kind().to_string());
+                    span.finish(&self.tracer);
                     self.disconnect();
                     if !Client::retryable(&e) {
+                        finish_all(request_spans, root, &self.tracer);
                         return Err(e);
                     }
                     last = Some(e);
                 }
             }
         }
+        finish_all(request_spans, root, &self.tracer);
         Err(last.expect("at least one attempt"))
     }
 

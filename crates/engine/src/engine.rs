@@ -8,7 +8,7 @@ use cqfit::incremental::IncrementalFitting;
 use cqfit_data::parse_example;
 use cqfit_env::{Env, RealEnv};
 use cqfit_hom::HomCache;
-use cqfit_obs::Registry;
+use cqfit_obs::{Registry, TraceContext, Tracer};
 use cqfit_store::{LogRecord, RecoveryReport, Store, StoreError, WorkspaceSnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,6 +68,11 @@ pub struct Engine {
     /// hom-cache shares it too.  All timestamps the engine feeds it come
     /// from `env.clock()`, so the numbers are deterministic under sim.
     registry: Arc<Registry>,
+    /// The causal tracer (PR 10): opens `engine.handle` spans as children
+    /// of the server's request span and threads the context down into
+    /// store appends.  Shared so the serve bin can attach a flight
+    /// recorder to the whole stack's spans.
+    tracer: Arc<Tracer>,
     /// Exactly-once retry memo: the last applied `(request_id, response)`
     /// per workspace (see [`Engine::handle_with_id`]).
     memo: Mutex<IdempotencyMemo>,
@@ -199,12 +204,14 @@ impl Engine {
     pub fn with_env(config: EngineConfig, env: Arc<dyn Env>) -> Self {
         let started = env.clock().monotonic();
         let registry = Arc::new(Registry::new());
+        let tracer = Arc::new(Tracer::new(env.clone(), registry.clone()));
         Engine {
             workspaces: RwLock::new(HashMap::new()),
             cache: config
                 .caching
                 .then(|| Arc::new(HomCache::with_registry(registry.clone()))),
             registry,
+            tracer,
             memo: Mutex::new(IdempotencyMemo::default()),
             store: None,
             recovery: RecoveryReport::default(),
@@ -292,12 +299,14 @@ impl Engine {
         // registry covers the whole durable stack, so WAL latencies and
         // engine/cache counters come out of a single snapshot.
         let registry = store.registry().clone();
+        let tracer = Arc::new(Tracer::new(env.clone(), registry.clone()));
         let engine = Engine {
             workspaces: RwLock::new(map),
             cache: config
                 .caching
                 .then(|| Arc::new(HomCache::with_registry(registry.clone()))),
             registry,
+            tracer,
             memo: Mutex::new(memo),
             store: Some(Arc::new(store)),
             recovery: report,
@@ -322,6 +331,13 @@ impl Engine {
     /// and the Prometheus endpoint of `cqfit-serve --metrics`.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The causal tracer: the server opens request spans against it, and
+    /// `cqfit-serve --flight-recorder` attaches the durable span journal
+    /// here.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The attached store, when the engine is durable.
@@ -442,6 +458,38 @@ impl Engine {
     ///
     /// [`handle`]: Engine::handle
     pub fn handle_with_id(&self, request: &Request, request_id: Option<u64>) -> Response {
+        self.handle_traced(request, request_id, None)
+    }
+
+    /// [`handle_with_id`] under an optional trace context.  With
+    /// `parent: Some(..)` the engine opens an `engine.handle` span as a
+    /// child of it (annotated with op, workspace, and request id; memo
+    /// replays are marked `memo_replay=true`) and threads the span's
+    /// context into the store append, so one request's spans chain from
+    /// client attempt through server dispatch down to the fsync leader.
+    /// With `parent: None` the request runs completely untraced —
+    /// byte-for-byte the pre-PR10 hot path, no clock reads drawn.
+    ///
+    /// [`handle_with_id`]: Engine::handle_with_id
+    pub fn handle_traced(
+        &self,
+        request: &Request,
+        request_id: Option<u64>,
+        parent: Option<&TraceContext>,
+    ) -> Response {
+        let mut span = parent.map(|ctx| {
+            let mut span = self
+                .tracer
+                .start(self.tracer.child_context(ctx), "engine.handle");
+            span.annotate("op", request.op());
+            if let Some(ws) = request.workspace() {
+                span.annotate("workspace", ws);
+            }
+            if let Some(id) = request_id {
+                span.annotate("request_id", id.to_string());
+            }
+            span
+        });
         let memo_key = match (request_id, request.workspace()) {
             (Some(id), Some(ws)) if request.is_mutation() => Some((id, ws.to_string())),
             _ => None,
@@ -450,10 +498,15 @@ impl Engine {
             let memo = self.memo.lock().expect("idempotency memo");
             if let Some(replay) = memo.lookup(ws, *id) {
                 self.registry.engine_memo_replays.inc();
+                if let Some(mut span) = span {
+                    span.annotate("memo_replay", "true");
+                    span.finish(&self.tracer);
+                }
                 return replay;
             }
         }
-        let response = self.handle_inner(request, request_id);
+        let trace = span.as_mut().map(|s| s.context());
+        let response = self.handle_inner(request, request_id, trace.as_ref());
         if let Some((id, ws)) = &memo_key {
             if response.is_ok() {
                 self.memo
@@ -462,10 +515,18 @@ impl Engine {
                     .record(ws, *id, response.clone());
             }
         }
+        if let Some(span) = span {
+            span.finish(&self.tracer);
+        }
         response
     }
 
-    fn handle_inner(&self, request: &Request, request_id: Option<u64>) -> Response {
+    fn handle_inner(
+        &self,
+        request: &Request,
+        request_id: Option<u64>,
+        trace: Option<&TraceContext>,
+    ) -> Response {
         // Scheduling point: no engine lock is held here, so a simulated
         // scheduler may interleave other tasks between whole requests —
         // the granularity at which the engine's own locking must already
@@ -640,9 +701,12 @@ impl Engine {
                         example: example.clone(),
                         request_id,
                     };
-                    if let Err(e) =
-                        store.append(ws.name(), &record, || Self::snapshot_of(ws.state()))
-                    {
+                    if let Err(e) = store.append_traced(
+                        ws.name(),
+                        &record,
+                        || Self::snapshot_of(ws.state()),
+                        trace.map(|ctx| (self.tracer.as_ref(), ctx)),
+                    ) {
                         return Response::error(format!("example not added: {e}"));
                     }
                 }
@@ -678,9 +742,12 @@ impl Engine {
                             positive,
                             request_id,
                         };
-                        if let Err(e) =
-                            store.append(ws.name(), &record, || Self::snapshot_of(ws.state()))
-                        {
+                        if let Err(e) = store.append_traced(
+                            ws.name(),
+                            &record,
+                            || Self::snapshot_of(ws.state()),
+                            trace.map(|ctx| (self.tracer.as_ref(), ctx)),
+                        ) {
                             return Response::error(format!("example not removed: {e}"));
                         }
                     }
@@ -801,6 +868,16 @@ impl Engine {
                 }
             },
             Request::Shutdown => Response::ShuttingDown,
+            Request::TraceDump => Response::Traces {
+                spans: self.registry.traces(),
+            },
+            Request::SlowRequests { over_us } => {
+                let mut spans = self.registry.slow.snapshot();
+                if let Some(over_us) = over_us {
+                    spans.retain(|s| s.duration_ns() >= over_us.saturating_mul(1_000));
+                }
+                Response::Slow { spans }
+            }
         }
     }
 
@@ -815,7 +892,7 @@ impl Engine {
     /// *after* all groups finish.  Responses are returned in request
     /// order.
     pub fn handle_batch(&self, requests: &[Request]) -> Vec<Response> {
-        self.batch_impl(requests.len(), |i| (&requests[i], None))
+        self.batch_impl(requests.len(), |i| (&requests[i], None, None))
     }
 
     /// [`handle_batch`] with a per-request idempotency id, as carried by a
@@ -827,13 +904,29 @@ impl Engine {
     /// [`handle_batch`]: Engine::handle_batch
     /// [`handle_with_id`]: Engine::handle_with_id
     pub fn handle_batch_with_ids(&self, requests: &[(Request, Option<u64>)]) -> Vec<Response> {
-        self.batch_impl(requests.len(), |i| (&requests[i].0, requests[i].1))
+        self.batch_impl(requests.len(), |i| (&requests[i].0, requests[i].1, None))
+    }
+
+    /// [`handle_batch_with_ids`] with a per-request trace context: each
+    /// member is routed through [`handle_traced`], so a pipelined window
+    /// produces one `engine.handle` child span per member under its own
+    /// server request span.
+    ///
+    /// [`handle_batch_with_ids`]: Engine::handle_batch_with_ids
+    /// [`handle_traced`]: Engine::handle_traced
+    pub fn handle_batch_traced(
+        &self,
+        requests: &[(Request, Option<u64>, Option<TraceContext>)],
+    ) -> Vec<Response> {
+        self.batch_impl(requests.len(), |i| {
+            (&requests[i].0, requests[i].1, requests[i].2.as_ref())
+        })
     }
 
     fn batch_impl<'a>(
         &self,
         len: usize,
-        get: impl Fn(usize) -> (&'a Request, Option<u64>) + Sync,
+        get: impl Fn(usize) -> (&'a Request, Option<u64>, Option<&'a TraceContext>) + Sync,
     ) -> Vec<Response> {
         let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
         let mut global = Vec::new();
@@ -867,8 +960,8 @@ impl Engine {
                                 break;
                             };
                             local.extend(indices.iter().map(|&i| {
-                                let (req, id) = get(i);
-                                (i, self.handle_with_id(req, id))
+                                let (req, id, ctx) = get(i);
+                                (i, self.handle_traced(req, id, ctx))
                             }));
                         }
                         local
@@ -884,8 +977,8 @@ impl Engine {
             out[i] = Some(resp);
         }
         for i in global {
-            let (req, id) = get(i);
-            out[i] = Some(self.handle_with_id(req, id));
+            let (req, id, ctx) = get(i);
+            out[i] = Some(self.handle_traced(req, id, ctx));
         }
         out.into_iter().map(|r| r.expect("all filled")).collect()
     }
@@ -1405,5 +1498,75 @@ mod tests {
                 "batch answer differs from sequential"
             );
         }
+    }
+
+    /// A traced mutation on a durable engine leaves one coherent span
+    /// tree — parent ⊃ engine.handle ⊃ store.append ⊃ commit_wait, with
+    /// the group-commit fsync hanging off the leader's append and both
+    /// sides agreeing on the batch number — a memo replay is flagged as
+    /// such, and `trace_dump` returns the ring.
+    #[test]
+    fn traced_request_produces_a_coherent_span_tree() {
+        let dir = tmp_dir("traced");
+        let (engine, _) = durable_engine(&dir);
+        create(&engine, "w");
+        let parent = engine.tracer().root_context();
+        let add = Request::AddExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("R(a,b)".into()),
+        };
+        let resp = engine.handle_traced(&add, Some(7), Some(&parent));
+        assert!(resp.is_ok(), "{resp:?}");
+        let spans = engine.registry().traces();
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing span `{name}` in {spans:?}"))
+        };
+        let handle = find("engine.handle");
+        let append = find("store.append");
+        let wait = find("store.commit_wait");
+        let fsync = find("store.fsync");
+        for span in [handle, append, wait, fsync] {
+            assert_eq!(span.trace_id, parent.trace_id, "one trace end to end");
+        }
+        assert_eq!(handle.parent_span_id, parent.span_id);
+        assert_eq!(append.parent_span_id, handle.span_id);
+        assert_eq!(wait.parent_span_id, append.span_id);
+        assert_eq!(
+            fsync.parent_span_id, append.span_id,
+            "sole writer leads its own flush"
+        );
+        assert_eq!(handle.annotation("op"), Some("add_example"));
+        assert_eq!(handle.annotation("request_id"), Some("7"));
+        assert!(append.annotation("batch").is_some());
+        assert_eq!(
+            append.annotation("batch"),
+            fsync.annotation("batch"),
+            "the append's acked batch is the fsynced one"
+        );
+        assert!(
+            handle.start_ns <= append.start_ns && append.end_ns <= handle.end_ns,
+            "child interval nests within its parent"
+        );
+        // Retrying the same id replays from the memo — and the replay's
+        // span says so instead of pretending the mutation ran twice.
+        let replay = engine.handle_traced(&add, Some(7), Some(&engine.tracer().root_context()));
+        assert_eq!(serde::to_string(&replay), serde::to_string(&resp));
+        let spans = engine.registry().traces();
+        let memo = spans
+            .iter()
+            .rev()
+            .find(|s| s.name == "engine.handle")
+            .unwrap();
+        assert_eq!(memo.annotation("memo_replay"), Some("true"));
+        match engine.handle(&Request::TraceDump) {
+            Response::Traces { spans } => assert!(!spans.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(engine);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -22,6 +22,7 @@
 //! ```
 
 use cqfit_data::{Example, Schema};
+use cqfit_obs::{TraceContext, TraceSpan};
 use cqfit_query::{Cq, Ucq};
 use serde::json::{JsonError, Value as Json};
 use serde::{Deserialize, Serialize};
@@ -200,6 +201,16 @@ pub enum Request {
     /// Asks the server to stop accepting connections (in-process engines
     /// treat it as a no-op acknowledgment).
     Shutdown,
+    /// Dumps the registry's bounded ring of recently closed trace spans
+    /// (the live counterpart of the on-disk flight recorder).
+    TraceDump,
+    /// Reports the server's slow-request table: the slowest traced
+    /// requests seen so far, optionally filtered to those at or over a
+    /// duration threshold in microseconds.
+    SlowRequests {
+        /// Minimum duration, in microseconds, for a span to be reported.
+        over_us: Option<u64>,
+    },
 }
 
 impl Request {
@@ -222,9 +233,21 @@ impl Request {
     ///
     /// Ids must fit in 63 bits (the wire integer type is `i64`).
     pub fn to_json_with_id(&self, request_id: u64) -> Json {
+        self.to_json_with_meta(request_id, None)
+    }
+
+    /// Serializes this request with both protocol-level metadata fields
+    /// attached: the `"request_id"` idempotency key and, when given, a
+    /// `"trace"` context object.  A server receiving a trace context
+    /// opens its request span as a child of it; absent, the server roots
+    /// a fresh trace (pre-PR10 clients keep working unchanged).
+    pub fn to_json_with_meta(&self, request_id: u64, trace: Option<&TraceContext>) -> Json {
         match self.to_json() {
             Json::Obj(mut fields) => {
                 fields.push(("request_id".to_string(), request_id.to_json()));
+                if let Some(ctx) = trace {
+                    fields.push(("trace".to_string(), ctx.to_json()));
+                }
                 Json::Obj(fields)
             }
             other => other,
@@ -236,6 +259,13 @@ impl Request {
     /// then handled without retry protection, exactly as before PR 7).
     pub fn request_id_of(v: &Json) -> Option<u64> {
         v.get("request_id").and_then(|id| u64::from_json(id).ok())
+    }
+
+    /// Extracts the optional trace context from a parsed request object.
+    /// Absent or malformed contexts read as `None` (the server then
+    /// roots a fresh trace for the request).
+    pub fn trace_of(v: &Json) -> Option<TraceContext> {
+        v.get("trace").and_then(|t| TraceContext::from_json(t).ok())
     }
 
     /// The wire name of this request's operation (the `"op"` field of
@@ -257,6 +287,8 @@ impl Request {
             Request::Recover => "recover",
             Request::StoreInfo => "store_info",
             Request::Shutdown => "shutdown",
+            Request::TraceDump => "trace_dump",
+            Request::SlowRequests { .. } => "slow_requests",
         }
     }
 
@@ -278,7 +310,9 @@ impl Request {
             | Request::Persist
             | Request::Recover
             | Request::StoreInfo
-            | Request::Shutdown => None,
+            | Request::Shutdown
+            | Request::TraceDump
+            | Request::SlowRequests { .. } => None,
         }
     }
 }
@@ -353,6 +387,14 @@ impl Serialize for Request {
             Request::Recover => Json::obj([("op", Json::str("recover"))]),
             Request::StoreInfo => Json::obj([("op", Json::str("store_info"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
+            Request::TraceDump => Json::obj([("op", Json::str("trace_dump"))]),
+            Request::SlowRequests { over_us } => {
+                let mut fields = vec![("op", Json::str("slow_requests"))];
+                if let Some(over_us) = over_us {
+                    fields.push(("over_us", over_us.to_json()));
+                }
+                Json::obj(fields)
+            }
         }
     }
 }
@@ -423,6 +465,13 @@ impl Deserialize for Request {
             "recover" => Ok(Request::Recover),
             "store_info" => Ok(Request::StoreInfo),
             "shutdown" => Ok(Request::Shutdown),
+            "trace_dump" => Ok(Request::TraceDump),
+            "slow_requests" => Ok(Request::SlowRequests {
+                over_us: match v.get("over_us") {
+                    Some(o) => Some(u64::from_json(o)?),
+                    None => None,
+                },
+            }),
             other => Err(JsonError::semantic(format!("unknown op `{other}`"))),
         }
     }
@@ -594,6 +643,18 @@ pub enum Response {
     },
     /// Reply to [`Request::Shutdown`].
     ShuttingDown,
+    /// Reply to [`Request::TraceDump`]: recently closed trace spans from
+    /// the registry's bounded trace ring, oldest first.
+    Traces {
+        /// The spans, in ring (completion) order.
+        spans: Vec<TraceSpan>,
+    },
+    /// Reply to [`Request::SlowRequests`]: the slow-request table,
+    /// slowest first.
+    Slow {
+        /// The qualifying spans, slowest first.
+        spans: Vec<TraceSpan>,
+    },
     /// Any failure: a message, optionally with the position of the
     /// offending token (JSON parse errors and textual example parse
     /// errors).
@@ -884,6 +945,20 @@ impl Serialize for Response {
                 ("fsync", Json::Bool(*fsync)),
             ]),
             Response::ShuttingDown => ok(vec![("kind", Json::str("shutting_down"))]),
+            Response::Traces { spans } => ok(vec![
+                ("kind", Json::str("traces")),
+                (
+                    "spans",
+                    Json::Arr(spans.iter().map(|s| s.to_json()).collect()),
+                ),
+            ]),
+            Response::Slow { spans } => ok(vec![
+                ("kind", Json::str("slow")),
+                (
+                    "spans",
+                    Json::Arr(spans.iter().map(|s| s.to_json()).collect()),
+                ),
+            ]),
             Response::Error { message, line, col } => {
                 let mut fields = vec![("ok", Json::Bool(false)), ("error", Json::str(message))];
                 if let Some(line) = line {
@@ -1113,6 +1188,21 @@ impl Deserialize for Response {
                 fsync: bool::from_json(v.req("fsync")?)?,
             }),
             "shutting_down" => Ok(Response::ShuttingDown),
+            "traces" | "slow" => {
+                let kind = req_str(v, "kind")?;
+                let raw = v.req("spans")?;
+                let spans = raw
+                    .as_arr()
+                    .ok_or_else(|| JsonError::mismatch("array", raw))?
+                    .iter()
+                    .map(TraceSpan::from_json)
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                Ok(if kind == "traces" {
+                    Response::Traces { spans }
+                } else {
+                    Response::Slow { spans }
+                })
+            }
             other => Err(JsonError::semantic(format!(
                 "unknown response kind `{other}`"
             ))),
@@ -1163,6 +1253,11 @@ mod tests {
             Request::Recover,
             Request::StoreInfo,
             Request::Shutdown,
+            Request::TraceDump,
+            Request::SlowRequests { over_us: None },
+            Request::SlowRequests {
+                over_us: Some(2_500),
+            },
         ];
         for req in reqs {
             let back = round_trip_request(&req);
@@ -1201,6 +1296,69 @@ mod tests {
         assert!(!Request::Stats.is_mutation());
         assert!(!Request::Metrics.is_mutation());
         assert!(!Request::Shutdown.is_mutation());
+    }
+
+    #[test]
+    fn trace_context_rides_along_and_round_trips() {
+        let req = Request::AddExample {
+            workspace: "w".into(),
+            polarity: Polarity::Positive,
+            example: ExamplePayload::Text("R(a,b)".into()),
+        };
+        let ctx = TraceContext {
+            trace_id: (7u128 << 64) | 9,
+            span_id: 0xABCD,
+            parent_span_id: 0x1234,
+        };
+        let wire = req.to_json_with_meta(42, Some(&ctx)).to_string();
+        let parsed = serde::json::Value::parse(&wire).unwrap();
+        // Both metadata fields are recoverable, and the request parses
+        // as if unadorned (unknown keys are ignored by `from_json`).
+        assert_eq!(Request::request_id_of(&parsed), Some(42));
+        assert_eq!(Request::trace_of(&parsed), Some(ctx));
+        let back = Request::from_json(&parsed).unwrap();
+        assert_eq!(serde::to_string(&back), serde::to_string(&req));
+        // Untraced wire requests read as `None` (pre-PR10 clients).
+        let plain = serde::json::Value::parse(&req.to_json_with_id(42).to_string()).unwrap();
+        assert_eq!(Request::trace_of(&plain), None);
+        // A malformed context also reads as `None` rather than failing.
+        let mangled =
+            serde::json::Value::parse(&wire.replace("\"trace\":", "\"trace_\":")).unwrap();
+        assert_eq!(Request::trace_of(&mangled), None);
+    }
+
+    #[test]
+    fn trace_and_slow_responses_round_trip() {
+        let span = |span_id, parent, name: &str| TraceSpan {
+            trace_id: 0xFACE,
+            span_id,
+            parent_span_id: parent,
+            name: name.to_string(),
+            start_ns: 1_000,
+            end_ns: 5_000,
+            annotations: vec![("op".to_string(), "ping".to_string())],
+        };
+        let responses = vec![
+            Response::Traces {
+                spans: vec![span(2, 1, "engine.handle"), span(1, 0, "server.request")],
+            },
+            Response::Traces { spans: Vec::new() },
+            Response::Slow {
+                spans: vec![span(9, 0, "server.request")],
+            },
+        ];
+        for resp in responses {
+            let text = serde::to_string(&resp);
+            let back: Response = serde::from_str(&text).unwrap();
+            assert_eq!(serde::to_string(&back), text, "round trip of {resp:?}");
+            match (&resp, &back) {
+                (Response::Traces { spans: a }, Response::Traces { spans: b }) => {
+                    assert_eq!(a, b)
+                }
+                (Response::Slow { spans: a }, Response::Slow { spans: b }) => assert_eq!(a, b),
+                other => panic!("variant changed in round trip: {other:?}"),
+            }
+        }
     }
 
     #[test]

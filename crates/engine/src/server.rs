@@ -35,6 +35,7 @@
 use crate::engine::Engine;
 use crate::protocol::{Request, Response};
 use cqfit_env::{Clock, Env, NetConn, NetListener};
+use cqfit_obs::TraceContext;
 use serde::Deserialize;
 use std::io::{self, ErrorKind};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -335,6 +336,7 @@ fn serve_connection(
     let mut drain = DrainGrace::new(DRAIN_GRACE);
     let clock = engine.env().clock();
     let registry = engine.registry();
+    let tracer = engine.tracer();
     let _live = ConnectionGauge::enter(&registry.server_connections);
     loop {
         if shutdown.load(Ordering::SeqCst) && drain.expired(clock) {
@@ -406,7 +408,7 @@ fn serve_connection(
             Pending(usize),
         }
         let mut slots: Vec<Slot> = Vec::new();
-        let mut batch: Vec<(Request, Option<u64>)> = Vec::new();
+        let mut batch: Vec<(Request, Option<u64>, Option<TraceContext>)> = Vec::new();
         let mut shutdown_req: Option<(Request, Option<u64>)> = None;
         let mut framing_lost = false;
         for (payload, terminated) in &lines {
@@ -447,8 +449,15 @@ fn serve_connection(
                             shutdown_req = Some((request, request_id));
                             break;
                         }
+                        // A request carrying a trace context joins the
+                        // client's trace; one without roots a fresh trace
+                        // here, so server-side spans exist either way.
+                        let ctx = match Request::trace_of(&v) {
+                            Some(parent) => tracer.child_context(&parent),
+                            None => tracer.root_context(),
+                        };
                         slots.push(Slot::Pending(batch.len()));
-                        batch.push((request, request_id));
+                        batch.push((request, request_id, Some(ctx)));
                     }
                 },
             }
@@ -461,17 +470,35 @@ fn serve_connection(
         // deterministic-scheduler path used by `run_sequential`); larger
         // batches fan out through the engine's grouped batch executor,
         // whose concurrent durable appends the store group-commits.
+        // One causal "server.request" span per dispatched request, opened
+        // at the frame-read anchor and parented on the wire context (or
+        // rooted here).  The engine receives the span's own context, so
+        // its handle/append/fsync spans hang off this one.
+        let mut request_spans = Vec::with_capacity(batch.len());
         if !batch.is_empty() {
             registry.server_batch_depth.record(batch.len() as u64);
             registry.server_pipeline_depth.set(batch.len() as i64);
+            for (request, request_id, ctx) in &batch {
+                let ctx = ctx.expect("server assigns every batch member a context");
+                let mut span = tracer.start_at(ctx, "server.request", trace_begun_ns);
+                span.annotate("op", request.op());
+                if let Some(ws) = request.workspace() {
+                    span.annotate("workspace", ws);
+                }
+                if let Some(id) = request_id {
+                    span.annotate("request_id", id.to_string());
+                }
+                span.annotate("batch_depth", batch.len().to_string());
+                request_spans.push(span);
+            }
         }
         let responses = match batch.len() {
             0 => Vec::new(),
             1 => {
-                let (request, request_id) = &batch[0];
-                vec![engine.handle_with_id(request, *request_id)]
+                let (request, request_id, ctx) = &batch[0];
+                vec![engine.handle_traced(request, *request_id, ctx.as_ref())]
             }
-            _ => engine.handle_batch_with_ids(&batch),
+            _ => engine.handle_batch_traced(&batch),
         };
         let trace_dispatched_ns = trace_decoded_ns.map(|_| {
             registry.server_pipeline_depth.set(0);
@@ -491,15 +518,20 @@ fn serve_connection(
             text.push('\n');
             reply_frame.extend_from_slice(text.as_bytes());
         }
-        if !reply_frame.is_empty() {
-            conn.write_all(&reply_frame)?;
-        }
+        let write_result = if reply_frame.is_empty() {
+            Ok(())
+        } else {
+            conn.write_all(&reply_frame)
+        };
         // Close out the batch's spans: one span per dispatched request
         // (decode/dispatch/reply timestamps shared batch-wide), plus the
         // end-to-end latency sample each contributes to the histogram.
+        // This runs even when the reply write failed: the requests WERE
+        // dispatched (their engine/store child spans committed), so
+        // dropping the parent spans would orphan them in the trace.
         if let (Some(decoded_ns), Some(dispatched_ns)) = (trace_decoded_ns, trace_dispatched_ns) {
             let replied_ns = clock.monotonic().as_nanos() as u64;
-            for (request, request_id) in &batch {
+            for ((request, request_id, _), span) in batch.iter().zip(request_spans) {
                 registry
                     .server_request_ns
                     .record(replied_ns.saturating_sub(trace_begun_ns));
@@ -512,8 +544,13 @@ fn serve_connection(
                     dispatched_ns,
                     replied_ns,
                 });
+                // Closing the causal span also journals it (flight
+                // recorder, if attached) and offers it to the slow table.
+                let finished = span.finish_at(tracer, replied_ns);
+                registry.slow.record(&finished);
             }
         }
+        write_result?;
         if let Some((request, request_id)) = shutdown_req {
             let response = engine.handle_with_id(&request, request_id);
             write_response(conn.as_mut(), &response)?;

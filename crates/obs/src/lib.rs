@@ -29,9 +29,27 @@
 //!   and per-request decode→dispatch→reply phase timestamps.
 //! * [`Snapshot`] — a plain-data copy of everything, plus
 //!   [`render_prometheus`] for text exposition.
+//! * Causal tracing ([`TraceContext`], [`Tracer`], [`TraceSpan`]) with a
+//!   bounded completed-span ring, a [`SlowTable`] of the slowest
+//!   requests, a crash-surviving [`FlightRecorder`] journal, and
+//!   Chrome-trace / waterfall exporters ([`render_chrome_trace`],
+//!   [`render_waterfall`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod export;
+mod flight;
+mod trace;
+
+pub use export::{render_chrome_trace, render_waterfall};
+pub use flight::{
+    crc32, decode_journal, FlightRecorder, FR_DEFAULT_SLOTS, FR_FILE_NAME, FR_HEADER_BYTES,
+    FR_MAGIC, FR_MAX_PAYLOAD, FR_SLOT_BYTES,
+};
+pub use trace::{
+    OpenSpan, SlowTable, TraceContext, TraceSpan, Tracer, SLOW_TABLE_CAPACITY, TRACE_RING_CAPACITY,
+};
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -393,8 +411,14 @@ pub struct Registry {
     /// Backoff sleeps taken before a retry.
     pub client_backoff_sleeps: Counter,
 
+    // -- tracing --
+    /// The slow-request table: top-K completed request spans by
+    /// duration, threshold-gated (see [`SlowTable`]).
+    pub slow: SlowTable,
+
     events: Ring<EventRecord>,
     spans: Ring<SpanRecord>,
+    traces: Ring<TraceSpan>,
 }
 
 impl Registry {
@@ -419,6 +443,20 @@ impl Registry {
     /// Appends a completed request span to the bounded ring.
     pub fn span(&self, span: SpanRecord) {
         self.spans.push(span, SPAN_RING_CAPACITY);
+    }
+
+    /// Appends a completed trace span to the bounded trace ring.
+    /// Normally called through [`OpenSpan::finish`], not directly.
+    pub fn trace_span(&self, span: TraceSpan) {
+        self.traces.push(span, TRACE_RING_CAPACITY);
+    }
+
+    /// The current contents of the trace ring, oldest first.  Kept out
+    /// of [`Snapshot`] (and therefore off the `metrics` wire op): trace
+    /// dumps have their own protocol op with different volume and
+    /// retention than metrics scrapes.
+    pub fn traces(&self) -> Vec<TraceSpan> {
+        self.traces.to_vec()
     }
 
     /// Copies every metric into a plain-data [`Snapshot`].
@@ -506,32 +544,97 @@ impl Snapshot {
     }
 }
 
-/// Renders a snapshot in the Prometheus text exposition format
+/// `# HELP` text for a series: the metric name with the word breaks
+/// spelled out (the closed metric set carries its real documentation as
+/// rustdoc on [`Registry`]'s fields).
+fn help_text(name: &str) -> String {
+    name.replace('_', " ")
+}
+
+/// Renders a registry in the Prometheus text exposition format
 /// (version 0.0.4).  Counters and gauges become single samples;
-/// histograms become summaries with `quantile` labels plus `_sum`,
-/// `_count`, and `_max` series.  Every series is prefixed `cqfit_`.
-pub fn render_prometheus(snapshot: &Snapshot) -> String {
+/// histograms are real `histogram`-typed families with **cumulative
+/// `_bucket` series** carrying `le` labels at the log₂ bucket upper
+/// bounds (empty buckets elided, `+Inf` always present), plus `_sum` and
+/// `_count`, and a companion `_max` gauge for the exact observed
+/// maximum.  Every family gets `# HELP` and `# TYPE` lines, and every
+/// series is prefixed `cqfit_`.
+///
+/// Takes the registry rather than a [`Snapshot`] because bucket-level
+/// detail is deliberately kept off the wire snapshot — the scrape
+/// endpoint is in-process and reads the live atomics.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let counters: [(&str, &Counter); 15] = [
+        ("store_appends_acked", &registry.store_appends_acked),
+        ("store_append_errors", &registry.store_append_errors),
+        ("store_rollbacks", &registry.store_rollbacks),
+        ("store_poisons", &registry.store_poisons),
+        ("store_compactions", &registry.store_compactions),
+        ("store_bytes_compacted", &registry.store_bytes_compacted),
+        ("engine_requests", &registry.engine_requests),
+        ("engine_memo_replays", &registry.engine_memo_replays),
+        ("hom_hits", &registry.hom_hits),
+        ("hom_misses", &registry.hom_misses),
+        ("core_hits", &registry.core_hits),
+        ("core_misses", &registry.core_misses),
+        ("client_retries", &registry.client_retries),
+        ("client_reconnects", &registry.client_reconnects),
+        ("client_backoff_sleeps", &registry.client_backoff_sleeps),
+    ];
+    let gauges: [(&str, &Gauge); 2] = [
+        ("server_connections", &registry.server_connections),
+        ("server_pipeline_depth", &registry.server_pipeline_depth),
+    ];
+    let histograms: [(&str, &Histogram); 7] = [
+        ("store_append_ns", &registry.store_append_ns),
+        ("store_commit_wait_ns", &registry.store_commit_wait_ns),
+        ("store_fsync_ns", &registry.store_fsync_ns),
+        ("store_batch_records", &registry.store_batch_records),
+        ("engine_fit_ns", &registry.engine_fit_ns),
+        ("server_batch_depth", &registry.server_batch_depth),
+        ("server_request_ns", &registry.server_request_ns),
+    ];
+
     let mut out = String::new();
-    for (name, value) in &snapshot.counters {
+    for (name, counter) in counters {
         out.push_str(&format!(
-            "# TYPE cqfit_{name} counter\ncqfit_{name} {value}\n"
+            "# HELP cqfit_{name} {}\n# TYPE cqfit_{name} counter\ncqfit_{name} {}\n",
+            help_text(name),
+            counter.get()
         ));
     }
-    for (name, value) in &snapshot.gauges {
+    for (name, gauge) in gauges {
         out.push_str(&format!(
-            "# TYPE cqfit_{name} gauge\ncqfit_{name} {value}\n"
+            "# HELP cqfit_{name} {}\n# TYPE cqfit_{name} gauge\ncqfit_{name} {}\n",
+            help_text(name),
+            gauge.get()
         ));
     }
-    for (name, h) in &snapshot.histograms {
+    for (name, histogram) in histograms {
+        let snap = histogram.snapshot();
         out.push_str(&format!(
-            "# TYPE cqfit_{name} summary\n\
-             cqfit_{name}{{quantile=\"0.5\"}} {}\n\
-             cqfit_{name}{{quantile=\"0.9\"}} {}\n\
-             cqfit_{name}{{quantile=\"0.99\"}} {}\n\
-             cqfit_{name}_sum {}\n\
-             cqfit_{name}_count {}\n\
-             cqfit_{name}_max {}\n",
-            h.p50, h.p90, h.p99, h.sum, h.count, h.max
+            "# HELP cqfit_{name} {}\n# TYPE cqfit_{name} histogram\n",
+            help_text(name)
+        ));
+        let mut cumulative = 0u64;
+        for (index, &bucket) in snap.buckets.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            cumulative += bucket;
+            out.push_str(&format!(
+                "cqfit_{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bucket_upper_bound(index)
+            ));
+        }
+        out.push_str(&format!(
+            "cqfit_{name}_bucket{{le=\"+Inf\"}} {}\ncqfit_{name}_sum {}\ncqfit_{name}_count {}\n",
+            snap.count, snap.sum, snap.count
+        ));
+        out.push_str(&format!(
+            "# HELP cqfit_{name}_max {} max\n# TYPE cqfit_{name}_max gauge\ncqfit_{name}_max {}\n",
+            help_text(name),
+            snap.max
         ));
     }
     out
@@ -690,12 +793,15 @@ mod tests {
         assert_eq!(snap.gauge("server_connections"), 3);
         assert_eq!(snap.histogram("store_append_ns").unwrap().count, 1);
 
-        let text = render_prometheus(&snap);
+        let text = render_prometheus(&registry);
         assert!(text.contains("# TYPE cqfit_store_appends_acked counter"));
         assert!(text.contains("cqfit_store_appends_acked 42"));
         assert!(text.contains("cqfit_server_connections 3"));
         assert!(text.contains("cqfit_store_append_ns_count 1"));
-        assert!(text.contains("cqfit_store_append_ns{quantile=\"0.99\"}"));
+        // 2500 has bit length 12: bucket upper bound 4095, cumulative 1.
+        assert!(text.contains("cqfit_store_append_ns_bucket{le=\"4095\"} 1"));
+        assert!(text.contains("cqfit_store_append_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("# TYPE cqfit_store_append_ns histogram"));
         // Every non-comment line is "name value" — parseable exposition.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.split(' ');
@@ -708,5 +814,82 @@ mod tests {
             );
             assert!(parts.next().is_none());
         }
+    }
+
+    #[test]
+    fn exposition_declares_types_and_helps_and_cumulates_buckets() {
+        let registry = Registry::new();
+        // Samples across several buckets, to exercise cumulation.
+        for value in [0, 1, 100, 100, 2_500, 9_000, 9_001] {
+            registry.server_request_ns.record(value);
+        }
+        registry.engine_requests.add(7);
+        let text = render_prometheus(&registry);
+
+        // Collect TYPE/HELP declarations per family.
+        let mut types = std::collections::HashMap::new();
+        let mut helps = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let family = parts.next().unwrap().to_string();
+                let kind = parts.next().unwrap().to_string();
+                assert!(parts.next().is_none(), "TYPE line has extra tokens: {line}");
+                assert!(
+                    matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                    "bad TYPE kind: {line}"
+                );
+                assert!(
+                    !types.contains_key(&family),
+                    "family declared twice: {family}"
+                );
+                types.insert(family, kind);
+            } else if let Some(rest) = line.strip_prefix("# HELP ") {
+                helps.insert(rest.split(' ').next().unwrap().to_string());
+            }
+        }
+        // Every declared family has HELP text too.
+        for family in types.keys() {
+            assert!(helps.contains(family), "missing HELP for {family}");
+        }
+
+        // Every sample line belongs to a declared family of the right
+        // kind, stripping histogram suffixes and labels.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let series = line.split(' ').next().unwrap();
+            let series = series.split('{').next().unwrap();
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| series.strip_suffix(suffix))
+                .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+                .unwrap_or(series);
+            assert!(types.contains_key(family), "undeclared series: {line}");
+        }
+
+        // Bucket series are cumulative, non-decreasing, and end at the
+        // sample count on the +Inf bucket.
+        let buckets: Vec<(String, u64)> = text
+            .lines()
+            .filter(|l| l.starts_with("cqfit_server_request_ns_bucket{le="))
+            .map(|l| {
+                let mut parts = l.split(' ');
+                (
+                    parts.next().unwrap().to_string(),
+                    parts.next().unwrap().parse::<u64>().unwrap(),
+                )
+            })
+            .collect();
+        assert!(buckets.len() >= 4, "expected several buckets: {buckets:?}");
+        assert!(
+            buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+            "buckets must cumulate: {buckets:?}"
+        );
+        let last = buckets.last().unwrap();
+        assert!(last.0.contains("le=\"+Inf\""));
+        assert_eq!(last.1, 7);
+        // Spot-check one boundary: two samples of 100 land in the
+        // [64, 127] bucket; with 0 and 1 below, the cumulative at
+        // le="127" is 4.
+        assert!(text.contains("cqfit_server_request_ns_bucket{le=\"127\"} 4"));
     }
 }

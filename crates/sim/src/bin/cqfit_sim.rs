@@ -96,6 +96,15 @@ fn main() -> ExitCode {
          ({} retries accounted one-for-one to injected cuts)",
         stats.metric_store_checks, stats.metric_net_checks, stats.metric_retries_accounted
     );
+    println!(
+        "trace coverage: {} traced sessions, {} spans causality-checked, \
+         {} retry links verified; journal cut at {} slot boundaries and {} interior bytes",
+        stats.trace_sessions,
+        stats.trace_spans_checked,
+        stats.trace_retry_links,
+        stats.fr_boundary_cuts,
+        stats.fr_mid_cuts
+    );
 
     if outcome.failures.is_empty() {
         println!("all {seeds} seed(s) passed");

@@ -2,7 +2,7 @@
 //! real store+engine stack on the simulated filesystem, crashed,
 //! recovered, and compared against storeless oracle engines.
 //!
-//! One [`explore`] call runs seven phases for one seed:
+//! One [`explore`] call runs eight phases for one seed:
 //!
 //! * **Phase 0 — interleaved live run.**  Several workspaces are mutated
 //!   by concurrent tasks under the deterministic scheduler (plus a
@@ -63,6 +63,18 @@
 //!   consumed a request must surface as *exactly one* client retry (with
 //!   reconnects and backoff sleeps in lock-step) and batch replays must
 //!   show up in the server's memo-replay counter.
+//! * **Phase T — causal tracing and the flight recorder.**  Traced
+//!   durable sessions (call-by-call and pipelined, fault-free and under
+//!   seeded wire cuts) must each yield a coherent span forest across the
+//!   combined client+server capture: every span's parent exists in the
+//!   same trace, every retry span's `retry_of` link names a live sibling
+//!   attempt, spans nest inside their parents (same-side exactly; across
+//!   the wire the start ordering), and every acknowledged append's trace
+//!   reaches a `store.fsync` span carrying the same commit batch.  The
+//!   flight-recorder journal is then cut at every slot boundary and
+//!   inside every slot: each cut must decode — and fully recover via
+//!   `FlightRecorder::open` — to exactly the spans journaled before it,
+//!   and a wrapped journal must decode to the newest generation only.
 //!
 //! Every divergence returns an `Err` whose message embeds the seed.
 
@@ -76,6 +88,10 @@ use cqfit_engine::{
 };
 use cqfit_env::{Env, Fs};
 use cqfit_gen::{churn_workload, resolve_churn, RandomConfig, ResolvedChurnOp};
+use cqfit_obs::{
+    decode_journal, FlightRecorder, TraceContext, TraceSpan, FR_FILE_NAME, FR_HEADER_BYTES,
+    FR_SLOT_BYTES,
+};
 use cqfit_store::{LogRecord, Store, StoreConfig};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -169,6 +185,19 @@ pub struct ExploreStats {
     /// Client retries accounted one-for-one to injected wire cuts in
     /// phase M (every cut that consumed a request produced exactly one).
     pub metric_retries_accounted: u64,
+    /// Phase-T traced durable wire sessions whose combined client+server
+    /// span capture passed every causality invariant.
+    pub trace_sessions: u64,
+    /// Spans individually validated (parent linkage + interval nesting)
+    /// across phase-T sessions.
+    pub trace_spans_checked: u64,
+    /// Retry spans whose `retry_of` link named a live sibling attempt in
+    /// the same trace.
+    pub trace_retry_links: u64,
+    /// Flight-recorder journal cuts landing exactly on a slot boundary.
+    pub fr_boundary_cuts: u64,
+    /// Flight-recorder journal cuts landing inside a slot (torn slots).
+    pub fr_mid_cuts: u64,
 }
 
 impl ExploreStats {
@@ -190,6 +219,11 @@ impl ExploreStats {
         self.metric_store_checks += other.metric_store_checks;
         self.metric_net_checks += other.metric_net_checks;
         self.metric_retries_accounted += other.metric_retries_accounted;
+        self.trace_sessions += other.trace_sessions;
+        self.trace_spans_checked += other.trace_spans_checked;
+        self.trace_retry_links += other.trace_retry_links;
+        self.fr_boundary_cuts += other.fr_boundary_cuts;
+        self.fr_mid_cuts += other.fr_mid_cuts;
     }
 }
 
@@ -202,7 +236,7 @@ pub struct SweepOutcome {
     pub failures: Vec<(u64, String)>,
 }
 
-/// Explores one seed through all seven phases.
+/// Explores one seed through all eight phases.
 ///
 /// # Errors
 /// The first invariant violation, with the seed embedded for
@@ -216,6 +250,8 @@ pub fn explore(seed: u64, cfg: &SimConfig) -> Result<ExploreStats, String> {
     phase_g_group_commit(seed, cfg, &mut stats)?;
     phase_n_network(seed, cfg, &mut stats)?;
     phase_m_metric_invariants(seed, cfg, &mut stats)?;
+    phase_t_tracing(seed, cfg, &mut stats)?;
+    phase_t_flight_recorder(seed, &mut stats)?;
     Ok(stats)
 }
 
@@ -1756,6 +1792,458 @@ fn phase_m_net_metrics(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> 
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Phase T: causal tracing invariants and the flight-recorder journal
+// ---------------------------------------------------------------------
+
+/// One traced durable wire session: both sides' span captures plus the
+/// counters and frame marks the causality checks need.
+struct TraceSession {
+    /// Cumulative delivered bytes after each completed write.
+    marks: Vec<u64>,
+    /// `(retries, reconnects, backoff_sleeps)`, sampled before the
+    /// shutdown exchange (same rationale as [`NetSession`]).
+    client_counters: (u64, u64, u64),
+    /// The client's trace ring, read at the very end of the client task
+    /// — after the shutdown exchange — so every server-side span still
+    /// finds its wire-side parent in the union.
+    client_spans: Vec<TraceSpan>,
+    /// The server-side registry's trace ring after the session.
+    server_spans: Vec<TraceSpan>,
+}
+
+/// Runs the script like [`phase_n_session`] but against a *durable*
+/// engine (a real [`Store`] on the simulated filesystem), so span trees
+/// run all the way down to `store.append` / `store.fsync`.
+fn phase_t_session(
+    seed: u64,
+    script: &[Request],
+    cut_at: Option<u64>,
+    pipelined: bool,
+) -> Result<TraceSession, String> {
+    let sched = Arc::new(SimScheduler::new(seed));
+    let sim_env = SimEnv::with_scheduler(Arc::new(SimFs::new()), Arc::clone(&sched), seed);
+    let net = SimNet::new(
+        sim_env.clock_handle(),
+        Some(Arc::clone(&sched)),
+        seed,
+        NetFaultPlan {
+            refuse_connects: 0,
+            cut_at,
+        },
+    );
+    let env: Arc<dyn Env> = Arc::new(sim_env.with_net(Arc::clone(&net)));
+    let store = Store::open_with(store_config(NO_COMPACTION), Arc::clone(&env))
+        .map_err(|e| format!("seed {seed}: phase T: store open failed: {e}"))?;
+    let (engine, _) = Engine::with_store(EngineConfig::default(), store)
+        .map_err(|e| format!("seed {seed}: phase T: recovery failed: {e}"))?;
+    let engine = Arc::new(engine);
+    let engine_probe = Arc::clone(&engine);
+    let server = Server::bind("sim:harness", engine)
+        .map_err(|e| format!("seed {seed}: phase T: bind failed: {e}"))?;
+
+    let counters = Arc::new(Mutex::new((0u64, 0u64, 0u64)));
+    let client_spans = Arc::new(Mutex::new(Vec::new()));
+    let script_owned = script.to_vec();
+    let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+        Box::new(move || {
+            server.run_sequential().expect("phase T server run");
+        }),
+        {
+            let env = Arc::clone(&env);
+            let counters = Arc::clone(&counters);
+            let client_spans = Arc::clone(&client_spans);
+            Box::new(move || {
+                let mut client =
+                    Client::connect_retrying("sim:harness", Arc::clone(&env), 8).expect("connect");
+                client.set_call_timeout(Some(Duration::from_secs(2)));
+                client.set_retry(RetryPolicy {
+                    attempts: 8,
+                    base: Duration::from_millis(10),
+                    cap: Duration::from_millis(160),
+                });
+                if pipelined {
+                    client
+                        .call_pipelined(&script_owned)
+                        .expect("pipelined script");
+                } else {
+                    for request in &script_owned {
+                        client.call(request).expect("scripted call");
+                    }
+                }
+                let registry = client.registry();
+                *counters.lock().expect("counters") = (
+                    registry.client_retries.get(),
+                    registry.client_reconnects.get(),
+                    registry.client_backoff_sleeps.get(),
+                );
+                match client.call(&Request::Shutdown) {
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {}
+                    Err(e) => panic!("shutdown never acknowledged: {e}"),
+                }
+                *client_spans.lock().expect("client spans") = client.registry().traces();
+            })
+        },
+    ];
+    sched.run(tasks).map_err(|panics| {
+        format!("seed {seed}: phase T (cut {cut_at:?}): task panics: {panics:?}")
+    })?;
+
+    let client_counters = *counters.lock().expect("counters");
+    let client_spans = client_spans.lock().expect("client spans").clone();
+    Ok(TraceSession {
+        marks: net.write_marks(),
+        client_counters,
+        client_spans,
+        server_spans: engine_probe.registry().traces(),
+    })
+}
+
+/// Asserts the trace-causality invariants over one session's combined
+/// client+server span capture; returns `(spans_checked, retry_links)`.
+///
+/// 1. Every span's parent exists in the same trace — no orphans, even
+///    when a reply write died mid-frame.
+/// 2. Every `retry_of` link names an existing *sibling* attempt (same
+///    parent, same name) in the same trace that started no later, and
+///    the links cover at least the sampled client-retry count.
+/// 3. Spans nest: a child's interval lies within its parent's when both
+///    were captured on the same side; across the wire only the start
+///    ordering is asserted (a client attempt can finish before the
+///    server reads its reply timestamp under the scheduler).
+/// 4. Every acknowledged mutation's `store.append` reaches a
+///    `store.fsync` span carrying the same commit batch.  Group commits
+///    hang the fsync span off the batch *leader's* trace, so the link is
+///    the batch number, not the trace id.
+fn check_trace_causality(
+    seed: u64,
+    context: &str,
+    session: &TraceSession,
+    min_retry_links: u64,
+) -> Result<(u64, u64), String> {
+    let mut by_id: BTreeMap<(u128, u64), (&TraceSpan, bool)> = BTreeMap::new();
+    for (spans, client_side) in [
+        (&session.client_spans, true),
+        (&session.server_spans, false),
+    ] {
+        for span in spans.iter() {
+            if span.span_id == 0 {
+                return Err(format!(
+                    "seed {seed}: phase T {context}: span {:?} has a zero id",
+                    span.name
+                ));
+            }
+            if by_id
+                .insert((span.trace_id, span.span_id), (span, client_side))
+                .is_some()
+            {
+                return Err(format!(
+                    "seed {seed}: phase T {context}: duplicate span id {:016x} in trace {:032x}",
+                    span.span_id, span.trace_id
+                ));
+            }
+        }
+    }
+
+    let mut checked = 0u64;
+    for &(span, client_side) in by_id.values() {
+        checked += 1;
+        if span.parent_span_id == 0 {
+            continue;
+        }
+        let Some(&(parent, parent_client)) = by_id.get(&(span.trace_id, span.parent_span_id))
+        else {
+            return Err(format!(
+                "seed {seed}: phase T {context}: span {} {:016x} is orphaned — parent \
+                 {:016x} missing from trace {:032x}",
+                span.name, span.span_id, span.parent_span_id, span.trace_id
+            ));
+        };
+        if client_side == parent_client {
+            if span.start_ns < parent.start_ns || span.end_ns > parent.end_ns {
+                return Err(format!(
+                    "seed {seed}: phase T {context}: span {} [{}, {}] escapes its parent \
+                     {} [{}, {}]",
+                    span.name,
+                    span.start_ns,
+                    span.end_ns,
+                    parent.name,
+                    parent.start_ns,
+                    parent.end_ns
+                ));
+            }
+        } else if span.start_ns < parent.start_ns {
+            return Err(format!(
+                "seed {seed}: phase T {context}: span {} started at {} before its \
+                 wire-side parent {} at {}",
+                span.name, span.start_ns, parent.name, parent.start_ns
+            ));
+        }
+    }
+
+    let mut retry_links = 0u64;
+    for &(span, _) in by_id.values() {
+        let Some(prev_hex) = span.annotation("retry_of") else {
+            continue;
+        };
+        let Some(prev_id) = TraceContext::parse_span_id(prev_hex) else {
+            return Err(format!(
+                "seed {seed}: phase T {context}: unparseable retry_of link {prev_hex:?}"
+            ));
+        };
+        let Some(&(prev, _)) = by_id.get(&(span.trace_id, prev_id)) else {
+            return Err(format!(
+                "seed {seed}: phase T {context}: retry span {:016x} links predecessor \
+                 {prev_id:016x} that is missing from trace {:032x}",
+                span.span_id, span.trace_id
+            ));
+        };
+        if prev.parent_span_id != span.parent_span_id || prev.name != span.name {
+            return Err(format!(
+                "seed {seed}: phase T {context}: retry span {:016x}'s predecessor \
+                 {prev_id:016x} is not a sibling attempt",
+                span.span_id
+            ));
+        }
+        if prev.start_ns > span.start_ns {
+            return Err(format!(
+                "seed {seed}: phase T {context}: retry span {:016x} started before its \
+                 predecessor {prev_id:016x}",
+                span.span_id
+            ));
+        }
+        retry_links += 1;
+    }
+    if retry_links < min_retry_links {
+        return Err(format!(
+            "seed {seed}: phase T {context}: {retry_links} retry_of link(s) cannot cover \
+             {min_retry_links} sampled client retries"
+        ));
+    }
+
+    let mut appends = 0u64;
+    for span in &session.server_spans {
+        if span.name != "store.append" {
+            continue;
+        }
+        appends += 1;
+        let Some(batch) = span.annotation("batch") else {
+            return Err(format!(
+                "seed {seed}: phase T {context}: an acknowledged append resolved without \
+                 a commit batch annotation"
+            ));
+        };
+        let flushed = session
+            .server_spans
+            .iter()
+            .any(|f| f.name == "store.fsync" && f.annotation("batch") == Some(batch));
+        if !flushed {
+            return Err(format!(
+                "seed {seed}: phase T {context}: append batch {batch} was acknowledged \
+                 but no fsync span carries it"
+            ));
+        }
+    }
+    if appends == 0 {
+        return Err(format!(
+            "seed {seed}: phase T {context}: no store.append spans — the traced session \
+             never reached the log"
+        ));
+    }
+    Ok((checked, retry_links))
+}
+
+/// Phase T (wire half): four traced durable sessions — call-by-call and
+/// pipelined, fault-free and under a seeded wire cut — each validated by
+/// [`check_trace_causality`].  The cut runs must produce retry spans
+/// whose `retry_of` links are checked non-vacuously.
+fn phase_t_tracing(seed: u64, cfg: &SimConfig, stats: &mut ExploreStats) -> Result<(), String> {
+    let script = phase_n_script(seed, cfg);
+
+    let baseline = phase_t_session(seed, &script, None, false)?;
+    if baseline.client_counters != (0, 0, 0) {
+        return Err(format!(
+            "seed {seed}: phase T: fault-free baseline retried: {:?}",
+            baseline.client_counters
+        ));
+    }
+    let (checked, _) = check_trace_causality(seed, "trace baseline", &baseline, 0)?;
+    stats.trace_sessions += 1;
+    stats.trace_spans_checked += checked;
+
+    // A mid-script frame boundary cut: the lost reply forces exactly one
+    // retry, whose span must link its predecessor attempt.  Cuts stay
+    // inside the script portion (the last two frames are the shutdown
+    // exchange).
+    let script_marks = &baseline.marks[..baseline.marks.len().saturating_sub(2)];
+    if let Some(&mid) = script_marks.get(script_marks.len() / 2) {
+        let session = phase_t_session(seed, &script, Some(mid), false)?;
+        let (retries, _, _) = session.client_counters;
+        if retries == 0 {
+            return Err(format!(
+                "seed {seed}: phase T cut@{mid}: the cut consumed no request — the \
+                 retry-link invariant would be vacuous"
+            ));
+        }
+        let (checked, links) =
+            check_trace_causality(seed, &format!("trace cut@{mid}"), &session, retries)?;
+        stats.trace_sessions += 1;
+        stats.trace_spans_checked += checked;
+        stats.trace_retry_links += links;
+    }
+
+    // The pipelined burst, fault-free and cut at its first completed
+    // write — a guaranteed mid-batch loss forcing a whole-batch replay
+    // under fresh attempt spans.
+    let pipelined = phase_t_session(seed, &script, None, true)?;
+    let (checked, _) = check_trace_causality(seed, "trace pipelined", &pipelined, 0)?;
+    stats.trace_sessions += 1;
+    stats.trace_spans_checked += checked;
+    if let Some(&burst) = pipelined.marks.first() {
+        let session = phase_t_session(seed, &script, Some(burst), true)?;
+        let (retries, _, _) = session.client_counters;
+        let (checked, links) = check_trace_causality(
+            seed,
+            &format!("trace pipelined cut@{burst}"),
+            &session,
+            retries,
+        )?;
+        stats.trace_sessions += 1;
+        stats.trace_spans_checked += checked;
+        stats.trace_retry_links += links;
+    }
+    Ok(())
+}
+
+/// A deterministic span for the journal cut sweep: distinct per index,
+/// annotated, well under one slot.
+fn fr_span(seed: u64, index: u64) -> TraceSpan {
+    TraceSpan {
+        trace_id: (u128::from(seed) << 64) | u128::from(index + 1),
+        span_id: index + 1,
+        parent_span_id: index, // zero for the first: a root
+        name: format!("sim.fr.{index}"),
+        start_ns: 1_000 * index,
+        end_ns: 1_000 * index + 250,
+        annotations: vec![("seed".into(), format!("{seed:#x}"))],
+    }
+}
+
+/// Phase T (journal half): the flight recorder's crash story on the
+/// simulated filesystem.  The journal is cut at every slot boundary and
+/// at ≥1 interior byte of every slot; each cut must decode — and fully
+/// recover through `FlightRecorder::open` on a fresh filesystem — to
+/// exactly the spans journaled before it.  A torn header yields nothing,
+/// and a wrapped journal decodes to the newest generation only.
+fn phase_t_flight_recorder(seed: u64, stats: &mut ExploreStats) -> Result<(), String> {
+    const SLOTS: usize = 8;
+    let dir = PathBuf::from("/sim/fr");
+    let path = dir.join(FR_FILE_NAME);
+    let fs = Arc::new(SimFs::new());
+    let env: Arc<dyn Env> = Arc::new(SimEnv::new(Arc::clone(&fs), seed));
+    let (recorder, recovered) = FlightRecorder::open(env, &dir, SLOTS, true)
+        .map_err(|e| format!("seed {seed}: phase T: recorder open failed: {e}"))?;
+    if !recovered.is_empty() {
+        return Err(format!(
+            "seed {seed}: phase T: a fresh journal recovered {} spans",
+            recovered.len()
+        ));
+    }
+    let spans: Vec<TraceSpan> = (0..6).map(|i| fr_span(seed, i)).collect();
+    for span in &spans {
+        recorder
+            .record(span)
+            .map_err(|e| format!("seed {seed}: phase T: record failed: {e}"))?;
+    }
+    let live = |fs: &SimFs| {
+        fs.live_files()
+            .into_iter()
+            .find(|(p, _)| *p == path)
+            .map(|(_, b)| b)
+    };
+    let bytes = live(&fs).ok_or_else(|| format!("seed {seed}: phase T: journal never written"))?;
+    if bytes.len() != FR_HEADER_BYTES + spans.len() * FR_SLOT_BYTES {
+        return Err(format!(
+            "seed {seed}: phase T: journal is {} bytes, expected header + {} slots",
+            bytes.len(),
+            spans.len()
+        ));
+    }
+
+    for kept in 0..=spans.len() {
+        let cut = FR_HEADER_BYTES + kept * FR_SLOT_BYTES;
+        let decoded = decode_journal(&bytes[..cut]);
+        if decoded != spans[..kept] {
+            return Err(format!(
+                "seed {seed}: phase T: boundary cut after {kept} slot(s) decoded {} \
+                 span(s) instead of the journaled prefix",
+                decoded.len()
+            ));
+        }
+        // The full open path must agree with the pure decoder: recovery
+        // over the truncated image truncates the torn tail and returns
+        // the same prefix.
+        let crashed = Arc::new(SimFs::new());
+        crashed.install(&path, &bytes[..cut]);
+        let crashed_env: Arc<dyn Env> = Arc::new(SimEnv::new(crashed, seed));
+        let (_, recovered) = FlightRecorder::open(crashed_env, &dir, SLOTS, true)
+            .map_err(|e| format!("seed {seed}: phase T: reopen at cut {cut} failed: {e}"))?;
+        if recovered != spans[..kept] {
+            return Err(format!(
+                "seed {seed}: phase T: reopen at boundary cut {cut} recovered {} span(s) \
+                 instead of the journaled prefix of {kept}",
+                recovered.len()
+            ));
+        }
+        stats.fr_boundary_cuts += 1;
+    }
+    // ≥1 interior byte per slot: the torn slot is dropped, never a
+    // partial or garbage span.
+    for kept in 0..spans.len() {
+        for offset in [FR_SLOT_BYTES / 3, FR_SLOT_BYTES - 1] {
+            let cut = FR_HEADER_BYTES + kept * FR_SLOT_BYTES + offset;
+            let decoded = decode_journal(&bytes[..cut]);
+            if decoded != spans[..kept] {
+                return Err(format!(
+                    "seed {seed}: phase T: interior cut at byte {cut} decoded {} span(s) \
+                     instead of dropping the torn slot",
+                    decoded.len()
+                ));
+            }
+            stats.fr_mid_cuts += 1;
+        }
+    }
+    // A torn header yields nothing (and must not panic).
+    if !decode_journal(&bytes[..FR_HEADER_BYTES - 3]).is_empty() {
+        return Err(format!(
+            "seed {seed}: phase T: a torn header decoded spans out of thin air"
+        ));
+    }
+
+    // Wrap: drive past capacity; the live journal holds the newest
+    // generation only, still strictly sequenced.
+    let total = SLOTS as u64 + 3;
+    let all: Vec<TraceSpan> = (0..total).map(|i| fr_span(seed, i)).collect();
+    for span in &all[spans.len()..] {
+        recorder
+            .record(span)
+            .map_err(|e| format!("seed {seed}: phase T: wrap record failed: {e}"))?;
+    }
+    let bytes =
+        live(&fs).ok_or_else(|| format!("seed {seed}: phase T: wrapped journal missing"))?;
+    let decoded = decode_journal(&bytes);
+    if decoded != all[SLOTS..] {
+        return Err(format!(
+            "seed {seed}: phase T: wrapped journal decoded {} span(s) instead of the \
+             newest generation of {}",
+            decoded.len(),
+            total as usize - SLOTS
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1813,6 +2301,15 @@ mod tests {
         assert_eq!(stats.metric_store_checks, 2, "stats: {stats:?}");
         assert_eq!(stats.metric_net_checks, 6, "stats: {stats:?}");
         assert_eq!(stats.metric_retries_accounted, 4, "stats: {stats:?}");
+        // Phase T: four traced durable sessions (baseline, cut,
+        // pipelined, pipelined cut), each cut session contributing ≥1
+        // verified retry link; the journal cut at every slot boundary
+        // (0..=6 for six recorded slots) and twice inside every slot.
+        assert_eq!(stats.trace_sessions, 4, "stats: {stats:?}");
+        assert!(stats.trace_spans_checked >= 100, "stats: {stats:?}");
+        assert!(stats.trace_retry_links >= 2, "stats: {stats:?}");
+        assert_eq!(stats.fr_boundary_cuts, 7, "stats: {stats:?}");
+        assert_eq!(stats.fr_mid_cuts, 12, "stats: {stats:?}");
     }
 
     /// A seeded wire cut must report *exactly* the expected resilience
@@ -1944,6 +2441,78 @@ mod tests {
                 "crash seed {crash_seed}: a staged-but-unsynced batch was \
                  dropped on clean shutdown"
             );
+        }
+    }
+
+    /// The observability event ring under deterministic concurrency:
+    /// four writers interleaved by the simulated scheduler push well
+    /// past the ring's capacity.  At every capacity boundary the ring
+    /// must drop exactly the oldest entry — so the snapshot holds
+    /// exactly `EVENT_RING_CAPACITY` events, no entry is duplicated, and
+    /// each writer's surviving entries form an in-order contiguous
+    /// *suffix* of what it pushed.  Same seed, same interleaving, same
+    /// snapshot.
+    #[test]
+    fn event_ring_interleaved_writers_never_lose_or_duplicate() {
+        use cqfit_obs::{Registry, EVENT_RING_CAPACITY};
+        const WRITERS: usize = 4;
+        const PER_WRITER: usize = 40; // 160 pushes through a 128-slot ring
+
+        let run = |seed: u64| -> Vec<(String, String)> {
+            let sched = Arc::new(SimScheduler::new(seed));
+            let registry = Arc::new(Registry::new());
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..WRITERS)
+                .map(|writer| {
+                    let sched = Arc::clone(&sched);
+                    let registry = Arc::clone(&registry);
+                    Box::new(move || {
+                        for i in 0..PER_WRITER {
+                            registry.event(
+                                (writer * PER_WRITER + i) as u64,
+                                "sim.ring",
+                                format!("{writer}:{i}"),
+                            );
+                            sched.maybe_yield();
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            sched.run(tasks).expect("no panics");
+            registry
+                .snapshot()
+                .events
+                .iter()
+                .map(|e| (e.kind.clone(), e.detail.clone()))
+                .collect()
+        };
+
+        for seed in [3u64, 0xC0FFEE] {
+            let events = run(seed);
+            assert_eq!(
+                events.len(),
+                EVENT_RING_CAPACITY,
+                "a full ring holds exactly its capacity"
+            );
+            let mut seen = std::collections::BTreeSet::new();
+            let mut per_writer: Vec<Vec<usize>> = vec![Vec::new(); WRITERS];
+            for (kind, detail) in &events {
+                assert_eq!(kind, "sim.ring");
+                assert!(seen.insert(detail.clone()), "duplicated entry {detail}");
+                let (writer, i) = detail.split_once(':').expect("writer:index");
+                per_writer[writer.parse::<usize>().unwrap()].push(i.parse().unwrap());
+            }
+            for (writer, indices) in per_writer.iter().enumerate() {
+                // In order, contiguous, and ending at the writer's last
+                // push: the ring dropped only this writer's *oldest*
+                // entries, never one from the middle.
+                let first = indices.first().copied().unwrap_or(PER_WRITER);
+                let expected: Vec<usize> = (first..PER_WRITER).collect();
+                assert_eq!(
+                    indices, &expected,
+                    "writer {writer}: survivors must be an in-order suffix"
+                );
+            }
+            assert_eq!(run(seed), events, "same seed, same interleaving");
         }
     }
 }

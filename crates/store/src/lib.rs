@@ -43,7 +43,7 @@ pub use record::{LogRecord, WorkspaceSnapshot};
 
 use cqfit_data::{Example, Schema};
 use cqfit_env::{Env, RealEnv};
-use cqfit_obs::Registry;
+use cqfit_obs::{Registry, TraceContext, Tracer};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::PathBuf;
@@ -555,12 +555,30 @@ impl Store {
         record: &LogRecord,
         pre_state: impl FnOnce() -> WorkspaceSnapshot,
     ) -> Result<(), StoreError> {
+        self.append_traced(name, record, pre_state, None)
+    }
+
+    /// [`append`] under an optional trace context (PR 10): the WAL opens
+    /// a `store.append` span as a child of the given context, with a
+    /// `store.commit_wait` child for the queued portion and — when this
+    /// appender leads its group-commit batch — a `store.fsync` span
+    /// carrying the batch sequence number every member's append span is
+    /// annotated with.  With `trace: None` this is exactly [`append`].
+    ///
+    /// [`append`]: Store::append
+    pub fn append_traced(
+        &self,
+        name: &str,
+        record: &LogRecord,
+        pre_state: impl FnOnce() -> WorkspaceSnapshot,
+        trace: Option<(&Tracer, &TraceContext)>,
+    ) -> Result<(), StoreError> {
         let log = self.resolve(name)?;
         if log.since_snapshot() as usize >= self.config.compact_after {
             let (before, after) = log.rewrite(&[LogRecord::Snapshot(pre_state())])?;
             self.note_compaction(name, before, after);
         }
-        log.append(record)
+        log.append_traced(record, trace)
     }
 
     /// Forces snapshot + compaction of one workspace's log.  Returns

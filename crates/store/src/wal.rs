@@ -18,7 +18,7 @@
 use crate::record::{decode_record, encode_record, LogRecord};
 use crate::StoreError;
 use cqfit_env::{Env, Fs, FsFile, OpenMode};
-use cqfit_obs::Registry;
+use cqfit_obs::{Registry, TraceContext, Tracer};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
@@ -73,8 +73,10 @@ pub(crate) fn decode_name(stem: &str) -> Option<String> {
 
 /// The shared outcome of one group-committed batch: every appender whose
 /// record rode the batch reads the same result once the covering sync (or
-/// its failure) has happened.
-type CommitTicket = OnceLock<Result<(), CommitError>>;
+/// its failure) has happened.  On success the ticket carries the batch's
+/// per-log sequence number, which is what links every member's
+/// `store.append` trace span to the leader's `store.fsync` span.
+type CommitTicket = OnceLock<Result<u64, CommitError>>;
 
 /// A clonable snapshot of the I/O error that failed a batch, handed to
 /// every follower of the batch (`std::io::Error` itself is not `Clone`).
@@ -119,6 +121,9 @@ struct WalInner {
     /// The ticket of the currently open (staged, not yet taken) batch;
     /// `None` when nothing is staged.
     batch: Option<Arc<CommitTicket>>,
+    /// Sequence number the next committed batch will carry (trace
+    /// correlation between append spans and their covering fsync).
+    next_batch_seq: u64,
     /// Set when a failed append could not be rolled back: the on-disk
     /// tail no longer matches the counters, so further appends could land
     /// *behind* torn bytes and be silently discarded at recovery.  A
@@ -253,6 +258,7 @@ impl WalFile {
                 staged: String::new(),
                 staged_meta: Vec::new(),
                 batch: None,
+                next_batch_seq: 0,
                 poisoned: false,
             }),
             commit_cv: Condvar::new(),
@@ -288,7 +294,27 @@ impl WalFile {
     /// rollback itself fails, the log is poisoned and rejects everything
     /// until a restart replays and truncates it.
     pub(crate) fn append(&self, record: &LogRecord) -> Result<(), StoreError> {
+        self.append_traced(record, None)
+    }
+
+    /// [`append`] under an optional trace context: a `store.append` span
+    /// (staging through resolution) is opened as a child of the given
+    /// context, with a `store.commit_wait` child covering the queued
+    /// portion; if this appender ends up leading its batch, the covering
+    /// `store.fsync` span is parented under its append span.  With
+    /// `trace: None` the call is byte-for-byte the untraced path — no
+    /// extra clock or rng draws.
+    ///
+    /// [`append`]: WalFile::append
+    pub(crate) fn append_traced(
+        &self,
+        record: &LogRecord,
+        trace: Option<(&Tracer, &TraceContext)>,
+    ) -> Result<(), StoreError> {
         let begun_ns = self.env.clock().monotonic().as_nanos() as u64;
+        // The append span's own context is fixed up front so a leader can
+        // parent its fsync span under it before the span closes.
+        let append_ctx = trace.map(|(tracer, parent)| tracer.child_context(parent));
         let line = encode_record(record);
         let is_snapshot = matches!(record, LogRecord::Snapshot(_));
         let mut inner = self.inner.lock().expect("wal state");
@@ -317,7 +343,20 @@ impl WalFile {
                 if outcome.is_err() {
                     self.registry.store_append_errors.inc();
                 }
-                return outcome.clone().map_err(CommitError::into_store_error);
+                if let (Some((tracer, _)), Some(ctx)) = (trace, append_ctx) {
+                    let wait =
+                        tracer.start_at(tracer.child_context(&ctx), "store.commit_wait", staged_ns);
+                    wait.finish_at(tracer, resolved_ns);
+                    let mut span = tracer.start_at(ctx, "store.append", begun_ns);
+                    if let Ok(seq) = outcome {
+                        span.annotate("batch", seq.to_string());
+                    }
+                    span.finish_at(tracer, resolved_ns);
+                }
+                return outcome
+                    .clone()
+                    .map(|_| ())
+                    .map_err(CommitError::into_store_error);
             }
             let batch_still_open = inner
                 .batch
@@ -327,7 +366,7 @@ impl WalFile {
                 // No leader is writing and our batch is still staged:
                 // lead it ourselves (resolves `ticket`, so the next loop
                 // iteration returns).
-                inner = self.flush_batch(inner);
+                inner = self.flush_batch(inner, trace.map(|(t, _)| (t, append_ctx.unwrap())));
                 continue;
             }
             // Either a leader owns the handle or it owns our batch:
@@ -341,13 +380,18 @@ impl WalFile {
     /// called with the file handle present and a batch staged; the lock
     /// is released for the duration of the I/O so later appends can stage
     /// the next batch meanwhile.
-    fn flush_batch<'a>(&'a self, mut inner: MutexGuard<'a, WalInner>) -> MutexGuard<'a, WalInner> {
+    fn flush_batch<'a>(
+        &'a self,
+        mut inner: MutexGuard<'a, WalInner>,
+        trace: Option<(&Tracer, TraceContext)>,
+    ) -> MutexGuard<'a, WalInner> {
         let batch = std::mem::take(&mut inner.staged);
         let meta = std::mem::take(&mut inner.staged_meta);
         let ticket = inner
             .batch
             .take()
             .expect("flush_batch needs a staged batch");
+        let seq = inner.next_batch_seq;
         if inner.poisoned {
             let _ = ticket.set(Err(CommitError {
                 kind: std::io::ErrorKind::Other,
@@ -374,6 +418,16 @@ impl WalFile {
             .store_fsync_ns
             .record(flush_ended_ns.saturating_sub(flush_begun_ns));
         self.registry.store_batch_records.record(meta.len() as u64);
+        if let Some((tracer, leader_ctx)) = trace {
+            let mut span = tracer.start_at(
+                tracer.child_context(&leader_ctx),
+                "store.fsync",
+                flush_begun_ns,
+            );
+            span.annotate("batch", seq.to_string());
+            span.annotate("records", meta.len().to_string());
+            span.finish_at(tracer, flush_ended_ns);
+        }
         let outcome = match written {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -403,6 +457,7 @@ impl WalFile {
         };
         let mut inner = self.inner.lock().expect("wal state");
         inner.file = Some(file);
+        inner.next_batch_seq = seq + 1;
         match outcome {
             Ok(()) => {
                 self.registry.store_appends_acked.add(meta.len() as u64);
@@ -415,7 +470,7 @@ impl WalFile {
                     }
                 }
                 inner.bytes += batch.len() as u64;
-                let _ = ticket.set(Ok(()));
+                let _ = ticket.set(Ok(seq));
             }
             Err((e, rollback_failed)) => {
                 if rollback_failed {
@@ -437,8 +492,9 @@ impl WalFile {
             if inner.batch.is_some() && inner.file.is_some() {
                 // A staged-but-unflushed batch: flush it now so no caller
                 // of sync/rewrite can observe staged records dropped on a
-                // clean shutdown.
-                inner = self.flush_batch(inner);
+                // clean shutdown.  Quiesce-driven flushes are untraced:
+                // the stagers' own spans still resolve off the ticket.
+                inner = self.flush_batch(inner, None);
                 continue;
             }
             if inner.file.is_some() && inner.batch.is_none() {
